@@ -1,0 +1,42 @@
+//! Bench X2 — the paper's scheme vs. the Viviani-style allreduce baseline:
+//! full training wall time at the same rank count and epoch budget.
+//!
+//! The scheme's per-rank work is 1/P of the domain with zero communication;
+//! the baseline keeps the full domain per replica (1/P of the *batches*)
+//! and pays an allreduce per batch. The bench exposes both the compute gap
+//! and the messaging overhead of the thread-backed allreduce; the byte
+//! counts are reported by `examples/baseline_comparison.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::baseline::DataParallelTrainer;
+use pde_ml_core::prelude::*;
+use std::hint::black_box;
+
+fn scheme_vs_baseline(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let strategy = PaddingStrategy::ZeroPad;
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 2;
+    let n_pairs = data.pair_count();
+    let ranks = 4;
+
+    let mut group = c.benchmark_group("ablation_baseline/full_training");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::from_parameter("subdomain_scheme"), &ranks, |b, &p| {
+        let t = ParallelTrainer::new(arch.clone(), strategy, cfg.clone());
+        b.iter(|| black_box(t.train_view(&data, n_pairs, p).expect("scheme")))
+    });
+
+    group.bench_with_input(BenchmarkId::from_parameter("allreduce_baseline"), &ranks, |b, &p| {
+        let t = DataParallelTrainer::new(arch.clone(), strategy, cfg.clone());
+        b.iter(|| black_box(t.train(&data, n_pairs, p).expect("baseline")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, scheme_vs_baseline);
+criterion_main!(benches);

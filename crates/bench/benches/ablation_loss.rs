@@ -1,0 +1,68 @@
+//! Bench X4 — §II loss claim ("we have observed that the mean absolute
+//! percentage error is better suited … the measured values have different
+//! orders of magnitudes"): per-epoch time of each loss, plus a printed
+//! comparison of per-field validation error after training with MAPE vs
+//! MSE. The statistical assertion lives in `tests/ablations.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::data::SubdomainDataset;
+use pde_ml_core::metrics::field_errors;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::{train_network, LossKind};
+use pde_nn::Layer;
+use pde_tensor::Tensor4;
+use std::hint::black_box;
+
+fn loss_ablation(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let strategy = PaddingStrategy::ZeroPad;
+    let part = GridPartition::for_ranks(BENCH_GRID, BENCH_GRID, 4);
+    let n_train = data.pair_count() - 2;
+    let view = data.view(0, n_train);
+    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+
+    // Convergence/accuracy comparison: train with each loss, evaluate
+    // per-field errors on a held-out pair.
+    println!("\nper-field validation MAPE after 10 epochs, by training loss:");
+    let losses = [
+        LossKind::Mape { floor: 1e-3 },
+        LossKind::Mse,
+        LossKind::Mae,
+        LossKind::Huber { delta: 0.1 },
+    ];
+    let (vx, vy) = data.pair(n_train);
+    let block = part.block_of_rank(0);
+    let val_in = pde_ml_core::data::extract_input(vx, &block, 0, strategy.boundary_pad_mode());
+    let val_tgt = pde_ml_core::data::extract_target(vy, &block, 0);
+    for loss in losses {
+        let mut cfg = TrainConfig::paper();
+        cfg.epochs = 10;
+        cfg.loss = loss;
+        let mut net = arch.build_for(strategy, 0);
+        let _ = train_network(&mut net, &ds, &cfg);
+        let pred = net.forward(&Tensor4::from_sample(&val_in), false).sample_tensor(0);
+        let errs = field_errors(&pred, &val_tgt, 1e-3);
+        let mean_mape = errs.iter().map(|e| e.mape).sum::<f64>() / errs.len() as f64;
+        println!("  {:<8} mean MAPE {:8.2}%", loss.label(), mean_mape);
+    }
+
+    let mut group = c.benchmark_group("ablation_loss/one_epoch");
+    group.sample_size(10);
+    for loss in losses {
+        let mut cfg = TrainConfig::quick_test();
+        cfg.epochs = 1;
+        cfg.loss = loss;
+        group.bench_with_input(BenchmarkId::from_parameter(loss.label()), &loss, |b, _| {
+            b.iter(|| {
+                let mut net = arch.build_for(strategy, 0);
+                black_box(train_network(&mut net, &ds, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, loss_ablation);
+criterion_main!(benches);

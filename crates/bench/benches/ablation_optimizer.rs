@@ -1,0 +1,61 @@
+//! Bench X3 — §II optimizer claim ("we found the ADAM optimizer to have
+//! the best performance"): per-epoch time cost of each optimizer on the
+//! subdomain task. The convergence-quality side (loss after a fixed epoch
+//! budget) is asserted by `tests/ablations.rs` and printed by this bench's
+//! setup phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::data::SubdomainDataset;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::{train_network, OptimizerKind};
+use std::hint::black_box;
+
+fn optimizer_epoch_cost(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let strategy = PaddingStrategy::ZeroPad;
+    let part = GridPartition::for_ranks(BENCH_GRID, BENCH_GRID, 4);
+    let view = data.view(0, data.pair_count());
+    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+
+    // Print the convergence comparison once (criterion benches are run
+    // with --bench, so this lands in the bench log next to the timings).
+    println!("\noptimizer convergence after 10 epochs (final mean MAPE per batch):");
+    for opt in [
+        OptimizerKind::Adam,
+        OptimizerKind::Sgd,
+        OptimizerKind::SgdMomentum(0.9),
+        OptimizerKind::RmsProp,
+    ] {
+        let mut cfg = TrainConfig::paper();
+        cfg.epochs = 10;
+        cfg.optimizer = opt;
+        let mut net = arch.build_for(strategy, 0);
+        let losses = train_network(&mut net, &ds, &cfg);
+        println!("  {:<14} {:8.3}", opt.label(), losses.last().unwrap());
+    }
+
+    let mut group = c.benchmark_group("ablation_optimizer/one_epoch");
+    group.sample_size(10);
+    for opt in [
+        OptimizerKind::Adam,
+        OptimizerKind::Sgd,
+        OptimizerKind::SgdMomentum(0.9),
+        OptimizerKind::RmsProp,
+    ] {
+        let mut cfg = TrainConfig::quick_test();
+        cfg.epochs = 1;
+        cfg.optimizer = opt;
+        group.bench_with_input(BenchmarkId::from_parameter(opt.label()), &opt, |b, _| {
+            b.iter(|| {
+                let mut net = arch.build_for(strategy, 0);
+                black_box(train_network(&mut net, &ds, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizer_epoch_cost);
+criterion_main!(benches);

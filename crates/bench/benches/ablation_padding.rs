@@ -1,0 +1,66 @@
+//! Bench X1 — §III padding-strategy ablation: time cost of one training
+//! epoch and one inference step under each strategy.
+//!
+//! Zero padding and neighbor padding differ in input size (bare interior
+//! vs. interior + halo) and in convolution geometry ("same" vs. valid), so
+//! their per-epoch cost differs measurably; inner-crop trains on valid
+//! convolutions with the smallest outputs. The accuracy side of the
+//! ablation is produced by `examples/padding_ablation.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::data::SubdomainDataset;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::train_network;
+use std::hint::black_box;
+
+fn epoch_cost_by_strategy(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let part = GridPartition::for_ranks(BENCH_GRID, BENCH_GRID, 4);
+    let view = data.view(0, data.pair_count());
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 1;
+
+    let mut group = c.benchmark_group("ablation_padding/one_rank_epoch");
+    group.sample_size(10);
+    for strategy in PaddingStrategy::ALL {
+        let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    let mut net = arch.build_for(s, 0);
+                    black_box(train_network(&mut net, &ds, &cfg))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn inference_cost_by_strategy(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 1;
+    let mut group = c.benchmark_group("ablation_padding/parallel_step");
+    group.sample_size(10);
+    for strategy in [PaddingStrategy::ZeroPad, PaddingStrategy::NeighborPad] {
+        let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg.clone())
+            .train(&data, 4)
+            .expect("train");
+        let inf = ParallelInference::from_outcome(arch.clone(), strategy, &outcome);
+        let initial = data.snapshot(0).clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, _| b.iter(|| black_box(inf.rollout(black_box(&initial), 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, epoch_cost_by_strategy, inference_cost_by_strategy);
+criterion_main!(benches);

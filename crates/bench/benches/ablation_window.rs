@@ -1,0 +1,64 @@
+//! Bench X6 — time-window ablation (extension toward the paper's §V
+//! future work on temporal connectivity): cost of one training epoch and
+//! one rollout step as the input window grows from 1 to 3 snapshots, plus
+//! a printed rollout-quality comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::metrics::rollout_error_curve;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::PredictionMode;
+use std::hint::black_box;
+
+fn windowed_arch(window: usize) -> ArchSpec {
+    let mut arch = ArchSpec::tiny();
+    arch.channels[0] = 4 * window;
+    arch
+}
+
+fn window_ablation(c: &mut Criterion) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS + 12);
+    let n_train = data.pair_count() - 8;
+    let horizon = 6;
+
+    // Quality comparison printed once: rollout error at the horizon.
+    println!("\nrollout mean-RMSE at horizon {horizon} by window width (residual mode):");
+    for window in [1usize, 2, 3] {
+        let arch = windowed_arch(window);
+        let mut cfg = TrainConfig::paper_residual();
+        cfg.epochs = 10;
+        cfg.batch_size = 8;
+        cfg.window = window;
+        let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+            .train_view(&data, n_train, 4)
+            .expect("train");
+        let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+        let history: Vec<_> =
+            (n_train + 1 - window..=n_train).map(|k| data.snapshot(k).clone()).collect();
+        let roll = inf.rollout_from_history(&history, horizon);
+        let reference: Vec<_> =
+            (0..=horizon).map(|s| data.snapshot(n_train + s).clone()).collect();
+        let curve = rollout_error_curve(&roll.states, &reference);
+        println!("  window {window}: {:.4e}", curve[horizon]);
+    }
+
+    let mut group = c.benchmark_group("ablation_window/training_run");
+    group.sample_size(10);
+    for window in [1usize, 2, 3] {
+        let arch = windowed_arch(window);
+        let mut cfg = TrainConfig::paper_residual();
+        cfg.epochs = 1;
+        cfg.batch_size = 8;
+        cfg.window = window;
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            let t = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg.clone());
+            b.iter(|| black_box(t.train_view(&data, n_train, 4).expect("train")))
+        });
+    }
+    group.finish();
+
+    let _ = PredictionMode::Residual;
+}
+
+criterion_group!(benches, window_ablation);
+criterion_main!(benches);

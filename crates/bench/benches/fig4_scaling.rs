@@ -1,0 +1,64 @@
+//! Bench F4 — Fig. 4: strong scaling of training time with rank count.
+//!
+//! Measures the real threaded trainer at P ∈ {1, 2, 4} on a fixed global
+//! grid (criterion reports the wall time per P — the measured series), and
+//! additionally benches per-rank work at the subdomain sizes P = 1, 4, 16,
+//! 64 would produce. On a multi-core host the first series shows the Fig.-4
+//! drop directly; on a single core the second series shows the per-rank
+//! work shrinking by 1/P, which combined with the zero-communication
+//! property (proved in tests) yields the paper's curve — see
+//! `examples/fig4_scaling.rs` for the calibrated 64-core projection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_bench::bench_dataset;
+use pde_euler::dataset::paper_dataset;
+use pde_ml_core::data::SubdomainDataset;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::train_network;
+use std::hint::black_box;
+
+const GRID: usize = 32;
+
+fn threaded_strong_scaling(c: &mut Criterion) {
+    let data = bench_dataset(GRID, 10);
+    let arch = ArchSpec::tiny();
+    let strategy = PaddingStrategy::ZeroPad;
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 2;
+    let mut group = c.benchmark_group("fig4/threaded_training");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &p| {
+            let t = ParallelTrainer::new(arch.clone(), strategy, cfg.clone());
+            b.iter(|| black_box(t.train(&data, p).expect("train")))
+        });
+    }
+    group.finish();
+}
+
+fn per_rank_work_vs_subdomain(c: &mut Criterion) {
+    // Subdomain sides a 32-grid decomposition would give each rank at
+    // P = 1, 4, 16, 64 (side / √P). Per-rank training cost must scale ~1/P.
+    let arch = ArchSpec::tiny();
+    let strategy = PaddingStrategy::ZeroPad;
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 1;
+    let mut group = c.benchmark_group("fig4/per_rank_epoch_by_P");
+    group.sample_size(10);
+    for (p, side) in [(1usize, 32usize), (4, 16), (16, 8), (64, 4)] {
+        let data = paper_dataset(side, 10);
+        let part = GridPartition::new(side, side, 1, 1);
+        let view = data.view(0, data.pair_count());
+        let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("P{p}_side{side}")), &p, |b, _| {
+            b.iter(|| {
+                let mut net = arch.build_for(strategy, 0);
+                black_box(train_network(&mut net, &ds, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threaded_strong_scaling, per_rank_work_vs_subdomain);
+criterion_main!(benches);

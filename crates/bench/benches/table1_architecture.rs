@@ -1,0 +1,57 @@
+//! Bench T1 — Table I companion: cost of each of the paper's four conv
+//! layers (forward, and forward+backward) at a fixed spatial size, plus the
+//! full stack. Regenerates the per-layer numbers printed by
+//! `examples/table1_architecture.rs` under criterion statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_ml_core::arch::ArchSpec;
+use pde_nn::{Conv2d, Layer};
+use pde_tensor::Tensor4;
+use std::hint::black_box;
+
+fn layer_benches(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+    let (h, w) = (32, 32);
+    let mut group = c.benchmark_group("table1/layer_forward");
+    group.sample_size(20);
+    for row in arch.layer_rows() {
+        let mut conv = Conv2d::same(row.in_channels, row.out_channels, arch.kernel);
+        let x = Tensor4::from_fn(1, row.in_channels, h, w, |_, ch, i, j| {
+            ((ch + i) as f64 * 0.1 + j as f64 * 0.01).sin()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("conv{}", row.layer)), &x, |b, x| {
+            b.iter(|| black_box(conv.forward(black_box(x), false)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/layer_forward_backward");
+    group.sample_size(20);
+    for row in arch.layer_rows() {
+        let mut conv = Conv2d::same(row.in_channels, row.out_channels, arch.kernel);
+        let x = Tensor4::from_fn(1, row.in_channels, h, w, |_, ch, i, j| {
+            ((ch + i) as f64 * 0.1 + j as f64 * 0.01).cos()
+        });
+        let g = conv.forward(&x, true);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("conv{}", row.layer)), &x, |b, x| {
+            b.iter(|| {
+                conv.zero_grad();
+                let _ = conv.forward(black_box(x), true);
+                black_box(conv.backward(black_box(&g)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn stack_bench(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+    let mut net = arch.build(true, 0);
+    let x = Tensor4::from_fn(1, 4, 32, 32, |_, ch, i, j| ((ch * 7 + i * 3 + j) as f64 * 0.01).sin());
+    c.bench_function("table1/full_stack_forward_32x32", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x), false)))
+    });
+}
+
+criterion_group!(benches, layer_benches, stack_bench);
+criterion_main!(benches);

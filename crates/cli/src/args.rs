@@ -1,0 +1,79 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses a flat `--key value` list; flags without values are rejected
+    /// (every option of `pdeml` takes a value).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got '{key}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// Raw string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// Optional parsed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&sv(&["--grid", "64", "--out", "x.bin"])).unwrap();
+        assert_eq!(a.get("grid"), Some("64"));
+        assert_eq!(a.require("out").unwrap(), "x.bin");
+        assert_eq!(a.get_or("epochs", 7usize).unwrap(), 7);
+        assert_eq!(a.get_or("grid", 0usize).unwrap(), 64);
+    }
+
+    #[test]
+    fn rejects_bare_words_and_missing_values() {
+        assert!(Args::parse(&sv(&["grid"])).is_err());
+        assert!(Args::parse(&sv(&["--grid"])).is_err());
+        assert!(Args::parse(&sv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn reports_unparsable_values() {
+        let a = Args::parse(&sv(&["--epochs", "many"])).unwrap();
+        assert!(a.get_or("epochs", 1usize).is_err());
+        assert!(a.require("absent").is_err());
+    }
+}

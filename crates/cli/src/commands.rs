@@ -1,0 +1,232 @@
+//! The `pdeml` subcommand implementations.
+
+use crate::args::Args;
+use crate::meta::{mode_from_str, strategy_from_str, ModelMeta};
+use pde_euler::dataset::{DataSet, SnapshotRecorder};
+use pde_euler::{Boundary, InitialCondition, SolverConfig};
+use pde_ml_core::arch::ArchSpec;
+use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
+use pde_ml_core::prelude::*;
+use pde_ml_core::report::Csv;
+use pde_nn::serialize::{load_params, restore, save_params, snapshot};
+use pde_perfmodel::scaling::format_scaling_table;
+use pde_perfmodel::{strong_scaling, weak_scaling, CostModel};
+use std::path::{Path, PathBuf};
+
+/// `pdeml simulate` — run the linearized-Euler solver and persist the
+/// snapshots.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let grid: usize = args.get_or("grid", 64)?;
+    let snapshots: usize = args.get_or("snapshots", 120)?;
+    let out = PathBuf::from(args.require("out")?);
+    let boundary = match args.get("boundary").unwrap_or("outflow") {
+        "outflow" => Boundary::Outflow,
+        "periodic" => Boundary::Periodic,
+        "reflective" => Boundary::Reflective,
+        "absorbing" => Boundary::Absorbing,
+        other => return Err(format!("unknown boundary '{other}'")),
+    };
+    println!("simulating {grid}x{grid} linearized Euler, {snapshots} snapshots, {boundary:?} BCs…");
+    let cfg = SolverConfig::paper(grid, grid);
+    let data = SnapshotRecorder::new(cfg, boundary, &InitialCondition::paper_pulse(), 1)
+        .record(snapshots);
+    data.save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} snapshots, dt = {:.3e} s, {} bytes)",
+        out.display(),
+        data.len(),
+        data.dt(),
+        std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0)
+    );
+    Ok(())
+}
+
+/// `pdeml train` — domain-decomposed parallel training, checkpointed to a
+/// model directory.
+pub fn train(args: &Args) -> Result<(), String> {
+    let data_path = PathBuf::from(args.require("data")?);
+    let out_dir = PathBuf::from(args.require("out")?);
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let epochs: usize = args.get_or("epochs", 20)?;
+    let window: usize = args.get_or("window", 1)?;
+    let strategy = strategy_from_str(args.get("strategy").unwrap_or("neighbor-pad"))?;
+    let mode = mode_from_str(args.get("mode").unwrap_or("residual"))?;
+
+    let data = DataSet::load(&data_path)
+        .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
+    let train_pairs: usize = args.get_or("train-pairs", data.pair_count() * 2 / 3)?;
+    let (c, h, w) = data.shape();
+    println!(
+        "training on {} of {} pairs from {} ({c} ch, {h}x{w}) with {ranks} ranks, \
+         {epochs} epochs, {} + {}",
+        train_pairs,
+        data.pair_count(),
+        data_path.display(),
+        strategy.label(),
+        mode.label()
+    );
+
+    let mut arch = ArchSpec::paper();
+    arch.channels[0] = c * window;
+    let mut cfg = TrainConfig::paper();
+    cfg.epochs = epochs;
+    cfg.prediction = mode;
+    cfg.window = window;
+    cfg.seed = args.get_or("seed", 0x5EED_u64)?;
+    cfg.lr = args.get_or("lr", cfg.lr)?;
+
+    let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg)
+        .train_view(&data, train_pairs, ranks)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "done in {:.1}s; mean final loss {:.3}; bytes communicated during training: {}",
+        outcome.wall_seconds,
+        outcome.mean_final_loss(),
+        outcome.total_bytes_sent()
+    );
+
+    let meta = ModelMeta {
+        arch: arch.clone(),
+        strategy,
+        prediction: outcome.prediction,
+        window: outcome.window,
+        partition: outcome.partition,
+        norm: outcome.norm.clone(),
+    };
+    meta.save(&out_dir).map_err(|e| format!("cannot write meta: {e}"))?;
+    for r in &outcome.rank_results {
+        let mut net = arch.build_for(strategy, 0);
+        restore(&mut net, &r.weights);
+        let path = out_dir.join(format!("rank{:03}.pdenn", r.rank));
+        save_params(&mut net, &path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    println!("model written to {}/ (meta.txt + {} rank checkpoints)", out_dir.display(), ranks);
+    Ok(())
+}
+
+/// Rebuilds a [`ParallelInference`] from a model directory.
+fn load_fleet(dir: &Path) -> Result<(ModelMeta, ParallelInference), String> {
+    let meta = ModelMeta::load(dir)?;
+    let n_ranks = meta.partition.rank_count();
+    let weights: Vec<Vec<f64>> = (0..n_ranks)
+        .map(|r| {
+            let mut net = meta.arch.build_for(meta.strategy, 0);
+            let path = dir.join(format!("rank{r:03}.pdenn"));
+            load_params(&mut net, &path)
+                .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+            Ok(snapshot(&mut net))
+        })
+        .collect::<Result<_, String>>()?;
+    let inf = ParallelInference::with_window(
+        meta.arch.clone(),
+        meta.strategy,
+        meta.partition,
+        weights,
+        meta.norm.clone(),
+        meta.prediction,
+        meta.window,
+    );
+    Ok((meta, inf))
+}
+
+/// `pdeml infer` — parallel rollout from a stored model + dataset.
+pub fn infer(args: &Args) -> Result<(), String> {
+    let data_path = PathBuf::from(args.require("data")?);
+    let model_dir = PathBuf::from(args.require("model")?);
+    let steps: usize = args.get_or("steps", 10)?;
+    let data = DataSet::load(&data_path)
+        .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
+    let (meta, inf) = load_fleet(&model_dir)?;
+    let default_start = data.len().saturating_sub(steps + 1).max(meta.window - 1);
+    let start: usize = args.get_or("start", default_start)?;
+    if start + 1 < meta.window || start >= data.len() {
+        return Err(format!(
+            "--start {start} invalid: need window history ({}) and a snapshot to start from",
+            meta.window
+        ));
+    }
+    println!(
+        "rolling out {steps} steps from snapshot {start} with {} ranks ({} + {}, window {})",
+        meta.partition.rank_count(),
+        meta.strategy.label(),
+        meta.prediction.label(),
+        meta.window
+    );
+    let history: Vec<_> =
+        (start + 1 - meta.window..=start).map(|k| data.snapshot(k).clone()).collect();
+    let rollout = inf.rollout_from_history(&history, steps);
+    println!("boundary bytes exchanged: {}", rollout.total_bytes());
+
+    // Compare against the solver where reference snapshots exist.
+    let available = data.len().saturating_sub(start + 1).min(steps);
+    if available > 0 {
+        let reference: Vec<_> =
+            (0..=available).map(|s| data.snapshot(start + s).clone()).collect();
+        let curve = rollout_error_curve(&rollout.states[..=available], &reference);
+        println!("mean-RMSE vs solver per step:");
+        for (s, e) in curve.iter().enumerate() {
+            println!("  step {s}: {e:.4e}");
+        }
+        println!("single-step per-field errors:");
+        print!(
+            "{}",
+            format_error_table(&field_errors(&rollout.states[1], &reference[1], 1e-3))
+        );
+        if let Some(out) = args.get("out") {
+            let mut csv = Csv::new(&["step", "mean_rmse"]);
+            for (s, e) in curve.iter().enumerate() {
+                csv.row_f64(&[s as f64, *e]);
+            }
+            csv.write_to(Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {out}");
+        }
+    } else {
+        println!("(no reference snapshots beyond the start point — skipping error report)");
+    }
+    Ok(())
+}
+
+/// `pdeml scale` — calibrate the cost model on this machine and print the
+/// strong/weak scaling projections.
+pub fn scale(args: &Args) -> Result<(), String> {
+    let grid: usize = args.get_or("grid", 96)?;
+    let epochs: usize = args.get_or("epochs", 2)?;
+    let cores: usize = args.get_or("cores", 64)?;
+    let arch = ArchSpec::paper();
+    let mut cfg = TrainConfig::paper();
+    cfg.epochs = epochs;
+    println!("calibrating on {grid}x{grid} subproblems ({epochs} epochs each)…");
+    let mut samples = Vec::new();
+    for &side in &[grid / 8, grid / 4, grid / 2] {
+        let data = pde_euler::dataset::paper_dataset(side, 10);
+        let out = SequentialTrainer::new(arch.clone(), PaddingStrategy::ZeroPad, cfg.clone())
+            .train(&data, 8)
+            .map_err(|e| e.to_string())?;
+        samples.push(((side * side) as f64, out.seconds / epochs as f64));
+    }
+    let cost = CostModel::calibrate(&samples);
+    println!(
+        "fitted cost: {:.3e} s/cell/epoch + {:.3e} s overhead\n",
+        cost.rate_s_per_cell, cost.overhead_s
+    );
+    let ranks = [1usize, 2, 4, 8, 16, 32, 64];
+    println!("strong scaling, {cores}-core machine, {grid}x{grid} global grid:");
+    print!("{}", format_scaling_table(&strong_scaling(&cost, grid * grid, epochs, &ranks, cores)));
+    println!("\nweak scaling, {} cells per rank:", (grid / 8) * (grid / 8));
+    print!(
+        "{}",
+        format_scaling_table(&weak_scaling(&cost, (grid / 8) * (grid / 8), epochs, &ranks, cores))
+    );
+    Ok(())
+}
+
+/// `pdeml info` — version and the Table-I architecture.
+pub fn info() -> Result<(), String> {
+    println!("pdeml {} — reproduction of 'Parallel Machine Learning of PDEs' (PDSEC 2021)", env!("CARGO_PKG_VERSION"));
+    let arch = ArchSpec::paper();
+    println!("\nTable I architecture ({} parameters):", arch.param_count());
+    print!("{}", arch.table());
+    println!("\npadding strategies: zero-pad | neighbor-pad | inner-crop | deconv");
+    println!("prediction modes:   absolute | residual");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! `pdeml` — command-line driver for the pde-ml workspace.
+//!
+//! ```text
+//! pdeml simulate --grid 64 --snapshots 120 --out run.pdeds
+//! pdeml train    --data run.pdeds --ranks 4 --epochs 20 --out model/
+//! pdeml infer    --data run.pdeds --model model/ --steps 10 --out rollout.csv
+//! pdeml scale    --grid 128
+//! pdeml info
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency tree at zero beyond the workspace crates.
+
+mod args;
+mod commands;
+mod meta;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pdeml — parallel ML of PDEs (reproduction of Totounferoush et al., PDSEC 2021)
+
+USAGE:
+  pdeml simulate --grid N --snapshots S --out FILE
+                 [--boundary outflow|periodic|reflective|absorbing]
+  pdeml train    --data FILE --out DIR
+                 [--ranks P] [--epochs E] [--train-pairs N]
+                 [--strategy neighbor-pad|zero-pad|inner-crop|deconv]
+                 [--mode absolute|residual] [--window W] [--seed S] [--lr LR]
+  pdeml infer    --data FILE --model DIR [--steps K] [--start IDX] [--out CSV]
+  pdeml scale    [--grid N] [--epochs E] [--cores C]
+  pdeml info
+
+Run `pdeml <command>` with no flags to see that command's defaults.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("argument error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => commands::simulate(&parsed),
+        "train" => commands::train(&parsed),
+        "infer" => commands::infer(&parsed),
+        "scale" => commands::scale(&parsed),
+        "info" => commands::info(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

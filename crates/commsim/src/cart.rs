@@ -1,0 +1,345 @@
+//! 2-D Cartesian process topology and neighbor halo exchange.
+//!
+//! Mirrors `MPI_Cart_create` / `MPI_Cart_shift`: ranks are laid out
+//! row-major on a `py × px` grid, each knows its four neighbors, and
+//! [`CartComm::exchange`] performs the fully point-to-point boundary-data
+//! swap the paper's inference phase relies on (§III).
+
+use crate::comm::{Comm, Tag};
+
+/// The four lattice directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// −x neighbor (smaller column index).
+    Left,
+    /// +x neighbor.
+    Right,
+    /// −y neighbor (smaller row index).
+    Down,
+    /// +y neighbor.
+    Up,
+}
+
+impl Direction {
+    /// All four directions, in a fixed order.
+    pub const ALL: [Direction; 4] = [Direction::Left, Direction::Right, Direction::Down, Direction::Up];
+
+    /// The direction a message sent this way arrives *from*.
+    pub fn opposite(&self) -> Direction {
+        match self {
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+            Direction::Down => Direction::Up,
+            Direction::Up => Direction::Down,
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Direction::Left => 0,
+            Direction::Right => 1,
+            Direction::Down => 2,
+            Direction::Up => 3,
+        }
+    }
+}
+
+/// A communicator wrapped with 2-D Cartesian coordinates.
+pub struct CartComm {
+    comm: Comm,
+    px: usize,
+    py: usize,
+    periodic: bool,
+}
+
+impl CartComm {
+    /// Wraps `comm` in a `py × px` row-major topology.
+    ///
+    /// # Panics
+    /// If `px * py != comm.size()`.
+    pub fn new(comm: Comm, py: usize, px: usize, periodic: bool) -> Self {
+        assert_eq!(px * py, comm.size(), "CartComm: {py}x{px} grid != {} ranks", comm.size());
+        Self { comm, px, py, periodic }
+    }
+
+    /// Borrow of the underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Mutable borrow of the underlying communicator (for collectives).
+    pub fn comm_mut(&mut self) -> &mut Comm {
+        &mut self.comm
+    }
+
+    /// Process-grid width (ranks along x).
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Process-grid height (ranks along y).
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// This rank's `(row, col)` coordinates.
+    pub fn coords(&self) -> (usize, usize) {
+        let r = self.comm.rank();
+        (r / self.px, r % self.px)
+    }
+
+    /// Rank at `(row, col)`.
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.py && col < self.px, "rank_at: ({row},{col}) outside {}x{}", self.py, self.px);
+        row * self.px + col
+    }
+
+    /// The neighboring rank in `dir`, or `None` at a non-periodic edge.
+    pub fn neighbor(&self, dir: Direction) -> Option<usize> {
+        let (row, col) = self.coords();
+        let (nr, nc) = match dir {
+            Direction::Left => (row as isize, col as isize - 1),
+            Direction::Right => (row as isize, col as isize + 1),
+            Direction::Down => (row as isize - 1, col as isize),
+            Direction::Up => (row as isize + 1, col as isize),
+        };
+        let wrap = |v: isize, n: usize| -> Option<usize> {
+            if v >= 0 && (v as usize) < n {
+                Some(v as usize)
+            } else if self.periodic {
+                Some(v.rem_euclid(n as isize) as usize)
+            } else {
+                None
+            }
+        };
+        let row = wrap(nr, self.py)?;
+        let col = wrap(nc, self.px)?;
+        Some(self.rank_at(row, col))
+    }
+
+    /// Exchanges boundary buffers with all existing neighbors in one fully
+    /// point-to-point round: for each direction with a neighbor, sends
+    /// `outgoing[dir]` and receives that neighbor's buffer sent toward us.
+    ///
+    /// Returns the four incoming buffers indexed like [`Direction::ALL`]
+    /// (`None` where there is no neighbor). `tag` namespaces concurrent
+    /// exchanges (e.g. one per field or per time step).
+    pub fn exchange(&mut self, outgoing: [Option<Vec<f64>>; 4], tag: Tag) -> [Option<Vec<f64>>; 4] {
+        // Post all sends first (eager buffering ⇒ no deadlock), then recv.
+        for dir in Direction::ALL {
+            if let Some(nb) = self.neighbor(dir) {
+                let buf = outgoing[dir.index()]
+                    .clone()
+                    .unwrap_or_else(|| panic!("exchange: neighbor in {dir:?} but no outgoing buffer"));
+                // Tag encodes the direction *from the receiver's view* so
+                // concurrent opposite-direction messages can't be confused.
+                self.comm.send(nb, encode_tag(tag, dir.opposite()), buf);
+            }
+        }
+        let mut incoming: [Option<Vec<f64>>; 4] = [None, None, None, None];
+        for dir in Direction::ALL {
+            if let Some(nb) = self.neighbor(dir) {
+                incoming[dir.index()] = Some(self.comm.recv(nb, encode_tag(tag, dir)));
+            }
+        }
+        incoming
+    }
+}
+
+impl CartComm {
+    /// One x-axis exchange round: sends `to_left`/`to_right` to the
+    /// respective neighbors and returns `(from_left, from_right)`.
+    ///
+    /// # Panics
+    /// If a buffer is supplied for a missing neighbor or vice versa (that
+    /// asymmetry would deadlock the matching rank).
+    pub fn exchange_x(
+        &mut self,
+        to_left: Option<Vec<f64>>,
+        to_right: Option<Vec<f64>>,
+        tag: Tag,
+    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+        self.exchange_axis(to_left, to_right, Direction::Left, Direction::Right, tag)
+    }
+
+    /// One y-axis exchange round: sends `to_down`/`to_up` and returns
+    /// `(from_down, from_up)`.
+    pub fn exchange_y(
+        &mut self,
+        to_down: Option<Vec<f64>>,
+        to_up: Option<Vec<f64>>,
+        tag: Tag,
+    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+        self.exchange_axis(to_down, to_up, Direction::Down, Direction::Up, tag)
+    }
+
+    fn exchange_axis(
+        &mut self,
+        to_neg: Option<Vec<f64>>,
+        to_pos: Option<Vec<f64>>,
+        neg: Direction,
+        pos: Direction,
+        tag: Tag,
+    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+        for (dir, buf) in [(neg, &to_neg), (pos, &to_pos)] {
+            assert_eq!(
+                self.neighbor(dir).is_some(),
+                buf.is_some(),
+                "exchange_axis: buffer/neighbor mismatch in {dir:?}"
+            );
+        }
+        // Sends first (eager buffering), then receives.
+        if let (Some(nb), Some(buf)) = (self.neighbor(neg), to_neg) {
+            self.comm.send(nb, encode_tag(tag, pos), buf);
+        }
+        if let (Some(nb), Some(buf)) = (self.neighbor(pos), to_pos) {
+            self.comm.send(nb, encode_tag(tag, neg), buf);
+        }
+        let from_neg = self.neighbor(neg).map(|nb| self.comm.recv(nb, encode_tag(tag, neg)));
+        let from_pos = self.neighbor(pos).map(|nb| self.comm.recv(nb, encode_tag(tag, pos)));
+        (from_neg, from_pos)
+    }
+}
+
+fn encode_tag(base: Tag, dir: Direction) -> Tag {
+    assert!(base < 0x0FFF_FFFF, "exchange: tag too large");
+    (base << 2) | dir.index() as Tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn coords_are_row_major() {
+        World::new(6).run(|comm| {
+            let rank = comm.rank();
+            let cart = CartComm::new(comm, 2, 3, false);
+            let (row, col) = cart.coords();
+            assert_eq!(rank, row * 3 + col);
+            assert_eq!(cart.rank_at(row, col), rank);
+        });
+    }
+
+    #[test]
+    fn non_periodic_edges_have_no_neighbor() {
+        World::new(4).run(|comm| {
+            let cart = CartComm::new(comm, 2, 2, false);
+            let (row, col) = cart.coords();
+            assert_eq!(cart.neighbor(Direction::Left).is_none(), col == 0);
+            assert_eq!(cart.neighbor(Direction::Right).is_none(), col == 1);
+            assert_eq!(cart.neighbor(Direction::Down).is_none(), row == 0);
+            assert_eq!(cart.neighbor(Direction::Up).is_none(), row == 1);
+        });
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        World::new(4).run(|comm| {
+            let cart = CartComm::new(comm, 2, 2, true);
+            let (row, col) = cart.coords();
+            // Every direction must have a neighbor on a torus.
+            for d in Direction::ALL {
+                assert!(cart.neighbor(d).is_some());
+            }
+            // Left of column 0 wraps to column 1.
+            if col == 0 {
+                assert_eq!(cart.neighbor(Direction::Left), Some(cart.rank_at(row, 1)));
+            }
+        });
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        World::new(6).run(|comm| {
+            let rank = comm.rank();
+            let cart = CartComm::new(comm, 2, 3, false);
+            for d in Direction::ALL {
+                if let Some(nb) = cart.neighbor(d) {
+                    // Check symmetry arithmetically (row-major layout).
+                    let (nr, nc) = (nb / 3, nb % 3);
+                    let back = match d.opposite() {
+                        Direction::Left => (nr, nc.wrapping_sub(1)),
+                        Direction::Right => (nr, nc + 1),
+                        Direction::Down => (nr.wrapping_sub(1), nc),
+                        Direction::Up => (nr + 1, nc),
+                    };
+                    assert_eq!(back.0 * 3 + back.1, rank);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn exchange_swaps_boundary_buffers() {
+        // 1×2 grid: rank 0 | rank 1; each sends its id along the shared edge.
+        let out = World::new(2).run(|comm| {
+            let me = comm.rank() as f64;
+            let mut cart = CartComm::new(comm, 1, 2, false);
+            let mut outgoing: [Option<Vec<f64>>; 4] = [None, None, None, None];
+            if cart.neighbor(Direction::Right).is_some() {
+                outgoing[1] = Some(vec![me; 3]);
+            }
+            if cart.neighbor(Direction::Left).is_some() {
+                outgoing[0] = Some(vec![me; 3]);
+            }
+            let incoming = cart.exchange(outgoing, 1);
+            incoming
+        });
+        // Rank 0 received from its Right neighbor (rank 1).
+        assert_eq!(out[0][1].as_ref().unwrap(), &vec![1.0; 3]);
+        assert!(out[0][0].is_none());
+        // Rank 1 received from its Left neighbor (rank 0).
+        assert_eq!(out[1][0].as_ref().unwrap(), &vec![0.0; 3]);
+        assert!(out[1][1].is_none());
+    }
+
+    #[test]
+    fn exchange_on_2x2_torus_all_directions() {
+        let out = World::new(4).run(|comm| {
+            let me = comm.rank() as f64;
+            let mut cart = CartComm::new(comm, 2, 2, true);
+            let outgoing: [Option<Vec<f64>>; 4] = [
+                Some(vec![me, 0.0]),
+                Some(vec![me, 1.0]),
+                Some(vec![me, 2.0]),
+                Some(vec![me, 3.0]),
+            ];
+            let incoming = cart.exchange(outgoing, 2);
+            incoming.map(|o| o.unwrap()[0] as usize)
+        });
+        // Rank 0 at (0,0) on a 2×2 torus: left & right neighbor both 1,
+        // down & up both 2.
+        assert_eq!(out[0], [1, 1, 2, 2]);
+        // Rank 3 at (1,1): left/right 2, down/up 1.
+        assert_eq!(out[3], [2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn repeated_exchanges_with_distinct_tags_do_not_cross() {
+        let out = World::new(2).run(|comm| {
+            let me = comm.rank() as f64;
+            let mut cart = CartComm::new(comm, 1, 2, false);
+            let dir = if cart.coords().1 == 0 { 1 } else { 0 };
+            let mk = |v: f64| {
+                let mut o: [Option<Vec<f64>>; 4] = [None, None, None, None];
+                o[dir] = Some(vec![v]);
+                o
+            };
+            let first = cart.exchange(mk(me), 10);
+            let second = cart.exchange(mk(me + 100.0), 11);
+            (first[dir].as_ref().unwrap()[0], second[dir].as_ref().unwrap()[0])
+        });
+        assert_eq!(out[0], (1.0, 101.0));
+        assert_eq!(out[1], (0.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid != ")]
+    fn rejects_bad_grid_size() {
+        World::new(3).run(|comm| {
+            let _ = CartComm::new(comm, 2, 2, false);
+        });
+    }
+}

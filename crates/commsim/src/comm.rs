@@ -1,0 +1,500 @@
+//! The per-rank communicator handle: point-to-point + collectives.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag (same role as an MPI tag: disambiguates concurrent streams).
+pub type Tag = u32;
+
+/// A point-to-point message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sender rank.
+    pub src: usize,
+    /// Tag it was sent with.
+    pub tag: Tag,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+/// Why a receive failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the timeout (possible message
+    /// loss under fault injection, or a deadlock in user code).
+    Timeout,
+    /// All senders disconnected; no matching message can ever arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "all senders disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Aggregate traffic counters of one rank (monotonic, thread-safe).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Payload f64 values sent (multiply by 8 for bytes).
+    pub values_sent: AtomicU64,
+    /// Messages received (matched by a recv call).
+    pub msgs_received: AtomicU64,
+}
+
+impl CommStats {
+    /// Bytes sent, assuming 8-byte payload values.
+    pub fn bytes_sent(&self) -> u64 {
+        self.values_sent.load(Ordering::Relaxed) * 8
+    }
+
+    /// Messages sent.
+    pub fn sent(&self) -> u64 {
+        self.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages received.
+    pub fn received(&self) -> u64 {
+        self.msgs_received.load(Ordering::Relaxed)
+    }
+}
+
+/// Decides the fate of a message on edge `(src, dst, tag)`.
+pub(crate) type FaultFn = dyn Fn(usize, usize, Tag) -> bool + Send + Sync;
+
+/// The communicator handle owned by one rank.
+///
+/// Cheap to pass by reference into library code; not clonable (one handle
+/// per rank, like an MPI rank's view of `MPI_COMM_WORLD`).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    pending: Vec<Message>,
+    stats: Arc<Vec<CommStats>>,
+    /// Returns `true` when the message must be dropped.
+    drop_fn: Option<Arc<FaultFn>>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Message>>,
+        inbox: Receiver<Message>,
+        stats: Arc<Vec<CommStats>>,
+        drop_fn: Option<Arc<FaultFn>>,
+    ) -> Self {
+        Self { rank, size, senders, inbox, pending: Vec::new(), stats, drop_fn }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's traffic counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats[self.rank]
+    }
+
+    /// Buffered (eager) send: enqueues and returns immediately.
+    ///
+    /// # Panics
+    /// If `dest` is out of range or is this rank (self-sends are almost
+    /// always a bug in SPMD code; loop back through memory instead).
+    pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
+        assert!(dest < self.size, "send: dest {dest} out of range (size {})", self.size);
+        assert_ne!(dest, self.rank, "send: self-send (rank {})", self.rank);
+        let s = &self.stats[self.rank];
+        s.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        s.values_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        if let Some(f) = &self.drop_fn {
+            if f(self.rank, dest, tag) {
+                return; // silently dropped by the fault plan
+            }
+        }
+        // Receiver never drops its inbox before the world ends, so this
+        // only fails when the peer thread panicked; propagate as a panic.
+        self.senders[dest]
+            .send(Message { src: self.rank, tag, data })
+            .expect("send: destination rank is gone");
+    }
+
+    fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Message> {
+        let idx = self.pending.iter().position(|m| m.src == src && m.tag == tag)?;
+        Some(self.pending.swap_remove(idx))
+    }
+
+    /// Blocking receive matching `(src, tag)`; out-of-order arrivals are
+    /// parked in a pending queue.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Vec<f64> {
+        match self.recv_impl(src, tag, None) {
+            Ok(m) => m,
+            Err(e) => panic!("recv(src={src}, tag={tag}) on rank {}: {e}", self.rank),
+        }
+    }
+
+    /// Like [`Comm::recv`] but gives up after `timeout` — the building block
+    /// for loss-tolerant protocols under fault injection.
+    pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Result<Vec<f64>, RecvError> {
+        self.recv_impl(src, tag, Some(timeout))
+    }
+
+    fn recv_impl(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<f64>, RecvError> {
+        assert!(src < self.size, "recv: src {src} out of range (size {})", self.size);
+        if let Some(m) = self.take_pending(src, tag) {
+            self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+            return Ok(m.data);
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let msg = match deadline {
+                None => self.inbox.recv().map_err(|_| RecvError::Disconnected)?,
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(RecvError::Timeout);
+                    }
+                    match self.inbox.recv_timeout(d - now) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                        Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+                    }
+                }
+            };
+            if msg.src == src && msg.tag == tag {
+                self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+                return Ok(msg.data);
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Non-blocking probe-and-receive.
+    pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Vec<f64>> {
+        if let Some(m) = self.take_pending(src, tag) {
+            self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+            return Some(m.data);
+        }
+        while let Ok(msg) = self.inbox.try_recv() {
+            if msg.src == src && msg.tag == tag {
+                self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+                return Some(msg.data);
+            }
+            self.pending.push(msg);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (tag space 0xFFFF_0000.. reserved).
+    // ------------------------------------------------------------------
+
+    const TAG_BARRIER: Tag = 0xFFFF_0001;
+    const TAG_BCAST: Tag = 0xFFFF_0002;
+    const TAG_REDUCE: Tag = 0xFFFF_0003;
+    const TAG_GATHER: Tag = 0xFFFF_0004;
+
+    /// Synchronizes all ranks (dissemination barrier: ⌈log₂ n⌉ rounds).
+    pub fn barrier(&mut self) {
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        let mut round = 1usize;
+        let mut round_idx = 0u32;
+        while round < n {
+            let dest = (self.rank + round) % n;
+            let src = (self.rank + n - round % n) % n;
+            self.send(dest, Self::TAG_BARRIER + (round_idx << 8), Vec::new());
+            let _ = self.recv(src, Self::TAG_BARRIER + (round_idx << 8));
+            round <<= 1;
+            round_idx += 1;
+        }
+    }
+
+    /// Broadcasts `data` from `root` to every rank; returns the received
+    /// (or, on the root, the original) buffer.
+    pub fn broadcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        assert!(root < self.size, "broadcast: root out of range");
+        if self.size == 1 {
+            return data;
+        }
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, Self::TAG_BCAST, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, Self::TAG_BCAST)
+        }
+    }
+
+    /// Elementwise-sum reduction to `root`; non-root ranks get `None`.
+    pub fn reduce_sum(&mut self, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        assert!(root < self.size, "reduce_sum: root out of range");
+        if self.rank == root {
+            let mut acc = data.to_vec();
+            for r in 0..self.size {
+                if r == root {
+                    continue;
+                }
+                let part = self.recv(r, Self::TAG_REDUCE);
+                assert_eq!(part.len(), acc.len(), "reduce_sum: length mismatch from rank {r}");
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a += b;
+                }
+            }
+            Some(acc)
+        } else {
+            self.send(root, Self::TAG_REDUCE, data.to_vec());
+            None
+        }
+    }
+
+    /// Elementwise-sum allreduce (reduce to rank 0, then broadcast) — the
+    /// communication pattern of the Viviani-style weight-averaging baseline.
+    pub fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_sum(0, data);
+        match reduced {
+            Some(v) => self.broadcast(0, v),
+            None => self.broadcast(0, Vec::new()),
+        }
+    }
+
+    /// Gathers each rank's buffer at `root` (ordered by rank); non-root
+    /// ranks get `None`.
+    pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert!(root < self.size, "gather: root out of range");
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = data.to_vec();
+            for r in 0..self.size {
+                if r != root {
+                    out[r] = self.recv(r, Self::TAG_GATHER);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, Self::TAG_GATHER, data.to_vec());
+            None
+        }
+    }
+
+    /// Gathers every rank's buffer on every rank.
+    pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let gathered = self.gather(0, data);
+        // Flatten with a length header so a single broadcast suffices.
+        if self.rank == 0 {
+            let parts = gathered.expect("gather on root");
+            let mut flat = Vec::with_capacity(1 + parts.len() + parts.iter().map(Vec::len).sum::<usize>());
+            flat.push(parts.len() as f64);
+            for p in &parts {
+                flat.push(p.len() as f64);
+            }
+            for p in &parts {
+                flat.extend_from_slice(p);
+            }
+            let flat = self.broadcast(0, flat);
+            unflatten(&flat)
+        } else {
+            let flat = self.broadcast(0, Vec::new());
+            unflatten(&flat)
+        }
+    }
+}
+
+fn unflatten(flat: &[f64]) -> Vec<Vec<f64>> {
+    let n = flat[0] as usize;
+    let lens: Vec<usize> = (0..n).map(|i| flat[1 + i] as usize).collect();
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 1 + n;
+    for len in lens {
+        out.push(flat[offset..offset + len].to_vec());
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+    use std::time::Duration;
+
+    #[test]
+    fn rank_and_size_are_assigned() {
+        let out = World::new(4).run(|comm| {
+            assert_eq!(comm.size(), 4);
+            comm.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_pass_point_to_point() {
+        let n = 5;
+        let out = World::new(n).run(move |mut comm| {
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            comm.send(next, 7, vec![comm.rank() as f64]);
+            let got = comm.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let out = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1.0]);
+                comm.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        World::new(8).run(move |mut comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must see all 8 increments.
+            assert_eq!(c2.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = World::new(4).run(|mut comm| {
+            let data = if comm.rank() == 2 { vec![3.14, 2.71] } else { Vec::new() };
+            comm.broadcast(2, data)
+        });
+        for r in out {
+            assert_eq!(r, vec![3.14, 2.71]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce_sum() {
+        let out = World::new(4).run(|mut comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            let all = comm.allreduce_sum(&mine);
+            all
+        });
+        for r in out {
+            assert_eq!(r, vec![6.0, 4.0]); // 0+1+2+3, 1×4
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::new(3).run(|mut comm| comm.gather(0, &[comm.rank() as f64 * 2.0]));
+        let root = out[0].as_ref().unwrap();
+        assert_eq!(root, &vec![vec![0.0], vec![2.0], vec![4.0]]);
+        assert!(out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let out = World::new(3).run(|mut comm| comm.allgather(&[comm.rank() as f64; 2]));
+        for r in &out {
+            assert_eq!(r, &vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        }
+    }
+
+    #[test]
+    fn allgather_handles_unequal_lengths() {
+        let out = World::new(3).run(|mut comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgather(&mine)
+        });
+        for r in &out {
+            assert_eq!(r[0].len(), 1);
+            assert_eq!(r[1].len(), 2);
+            assert_eq!(r[2].len(), 3);
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0.0; 10]);
+                (comm.stats().sent(), comm.stats().bytes_sent())
+            } else {
+                let _ = comm.recv(0, 0);
+                (comm.stats().received(), 0)
+            }
+        });
+        assert_eq!(out[0], (1, 80));
+        assert_eq!(out[1].0, 1);
+    }
+
+    #[test]
+    fn try_recv_returns_none_without_message() {
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                assert!(comm.try_recv(1, 9).is_none());
+                comm.barrier();
+            } else {
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                let r = comm.recv_timeout(1, 42, Duration::from_millis(20));
+                assert!(r.is_err());
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let out = World::new(1).run(|mut comm| {
+            comm.barrier();
+            let b = comm.broadcast(0, vec![5.0]);
+            let r = comm.allreduce_sum(&b);
+            r
+        });
+        assert_eq!(out[0], vec![5.0]);
+    }
+}

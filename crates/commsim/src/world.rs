@@ -1,0 +1,236 @@
+//! World construction: spawn ranks, wire channels, collect results.
+
+use crate::comm::{Comm, CommStats, FaultFn, Message, Tag};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// What the fault plan does to a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop (the sender still counts it as sent).
+    Drop,
+}
+
+/// A deterministic fault-injection plan: maps message edges to actions.
+///
+/// Collective-internal tags (`0xFFFF_0000` and above) are never subjected
+/// to faults — dropping a barrier message would wedge the whole world and
+/// test nothing interesting.
+#[derive(Clone)]
+pub struct FaultPlan {
+    f: Arc<dyn Fn(usize, usize, Tag) -> FaultAction + Send + Sync>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a `(src, dst, tag) → action` function.
+    pub fn new(f: impl Fn(usize, usize, Tag) -> FaultAction + Send + Sync + 'static) -> Self {
+        Self { f: Arc::new(f) }
+    }
+
+    /// Drops every message from `src` to `dst` (any user tag).
+    pub fn drop_edge(src: usize, dst: usize) -> Self {
+        Self::new(move |s, d, _| {
+            if s == src && d == dst {
+                FaultAction::Drop
+            } else {
+                FaultAction::Deliver
+            }
+        })
+    }
+}
+
+/// A fixed-size collection of ranks executing one SPMD closure.
+pub struct World {
+    size: usize,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl World {
+    /// A world with `size` ranks.
+    ///
+    /// # Panics
+    /// If `size` is 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "World: need at least one rank");
+        Self { size, fault_plan: None }
+    }
+
+    /// Attaches a fault-injection plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` once per rank on its own OS thread and returns the per-rank
+    /// results ordered by rank. Panics in any rank propagate (after all
+    /// other ranks have been joined or have panicked themselves).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let n = self.size;
+        let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
+        let drop_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(|p| {
+            let pf = p.f.clone();
+            Arc::new(move |s: usize, d: usize, t: Tag| {
+                t < 0xFFFF_0000 && pf(s, d, t) == FaultAction::Drop
+            }) as Arc<FaultFn>
+        });
+
+        // One inbox per rank; every rank holds a sender clone to every inbox.
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
+
+        let comms: Vec<Comm> = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                Comm::new(rank, n, senders.clone(), inbox, stats.clone(), drop_fn.clone())
+            })
+            .collect();
+        // Drop the original senders so channels close when all ranks finish.
+        drop(senders);
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let f = &f;
+                    scope.spawn(move |_| f(comm))
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => results[rank] = Some(v),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        })
+        .expect("World::run: a rank panicked");
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    /// Runs and additionally returns the per-rank `(sent, bytes_sent,
+    /// received)` traffic totals observed during the run.
+    pub fn run_with_stats<T, F>(&self, f: F) -> (Vec<T>, Vec<(u64, u64, u64)>)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let n = self.size;
+        let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
+        let stats_out = stats.clone();
+        let drop_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(|p| {
+            let pf = p.f.clone();
+            Arc::new(move |s: usize, d: usize, t: Tag| {
+                t < 0xFFFF_0000 && pf(s, d, t) == FaultAction::Drop
+            }) as Arc<FaultFn>
+        });
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
+        let comms: Vec<Comm> = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                Comm::new(rank, n, senders.clone(), inbox, stats.clone(), drop_fn.clone())
+            })
+            .collect();
+        drop(senders);
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let f = &f;
+                    scope.spawn(move |_| f(comm))
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => results[rank] = Some(v),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        })
+        .expect("World::run_with_stats: a rank panicked");
+        let traffic = stats_out
+            .iter()
+            .map(|s| (s.sent(), s.bytes_sent(), s.received()))
+            .collect();
+        (results.into_iter().map(|r| r.expect("rank produced no result")).collect(), traffic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_ordered_by_rank() {
+        let out = World::new(6).run(|c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn stats_are_collected_per_rank() {
+        let (_, traffic) = World::new(3).run_with_stats(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1.0, 2.0, 3.0]);
+            } else if c.rank() == 1 {
+                let _ = c.recv(0, 0);
+            }
+            c.barrier();
+        });
+        assert_eq!(traffic[0].1, 24 + 0 * 8 + barrier_bytes()); // payload + barrier empties
+        // Rank 1 received the payload message plus barrier messages.
+        assert!(traffic[1].2 >= 1);
+    }
+
+    fn barrier_bytes() -> u64 {
+        0 // barrier messages are empty
+    }
+
+    #[test]
+    fn fault_plan_drops_selected_edge() {
+        let plan = FaultPlan::drop_edge(0, 1);
+        let out = World::new(2).with_fault_plan(plan).run(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![1.0]);
+                true
+            } else {
+                c.recv_timeout(0, 5, Duration::from_millis(30)).is_err()
+            }
+        });
+        assert!(out[1], "dropped message should time out");
+    }
+
+    #[test]
+    fn fault_plan_spares_collectives() {
+        // Dropping everything 0→1 must not wedge the barrier.
+        let plan = FaultPlan::new(|_, _, _| FaultAction::Drop);
+        World::new(4).with_fault_plan(plan).run(|mut c| {
+            c.barrier();
+            let v = c.allreduce_sum(&[1.0]);
+            assert_eq!(v, vec![4.0]);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        World::new(2).run(|c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-subdomain supervised datasets.
+//!
+//! Each rank trains on `(q(t) restricted to its input region, q(t+1)
+//! restricted to its interior)` pairs cut from the global solver snapshots.
+//! With [`PaddingStrategy::NeighborPad`] the input region overlaps the
+//! neighboring subdomains (paper §III: "input data for neighboring
+//! processes are overlapping") — during *training* that halo is read
+//! directly from the stored global snapshot, so no communication happens.
+
+use crate::norm::ChannelNorm;
+use crate::padding::PaddingStrategy;
+use crate::train::PredictionMode;
+use pde_domain::{Block, GridPartition};
+use pde_euler::dataset::{DataSet, DataSetView};
+use pde_tensor::pad::pad_tensor3;
+use pde_tensor::{PadMode, Tensor3, Tensor4};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Cuts the input region of `block` (interior + `halo`) out of a global
+/// snapshot, synthesizing out-of-domain halo cells with `mode`.
+pub fn extract_input(snapshot: &Tensor3, block: &Block, halo: usize, mode: PadMode) -> Tensor3 {
+    let (clipped, m) = block.extended(halo, snapshot.h(), snapshot.w());
+    let window = snapshot.window(clipped.i0, clipped.j0, clipped.h, clipped.w);
+    if m.is_zero() {
+        window
+    } else {
+        pad_tensor3(&window, m.top, m.bottom, m.left, m.right, mode)
+    }
+}
+
+/// Cuts the target region of `block` out of a global snapshot: the interior,
+/// shrunk by `crop` per side for the inner-crop strategy.
+pub fn extract_target(snapshot: &Tensor3, block: &Block, crop: usize) -> Tensor3 {
+    assert!(
+        block.h > 2 * crop && block.w > 2 * crop,
+        "extract_target: crop {crop} consumes the {}x{} block",
+        block.h,
+        block.w
+    );
+    snapshot.window(block.i0 + crop, block.j0 + crop, block.h - 2 * crop, block.w - 2 * crop)
+}
+
+/// Builds a *time-windowed* per-rank dataset directly from a [`DataSet`]:
+/// sample `k` has input channels `[q(t_{k-w+1}), …, q(t_k)]` (oldest first,
+/// each cut to the rank's input region) and target `q(t_{k+1})` on the
+/// rank's target region. With `window == 1` this equals
+/// [`SubdomainDataset::build_with_mode`] over the same pair range.
+///
+/// This is the cheap step toward the temporal connectivity the paper's §V
+/// leaves to future work (recurrent/LSTM layers): the network sees a short
+/// history instead of a single state.
+///
+/// `start..start+count` indexes supervised pairs; the first usable sample
+/// needs `window - 1` snapshots of history, so `start ≥ window - 1` is
+/// required.
+#[allow(clippy::too_many_arguments)]
+pub fn build_windowed(
+    data: &DataSet,
+    start: usize,
+    count: usize,
+    part: &GridPartition,
+    rank: usize,
+    arch_halo: usize,
+    strategy: PaddingStrategy,
+    norm: &ChannelNorm,
+    prediction: PredictionMode,
+    window: usize,
+) -> SubdomainDataset {
+    assert!(window >= 1, "build_windowed: window must be >= 1");
+    assert!(count >= 1, "build_windowed: empty range");
+    assert!(
+        start + 1 >= window,
+        "build_windowed: pair {start} lacks {window}-snapshot history"
+    );
+    assert!(start + count <= data.pair_count(), "build_windowed: range exceeds dataset");
+    let block = part.block_of_rank(rank);
+    let halo = strategy.input_halo(arch_halo);
+    let crop = strategy.target_crop(arch_halo);
+    let mode = strategy.boundary_pad_mode();
+    let mut inputs = Vec::with_capacity(count);
+    let mut targets = Vec::with_capacity(count);
+    for k in start..start + count {
+        let history: Vec<Tensor3> = (k + 1 - window..=k)
+            .map(|s| norm.normalize3(&extract_input(data.snapshot(s), &block, halo, mode)))
+            .collect();
+        let refs: Vec<&Tensor3> = history.iter().collect();
+        inputs.push(Tensor3::concat_channels(&refs));
+        let mut target = norm.normalize3(&extract_target(data.snapshot(k + 1), &block, crop));
+        if prediction == PredictionMode::Residual {
+            let base = norm.normalize3(&extract_target(data.snapshot(k), &block, crop));
+            target.axpy(-1.0, &base);
+        }
+        targets.push(target);
+    }
+    SubdomainDataset {
+        inputs: Tensor4::stack(&inputs),
+        targets: Tensor4::stack(&targets),
+        block,
+        halo,
+    }
+}
+
+/// The assembled training set of one rank: stacked inputs and targets.
+pub struct SubdomainDataset {
+    inputs: Tensor4,
+    targets: Tensor4,
+    block: Block,
+    halo: usize,
+}
+
+impl SubdomainDataset {
+    /// Builds the dataset for `rank` from a view of supervised pairs,
+    /// mapping inputs and targets into normalized space with `norm`.
+    ///
+    /// `arch_halo` is the architecture's one-sided shrink
+    /// ([`crate::arch::ArchSpec::halo`]).
+    pub fn build(
+        view: &DataSetView<'_>,
+        part: &GridPartition,
+        rank: usize,
+        arch_halo: usize,
+        strategy: PaddingStrategy,
+        norm: &ChannelNorm,
+    ) -> Self {
+        Self::build_with_mode(view, part, rank, arch_halo, strategy, norm, PredictionMode::Absolute)
+    }
+
+    /// Like [`SubdomainDataset::build`], with an explicit prediction mode:
+    /// for [`PredictionMode::Residual`] the supervised target is the
+    /// normalized increment `q(t+1) − q(t)` on the rank's target region.
+    pub fn build_with_mode(
+        view: &DataSetView<'_>,
+        part: &GridPartition,
+        rank: usize,
+        arch_halo: usize,
+        strategy: PaddingStrategy,
+        norm: &ChannelNorm,
+        prediction: PredictionMode,
+    ) -> Self {
+        assert!(!view.is_empty(), "SubdomainDataset: empty pair view");
+        let block = part.block_of_rank(rank);
+        let halo = strategy.input_halo(arch_halo);
+        let crop = strategy.target_crop(arch_halo);
+        let mode = strategy.boundary_pad_mode();
+        let mut inputs = Vec::with_capacity(view.len());
+        let mut targets = Vec::with_capacity(view.len());
+        for k in 0..view.len() {
+            let (x, y) = view.pair(k);
+            inputs.push(norm.normalize3(&extract_input(x, &block, halo, mode)));
+            let mut target = norm.normalize3(&extract_target(y, &block, crop));
+            if prediction == PredictionMode::Residual {
+                let base = norm.normalize3(&extract_target(x, &block, crop));
+                target.axpy(-1.0, &base);
+            }
+            targets.push(target);
+        }
+        Self { inputs: Tensor4::stack(&inputs), targets: Tensor4::stack(&targets), block, halo }
+    }
+
+    /// Number of supervised pairs.
+    pub fn len(&self) -> usize {
+        self.inputs.n()
+    }
+
+    /// True when there are no pairs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.n() == 0
+    }
+
+    /// The rank's interior block.
+    pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// The input halo width in use.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// All inputs, stacked `(n, c, h+2halo, w+2halo)`.
+    pub fn inputs(&self) -> &Tensor4 {
+        &self.inputs
+    }
+
+    /// All targets, stacked `(n, c, h−2crop, w−2crop)`.
+    pub fn targets(&self) -> &Tensor4 {
+        &self.targets
+    }
+
+    /// Mini-batch index order for one epoch: a seeded shuffle when
+    /// `shuffle` is set, identity otherwise. Deterministic in
+    /// `(seed, epoch)`.
+    pub fn epoch_order(&self, shuffle: bool, seed: u64, epoch: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if shuffle {
+            let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+            order.shuffle(&mut rng);
+        }
+        order
+    }
+
+    /// Cuts `order` into `(input, target)` mini-batches of at most
+    /// `batch_size` samples.
+    pub fn batches(&self, order: &[usize], batch_size: usize) -> Vec<(Tensor4, Tensor4)> {
+        assert!(batch_size >= 1, "batches: batch_size must be >= 1");
+        order
+            .chunks(batch_size)
+            .map(|idx| (self.inputs.select(idx), self.targets.select(idx)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_euler::dataset::paper_dataset;
+
+    fn setup() -> (pde_euler::DataSet, GridPartition) {
+        (paper_dataset(16, 8), GridPartition::new(16, 16, 2, 2))
+    }
+
+    #[test]
+    fn extract_input_interior_rank_has_real_halo() {
+        let (ds, part) = setup();
+        // 4×4 partition of a 16×16 grid: rank 5 (pos 1,1) is interior.
+        let part16 = GridPartition::new(16, 16, 4, 4);
+        let block = part16.block_of_rank(5);
+        let x = extract_input(ds.snapshot(0), &block, 2, PadMode::Zeros);
+        assert_eq!(x.shape(), (4, 8, 8));
+        // Matches a direct window of the global snapshot.
+        let direct = ds.snapshot(0).window(block.i0 - 2, block.j0 - 2, 8, 8);
+        assert_eq!(x, direct);
+        let _ = part;
+    }
+
+    #[test]
+    fn extract_input_corner_rank_pads_with_zeros() {
+        let (ds, part) = setup();
+        let block = part.block_of_rank(0); // top-left corner (i0=j0=0)
+        let x = extract_input(ds.snapshot(0), &block, 2, PadMode::Zeros);
+        assert_eq!(x.shape(), (4, 12, 12));
+        // The first two rows/cols are synthesized zeros.
+        for c in 0..4 {
+            for k in 0..12 {
+                assert_eq!(x[(c, 0, k)], 0.0);
+                assert_eq!(x[(c, k, 1)], 0.0);
+            }
+        }
+        // Interior cell matches the global snapshot.
+        assert_eq!(x[(0, 2, 2)], ds.snapshot(0)[(0, 0, 0)]);
+    }
+
+    #[test]
+    fn extract_target_inner_crop() {
+        let (ds, part) = setup();
+        let block = part.block_of_rank(3);
+        let y = extract_target(ds.snapshot(1), &block, 2);
+        assert_eq!(y.shape(), (4, 4, 4));
+        assert_eq!(y[(0, 0, 0)], ds.snapshot(1)[(0, block.i0 + 2, block.j0 + 2)]);
+    }
+
+    #[test]
+    fn dataset_shapes_per_strategy() {
+        let (ds, part) = setup();
+        let (train, _) = ds.chronological_split(5);
+        let arch_halo = 2;
+        for (strategy, in_hw, tgt_hw) in [
+            (PaddingStrategy::ZeroPad, 8, 8),
+            (PaddingStrategy::NeighborPad, 12, 8),
+            (PaddingStrategy::InnerCrop, 8, 4),
+        ] {
+            let sd = SubdomainDataset::build(&train, &part, 1, arch_halo, strategy, &ChannelNorm::identity(4));
+            assert_eq!(sd.len(), 5);
+            assert_eq!(sd.inputs().shape(), (5, 4, in_hw, in_hw), "{strategy:?}");
+            assert_eq!(sd.targets().shape(), (5, 4, tgt_hw, tgt_hw), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_pad_input_overlaps_neighbor_interior() {
+        let (ds, part) = setup();
+        let (train, _) = ds.chronological_split(5);
+        let sd0 = SubdomainDataset::build(&train, &part, 0, 2, PaddingStrategy::NeighborPad, &ChannelNorm::identity(4));
+        // Rank 0's input right halo equals rank 1's interior left columns.
+        let b1 = part.block_of_rank(1);
+        let x0 = sd0.inputs().sample_tensor(0);
+        let snap = ds.snapshot(0);
+        // x0 spans rows -2..10, cols -2..10 (clamped+padded to 12×12 with
+        // interior offset (2,2)); its columns 10..12 are global cols 8..10.
+        for c in 0..4 {
+            for i in 0..8 {
+                assert_eq!(x0[(c, i + 2, 10)], snap[(c, i, b1.j0)]);
+                assert_eq!(x0[(c, i + 2, 11)], snap[(c, i, b1.j0 + 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_order_deterministic_and_permuting() {
+        let (ds, part) = setup();
+        let (train, _) = ds.chronological_split(6);
+        let sd = SubdomainDataset::build(&train, &part, 0, 2, PaddingStrategy::ZeroPad, &ChannelNorm::identity(4));
+        let o1 = sd.epoch_order(true, 9, 3);
+        let o2 = sd.epoch_order(true, 9, 3);
+        assert_eq!(o1, o2);
+        let o3 = sd.epoch_order(true, 9, 4);
+        assert_ne!(o1, o3, "different epochs should shuffle differently");
+        let mut sorted = o1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        assert_eq!(sd.epoch_order(false, 9, 3), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let ds = paper_dataset(16, 9); // 8 pairs
+        let part = GridPartition::new(16, 16, 2, 2);
+        let (train, _) = ds.chronological_split(7);
+        let sd = SubdomainDataset::build(&train, &part, 2, 2, PaddingStrategy::ZeroPad, &ChannelNorm::identity(4));
+        let order = sd.epoch_order(false, 0, 0);
+        let batches = sd.batches(&order, 3);
+        assert_eq!(batches.len(), 3); // 3 + 3 + 1
+        assert_eq!(batches[0].0.n(), 3);
+        assert_eq!(batches[2].0.n(), 1);
+        let total: usize = batches.iter().map(|(x, _)| x.n()).sum();
+        assert_eq!(total, 7);
+    }
+}

@@ -1,0 +1,510 @@
+//! Parallel inference: autonomous rollout with point-to-point halo exchange.
+//!
+//! §III, inference: "The network receives the input at time t and predicts
+//! the output at time t+1. … the output can not be directly fed into the
+//! network, since its dimension is small. Extra data points must be
+//! received from the neighboring processes. … Each processor communicates
+//! directly to its neighbors and no central instance is used."
+//!
+//! [`ParallelInference::rollout`] implements exactly that protocol: each
+//! rank keeps its subdomain state, and before every forward pass performs a
+//! two-phase (x then y) neighbor exchange that also fills the diagonal
+//! corners — the standard stencil-code halo pattern. With the zero-padding
+//! strategy no exchange is needed at all; with inner-crop, rollout is
+//! impossible (the output ring is missing) and construction fails.
+
+use crate::arch::ArchSpec;
+use crate::norm::ChannelNorm;
+use crate::padding::PaddingStrategy;
+use crate::train::{PredictionMode, TrainOutcome};
+use pde_commsim::{CartComm, World};
+use pde_domain::halo::{pack_cols, pack_rows, place_rows};
+use pde_domain::{gather, scatter, GridPartition};
+use pde_nn::serialize::restore;
+use pde_nn::{Layer, Sequential};
+use pde_tensor::{Tensor3, Tensor4};
+
+/// A rollout's outputs.
+#[derive(Clone, Debug)]
+pub struct RolloutResult {
+    /// Global states: `states[0]` is the initial condition, `states[k]` the
+    /// prediction after `k` network steps.
+    pub states: Vec<Tensor3>,
+    /// Per-rank `(messages, bytes, received)` traffic during the rollout.
+    pub traffic: Vec<(u64, u64, u64)>,
+}
+
+impl RolloutResult {
+    /// Number of prediction steps taken.
+    pub fn n_steps(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Total bytes moved between ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.iter().map(|t| t.1).sum()
+    }
+}
+
+/// Trained per-subdomain networks ready for parallel inference.
+pub struct ParallelInference {
+    arch: ArchSpec,
+    strategy: PaddingStrategy,
+    part: GridPartition,
+    weights: Vec<Vec<f64>>,
+    norm: ChannelNorm,
+    prediction: PredictionMode,
+    window: usize,
+}
+
+impl ParallelInference {
+    /// Builds from explicit per-rank weight snapshots.
+    ///
+    /// # Panics
+    /// If the weight count does not match the partition's rank count, or
+    /// the strategy cannot roll out (inner-crop).
+    pub fn new(
+        arch: ArchSpec,
+        strategy: PaddingStrategy,
+        part: GridPartition,
+        weights: Vec<Vec<f64>>,
+        norm: ChannelNorm,
+        prediction: PredictionMode,
+    ) -> Self {
+        Self::with_window(arch, strategy, part, weights, norm, prediction, 1)
+    }
+
+    /// Like [`ParallelInference::new`] with an explicit input time-window
+    /// width (must match training).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_window(
+        arch: ArchSpec,
+        strategy: PaddingStrategy,
+        part: GridPartition,
+        weights: Vec<Vec<f64>>,
+        norm: ChannelNorm,
+        prediction: PredictionMode,
+        window: usize,
+    ) -> Self {
+        assert!(window >= 1, "ParallelInference: window must be >= 1");
+        assert!(
+            strategy.supports_rollout(),
+            "ParallelInference: the {} strategy cannot roll out (its output lacks the \
+             boundary ring, as §III of the paper notes)",
+            strategy.label()
+        );
+        assert_eq!(weights.len(), part.rank_count(), "ParallelInference: one weight set per rank");
+        let expected = arch.param_count_for(strategy);
+        for (r, w) in weights.iter().enumerate() {
+            assert_eq!(w.len(), expected, "ParallelInference: rank {r} weight snapshot length");
+        }
+        assert_eq!(
+            norm.channels() * window,
+            arch.in_channels(),
+            "ParallelInference: window {window} over {}-channel states does not feed a \
+             {}-channel network",
+            norm.channels(),
+            arch.in_channels()
+        );
+        Self { arch, strategy, part, weights, norm, prediction, window }
+    }
+
+    /// Builds from a [`TrainOutcome`] (same arch/strategy as training).
+    pub fn from_outcome(arch: ArchSpec, strategy: PaddingStrategy, outcome: &TrainOutcome) -> Self {
+        let weights = outcome.rank_results.iter().map(|r| r.weights.clone()).collect();
+        Self::with_window(
+            arch,
+            strategy,
+            outcome.partition,
+            weights,
+            outcome.norm.clone(),
+            outcome.prediction,
+            outcome.window,
+        )
+    }
+
+    /// The partition in use.
+    pub fn partition(&self) -> &GridPartition {
+        &self.part
+    }
+
+    /// Runs an `n_steps` autonomous rollout from `initial` with one thread
+    /// per rank and p2p halo exchange.
+    ///
+    /// # Panics
+    /// If the model was trained with a time window > 1 — those models need
+    /// [`ParallelInference::rollout_from_history`].
+    pub fn rollout(&self, initial: &Tensor3, n_steps: usize) -> RolloutResult {
+        assert_eq!(
+            self.window, 1,
+            "rollout: windowed model needs rollout_from_history with {} states",
+            self.window
+        );
+        self.rollout_from_history(std::slice::from_ref(initial), n_steps)
+    }
+
+    /// Windowed rollout: `history` holds the last `window` global states,
+    /// oldest first; the model then predicts `n_steps` further states.
+    ///
+    /// Returns states `[history.last(), pred_1, …, pred_n]`.
+    pub fn rollout_from_history(&self, history: &[Tensor3], n_steps: usize) -> RolloutResult {
+        assert_eq!(
+            history.len(),
+            self.window,
+            "rollout_from_history: need exactly {} states, got {}",
+            self.window,
+            history.len()
+        );
+        let initial = history.last().expect("non-empty history");
+        let part = self.part;
+        assert_eq!(
+            (initial.h(), initial.w()),
+            (part.global_h(), part.global_w()),
+            "rollout: initial state does not match the partition"
+        );
+        assert_eq!(initial.c(), self.norm.channels(), "rollout: channel mismatch");
+        // The networks operate in normalized space; states are mapped back
+        // before being returned. Each rank keeps the last `window` local
+        // states (oldest first).
+        let per_rank_history: Vec<Vec<Tensor3>> = {
+            let mut acc: Vec<Vec<Tensor3>> = vec![Vec::new(); part.rank_count()];
+            for g in history {
+                for (r, local) in scatter(&self.norm.normalize3(g), &part).into_iter().enumerate() {
+                    acc[r].push(local);
+                }
+            }
+            acc
+        };
+        let halo = self.strategy.input_halo(self.arch.halo());
+        let arch = &self.arch;
+        let strategy = self.strategy;
+        let weights = &self.weights;
+        let prediction = self.prediction;
+        let window = self.window;
+        let n_ranks = part.rank_count();
+
+        let (histories, traffic) = World::new(n_ranks).run_with_stats(|comm| {
+            let rank = comm.rank();
+            let mut net = arch.build_for(strategy, 0);
+            restore(&mut net, &weights[rank]);
+            let mut cart = CartComm::new(comm, part.py(), part.px(), false);
+            let mut recent: Vec<Tensor3> = per_rank_history[rank].clone();
+            let mut produced = Vec::with_capacity(n_steps + 1);
+            produced.push(recent.last().expect("history").clone());
+            for step in 0..n_steps {
+                // Assemble the padded input of every window state; the tag
+                // encodes (step, window slot) so concurrent exchanges of
+                // different slots cannot cross.
+                let padded: Vec<Tensor3> = recent
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, state)| {
+                        if halo == 0 {
+                            state.clone()
+                        } else {
+                            assemble_halo_input(
+                                &mut cart,
+                                state,
+                                halo,
+                                (step * window + slot) as u32,
+                            )
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&Tensor3> = padded.iter().collect();
+                let input = Tensor3::concat_channels(&refs);
+                let y = net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+                let last = recent.last().expect("history");
+                let next = match prediction {
+                    PredictionMode::Absolute => y,
+                    PredictionMode::Residual => {
+                        let mut n = last.clone();
+                        n.axpy(1.0, &y);
+                        n
+                    }
+                };
+                recent.remove(0);
+                recent.push(next.clone());
+                produced.push(next);
+            }
+            produced
+        });
+
+        // Stitch per-step global states on the driving thread and map back
+        // to physical space. Step 0 is the caller's own initial state.
+        let mut states = Vec::with_capacity(n_steps + 1);
+        states.push(initial.clone());
+        for k in 1..=n_steps {
+            let step_locals: Vec<Tensor3> = histories.iter().map(|h| h[k].clone()).collect();
+            states.push(self.norm.denormalize3(&gather(&step_locals, &part)));
+        }
+        RolloutResult { states, traffic }
+    }
+
+    /// Thread-free reference rollout: at every step the *global* state is
+    /// known, each rank's input is cut from it directly (the same
+    /// construction training uses), and outputs are stitched back.
+    ///
+    /// Must agree with [`ParallelInference::rollout`] bit-for-bit — the
+    /// integration tests enforce it — because the halo exchange is supposed
+    /// to reproduce precisely the overlapping-window inputs.
+    pub fn reference_rollout(&self, initial: &Tensor3, n_steps: usize) -> Vec<Tensor3> {
+        assert_eq!(self.window, 1, "reference_rollout: use reference_rollout_from_history");
+        self.reference_rollout_from_history(std::slice::from_ref(initial), n_steps)
+    }
+
+    /// Windowed thread-free reference (see [`ParallelInference::reference_rollout`]).
+    pub fn reference_rollout_from_history(
+        &self,
+        history: &[Tensor3],
+        n_steps: usize,
+    ) -> Vec<Tensor3> {
+        assert_eq!(history.len(), self.window, "reference_rollout_from_history: history length");
+        let part = self.part;
+        let halo = self.strategy.input_halo(self.arch.halo());
+        let mode = self.strategy.boundary_pad_mode();
+        let mut nets: Vec<Sequential> = self
+            .weights
+            .iter()
+            .map(|w| {
+                let mut n = self.arch.build_for(self.strategy, 0);
+                restore(&mut n, w);
+                n
+            })
+            .collect();
+        let mut recent: Vec<Tensor3> = history.iter().map(|g| self.norm.normalize3(g)).collect();
+        let mut states = vec![history.last().expect("history").clone()];
+        for _ in 0..n_steps {
+            let locals: Vec<Tensor3> = (0..part.rank_count())
+                .map(|r| {
+                    let block = part.block_of_rank(r);
+                    let padded: Vec<Tensor3> = recent
+                        .iter()
+                        .map(|g| crate::data::extract_input(g, &block, halo, mode))
+                        .collect();
+                    let refs: Vec<&Tensor3> = padded.iter().collect();
+                    let input = Tensor3::concat_channels(&refs);
+                    let y = nets[r].forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+                    match self.prediction {
+                        PredictionMode::Absolute => y,
+                        PredictionMode::Residual => {
+                            let mut next = crate::data::extract_target(
+                                recent.last().expect("history"),
+                                &block,
+                                0,
+                            );
+                            next.axpy(1.0, &y);
+                            next
+                        }
+                    }
+                })
+                .collect();
+            let next = gather(&locals, &part);
+            states.push(self.norm.denormalize3(&next));
+            recent.remove(0);
+            recent.push(next);
+        }
+        states
+    }
+}
+
+/// Assembles the `(c, h+2halo, w+2halo)` padded input of one rank by the
+/// two-phase halo exchange. Physical-boundary halo cells stay zero
+/// (`PadMode::Zeros`, consistent with training-input construction).
+///
+/// Phase 1 swaps `h × halo` column strips with the x-neighbors; phase 2
+/// swaps `halo × (w+2halo)` row strips **of the partially assembled padded
+/// tensor**, so corner cells arrive from diagonal neighbors without any
+/// extra messages.
+pub fn assemble_halo_input(cart: &mut CartComm, local: &Tensor3, halo: usize, step: u32) -> Tensor3 {
+    let (c, h, w) = local.shape();
+    assert!(halo <= h && halo <= w, "assemble_halo_input: halo {halo} exceeds local {h}x{w}");
+    let mut padded = Tensor3::zeros(c, h + 2 * halo, w + 2 * halo);
+    padded.set_window(halo, halo, local);
+
+    use pde_commsim::Direction::*;
+    // Phase 1: x-axis (column strips from the raw interior).
+    let to_left = cart.neighbor(Left).map(|_| pack_cols(local, 0, halo));
+    let to_right = cart.neighbor(Right).map(|_| pack_cols(local, w - halo, halo));
+    let (from_left, from_right) = cart.exchange_x(to_left, to_right, step * 2);
+    if let Some(buf) = from_left {
+        let strip = Tensor3::from_vec(c, h, halo, buf);
+        padded.set_window(halo, 0, &strip);
+    }
+    if let Some(buf) = from_right {
+        let strip = Tensor3::from_vec(c, h, halo, buf);
+        padded.set_window(halo, w + halo, &strip);
+    }
+
+    // Phase 2: y-axis (row strips from the partially padded tensor — they
+    // carry the freshly received x-halos, which become the corners).
+    let to_down = cart.neighbor(Down).map(|_| pack_rows(&padded, halo, halo));
+    let to_up = cart.neighbor(Up).map(|_| pack_rows(&padded, h, halo));
+    let (from_down, from_up) = cart.exchange_y(to_down, to_up, step * 2 + 1);
+    if let Some(buf) = from_down {
+        place_rows(&mut padded, 0, halo, &buf);
+    }
+    if let Some(buf) = from_up {
+        place_rows(&mut padded, h + halo, halo, &buf);
+    }
+    padded
+}
+
+/// Single-network rollout over the whole domain (no decomposition): the
+/// reference used by the Fig.-3 accuracy study and the P = 1 scaling point.
+pub fn single_network_rollout(
+    net: &mut Sequential,
+    arch: &ArchSpec,
+    strategy: PaddingStrategy,
+    norm: &ChannelNorm,
+    prediction: PredictionMode,
+    initial: &Tensor3,
+    n_steps: usize,
+) -> Vec<Tensor3> {
+    assert!(strategy.supports_rollout(), "single_network_rollout: {} cannot roll out", strategy.label());
+    let halo = strategy.input_halo(arch.halo());
+    let mode = strategy.boundary_pad_mode();
+    let mut normalized = vec![norm.normalize3(initial)];
+    let mut states = vec![initial.clone()];
+    for _ in 0..n_steps {
+        let cur = normalized.last().unwrap();
+        let input = if halo == 0 {
+            cur.clone()
+        } else {
+            pde_tensor::pad::pad_tensor3(cur, halo, halo, halo, halo, mode)
+        };
+        let y = net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+        let next = match prediction {
+            PredictionMode::Absolute => y,
+            PredictionMode::Residual => {
+                let mut n = cur.clone();
+                n.axpy(1.0, &y);
+                n
+            }
+        };
+        states.push(norm.denormalize3(&next));
+        normalized.push(next);
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{ParallelTrainer, TrainConfig};
+    use pde_euler::dataset::paper_dataset;
+    use pde_tensor::assert_slice_close;
+
+    fn trained(
+        strategy: PaddingStrategy,
+        n_ranks: usize,
+    ) -> (pde_euler::DataSet, ParallelInference) {
+        let data = paper_dataset(16, 8);
+        let arch = ArchSpec::tiny();
+        let outcome = ParallelTrainer::new(arch.clone(), strategy, TrainConfig::quick_test())
+            .train_view(&data, 6, n_ranks)
+            .unwrap();
+        let inf = ParallelInference::from_outcome(arch, strategy, &outcome);
+        (data, inf)
+    }
+
+    #[test]
+    fn parallel_rollout_matches_reference_neighbor_pad() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let initial = data.snapshot(6).clone();
+        let par = inf.rollout(&initial, 3);
+        let refr = inf.reference_rollout(&initial, 3);
+        assert_eq!(par.states.len(), 4);
+        for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
+            assert_slice_close(a.as_slice(), b.as_slice(), 1e-12, 1e-12, &format!("step {k}"));
+        }
+    }
+
+    #[test]
+    fn parallel_rollout_matches_reference_zero_pad() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let initial = data.snapshot(6).clone();
+        let par = inf.rollout(&initial, 2);
+        let refr = inf.reference_rollout(&initial, 2);
+        for (a, b) in par.states.iter().zip(&refr) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_pad_rollout_is_communication_free() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let r = inf.rollout(data.snapshot(0), 3);
+        assert_eq!(r.total_bytes(), 0);
+        for t in &r.traffic {
+            assert_eq!(t.0, 0);
+        }
+    }
+
+    #[test]
+    fn neighbor_pad_traffic_is_boundary_sized() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let steps = 3;
+        let r = inf.rollout(data.snapshot(0), steps);
+        // 2×2 grid, halo 2, 16×16 global → 8×8 blocks. Per step each rank
+        // sends one x-strip (4·8·2 values) and one y-strip (4·2·12 values).
+        let per_rank_per_step = 4 * 8 * 2 + 4 * 2 * 12;
+        for (rank, t) in r.traffic.iter().enumerate() {
+            assert_eq!(t.0, 2 * steps as u64, "rank {rank} message count");
+            assert_eq!(t.1, (per_rank_per_step * steps * 8) as u64, "rank {rank} bytes");
+        }
+    }
+
+    #[test]
+    fn rollout_includes_initial_state() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let initial = data.snapshot(2).clone();
+        let r = inf.rollout(&initial, 1);
+        assert_eq!(&r.states[0], &initial);
+        assert_eq!(r.n_steps(), 1);
+    }
+
+    #[test]
+    fn single_rank_rollout_equals_single_network() {
+        // With P = 1 the parallel machinery must degenerate exactly to the
+        // monolithic network.
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 1);
+        let initial = data.snapshot(0).clone();
+        let par = inf.rollout(&initial, 2);
+        let mut net = inf.arch.build(false, 0);
+        restore(&mut net, &inf.weights[0]);
+        let single = single_network_rollout(
+            &mut net,
+            &inf.arch,
+            PaddingStrategy::NeighborPad,
+            &inf.norm,
+            inf.prediction,
+            &initial,
+            2,
+        );
+        for (a, b) in par.states.iter().zip(&single) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(par.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot roll out")]
+    fn inner_crop_rollout_is_rejected() {
+        let data = paper_dataset(32, 6);
+        let arch = ArchSpec::tiny();
+        let outcome =
+            ParallelTrainer::new(arch.clone(), PaddingStrategy::InnerCrop, TrainConfig::quick_test())
+                .train_view(&data, 4, 4)
+                .unwrap();
+        let _ = ParallelInference::from_outcome(arch, PaddingStrategy::InnerCrop, &outcome);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the partition")]
+    fn rollout_rejects_wrong_initial_shape() {
+        let (_, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let bad = Tensor3::zeros(4, 8, 8);
+        let _ = inf.rollout(&bad, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-field accuracy metrics for prediction-vs-target comparisons
+//! (the quantitative backbone of the Fig.-3 reproduction).
+
+use pde_euler::state::FIELD_NAMES;
+use pde_tensor::stats;
+use pde_tensor::Tensor3;
+
+/// Error metrics of one physical field.
+#[derive(Clone, Debug)]
+pub struct FieldErrors {
+    /// Field name (`pressure`, `density`, …).
+    pub name: String,
+    /// Mean absolute percentage error (floored denominator), percent.
+    pub mape: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Largest absolute error.
+    pub max_err: f64,
+    /// Pearson correlation between prediction and target.
+    pub pearson: f64,
+    /// Target range, for normalizing the other columns by eye.
+    pub target_range: (f64, f64),
+}
+
+impl FieldErrors {
+    /// RMSE normalized by the target's range (NRMSE); ∞ if the target is
+    /// constant.
+    pub fn nrmse(&self) -> f64 {
+        let span = self.target_range.1 - self.target_range.0;
+        if span == 0.0 {
+            f64::INFINITY
+        } else {
+            self.rmse / span
+        }
+    }
+}
+
+/// Computes per-channel errors between a prediction and a target snapshot.
+///
+/// `mape_floor` guards the MAPE denominator (see
+/// [`pde_nn::loss::Mape`]).
+///
+/// # Panics
+/// If the shapes differ.
+pub fn field_errors(pred: &Tensor3, target: &Tensor3, mape_floor: f64) -> Vec<FieldErrors> {
+    assert_eq!(pred.shape(), target.shape(), "field_errors: shape mismatch");
+    (0..pred.c())
+        .map(|c| {
+            let p = pred.channel(c);
+            let t = target.channel(c);
+            let (lo, hi) = t.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
+            FieldErrors {
+                name: FIELD_NAMES.get(c).copied().unwrap_or("field").to_string()
+                    + if c >= FIELD_NAMES.len() { "?" } else { "" },
+                mape: stats::mape(p, t, mape_floor),
+                rmse: stats::rmse(p, t),
+                max_err: stats::max_abs_err(p, t),
+                pearson: stats::pearson(p, t),
+                target_range: (lo, hi),
+            }
+        })
+        .collect()
+}
+
+/// Mean RMSE across all channels — a single scalar for rollout curves.
+pub fn mean_rmse(pred: &Tensor3, target: &Tensor3) -> f64 {
+    let errs = field_errors(pred, target, 1e-3);
+    errs.iter().map(|e| e.rmse).sum::<f64>() / errs.len() as f64
+}
+
+/// Error growth along a predicted trajectory vs. a reference trajectory:
+/// returns mean RMSE per step (the §IV-B "accumulative error" curve).
+///
+/// Compares `pred[k]` with `reference[k]` for `k = 0..min(len)`.
+pub fn rollout_error_curve(pred: &[Tensor3], reference: &[Tensor3]) -> Vec<f64> {
+    pred.iter().zip(reference).map(|(p, r)| mean_rmse(p, r)).collect()
+}
+
+/// Renders a fixed-width per-field error table.
+pub fn format_error_table(errs: &[FieldErrors]) -> String {
+    let mut s = format!(
+        "{:<12} {:>10} {:>12} {:>12} {:>9}\n",
+        "field", "MAPE[%]", "RMSE", "max|err|", "pearson"
+    );
+    for e in errs {
+        s.push_str(&format!(
+            "{:<12} {:>10.3} {:>12.3e} {:>12.3e} {:>9.4}\n",
+            e.name, e.mape, e.rmse, e.max_err, e.pearson
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(f: impl FnMut(usize, usize, usize) -> f64) -> Tensor3 {
+        Tensor3::from_fn(4, 6, 6, f)
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_errors() {
+        let t = snap(|c, i, j| (c + i * j) as f64);
+        let errs = field_errors(&t, &t, 1e-3);
+        assert_eq!(errs.len(), 4);
+        for e in &errs {
+            assert_eq!(e.rmse, 0.0);
+            assert_eq!(e.max_err, 0.0);
+            assert_eq!(e.mape, 0.0);
+        }
+        assert_eq!(errs[0].name, "pressure");
+        assert_eq!(errs[3].name, "velocity_y");
+    }
+
+    #[test]
+    fn known_offset_error() {
+        let t = snap(|_, _, _| 2.0);
+        let p = snap(|_, _, _| 2.5);
+        let errs = field_errors(&p, &t, 1e-3);
+        for e in &errs {
+            assert!((e.rmse - 0.5).abs() < 1e-12);
+            assert!((e.max_err - 0.5).abs() < 1e-12);
+            assert!((e.mape - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let t = snap(|_, i, _| i as f64); // range 0..5
+        let p = snap(|_, i, _| i as f64 + 1.0);
+        let errs = field_errors(&p, &t, 1e-3);
+        assert!((errs[0].nrmse() - 1.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollout_curve_grows_with_drift() {
+        let base = snap(|c, i, j| (c + i + j) as f64);
+        let reference = vec![base.clone(), base.clone(), base.clone()];
+        let pred = vec![
+            base.clone(),
+            {
+                let mut x = base.clone();
+                x.map_inplace(|v| v + 0.1);
+                x
+            },
+            {
+                let mut x = base.clone();
+                x.map_inplace(|v| v + 0.3);
+                x
+            },
+        ];
+        let curve = rollout_error_curve(&pred, &reference);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0], 0.0);
+        assert!(curve[1] < curve[2]);
+    }
+
+    #[test]
+    fn table_contains_all_fields() {
+        let t = snap(|c, i, j| (c * i + j) as f64);
+        let s = format_error_table(&field_errors(&t, &t, 1e-3));
+        for name in FIELD_NAMES {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

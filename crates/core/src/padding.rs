@@ -1,0 +1,163 @@
+//! The §III dimension-reconciliation strategies.
+//!
+//! An unpadded stack of `L` convolutions with `k×k` kernels shrinks the
+//! spatial extent by `L·(k−1)` cells, so the network output cannot be
+//! compared directly with the same-size target. The paper lists four
+//! remedies and uses the first two; the third is implemented for the
+//! ablation study (X1 in DESIGN.md):
+//!
+//! 1. **Zero padding** ([`PaddingStrategy::ZeroPad`]): every conv layer
+//!    zero-pads ("same" convolution). Inputs are bare subdomain interiors;
+//!    inference needs no neighbor data at all, but the network never sees
+//!    true cross-subdomain context.
+//! 2. **Neighbor-data padding** ([`PaddingStrategy::NeighborPad`]): the
+//!    input is the subdomain interior *extended by a halo of real data* from
+//!    neighboring subdomains (overlapping inputs); convs are unpadded, so
+//!    the output lands exactly on the interior. Training reads the halo
+//!    straight from the global training snapshot (still zero communication);
+//!    inference exchanges halos point-to-point. Physical-boundary parts of
+//!    the halo are synthesized with a [`PadMode`].
+//! 3. **Inner crop** ([`PaddingStrategy::InnerCrop`]): unpadded convs, bare
+//!    interior input, loss evaluated on the shrunken output against the
+//!    matching inner crop of the target. As the paper notes, the missing
+//!    boundary ring makes autonomous rollout impossible — the strategy is
+//!    train/eval only.
+
+use pde_tensor::PadMode;
+
+/// How conv-stack shrinkage is reconciled with target dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaddingStrategy {
+    /// "Same" convolutions with zero padding (paper approach 1).
+    ZeroPad,
+    /// Overlapping inputs from neighbor data, unpadded convolutions (paper
+    /// approach 2 — the full scheme).
+    NeighborPad,
+    /// Unpadded convolutions, loss on the inner region only (paper
+    /// approach 3; no rollout).
+    InnerCrop,
+    /// Unpadded convolutions followed by one transposed-convolution layer
+    /// that restores the spatial extent (paper approach 4, "adding
+    /// de-convolutional layers or the transpose convolution", listed as
+    /// under investigation). Communication-free at inference like
+    /// [`PaddingStrategy::ZeroPad`], but the up-sampling is *learned*
+    /// instead of hallucinated zeros.
+    Deconv,
+}
+
+impl PaddingStrategy {
+    /// Whether the network is built with internally padded ("same") convs.
+    pub fn internally_padded(&self) -> bool {
+        matches!(self, PaddingStrategy::ZeroPad)
+    }
+
+    /// Input halo width for an architecture with one-sided shrink `arch_halo`.
+    pub fn input_halo(&self, arch_halo: usize) -> usize {
+        match self {
+            PaddingStrategy::ZeroPad | PaddingStrategy::InnerCrop | PaddingStrategy::Deconv => 0,
+            PaddingStrategy::NeighborPad => arch_halo,
+        }
+    }
+
+    /// How much the *target* must be cropped per side to match the network
+    /// output.
+    pub fn target_crop(&self, arch_halo: usize) -> usize {
+        match self {
+            PaddingStrategy::ZeroPad | PaddingStrategy::NeighborPad | PaddingStrategy::Deconv => 0,
+            PaddingStrategy::InnerCrop => arch_halo,
+        }
+    }
+
+    /// Whether autonomous multi-step rollout is possible.
+    pub fn supports_rollout(&self) -> bool {
+        !matches!(self, PaddingStrategy::InnerCrop)
+    }
+
+    /// Whether inference requires neighbor halo exchange.
+    pub fn needs_halo_exchange(&self) -> bool {
+        matches!(self, PaddingStrategy::NeighborPad)
+    }
+
+    /// Pad mode used to synthesize halo data outside the *physical* domain.
+    ///
+    /// Zeros matches the paper's approach-1 fallback and is consistent with
+    /// the outflow boundary's vanishing pressure perturbation.
+    pub fn boundary_pad_mode(&self) -> PadMode {
+        PadMode::Zeros
+    }
+
+    /// All strategies, for ablation sweeps.
+    pub const ALL: [PaddingStrategy; 4] = [
+        PaddingStrategy::ZeroPad,
+        PaddingStrategy::NeighborPad,
+        PaddingStrategy::InnerCrop,
+        PaddingStrategy::Deconv,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PaddingStrategy::ZeroPad => "zero-pad",
+            PaddingStrategy::NeighborPad => "neighbor-pad",
+            PaddingStrategy::InnerCrop => "inner-crop",
+            PaddingStrategy::Deconv => "deconv",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_per_strategy() {
+        let h = 8; // paper arch halo
+        assert_eq!(PaddingStrategy::ZeroPad.input_halo(h), 0);
+        assert_eq!(PaddingStrategy::NeighborPad.input_halo(h), 8);
+        assert_eq!(PaddingStrategy::InnerCrop.input_halo(h), 0);
+        assert_eq!(PaddingStrategy::ZeroPad.target_crop(h), 0);
+        assert_eq!(PaddingStrategy::NeighborPad.target_crop(h), 0);
+        assert_eq!(PaddingStrategy::InnerCrop.target_crop(h), 8);
+    }
+
+    #[test]
+    fn only_zero_pad_is_internally_padded() {
+        assert!(PaddingStrategy::ZeroPad.internally_padded());
+        assert!(!PaddingStrategy::NeighborPad.internally_padded());
+        assert!(!PaddingStrategy::InnerCrop.internally_padded());
+    }
+
+    #[test]
+    fn rollout_support() {
+        assert!(PaddingStrategy::ZeroPad.supports_rollout());
+        assert!(PaddingStrategy::NeighborPad.supports_rollout());
+        assert!(!PaddingStrategy::InnerCrop.supports_rollout());
+    }
+
+    #[test]
+    fn only_neighbor_pad_exchanges_halos() {
+        assert!(PaddingStrategy::NeighborPad.needs_halo_exchange());
+        assert!(!PaddingStrategy::ZeroPad.needs_halo_exchange());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = PaddingStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+        for i in 0..labels.len() {
+            for j in i + 1..labels.len() {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn deconv_geometry_is_communication_free() {
+        let d = PaddingStrategy::Deconv;
+        assert_eq!(d.input_halo(8), 0);
+        assert_eq!(d.target_crop(8), 0);
+        assert!(d.supports_rollout());
+        assert!(!d.needs_halo_exchange());
+        assert!(!d.internally_padded());
+    }
+}

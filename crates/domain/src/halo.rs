@@ -1,0 +1,114 @@
+//! Packing and placing of halo strips.
+//!
+//! During parallel inference each rank's network needs a `halo`-cell-wide
+//! border of neighbor data around its own output before the next forward
+//! pass (§III: "Extra data points must be received from the neighboring
+//! processes"). These helpers turn multi-channel tensors into flat strip
+//! buffers (what goes over the communicator) and back.
+//!
+//! Strips are packed channel-major, row-major within a channel — the same
+//! layout as [`Tensor3`] itself — so a strip of `c` channels, `rows` rows
+//! and `cols` columns occupies `c * rows * cols` values.
+
+use pde_tensor::Tensor3;
+
+/// Packs `count` rows starting at row `i0` (all channels, full width).
+pub fn pack_rows(t: &Tensor3, i0: usize, count: usize) -> Vec<f64> {
+    t.window(i0, 0, count, t.w()).into_vec()
+}
+
+/// Packs `count` columns starting at column `j0` (all channels, full
+/// height).
+pub fn pack_cols(t: &Tensor3, j0: usize, count: usize) -> Vec<f64> {
+    t.window(0, j0, t.h(), count).into_vec()
+}
+
+/// Writes a strip produced by [`pack_rows`] into `dst` at row `i0`.
+///
+/// # Panics
+/// If the buffer length is not `c * count * dst.w()`.
+pub fn place_rows(dst: &mut Tensor3, i0: usize, count: usize, buf: &[f64]) {
+    let strip = Tensor3::from_vec(dst.c(), count, dst.w(), buf.to_vec());
+    dst.set_window(i0, 0, &strip);
+}
+
+/// Writes a strip produced by [`pack_cols`] into `dst` at column `j0`.
+///
+/// # Panics
+/// If the buffer length is not `c * dst.h() * count`.
+pub fn place_cols(dst: &mut Tensor3, j0: usize, count: usize, buf: &[f64]) {
+    let strip = Tensor3::from_vec(dst.c(), dst.h(), count, buf.to_vec());
+    dst.set_window(0, j0, &strip);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor3 {
+        Tensor3::from_fn(2, 4, 5, |c, i, j| (c * 100 + i * 10 + j) as f64)
+    }
+
+    #[test]
+    fn pack_rows_layout() {
+        let t = sample();
+        let top = pack_rows(&t, 0, 2);
+        assert_eq!(top.len(), 2 * 2 * 5);
+        // Channel 0, row 0: 0..4 ; row 1: 10..14 ; then channel 1.
+        assert_eq!(&top[0..5], &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&top[5..10], &[10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(top[10], 100.0);
+    }
+
+    #[test]
+    fn pack_cols_layout() {
+        let t = sample();
+        let right = pack_cols(&t, 3, 2);
+        assert_eq!(right.len(), 2 * 4 * 2);
+        // Channel 0, rows 0..4, columns 3..5.
+        assert_eq!(&right[0..2], &[3.0, 4.0]);
+        assert_eq!(&right[2..4], &[13.0, 14.0]);
+    }
+
+    #[test]
+    fn pack_place_rows_round_trip() {
+        let t = sample();
+        let strip = pack_rows(&t, 1, 2);
+        let mut dst = Tensor3::zeros(2, 4, 5);
+        place_rows(&mut dst, 1, 2, &strip);
+        assert_eq!(dst.window(1, 0, 2, 5), t.window(1, 0, 2, 5));
+        // Untouched rows stay zero.
+        assert_eq!(dst[(0, 0, 0)], 0.0);
+        assert_eq!(dst[(1, 3, 2)], 0.0);
+    }
+
+    #[test]
+    fn pack_place_cols_round_trip() {
+        let t = sample();
+        let strip = pack_cols(&t, 0, 1);
+        let mut dst = Tensor3::zeros(2, 4, 5);
+        place_cols(&mut dst, 4, 1, &strip);
+        for c in 0..2 {
+            for i in 0..4 {
+                assert_eq!(dst[(c, i, 4)], t[(c, i, 0)]);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_strip_transfer_simulates_halo() {
+        // Two side-by-side 4×5 subdomains: right edge of A fills the left
+        // halo of B's padded tensor.
+        let a = sample();
+        let halo = 2;
+        let strip = pack_cols(&a, a.w() - halo, halo);
+        let mut b_padded = Tensor3::zeros(2, 4, 5 + 2 * halo);
+        place_cols(&mut b_padded, 0, halo, &strip);
+        for c in 0..2 {
+            for i in 0..4 {
+                assert_eq!(b_padded[(c, i, 0)], a[(c, i, 3)]);
+                assert_eq!(b_padded[(c, i, 1)], a[(c, i, 4)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Ghost-cell boundary conditions.
+//!
+//! The paper's test case uses **outflow boundaries**: "the pressure
+//! perturbation is set to zero, while all other quantities (density and
+//! velocity) have homogenized Neumann boundary conditions" (§IV-A). Note
+//! that this is a *pressure-release* condition — acoustically it reflects
+//! waves with inverted phase rather than absorbing them; energy leaves only
+//! through the upwind part of the numerical flux. A characteristic
+//! [`Boundary::Absorbing`] condition is provided as an extension for users
+//! who want a genuinely non-reflecting far field, plus periodic and
+//! reflective-wall conditions for verification (plane-wave convergence,
+//! energy conservation).
+
+use crate::config::Background;
+use crate::flux::Q;
+use crate::state::{IDX_P, IDX_RHO, IDX_U, IDX_V};
+
+/// Boundary-condition family applied to all four edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boundary {
+    /// p' = 0 on the edge (odd ghost extension), zero-gradient for ρ', u', v'
+    /// (even ghost extension) — the paper's setup.
+    Outflow,
+    /// Wrap-around domain.
+    Periodic,
+    /// Solid wall: normal velocity odd, everything else even.
+    Reflective,
+    /// Characteristic non-reflecting condition: the incoming acoustic
+    /// characteristic is set to zero, the outgoing one and the entropy /
+    /// tangential-velocity modes are extrapolated.
+    Absorbing,
+}
+
+/// Which domain edge a ghost cell sits behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// x = x0 (outward normal −x).
+    Left,
+    /// x = x0 + lx (outward normal +x).
+    Right,
+    /// y = y0 (outward normal −y).
+    Bottom,
+    /// y = y0 + ly (outward normal +y).
+    Top,
+}
+
+impl Edge {
+    /// True for edges whose normal is along x.
+    #[inline]
+    pub fn normal_is_x(&self) -> bool {
+        matches!(self, Edge::Left | Edge::Right)
+    }
+
+    /// Sign of the outward normal along its axis (+1 for Right/Top).
+    #[inline]
+    pub fn outward_sign(&self) -> f64 {
+        match self {
+            Edge::Right | Edge::Top => 1.0,
+            Edge::Left | Edge::Bottom => -1.0,
+        }
+    }
+}
+
+impl Boundary {
+    /// Computes the full ghost state behind `edge` from the adjacent
+    /// `interior` cell state and (for periodic wrap) the `wrapped` cell
+    /// state on the opposite side of the domain.
+    pub fn ghost_state(&self, interior: &Q, wrapped: &Q, edge: Edge, bg: &Background) -> Q {
+        match self {
+            Boundary::Outflow => {
+                let mut g = *interior;
+                g[IDX_P] = -interior[IDX_P]; // Dirichlet p' = 0 at the face
+                g
+            }
+            Boundary::Periodic => *wrapped,
+            Boundary::Reflective => {
+                let mut g = *interior;
+                let n = if edge.normal_is_x() { IDX_U } else { IDX_V };
+                g[n] = -interior[n];
+                g
+            }
+            Boundary::Absorbing => {
+                // 1-D characteristic analysis normal to the edge (quiescent
+                // or subsonic background): w± = p' ± ρ_c·c·u_n with u_n the
+                // outward-normal velocity. The outgoing invariant w+ is
+                // extrapolated from the interior; the incoming one w− is set
+                // to zero (nothing enters from outside). Entropy
+                // (ρ' − p'/c²) and the tangential velocity are extrapolated.
+                let c = bg.sound_speed();
+                let z = bg.rho * c; // acoustic impedance
+                let (n_idx, t_idx) = if edge.normal_is_x() { (IDX_U, IDX_V) } else { (IDX_V, IDX_U) };
+                let sign = edge.outward_sign();
+                let un_int = sign * interior[n_idx];
+                let w_out = interior[IDX_P] + z * un_int; // leaves the domain
+                // Ghost: w_out preserved, w_in = 0.
+                let p_g = 0.5 * w_out;
+                let un_g = 0.5 * w_out / z;
+                let mut g = *interior;
+                g[IDX_P] = p_g;
+                g[n_idx] = sign * un_g;
+                g[t_idx] = interior[t_idx];
+                g[IDX_RHO] = interior[IDX_RHO] + (p_g - interior[IDX_P]) / (c * c);
+                g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::N_FIELDS;
+
+    fn bg() -> Background {
+        Background::unit() // ρ_c = 1, c = 1 → impedance z = 1
+    }
+
+    #[test]
+    fn outflow_zeroes_pressure_at_face() {
+        let b = Boundary::Outflow;
+        let interior: Q = [3.0, 1.0, 2.0, -1.0];
+        let g = b.ghost_state(&interior, &[9.0; N_FIELDS], Edge::Right, &bg());
+        assert_eq!((interior[IDX_P] + g[IDX_P]) / 2.0, 0.0);
+        assert_eq!(g[IDX_RHO], interior[IDX_RHO]);
+        assert_eq!(g[IDX_U], interior[IDX_U]);
+        assert_eq!(g[IDX_V], interior[IDX_V]);
+    }
+
+    #[test]
+    fn periodic_uses_wrapped_state() {
+        let b = Boundary::Periodic;
+        let wrapped: Q = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(b.ghost_state(&[0.0; 4], &wrapped, Edge::Top, &bg()), wrapped);
+    }
+
+    #[test]
+    fn reflective_flips_only_normal_velocity() {
+        let b = Boundary::Reflective;
+        let q: Q = [1.0, 2.0, 3.0, 4.0];
+        let gx = b.ghost_state(&q, &[0.0; 4], Edge::Left, &bg());
+        assert_eq!(gx, [1.0, 2.0, -3.0, 4.0]);
+        let gy = b.ghost_state(&q, &[0.0; 4], Edge::Bottom, &bg());
+        assert_eq!(gy, [1.0, 2.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn absorbing_passes_outgoing_wave_unchanged() {
+        // A pure outgoing wave at the right edge: p' = z·u' (w− = 0).
+        // The ghost must equal the interior — the wave exits untouched.
+        let b = Boundary::Absorbing;
+        let q: Q = [0.7, 0.7, 0.7, 0.0]; // p = u, z = 1, ρ' = p/c² = p
+        let g = b.ghost_state(&q, &[0.0; 4], Edge::Right, &bg());
+        for k in 0..N_FIELDS {
+            assert!((g[k] - q[k]).abs() < 1e-12, "field {k}: {} vs {}", g[k], q[k]);
+        }
+    }
+
+    #[test]
+    fn absorbing_kills_incoming_wave() {
+        // A pure incoming wave at the right edge: p' = −z·u' (w+ = 0).
+        // The ghost must be fully quiescent in the acoustic variables.
+        let b = Boundary::Absorbing;
+        let q: Q = [0.5, 0.5, -0.5, 0.2];
+        let g = b.ghost_state(&q, &[0.0; 4], Edge::Right, &bg());
+        assert!(g[IDX_P].abs() < 1e-12);
+        assert!(g[IDX_U].abs() < 1e-12);
+        assert_eq!(g[IDX_V], 0.2); // tangential extrapolated
+    }
+
+    #[test]
+    fn absorbing_left_edge_mirrors_right_edge() {
+        // Outgoing at the LEFT edge means u_n = −u > 0, i.e. u < 0.
+        let b = Boundary::Absorbing;
+        let q: Q = [0.7, 0.7, -0.7, 0.0];
+        let g = b.ghost_state(&q, &[0.0; 4], Edge::Left, &bg());
+        for k in 0..N_FIELDS {
+            assert!((g[k] - q[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_geometry_helpers() {
+        assert!(Edge::Left.normal_is_x());
+        assert!(!Edge::Top.normal_is_x());
+        assert_eq!(Edge::Right.outward_sign(), 1.0);
+        assert_eq!(Edge::Bottom.outward_sign(), -1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Physical and numerical fluxes of the linearized Euler system.
+//!
+//! With state `q = (p', ρ', u', v')` (tensor-channel order) the system is
+//! `q_t + A q_x + B q_y = 0`. This module exposes the flux Jacobians and the
+//! Rusanov (local Lax–Friedrichs) interface flux built from them.
+
+use crate::config::Background;
+use crate::state::N_FIELDS;
+
+/// A per-cell state vector in channel order `(p, ρ, u, v)`.
+pub type Q = [f64; N_FIELDS];
+
+/// Physical x-flux `F(q) = A q`:
+///
+/// ```text
+/// F_p   = u_c p' + γ p_c u'
+/// F_ρ   = u_c ρ' + ρ_c u'
+/// F_u   = u_c u' + p'/ρ_c
+/// F_v   = u_c v'
+/// ```
+#[inline]
+pub fn flux_x(q: &Q, bg: &Background) -> Q {
+    let [p, rho, u, v] = *q;
+    [
+        bg.u * p + bg.gamma * bg.p * u,
+        bg.u * rho + bg.rho * u,
+        bg.u * u + p / bg.rho,
+        bg.u * v,
+    ]
+}
+
+/// Physical y-flux `G(q) = B q` (mirror of [`flux_x`] with `v_c` and the
+/// y-velocity component).
+#[inline]
+pub fn flux_y(q: &Q, bg: &Background) -> Q {
+    let [p, rho, u, v] = *q;
+    [
+        bg.v * p + bg.gamma * bg.p * v,
+        bg.v * rho + bg.rho * v,
+        bg.v * u,
+        bg.v * v + p / bg.rho,
+    ]
+}
+
+/// Rusanov (local Lax–Friedrichs) numerical flux at an interface between
+/// left state `ql` and right state `qr` in the x-direction:
+/// `F* = ½(F(ql)+F(qr)) − ½ λ (qr − ql)` with `λ = |u_c| + c`.
+#[inline]
+pub fn rusanov_x(ql: &Q, qr: &Q, bg: &Background, lambda: f64) -> Q {
+    let fl = flux_x(ql, bg);
+    let fr = flux_x(qr, bg);
+    let mut out = [0.0; N_FIELDS];
+    for k in 0..N_FIELDS {
+        out[k] = 0.5 * (fl[k] + fr[k]) - 0.5 * lambda * (qr[k] - ql[k]);
+    }
+    out
+}
+
+/// Rusanov flux in the y-direction with `λ = |v_c| + c`.
+#[inline]
+pub fn rusanov_y(ql: &Q, qr: &Q, bg: &Background, lambda: f64) -> Q {
+    let fl = flux_y(ql, bg);
+    let fr = flux_y(qr, bg);
+    let mut out = [0.0; N_FIELDS];
+    for k in 0..N_FIELDS {
+        out[k] = 0.5 * (fl[k] + fr[k]) - 0.5 * lambda * (qr[k] - ql[k]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bg_rest() -> Background {
+        Background::unit() // u_c = v_c = 0, c = 1
+    }
+
+    #[test]
+    fn flux_is_linear() {
+        let bg = Background::paper();
+        let q1: Q = [1.0, 0.5, -0.25, 2.0];
+        let q2: Q = [-2.0, 1.0, 3.0, 0.0];
+        let sum: Q = std::array::from_fn(|k| 2.0 * q1[k] + 3.0 * q2[k]);
+        let f1 = flux_x(&q1, &bg);
+        let f2 = flux_x(&q2, &bg);
+        let fs = flux_x(&sum, &bg);
+        for k in 0..N_FIELDS {
+            assert!((fs[k] - (2.0 * f1[k] + 3.0 * f2[k])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn x_flux_at_rest_known_values() {
+        let bg = bg_rest();
+        // q = (p, ρ, u, v); with u_c = 0: F = (γp_c·u, ρ_c·u, p/ρ_c, 0).
+        let q: Q = [2.0, 5.0, 3.0, 7.0];
+        let f = flux_x(&q, &bg);
+        assert!((f[0] - 1.0 * 3.0).abs() < 1e-12); // γ p_c = 1
+        assert!((f[1] - 3.0).abs() < 1e-12); // ρ_c = 1
+        assert!((f[2] - 2.0).abs() < 1e-12); // p / ρ_c
+        assert_eq!(f[3], 0.0);
+    }
+
+    #[test]
+    fn y_flux_mirrors_x_flux() {
+        let bg = bg_rest();
+        // Swapping u ↔ v maps F ↔ G at rest.
+        let q: Q = [2.0, 5.0, 3.0, 7.0];
+        let q_swapped: Q = [2.0, 5.0, 7.0, 3.0];
+        let f = flux_x(&q, &bg);
+        let g = flux_y(&q_swapped, &bg);
+        assert_eq!(f[0], g[0]);
+        assert_eq!(f[1], g[1]);
+        assert_eq!(f[2], g[3]);
+        assert_eq!(f[3], g[2]);
+    }
+
+    #[test]
+    fn rusanov_consistent_with_physical_flux() {
+        // F*(q, q) == F(q).
+        let bg = Background::paper();
+        let q: Q = [0.3, -0.1, 0.7, -0.4];
+        let lam = bg.max_speed_x();
+        let f = flux_x(&q, &bg);
+        let fs = rusanov_x(&q, &q, &bg, lam);
+        for k in 0..N_FIELDS {
+            assert!((f[k] - fs[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rusanov_adds_dissipation_on_jumps() {
+        let bg = bg_rest();
+        let ql: Q = [1.0, 0.0, 0.0, 0.0];
+        let qr: Q = [0.0, 0.0, 0.0, 0.0];
+        let f = rusanov_x(&ql, &qr, &bg, 1.0);
+        // ½(F(ql)+F(qr)) has F_p = 0, dissipation adds ½λ(ql - qr).
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+}

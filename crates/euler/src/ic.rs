@@ -1,0 +1,162 @@
+//! Initial conditions.
+
+use crate::config::SolverConfig;
+use crate::state::EulerState;
+
+/// Initial perturbation fields.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InitialCondition {
+    /// Everything zero (fluid at rest, no perturbation).
+    Quiescent,
+    /// The paper's Gaussian pressure pulse (§IV-A): fluid at rest, zero
+    /// density perturbation, pressure `A · exp(−ln2 · r² / h²)` so that the
+    /// *half width* `h` is the radius where the pulse reaches half its
+    /// amplitude.
+    GaussianPulse {
+        /// Pulse center x.
+        x0: f64,
+        /// Pulse center y.
+        y0: f64,
+        /// Half width (radius at half amplitude).
+        half_width: f64,
+        /// Peak pressure perturbation.
+        amplitude: f64,
+    },
+    /// Several superposed Gaussian pulses `(x0, y0, half_width, amplitude)` —
+    /// used to diversify training data beyond the single-pulse run.
+    MultiPulse(Vec<(f64, f64, f64, f64)>),
+    /// A rightward-travelling plane acoustic wave `p' = A sin(k x)` with the
+    /// matching `u' = p'/(ρ_c c)`, `ρ' = p'/c²`, `v' = 0`. Exact solution on
+    /// periodic domains when the background is at rest; used for
+    /// verification.
+    PlaneWaveX {
+        /// Wavenumber (must make the wave periodic on the domain:
+        /// `k = 2π m / lx`).
+        k: f64,
+        /// Amplitude of the pressure perturbation.
+        amplitude: f64,
+    },
+}
+
+impl InitialCondition {
+    /// The paper's pulse: centered at the origin of the `[-1,1]²` domain,
+    /// half width 0.3 m, amplitude 0.5.
+    pub fn paper_pulse() -> Self {
+        InitialCondition::GaussianPulse { x0: 0.0, y0: 0.0, half_width: 0.3, amplitude: 0.5 }
+    }
+
+    /// Samples the condition onto the configured grid.
+    pub fn evaluate(&self, cfg: &SolverConfig) -> EulerState {
+        let (ny, nx) = (cfg.ny, cfg.nx);
+        let mut s = EulerState::zeros(ny, nx);
+        match self {
+            InitialCondition::Quiescent => {}
+            InitialCondition::GaussianPulse { x0, y0, half_width, amplitude } => {
+                fill_pulse(&mut s, cfg, *x0, *y0, *half_width, *amplitude);
+            }
+            InitialCondition::MultiPulse(pulses) => {
+                for &(x0, y0, hw, a) in pulses {
+                    fill_pulse(&mut s, cfg, x0, y0, hw, a);
+                }
+            }
+            InitialCondition::PlaneWaveX { k, amplitude } => {
+                let bg = cfg.background;
+                let c = bg.sound_speed();
+                for i in 0..ny {
+                    for j in 0..nx {
+                        let (x, _) = cfg.domain.cell_center(nx, ny, i, j);
+                        let p = amplitude * (k * x).sin();
+                        s.p[(i, j)] = p;
+                        s.rho[(i, j)] = p / (c * c);
+                        s.u[(i, j)] = p / (bg.rho * c);
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+fn fill_pulse(s: &mut EulerState, cfg: &SolverConfig, x0: f64, y0: f64, hw: f64, a: f64) {
+    assert!(hw > 0.0, "GaussianPulse: half_width must be > 0");
+    let ln2 = std::f64::consts::LN_2;
+    let (ny, nx) = (cfg.ny, cfg.nx);
+    for i in 0..ny {
+        for j in 0..nx {
+            let (x, y) = cfg.domain.cell_center(nx, ny, i, j);
+            let r2 = (x - x0) * (x - x0) + (y - y0) * (y - y0);
+            s.p[(i, j)] += a * (-ln2 * r2 / (hw * hw)).exp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+
+    fn cfg(n: usize) -> SolverConfig {
+        SolverConfig::paper(n, n)
+    }
+
+    #[test]
+    fn quiescent_is_zero() {
+        let s = InitialCondition::Quiescent.evaluate(&cfg(8));
+        assert_eq!(s.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn paper_pulse_peak_and_half_width() {
+        let c = cfg(256);
+        let s = InitialCondition::paper_pulse().evaluate(&c);
+        // Peak near the center ≈ amplitude.
+        let peak = s.p.max_abs();
+        assert!((peak - 0.5).abs() < 0.01, "peak {peak}");
+        // Find the value at distance ≈ half_width along x from center.
+        // Cell centers: x = -1 + (j+0.5)*dx with dx = 2/256.
+        let dx: f64 = 2.0 / 256.0;
+        let j_center = 128; // x ≈ +dx/2 (closest to 0 from above)
+        let j_half = j_center + (0.3 / dx).round() as usize;
+        let i_center = 128;
+        let v = s.p[(i_center, j_half)];
+        assert!((v / peak - 0.5).abs() < 0.05, "half-width value ratio {}", v / peak);
+        // Fluid at rest, zero density perturbation.
+        assert_eq!(s.u.max_abs(), 0.0);
+        assert_eq!(s.v.max_abs(), 0.0);
+        assert_eq!(s.rho.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn multi_pulse_superposes() {
+        let single = InitialCondition::GaussianPulse {
+            x0: 0.0,
+            y0: 0.0,
+            half_width: 0.3,
+            amplitude: 0.5,
+        }
+        .evaluate(&cfg(32));
+        let double = InitialCondition::MultiPulse(vec![
+            (0.0, 0.0, 0.3, 0.5),
+            (0.0, 0.0, 0.3, 0.5),
+        ])
+        .evaluate(&cfg(32));
+        for k in 0..single.p.len() {
+            assert!((double.p.as_slice()[k] - 2.0 * single.p.as_slice()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plane_wave_satisfies_acoustic_relations() {
+        let c = cfg(64);
+        let bg = c.background;
+        let k = std::f64::consts::PI; // one full period over lx = 2
+        let s = InitialCondition::PlaneWaveX { k, amplitude: 0.1 }.evaluate(&c);
+        let cs = bg.sound_speed();
+        for idx in 0..s.p.len() {
+            let p = s.p.as_slice()[idx];
+            assert!((s.u.as_slice()[idx] - p / (bg.rho * cs)).abs() < 1e-12);
+            assert!((s.rho.as_slice()[idx] - p / (cs * cs)).abs() < 1e-12);
+            assert_eq!(s.v.as_slice()[idx], 0.0);
+        }
+    }
+}

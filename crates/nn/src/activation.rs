@@ -1,0 +1,220 @@
+//! Elementwise activation layers.
+//!
+//! The paper uses leaky ReLU with ε = 0.01 (its Eq. (2)); plain ReLU and
+//! tanh are provided for the activation ablation.
+
+use crate::layer::{Layer, ParamGroup};
+use pde_tensor::Tensor4;
+
+/// Leaky rectified linear unit: `x` for `x ≥ 0`, `ε·x` otherwise.
+pub struct LeakyReLu {
+    epsilon: f64,
+    cached_input: Option<Tensor4>,
+}
+
+impl LeakyReLu {
+    /// New leaky ReLU with negative-side slope `epsilon`.
+    ///
+    /// # Panics
+    /// If `epsilon` is negative or ≥ 1 (that would not be a *leaky* ReLU).
+    pub fn new(epsilon: f64) -> Self {
+        assert!((0.0..1.0).contains(&epsilon), "LeakyReLu: epsilon must be in [0, 1)");
+        Self { epsilon, cached_input: None }
+    }
+
+    /// The paper's default (ε = 0.01).
+    pub fn paper_default() -> Self {
+        Self::new(0.01)
+    }
+
+    /// The configured negative-side slope.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Layer for LeakyReLu {
+    fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let eps = self.epsilon;
+        input.map(|x| if x >= 0.0 { x } else { eps * x })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let input = self.cached_input.as_ref().expect("LeakyReLu::backward before forward");
+        assert_eq!(input.shape(), grad_out.shape(), "LeakyReLu::backward: shape mismatch");
+        let eps = self.epsilon;
+        let mut g = grad_out.clone();
+        for (gv, &xv) in g.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            // The subgradient at exactly 0 is taken from the positive side,
+            // matching the forward convention x >= 0 → identity.
+            if xv < 0.0 {
+                *gv *= eps;
+            }
+        }
+        g
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn describe(&self) -> String {
+        format!("LeakyReLU(eps={})", self.epsilon)
+    }
+}
+
+/// Plain rectified linear unit (ε = 0 special case).
+pub struct ReLu(LeakyReLu);
+
+impl ReLu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self(LeakyReLu { epsilon: 0.0, cached_input: None })
+    }
+}
+
+impl Default for ReLu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ReLu {
+    fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
+        self.0.forward(input, train)
+    }
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        self.0.backward(grad_out)
+    }
+    fn zero_grad(&mut self) {}
+    fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
+        Vec::new()
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn describe(&self) -> String {
+        "ReLU".into()
+    }
+}
+
+/// Hyperbolic tangent activation.
+pub struct Tanh {
+    cached_output: Option<Tensor4>,
+}
+
+impl Tanh {
+    /// New tanh layer.
+    pub fn new() -> Self {
+        Self { cached_output: None }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
+        let out = input.map(f64::tanh);
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let out = self.cached_output.as_ref().expect("Tanh::backward before forward");
+        assert_eq!(out.shape(), grad_out.shape(), "Tanh::backward: shape mismatch");
+        let mut g = grad_out.clone();
+        for (gv, &yv) in g.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *gv *= 1.0 - yv * yv;
+        }
+        g
+    }
+
+    fn zero_grad(&mut self) {}
+    fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
+        Vec::new()
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn describe(&self) -> String {
+        "Tanh".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f64]) -> Tensor4 {
+        Tensor4::from_vec(1, 1, 1, vals.len(), vals.to_vec())
+    }
+
+    #[test]
+    fn leaky_relu_forward_values() {
+        let mut l = LeakyReLu::new(0.1);
+        let y = l.forward(&t(&[-2.0, -0.5, 0.0, 0.5, 2.0]), false);
+        assert_eq!(y.as_slice(), &[-0.2, -0.05, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_backward_mask() {
+        let mut l = LeakyReLu::new(0.01);
+        let _ = l.forward(&t(&[-1.0, 0.0, 3.0]), true);
+        let g = l.backward(&t(&[1.0, 1.0, 1.0]));
+        assert_eq!(g.as_slice(), &[0.01, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_zeros_negatives() {
+        let mut l = ReLu::new();
+        let y = l.forward(&t(&[-3.0, 4.0]), true);
+        assert_eq!(y.as_slice(), &[0.0, 4.0]);
+        let g = l.backward(&t(&[5.0, 5.0]));
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut l = Tanh::new();
+        let x = t(&[-0.7, 0.0, 0.3, 1.2]);
+        let _ = l.forward(&x, true);
+        let g = l.backward(&t(&[1.0, 1.0, 1.0, 1.0]));
+        let eps = 1e-6;
+        for k in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[k] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[k] -= eps;
+            let fd = (xp.as_slice()[k].tanh() - xm.as_slice()[k].tanh()) / (2.0 * eps);
+            assert!((fd - g.as_slice()[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = LeakyReLu::paper_default();
+        let _ = l.backward(&t(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn rejects_bad_epsilon() {
+        let _ = LeakyReLu::new(1.5);
+    }
+}

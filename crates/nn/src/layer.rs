@@ -1,0 +1,75 @@
+//! The [`Layer`] trait: forward/backward building blocks.
+
+use pde_tensor::Tensor4;
+
+/// One learnable parameter group of a layer, paired with its gradient.
+///
+/// Optimizers receive the groups of a whole network in a stable order and
+/// keep their per-parameter state (momenta etc.) keyed by that order.
+pub struct ParamGroup<'a> {
+    /// Flat view of the parameter values.
+    pub param: &'a mut [f64],
+    /// Flat view of the accumulated gradient (same length).
+    pub grad: &'a [f64],
+    /// Human-readable name, e.g. `"conv1.weight"` (used in diagnostics and
+    /// the serialization format).
+    pub name: &'a str,
+}
+
+/// A differentiable network building block with explicit backprop.
+///
+/// The contract:
+/// * `forward` consumes a batch, caches whatever `backward` will need, and
+///   returns the output batch;
+/// * `backward` consumes `dL/d(output)` for the *most recent* forward call
+///   and returns `dL/d(input)`, accumulating parameter gradients internally;
+/// * `zero_grad` clears the accumulated parameter gradients.
+///
+/// Calling `backward` without a preceding `forward` panics.
+pub trait Layer: Send {
+    /// Forward pass. `train` enables gradient caching; inference-only calls
+    /// may pass `false` to skip it.
+    fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4;
+
+    /// Backward pass; returns the gradient w.r.t. the layer input.
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Multiplies every accumulated parameter gradient by `factor` — the
+    /// primitive behind global-norm gradient clipping. Stateless layers
+    /// keep the default no-op.
+    fn scale_gradients(&mut self, factor: f64) {
+        let _ = factor;
+    }
+
+    /// Parameter/gradient groups in a stable order (empty for stateless
+    /// layers such as activations).
+    fn param_groups(&mut self) -> Vec<ParamGroup<'_>>;
+
+    /// Total number of learnable scalars.
+    fn param_count(&self) -> usize;
+
+    /// Output spatial dims for a given input spatial size (identity for
+    /// shape-preserving layers).
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        (h, w)
+    }
+
+    /// Short human-readable description used in model summaries.
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::LeakyReLu;
+
+    #[test]
+    fn stateless_layer_has_no_params() {
+        let mut l = LeakyReLu::new(0.01);
+        assert_eq!(l.param_count(), 0);
+        assert!(l.param_groups().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Loss functions with analytic gradients.
+//!
+//! The paper trains with MAPE (its Eq. (7)) and argues it beats MSE when
+//! field magnitudes differ by orders of magnitude; both are here, plus MAE
+//! and Huber for the loss ablation (experiment X4 in DESIGN.md).
+
+use pde_tensor::Tensor4;
+
+/// A scalar loss over `(prediction, target)` batches with an analytic
+/// gradient w.r.t. the prediction.
+pub trait Loss: Send + Sync {
+    /// Loss value alone (no gradient allocation).
+    fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64;
+
+    /// Loss value and `dL/d(pred)` in one pass.
+    fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check(pred: &Tensor4, target: &Tensor4, what: &str) {
+    assert_eq!(pred.shape(), target.shape(), "{what}: prediction/target shape mismatch");
+    assert!(!pred.is_empty(), "{what}: empty tensors");
+}
+
+/// Mean squared error `1/m Σ (p-t)²`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
+        check(pred, target, "Mse");
+        let m = pred.len() as f64;
+        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / m
+    }
+
+    fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        check(pred, target, "Mse");
+        let m = pred.len() as f64;
+        let mut grad = pred.clone();
+        let mut loss = 0.0;
+        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            let d = *g - t;
+            loss += d * d;
+            *g = 2.0 * d / m;
+        }
+        (loss / m, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "MSE"
+    }
+}
+
+/// Mean absolute error `1/m Σ |p-t|`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mae;
+
+impl Loss for Mae {
+    fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
+        check(pred, target, "Mae");
+        let m = pred.len() as f64;
+        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| (p - t).abs()).sum::<f64>() / m
+    }
+
+    fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        check(pred, target, "Mae");
+        let m = pred.len() as f64;
+        let mut grad = pred.clone();
+        let mut loss = 0.0;
+        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            let d = *g - t;
+            loss += d.abs();
+            *g = d.signum() / m;
+        }
+        (loss / m, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "MAE"
+    }
+}
+
+/// Mean absolute percentage error (paper Eq. (7)), in percent:
+/// `100/m Σ |p-t| / max(|t|, floor)`.
+///
+/// The `floor` guards against division by (near-)zero targets; the paper's
+/// pressure-perturbation fields pass through zero at the outflow boundary,
+/// so a raw MAPE would be unbounded. `floor = 1e-3` relative to O(1) fields
+/// is the default.
+#[derive(Clone, Copy, Debug)]
+pub struct Mape {
+    /// Minimum magnitude used for the denominator.
+    pub floor: f64,
+}
+
+impl Mape {
+    /// MAPE with the given denominator floor.
+    ///
+    /// # Panics
+    /// If `floor` is not strictly positive.
+    pub fn new(floor: f64) -> Self {
+        assert!(floor > 0.0, "Mape: floor must be > 0");
+        Self { floor }
+    }
+}
+
+impl Default for Mape {
+    fn default() -> Self {
+        Self::new(1e-3)
+    }
+}
+
+impl Loss for Mape {
+    fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
+        check(pred, target, "Mape");
+        let m = pred.len() as f64;
+        let s: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| (p - t).abs() / t.abs().max(self.floor))
+            .sum();
+        100.0 * s / m
+    }
+
+    fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        check(pred, target, "Mape");
+        let m = pred.len() as f64;
+        let mut grad = pred.clone();
+        let mut loss = 0.0;
+        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            let denom = t.abs().max(self.floor);
+            let d = *g - t;
+            loss += d.abs() / denom;
+            *g = 100.0 * d.signum() / (denom * m);
+        }
+        (100.0 * loss / m, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "MAPE"
+    }
+}
+
+/// Huber loss: quadratic inside `|p-t| ≤ delta`, linear outside.
+#[derive(Clone, Copy, Debug)]
+pub struct Huber {
+    /// Transition point between the quadratic and linear regimes.
+    pub delta: f64,
+}
+
+impl Huber {
+    /// Huber loss with the given transition point.
+    ///
+    /// # Panics
+    /// If `delta` is not strictly positive.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0, "Huber: delta must be > 0");
+        Self { delta }
+    }
+}
+
+impl Default for Huber {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl Loss for Huber {
+    fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
+        check(pred, target, "Huber");
+        let m = pred.len() as f64;
+        let d = self.delta;
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| {
+                let e = (p - t).abs();
+                if e <= d {
+                    0.5 * e * e
+                } else {
+                    d * (e - 0.5 * d)
+                }
+            })
+            .sum::<f64>()
+            / m
+    }
+
+    fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        check(pred, target, "Huber");
+        let m = pred.len() as f64;
+        let d = self.delta;
+        let mut grad = pred.clone();
+        let mut loss = 0.0;
+        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+            let e = *g - t;
+            if e.abs() <= d {
+                loss += 0.5 * e * e;
+                *g = e / m;
+            } else {
+                loss += d * (e.abs() - 0.5 * d);
+                *g = d * e.signum() / m;
+            }
+        }
+        (loss / m, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "Huber"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f64]) -> Tensor4 {
+        Tensor4::from_vec(1, 1, 1, vals.len(), vals.to_vec())
+    }
+
+    fn fd_check(loss: &dyn Loss, pred: &Tensor4, target: &Tensor4, tol: f64) {
+        let (_, grad) = loss.value_and_grad(pred, target);
+        let eps = 1e-7;
+        for k in 0..pred.len() {
+            let mut pp = pred.clone();
+            pp.as_mut_slice()[k] += eps;
+            let mut pm = pred.clone();
+            pm.as_mut_slice()[k] -= eps;
+            let fd = (loss.value(&pp, target) - loss.value(&pm, target)) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[k]).abs() < tol * (1.0 + fd.abs()),
+                "{}: grad mismatch at {k}: fd={fd} analytic={}",
+                loss.name(),
+                grad.as_slice()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let l = Mse;
+        assert!((l.value(&t(&[1.0, 3.0]), &t(&[0.0, 1.0])) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        let l = Mape::new(1e-3);
+        // |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 → 10 %.
+        let v = l.value(&t(&[1.1, 1.8]), &t(&[1.0, 2.0]));
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_floor_prevents_blowup() {
+        let l = Mape::new(0.5);
+        let v = l.value(&t(&[1.0]), &t(&[0.0]));
+        assert!((v - 200.0).abs() < 1e-9);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn all_losses_zero_at_target() {
+        let x = t(&[0.3, -1.0, 2.0]);
+        for l in losses() {
+            assert_eq!(l.value(&x, &x), 0.0, "{}", l.name());
+            let (v, g) = l.value_and_grad(&x, &x);
+            assert_eq!(v, 0.0);
+            // Gradient at the minimum may be a subgradient (MAE/MAPE) but
+            // must be finite.
+            assert!(g.as_slice().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    fn losses() -> Vec<Box<dyn Loss>> {
+        vec![Box::new(Mse), Box::new(Mae), Box::new(Mape::default()), Box::new(Huber::default())]
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Keep predictions away from the |p-t|=0 and |p-t|=delta kinks.
+        let pred = t(&[1.4, -0.7, 2.4, 0.9]);
+        let target = t(&[1.0, -1.0, 0.5, 1.2]);
+        for l in losses() {
+            fd_check(l.as_ref(), &pred, &target, 1e-5);
+        }
+    }
+
+    #[test]
+    fn huber_transitions_to_linear() {
+        let l = Huber::new(1.0);
+        // |e| = 3 > delta → delta*(|e| - delta/2) = 1*(3-0.5) = 2.5.
+        assert!((l.value(&t(&[3.0]), &t(&[0.0])) - 2.5).abs() < 1e-12);
+        // |e| = 0.5 ≤ delta → 0.5*e² = 0.125.
+        assert!((l.value(&t(&[0.5]), &t(&[0.0])) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_shape_mismatch() {
+        let _ = Mse.value(&t(&[1.0]), &t(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,114 @@
+//! Learning-rate schedules.
+//!
+//! The paper uses a constant rate; step decay and cosine annealing are
+//! provided because they materially stabilize MAPE training on the Euler
+//! fields at longer epoch budgets (used by some benches).
+
+/// A learning-rate schedule: maps an epoch index to a rate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed rate forever.
+    Constant(f64),
+    /// `base * gamma^(epoch / step_every)` (integer division).
+    StepDecay {
+        /// Initial rate.
+        base: f64,
+        /// Multiplier applied every `step_every` epochs.
+        gamma: f64,
+        /// Epoch interval between decays.
+        step_every: usize,
+    },
+    /// Cosine annealing from `base` down to `min` over `total_epochs`.
+    Cosine {
+        /// Initial rate.
+        base: f64,
+        /// Final rate.
+        min: f64,
+        /// Annealing horizon; epochs beyond it stay at `min`.
+        total_epochs: usize,
+    },
+    /// Linear warmup over `warmup` epochs, then constant `base`.
+    Warmup {
+        /// Rate after warmup.
+        base: f64,
+        /// Number of warmup epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Rate for the given (0-based) epoch.
+    pub fn rate(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant(r) => r,
+            LrSchedule::StepDecay { base, gamma, step_every } => {
+                assert!(step_every > 0, "LrSchedule::StepDecay: step_every must be > 0");
+                base * gamma.powi((epoch / step_every) as i32)
+            }
+            LrSchedule::Cosine { base, min, total_epochs } => {
+                if total_epochs == 0 || epoch >= total_epochs {
+                    return min;
+                }
+                let t = epoch as f64 / total_epochs as f64;
+                min + 0.5 * (base - min) * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { base, warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    base
+                } else {
+                    base * (epoch + 1) as f64 / warmup as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.01);
+        assert_eq!(s.rate(0), 0.01);
+        assert_eq!(s.rate(999), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { base: 1.0, gamma: 0.5, step_every: 10 };
+        assert_eq!(s.rate(0), 1.0);
+        assert_eq!(s.rate(9), 1.0);
+        assert_eq!(s.rate(10), 0.5);
+        assert_eq!(s.rate(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { base: 1.0, min: 0.1, total_epochs: 100 };
+        assert!((s.rate(0) - 1.0).abs() < 1e-12);
+        assert!((s.rate(50) - 0.55).abs() < 1e-12);
+        assert_eq!(s.rate(100), 0.1);
+        assert_eq!(s.rate(1000), 0.1);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { base: 1.0, min: 0.0, total_epochs: 50 };
+        let mut prev = f64::INFINITY;
+        for e in 0..60 {
+            let r = s.rate(e);
+            assert!(r <= prev + 1e-15, "not decreasing at epoch {e}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { base: 1.0, warmup: 4 };
+        assert_eq!(s.rate(0), 0.25);
+        assert_eq!(s.rate(1), 0.5);
+        assert_eq!(s.rate(3), 1.0);
+        assert_eq!(s.rate(10), 1.0);
+    }
+}

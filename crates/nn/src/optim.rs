@@ -1,0 +1,390 @@
+//! First-order optimizers.
+//!
+//! ADAM (the paper's choice, §II with Eqs. (3)–(6)) plus SGD (with optional
+//! momentum/Nesterov), RMSProp and AdamW for the optimizer ablation
+//! (experiment X3 in DESIGN.md).
+//!
+//! An optimizer is driven with the parameter groups of a network:
+//!
+//! ```
+//! use pde_nn::{Adam, Optimizer, Layer, Conv2d};
+//! let mut net = Conv2d::same(1, 1, 3);
+//! let mut opt = Adam::new(1e-3);
+//! // ... forward / loss / backward ...
+//! opt.step(&mut net.param_groups());
+//! ```
+//!
+//! Per-group state (momenta, second moments) is keyed by group *order*,
+//! which is stable for a fixed network structure.
+
+use crate::layer::ParamGroup;
+
+/// Global L2 norm of all gradients in the groups.
+pub fn gradient_norm(groups: &[ParamGroup<'_>]) -> f64 {
+    groups
+        .iter()
+        .flat_map(|g| g.grad.iter())
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A first-order optimizer over flat parameter groups.
+pub trait Optimizer: Send {
+    /// Applies one update step using the gradients currently stored in the
+    /// groups. Must be called with the same group structure every time.
+    fn step(&mut self, groups: &mut [ParamGroup<'_>]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by LR schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn ensure_state(state: &mut Vec<Vec<f64>>, groups: &[ParamGroup<'_>]) {
+    if state.len() < groups.len() {
+        for g in &groups[state.len()..] {
+            state.push(vec![0.0; g.param.len()]);
+        }
+    }
+    for (s, g) in state.iter().zip(groups) {
+        assert_eq!(
+            s.len(),
+            g.param.len(),
+            "optimizer: group structure changed between steps (group '{}')",
+            g.name
+        );
+    }
+}
+
+/// Stochastic gradient descent, optionally with (Nesterov) momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    nesterov: bool,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, nesterov: false, velocity: Vec::new() }
+    }
+
+    /// SGD with classical momentum `mu` (paper Eq. (3) family).
+    pub fn with_momentum(lr: f64, mu: f64) -> Self {
+        assert!((0.0..1.0).contains(&mu), "Sgd: momentum must be in [0, 1)");
+        Self { lr, momentum: mu, nesterov: false, velocity: Vec::new() }
+    }
+
+    /// SGD with Nesterov momentum.
+    pub fn with_nesterov(lr: f64, mu: f64) -> Self {
+        let mut s = Self::with_momentum(lr, mu);
+        s.nesterov = true;
+        s
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
+        ensure_state(&mut self.velocity, groups);
+        for (g, vel) in groups.iter_mut().zip(&mut self.velocity) {
+            if self.momentum == 0.0 {
+                for (p, &dg) in g.param.iter_mut().zip(g.grad) {
+                    *p -= self.lr * dg;
+                }
+            } else {
+                for ((p, &dg), v) in g.param.iter_mut().zip(g.grad).zip(vel.iter_mut()) {
+                    *v = self.momentum * *v + dg;
+                    let upd = if self.nesterov { dg + self.momentum * *v } else { *v };
+                    *p -= self.lr * upd;
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        if self.momentum == 0.0 {
+            "SGD"
+        } else if self.nesterov {
+            "SGD+Nesterov"
+        } else {
+            "SGD+momentum"
+        }
+    }
+}
+
+/// ADAM (Kingma & Ba), exactly the update of the paper's Eqs. (3)–(6) with
+/// bias-corrected first and second moments.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// ADAM with default moments (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully parameterized ADAM.
+    ///
+    /// # Panics
+    /// If the betas are outside `[0, 1)` or `eps ≤ 0`.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "Adam: betas in [0,1)");
+        assert!(eps > 0.0, "Adam: eps must be > 0");
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
+        ensure_state(&mut self.m, groups);
+        ensure_state(&mut self.v, groups);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((g, m), v) in groups.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for (((p, &dg), mi), vi) in
+                g.param.iter_mut().zip(g.grad).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * dg;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * dg * dg;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "Adam"
+    }
+}
+
+/// AdamW: ADAM with decoupled weight decay.
+pub struct AdamW {
+    inner: Adam,
+    weight_decay: f64,
+}
+
+impl AdamW {
+    /// AdamW with default moments and the given decoupled decay.
+    pub fn new(lr: f64, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "AdamW: weight_decay must be >= 0");
+        Self { inner: Adam::new(lr), weight_decay }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
+        // Decoupled decay: shrink parameters before the ADAM update.
+        let decay = self.inner.lr * self.weight_decay;
+        for g in groups.iter_mut() {
+            for p in g.param.iter_mut() {
+                *p -= decay * *p;
+            }
+        }
+        self.inner.step(groups);
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.inner.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.inner.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "AdamW"
+    }
+}
+
+/// RMSProp with the standard exponentially weighted squared-gradient scale.
+pub struct RmsProp {
+    lr: f64,
+    rho: f64,
+    eps: f64,
+    sq: Vec<Vec<f64>>,
+}
+
+impl RmsProp {
+    /// RMSProp with decay `rho = 0.9`, `eps = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 1e-8)
+    }
+
+    /// Fully parameterized RMSProp.
+    pub fn with_params(lr: f64, rho: f64, eps: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "RmsProp: rho in [0,1)");
+        assert!(eps > 0.0, "RmsProp: eps must be > 0");
+        Self { lr, rho, eps, sq: Vec::new() }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
+        ensure_state(&mut self.sq, groups);
+        for (g, sq) in groups.iter_mut().zip(&mut self.sq) {
+            for ((p, &dg), s) in g.param.iter_mut().zip(g.grad).zip(sq.iter_mut()) {
+                *s = self.rho * *s + (1.0 - self.rho) * dg * dg;
+                *p -= self.lr * dg / (s.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "RMSProp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal quadratic test harness: minimize 0.5‖x − x*‖².
+    struct Quad {
+        x: Vec<f64>,
+        g: Vec<f64>,
+        target: Vec<f64>,
+    }
+
+    impl Quad {
+        fn new(start: &[f64], target: &[f64]) -> Self {
+            Self { x: start.to_vec(), g: vec![0.0; start.len()], target: target.to_vec() }
+        }
+
+        fn compute_grad(&mut self) {
+            for i in 0..self.x.len() {
+                self.g[i] = self.x[i] - self.target[i];
+            }
+        }
+
+        fn groups(&mut self) -> Vec<ParamGroup<'_>> {
+            vec![ParamGroup { param: &mut self.x, grad: &self.g, name: "x" }]
+        }
+
+        fn dist(&self) -> f64 {
+            self.x
+                .iter()
+                .zip(&self.target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        }
+    }
+
+    fn optimizers() -> Vec<Box<dyn Optimizer>> {
+        vec![
+            Box::new(Sgd::new(0.2)),
+            Box::new(Sgd::with_momentum(0.1, 0.9)),
+            Box::new(Sgd::with_nesterov(0.1, 0.9)),
+            Box::new(Adam::new(0.3)),
+            Box::new(AdamW::new(0.3, 1e-4)),
+            Box::new(RmsProp::new(0.1)),
+        ]
+    }
+
+    #[test]
+    fn all_optimizers_converge_on_quadratic() {
+        for mut opt in optimizers() {
+            let mut q = Quad::new(&[5.0, -3.0, 0.5], &[1.0, 2.0, -1.0]);
+            for _ in 0..500 {
+                q.compute_grad();
+                opt.step(&mut q.groups());
+            }
+            assert!(q.dist() < 1e-2, "{} did not converge: dist={}", opt.name(), q.dist());
+        }
+    }
+
+    #[test]
+    fn sgd_step_is_exact() {
+        let mut q = Quad::new(&[2.0], &[0.0]);
+        let mut opt = Sgd::new(0.5);
+        q.compute_grad();
+        opt.step(&mut q.groups());
+        assert!((q.x[0] - 1.0).abs() < 1e-12); // 2 - 0.5*2
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the very first ADAM step is ≈ lr * sign(g).
+        let mut q = Quad::new(&[10.0], &[0.0]);
+        let mut opt = Adam::new(0.01);
+        q.compute_grad();
+        opt.step(&mut q.groups());
+        assert!((q.x[0] - (10.0 - 0.01)).abs() < 1e-6);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn adamw_decays_weights_without_gradient() {
+        let mut x = vec![1.0];
+        let g = vec![0.0];
+        let mut opt = AdamW::new(0.1, 0.5);
+        let mut groups = vec![ParamGroup { param: &mut x, grad: &g, name: "x" }];
+        opt.step(&mut groups);
+        // Pure decay (gradient is zero): x *= (1 - lr*wd) = 0.95.
+        assert!((x[0] - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        for mut opt in optimizers() {
+            opt.set_learning_rate(0.123);
+            assert_eq!(opt.learning_rate(), 0.123);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group structure changed")]
+    fn rejects_changing_group_structure() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0; 3];
+        let ga = vec![0.0; 3];
+        opt.step(&mut [ParamGroup { param: &mut a, grad: &ga, name: "a" }]);
+        let mut b = vec![0.0; 5];
+        let gb = vec![0.0; 5];
+        opt.step(&mut [ParamGroup { param: &mut b, grad: &gb, name: "b" }]);
+    }
+}

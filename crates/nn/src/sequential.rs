@@ -1,0 +1,164 @@
+//! Layer composition.
+
+use crate::layer::{Layer, ParamGroup};
+use pde_tensor::Tensor4;
+
+/// A straight-line stack of layers executed in order.
+///
+/// This is the only composition the paper's architecture needs. The struct
+/// itself implements [`Layer`], so stacks nest.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow of the layer list (for inspection).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the layer list (for initialization).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Multi-line human-readable summary of the stack.
+    pub fn summary(&self) -> String {
+        let mut s = String::from("Sequential [\n");
+        for l in &self.layers {
+            s.push_str("  ");
+            s.push_str(&l.describe());
+            s.push('\n');
+        }
+        s.push_str(&format!("] total params: {}\n", self.param_count()));
+        s
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    fn scale_gradients(&mut self, factor: f64) {
+        for l in &mut self.layers {
+            l.scale_gradients(factor);
+        }
+    }
+
+    fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.param_groups()).collect()
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        self.layers.iter().fold((h, w), |(h, w), l| l.out_dims(h, w))
+    }
+
+    fn describe(&self) -> String {
+        format!("Sequential({} layers, {} params)", self.layers.len(), self.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::LeakyReLu;
+    use crate::conv::Conv2d;
+
+    fn tiny_net() -> Sequential {
+        Sequential::new()
+            .push(Conv2d::same(1, 2, 3).named("c1"))
+            .push(LeakyReLu::paper_default())
+            .push(Conv2d::same(2, 1, 3).named("c2"))
+    }
+
+    #[test]
+    fn forward_through_stack_preserves_same_dims() {
+        let mut net = tiny_net();
+        let x = Tensor4::zeros(2, 1, 6, 6);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), (2, 1, 6, 6));
+        assert_eq!(net.out_dims(6, 6), (6, 6));
+    }
+
+    #[test]
+    fn param_groups_cover_all_layers() {
+        let mut net = tiny_net();
+        let count = net.param_count();
+        let total: usize = net.param_groups().iter().map(|g| g.param.len()).sum();
+        assert_eq!(total, count);
+        assert_eq!(net.param_groups().len(), 4); // two convs × (weight, bias)
+    }
+
+    #[test]
+    fn unpadded_stack_shrinks_dims() {
+        let net = Sequential::new()
+            .push(Conv2d::new(pde_tensor::Conv2dSpec::square(1, 1, 3, 0)))
+            .push(Conv2d::new(pde_tensor::Conv2dSpec::square(1, 1, 3, 0)));
+        // Two unpadded 3×3 convs: each removes k-1 = 2 rows/cols.
+        assert_eq!(net.out_dims(10, 10), (6, 6));
+    }
+
+    #[test]
+    fn summary_mentions_layers() {
+        let net = tiny_net();
+        let s = net.summary();
+        assert!(s.contains("c1"));
+        assert!(s.contains("LeakyReLU"));
+        assert!(s.contains("total params"));
+    }
+}

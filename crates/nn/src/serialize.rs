@@ -1,0 +1,240 @@
+//! Model parameter serialization.
+//!
+//! A deliberately tiny, versioned, self-describing binary format (magic +
+//! version + named parameter groups as little-endian `f64`), so trained
+//! subdomain networks can be checkpointed to disk and reloaded for
+//! inference-only runs. No external dependencies.
+//!
+//! Format v1:
+//! ```text
+//! magic   : 8 bytes  b"PDENN\0\0\x01"
+//! ngroups : u64 LE
+//! repeat ngroups times:
+//!   name_len : u64 LE
+//!   name     : name_len bytes UTF-8
+//!   data_len : u64 LE        (number of f64 values)
+//!   data     : data_len × f64 LE
+//! ```
+
+use crate::layer::Layer;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PDENN\0\0\x01";
+
+/// Errors produced by [`load_params`] / [`read_params`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic / truncated stream / malformed counts.
+    Format(String),
+    /// Parameter groups do not line up with the target network.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format(s) => write!(f, "format error: {s}"),
+            LoadError::Mismatch(s) => write!(f, "model mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Serializes the network's parameter groups into `w`.
+pub fn write_params(net: &mut dyn Layer, w: &mut dyn Write) -> io::Result<()> {
+    let groups = net.param_groups();
+    w.write_all(MAGIC)?;
+    w.write_all(&(groups.len() as u64).to_le_bytes())?;
+    for g in &groups {
+        let name = g.name.as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(g.param.len() as u64).to_le_bytes())?;
+        for &v in g.param.iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut dyn Read) -> Result<u64, LoadError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|e| LoadError::Format(format!("truncated: {e}")))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Deserializes parameter groups from `r` into the network, verifying that
+/// names and lengths match group-for-group.
+pub fn read_params(net: &mut dyn Layer, r: &mut dyn Read) -> Result<(), LoadError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|e| LoadError::Format(format!("no magic: {e}")))?;
+    if &magic != MAGIC {
+        return Err(LoadError::Format("bad magic (not a PDENN v1 file)".into()));
+    }
+    let ngroups = read_u64(r)? as usize;
+    let mut groups = net.param_groups();
+    if ngroups != groups.len() {
+        return Err(LoadError::Mismatch(format!(
+            "file has {ngroups} groups, network has {}",
+            groups.len()
+        )));
+    }
+    for g in groups.iter_mut() {
+        let name_len = read_u64(r)? as usize;
+        if name_len > 4096 {
+            return Err(LoadError::Format(format!("implausible name length {name_len}")));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name).map_err(|e| LoadError::Format(format!("truncated name: {e}")))?;
+        let name = String::from_utf8(name).map_err(|_| LoadError::Format("non-UTF-8 name".into()))?;
+        if name != g.name {
+            return Err(LoadError::Mismatch(format!("group name '{name}' vs expected '{}'", g.name)));
+        }
+        let data_len = read_u64(r)? as usize;
+        if data_len != g.param.len() {
+            return Err(LoadError::Mismatch(format!(
+                "group '{name}': file has {data_len} values, network expects {}",
+                g.param.len()
+            )));
+        }
+        let mut buf = [0u8; 8];
+        for v in g.param.iter_mut() {
+            r.read_exact(&mut buf).map_err(|e| LoadError::Format(format!("truncated data: {e}")))?;
+            *v = f64::from_le_bytes(buf);
+        }
+    }
+    Ok(())
+}
+
+/// Saves the network's parameters to a file.
+pub fn save_params(net: &mut dyn Layer, path: &Path) -> io::Result<()> {
+    let mut buf = Vec::new();
+    write_params(net, &mut buf)?;
+    fs::write(path, buf)
+}
+
+/// Loads parameters from a file into an already-constructed network of
+/// identical structure.
+pub fn load_params(net: &mut dyn Layer, path: &Path) -> Result<(), LoadError> {
+    let data = fs::read(path)?;
+    read_params(net, &mut data.as_slice())
+}
+
+/// Snapshots all parameters into one flat vector (group order).
+pub fn snapshot(net: &mut dyn Layer) -> Vec<f64> {
+    net.param_groups().iter().flat_map(|g| g.param.to_vec()).collect()
+}
+
+/// Restores a [`snapshot`] taken from an identically structured network.
+///
+/// # Panics
+/// If the snapshot length does not match the parameter count.
+pub fn restore(net: &mut dyn Layer, snap: &[f64]) {
+    assert_eq!(net.param_count(), snap.len(), "restore: snapshot length mismatch");
+    let mut offset = 0;
+    for g in net.param_groups() {
+        g.param.copy_from_slice(&snap[offset..offset + g.param.len()]);
+        offset += g.param.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::LeakyReLu;
+    use crate::conv::Conv2d;
+    use crate::init::{init_conv, Init};
+    use crate::sequential::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c1 = Conv2d::same(2, 4, 3);
+        let mut c2 = Conv2d::same(4, 2, 3);
+        init_conv(&mut c1, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
+        init_conv(&mut c2, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
+        Sequential::new().push(c1).push(LeakyReLu::paper_default()).push(c2)
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mut a = net(10);
+        let mut buf = Vec::new();
+        write_params(&mut a, &mut buf).unwrap();
+        let mut b = net(20); // different weights
+        read_params(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(snapshot(&mut a), snapshot(&mut b));
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("pde_nn_serialize_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.pdenn");
+        let mut a = net(1);
+        save_params(&mut a, &path).unwrap();
+        let mut b = net(2);
+        load_params(&mut b, &path).unwrap();
+        assert_eq!(snapshot(&mut a), snapshot(&mut b));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = net(3);
+        let garbage = vec![0u8; 64];
+        let err = read_params(&mut b, &mut garbage.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_structure_mismatch() {
+        let mut small = Sequential::new().push(Conv2d::same(1, 1, 3));
+        let mut buf = Vec::new();
+        write_params(&mut small, &mut buf).unwrap();
+        let mut big = net(4);
+        let err = read_params(&mut big, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut a = net(5);
+        let mut buf = Vec::new();
+        write_params(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = net(6);
+        let err = read_params(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut a = net(7);
+        let snap = snapshot(&mut a);
+        let mut b = net(8);
+        restore(&mut b, &snap);
+        assert_eq!(snapshot(&mut b), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot length mismatch")]
+    fn restore_rejects_short_snapshot() {
+        let mut a = net(9);
+        let snap = vec![0.0; 3];
+        restore(&mut a, &snap);
+    }
+}

@@ -1,0 +1,107 @@
+//! A small discrete-event simulator for scheduling rank tasks on a fixed
+//! number of simulated cores.
+//!
+//! Used when the simulated machine has fewer cores than ranks
+//! (oversubscription) — e.g. to predict what the paper's 64-rank run would
+//! look like on a 16-core box. Tasks are scheduled greedily (longest
+//! processing time first) on the earliest-free core, the classic LPT
+//! heuristic; for the equal-sized tasks of a balanced decomposition this is
+//! optimal.
+
+/// One schedulable unit of rank work.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Task {
+    /// Rank that owns the work (for reporting).
+    pub rank: usize,
+    /// Seconds of compute.
+    pub seconds: f64,
+}
+
+/// A simulated homogeneous multi-core machine.
+#[derive(Clone, Debug)]
+pub struct ClusterSim {
+    cores: usize,
+}
+
+impl ClusterSim {
+    /// A machine with `cores` identical cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores >= 1, "ClusterSim: need at least one core");
+        Self { cores }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Schedules the tasks (LPT on earliest-free core) and returns the
+    /// makespan in seconds.
+    pub fn makespan(&self, tasks: &[Task]) -> f64 {
+        let mut sorted: Vec<f64> = tasks.iter().map(|t| t.seconds).collect();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("task times must be comparable"));
+        let mut core_free = vec![0.0f64; self.cores];
+        for t in sorted {
+            // Earliest-free core: linear scan (core counts are small).
+            let (idx, _) = core_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            core_free[idx] += t;
+        }
+        core_free.iter().fold(0.0f64, |m, &t| m.max(t))
+    }
+
+    /// Convenience: makespan of `p` equal tasks of `seconds` each.
+    pub fn makespan_uniform(&self, p: usize, seconds: f64) -> f64 {
+        let tasks: Vec<Task> = (0..p).map(|rank| Task { rank, seconds }).collect();
+        self.makespan(&tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_core_serializes_everything() {
+        let sim = ClusterSim::new(1);
+        assert!((sim.makespan_uniform(8, 2.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_cores_run_fully_parallel() {
+        let sim = ClusterSim::new(8);
+        assert!((sim.makespan_uniform(8, 2.0) - 2.0).abs() < 1e-12);
+        assert!((sim.makespan_uniform(4, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscription_rounds_up() {
+        // 6 equal tasks on 4 cores: two cores take 2 tasks → makespan 2t.
+        let sim = ClusterSim::new(4);
+        assert!((sim.makespan_uniform(6, 1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_packs_mixed_tasks_well() {
+        let sim = ClusterSim::new(2);
+        let tasks = [
+            Task { rank: 0, seconds: 3.0 },
+            Task { rank: 1, seconds: 3.0 },
+            Task { rank: 2, seconds: 2.0 },
+            Task { rank: 3, seconds: 2.0 },
+            Task { rank: 4, seconds: 2.0 },
+        ];
+        // Optimal: {3,3} on one core? No — LPT: 3→c0, 3→c1, 2→c0(5), 2→c1(5),
+        // 2→c0 or c1 (7). Optimal is 6 ({3,3},{2,2,2}); LPT gives 7 — a
+        // known 7/6 worst case. Assert the LPT value (documented behaviour).
+        assert!((sim.makespan(&tasks) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_task_list_has_zero_makespan() {
+        assert_eq!(ClusterSim::new(4).makespan(&[]), 0.0);
+    }
+}

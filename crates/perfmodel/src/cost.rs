@@ -1,0 +1,86 @@
+//! Per-rank compute cost, calibrated from real measurements.
+
+/// Linear cost model `T(cells) = overhead + rate · cells` per epoch.
+///
+/// The convolutional training step is O(cells · kernel² · channels); for a
+/// fixed architecture that is linear in the cell count, which matches the
+/// measured behaviour of `pde-ml-core::train` closely (see the calibration
+/// test below and `examples/fig4_scaling.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-epoch seconds (batching, allocation, bookkeeping).
+    pub overhead_s: f64,
+    /// Seconds per grid cell per epoch.
+    pub rate_s_per_cell: f64,
+}
+
+impl CostModel {
+    /// Builds a model from explicit coefficients.
+    pub fn new(overhead_s: f64, rate_s_per_cell: f64) -> Self {
+        assert!(overhead_s >= 0.0 && rate_s_per_cell > 0.0, "CostModel: nonphysical coefficients");
+        Self { overhead_s, rate_s_per_cell }
+    }
+
+    /// Least-squares fit of `(cells, seconds_per_epoch)` samples.
+    ///
+    /// A negative fitted intercept is clamped to zero (a per-epoch cost
+    /// cannot be negative; tiny negative fits arise from measurement noise).
+    ///
+    /// # Panics
+    /// If fewer than 2 samples or all with the same cell count.
+    pub fn calibrate(samples: &[(f64, f64)]) -> Self {
+        assert!(samples.len() >= 2, "CostModel::calibrate: need >= 2 samples");
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|s| s.0).sum();
+        let sy: f64 = samples.iter().map(|s| s.1).sum();
+        let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+        let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+        let det = n * sxx - sx * sx;
+        assert!(det.abs() > 1e-12, "CostModel::calibrate: degenerate samples");
+        let rate = (n * sxy - sx * sy) / det;
+        let overhead = ((sy - rate * sx) / n).max(0.0);
+        assert!(rate > 0.0, "CostModel::calibrate: non-positive rate (bad samples?)");
+        Self { overhead_s: overhead, rate_s_per_cell: rate }
+    }
+
+    /// Seconds one rank needs for one epoch over `cells` grid cells.
+    pub fn epoch_seconds(&self, cells: usize) -> f64 {
+        self.overhead_s + self.rate_s_per_cell * cells as f64
+    }
+
+    /// Seconds for a full training run.
+    pub fn training_seconds(&self, cells: usize, epochs: usize) -> f64 {
+        self.epoch_seconds(cells) * epochs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_linear_data() {
+        let m = CostModel::calibrate(&[(100.0, 1.2), (200.0, 2.2), (400.0, 4.2)]);
+        assert!((m.rate_s_per_cell - 0.01).abs() < 1e-12);
+        assert!((m.overhead_s - 0.2).abs() < 1e-12);
+        assert!((m.epoch_seconds(300) - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_intercept_is_clamped() {
+        let m = CostModel::calibrate(&[(100.0, 0.9), (200.0, 2.0)]);
+        assert_eq!(m.overhead_s, 0.0);
+    }
+
+    #[test]
+    fn training_scales_with_epochs() {
+        let m = CostModel::new(0.0, 1e-6);
+        assert!((m.training_seconds(1000, 50) - 50.0 * 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_constant_x() {
+        let _ = CostModel::calibrate(&[(100.0, 1.0), (100.0, 2.0)]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # pde-perfmodel
+//!
+//! A calibrated analytic + discrete-event performance model of the paper's
+//! parallel training scheme — the substitute for the 64-core cluster used
+//! for the Fig.-4 strong-scaling study (DESIGN.md §2).
+//!
+//! ## Why a model
+//!
+//! The reproduction machine exposes a single physical core, so measuring
+//! wall-clock speedup at P = 64 directly is impossible. What *can* be
+//! measured on one core is the ingredient the paper's argument rests on:
+//! the per-rank training **work** as a function of subdomain size (the
+//! scheme is communication-free, so work is the whole story). The model is
+//! calibrated with such measurements ([`CostModel::calibrate`] takes
+//! `(cells, seconds)` samples from the real trainer) and then evaluated at
+//! any rank count, with a LogGP-style term available to price the
+//! *baseline*'s allreduce traffic for contrast.
+//!
+//! ## Components
+//!
+//! * [`CostModel`] — per-rank compute cost: seconds per grid cell per epoch
+//!   (fit by least squares on measured samples, with an optional fixed
+//!   per-epoch overhead term);
+//! * [`NetworkModel`] — LogGP-ish communication cost: latency + per-byte
+//!   time, plus a simple tree/linear collective model;
+//! * [`ClusterSim`] — a small discrete-event simulator that schedules rank
+//!   tasks on simulated cores (used when ranks ≠ cores, i.e. oversubscribed
+//!   runs);
+//! * [`scaling`] — the strong/weak-scaling sweep drivers that produce the
+//!   Fig.-4 series for (a) the paper's scheme and (b) the allreduce
+//!   baseline.
+
+pub mod cluster;
+pub mod cost;
+pub mod network;
+pub mod scaling;
+pub mod weak;
+
+pub use cluster::{ClusterSim, Task};
+pub use cost::CostModel;
+pub use network::NetworkModel;
+pub use scaling::{strong_scaling, strong_scaling_baseline, ScalingPoint};
+pub use weak::{weak_scaling, weak_scaling_baseline};

@@ -1,0 +1,183 @@
+//! Strong-scaling sweep drivers — the Fig.-4 series generator.
+
+use crate::cluster::ClusterSim;
+use crate::cost::CostModel;
+use crate::network::NetworkModel;
+
+/// One point of a scaling curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Rank count P.
+    pub ranks: usize,
+    /// Predicted training wall time.
+    pub seconds: f64,
+    /// Speedup relative to P = 1.
+    pub speedup: f64,
+    /// Parallel efficiency (speedup / P).
+    pub efficiency: f64,
+}
+
+/// Strong scaling of the **paper's scheme**: a `cells`-cell global grid
+/// split over P ranks, `epochs` epochs, zero training communication.
+///
+/// `cores` is the simulated machine size; when `cores ≥ P` every rank has
+/// its own core (the paper's setting), otherwise ranks are time-shared.
+///
+/// The returned curve is exactly the paper's Fig. 4 shape: `T(P) ≈ T(1)/P`
+/// until per-epoch overhead (the model's intercept) dominates.
+pub fn strong_scaling(
+    cost: &CostModel,
+    cells: usize,
+    epochs: usize,
+    rank_counts: &[usize],
+    cores: usize,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty(), "strong_scaling: no rank counts");
+    let sim = ClusterSim::new(cores);
+    let t1 = cost.training_seconds(cells, epochs).max(f64::MIN_POSITIVE);
+    rank_counts
+        .iter()
+        .map(|&p| {
+            assert!(p >= 1, "strong_scaling: P must be >= 1");
+            let per_rank = cost.training_seconds(cells.div_ceil(p), epochs);
+            let seconds = sim.makespan_uniform(p, per_rank);
+            let speedup = t1 / seconds;
+            ScalingPoint { ranks: p, seconds, speedup, efficiency: speedup / p as f64 }
+        })
+        .collect()
+}
+
+/// Strong scaling of the **allreduce baseline**: every rank trains a
+/// full-domain replica on `1/P` of the time steps and averages weights
+/// after every batch.
+///
+/// `steps_per_epoch(p)` is the number of allreduce rounds one epoch incurs
+/// at P = p (i.e. the per-rank batch count); `weight_bytes` the model size.
+pub fn strong_scaling_baseline(
+    cost: &CostModel,
+    net: &NetworkModel,
+    cells: usize,
+    epochs: usize,
+    weight_bytes: usize,
+    batches_per_epoch: impl Fn(usize) -> usize,
+    rank_counts: &[usize],
+    cores: usize,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty(), "strong_scaling_baseline: no rank counts");
+    let sim = ClusterSim::new(cores);
+    // P = 1 reference: full data, full domain, no communication.
+    let t1 = cost.training_seconds(cells, epochs).max(f64::MIN_POSITIVE);
+    rank_counts
+        .iter()
+        .map(|&p| {
+            assert!(p >= 1, "strong_scaling_baseline: P must be >= 1");
+            // Compute shrinks with the data chunking (1/P of the batches),
+            // but every batch still runs the FULL-domain network.
+            let compute = cost.training_seconds(cells, epochs) / p as f64;
+            let comm =
+                epochs as f64 * batches_per_epoch(p) as f64 * net.allreduce(weight_bytes, p);
+            let seconds = sim.makespan_uniform(p, compute).max(compute) + comm;
+            let speedup = t1 / seconds;
+            ScalingPoint { ranks: p, seconds, speedup, efficiency: speedup / p as f64 }
+        })
+        .collect()
+}
+
+/// Renders a scaling curve as a fixed-width table (the Fig.-4 companion).
+pub fn format_scaling_table(points: &[ScalingPoint]) -> String {
+    let mut s = format!("{:>6} {:>14} {:>10} {:>11}\n", "ranks", "time[s]", "speedup", "efficiency");
+    for p in points {
+        s.push_str(&format!(
+            "{:>6} {:>14.6} {:>10.2} {:>11.3}\n",
+            p.ranks, p.seconds, p.speedup, p.efficiency
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::new(0.0, 1e-6)
+    }
+
+    #[test]
+    fn ideal_scheme_scales_perfectly() {
+        let pts = strong_scaling(&cost(), 65536, 10, &[1, 4, 16, 64], 64);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        for p in &pts {
+            assert!(
+                (p.efficiency - 1.0).abs() < 1e-9,
+                "P={} efficiency {}",
+                p.ranks,
+                p.efficiency
+            );
+        }
+        // T(64) == T(1)/64.
+        assert!((pts[3].seconds * 64.0 - pts[0].seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_caps_the_speedup() {
+        let m = CostModel::new(0.5, 1e-6); // big fixed per-epoch cost
+        let pts = strong_scaling(&m, 65536, 10, &[1, 64], 64);
+        assert!(pts[1].efficiency < 0.05, "overhead should dominate at P=64");
+    }
+
+    #[test]
+    fn oversubscribed_cores_flatten_the_curve() {
+        // 64 ranks on 4 cores: wall time can't drop below T(1)/4.
+        let pts = strong_scaling(&cost(), 65536, 10, &[1, 4, 64], 4);
+        let t1 = pts[0].seconds;
+        assert!((pts[1].seconds - t1 / 4.0).abs() < 1e-9);
+        assert!((pts[2].seconds - t1 / 4.0).abs() < 1e-6, "64 ranks on 4 cores ≈ T(1)/4");
+    }
+
+    #[test]
+    fn baseline_pays_for_allreduce() {
+        let net = NetworkModel::new(1e-4, 1e-9); // slow network
+        let scheme = strong_scaling(&cost(), 65536, 10, &[64], 64);
+        let base = strong_scaling_baseline(
+            &cost(),
+            &net,
+            65536,
+            10,
+            5 * 1024 * 8,
+            |_| 16,
+            &[64],
+            64,
+        );
+        assert!(
+            base[0].seconds > scheme[0].seconds,
+            "baseline {} should be slower than scheme {}",
+            base[0].seconds,
+            scheme[0].seconds
+        );
+        assert!(base[0].efficiency < scheme[0].efficiency);
+    }
+
+    #[test]
+    fn baseline_with_free_network_matches_data_chunking() {
+        let base = strong_scaling_baseline(
+            &cost(),
+            &NetworkModel::ideal(),
+            65536,
+            10,
+            1,
+            |_| 1,
+            &[1, 8],
+            8,
+        );
+        assert!((base[1].speedup - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_lists_all_points() {
+        let pts = strong_scaling(&cost(), 1000, 5, &[1, 2, 4], 4);
+        let t = format_scaling_table(&pts);
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("efficiency"));
+    }
+}

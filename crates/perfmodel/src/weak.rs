@@ -1,0 +1,124 @@
+//! Weak-scaling analysis (extension beyond the paper's Fig. 4).
+//!
+//! Strong scaling fixes the global problem and grows P; weak scaling fixes
+//! the *per-rank* problem (subdomain size) and grows the domain with P. For
+//! the paper's communication-free training the weak-scaling efficiency is
+//! exactly 1 by construction — each rank's work is constant — which is the
+//! cleanest statement of why the scheme scales; the allreduce baseline's
+//! weak efficiency decays like `1 / (1 + c·log₂P)`.
+
+use crate::cluster::ClusterSim;
+use crate::cost::CostModel;
+use crate::network::NetworkModel;
+use crate::scaling::ScalingPoint;
+
+/// Weak scaling of the paper's scheme: every rank keeps `cells_per_rank`
+/// cells; the global problem grows as `P · cells_per_rank`.
+///
+/// Returned `speedup` is the weak-scaling *scaleup* `T(1)/T(P) · P` clamped
+/// to the usual convention: efficiency = `T(1)/T(P)`.
+pub fn weak_scaling(
+    cost: &CostModel,
+    cells_per_rank: usize,
+    epochs: usize,
+    rank_counts: &[usize],
+    cores: usize,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty(), "weak_scaling: no rank counts");
+    let sim = ClusterSim::new(cores);
+    let t1 = cost.training_seconds(cells_per_rank, epochs).max(f64::MIN_POSITIVE);
+    rank_counts
+        .iter()
+        .map(|&p| {
+            assert!(p >= 1, "weak_scaling: P must be >= 1");
+            let per_rank = cost.training_seconds(cells_per_rank, epochs);
+            let seconds = sim.makespan_uniform(p, per_rank);
+            let efficiency = t1 / seconds;
+            ScalingPoint { ranks: p, seconds, speedup: efficiency * p as f64, efficiency }
+        })
+        .collect()
+}
+
+/// Weak scaling of the allreduce baseline: every replica keeps a constant
+/// per-epoch batch count over the grown dataset, paying one allreduce of
+/// `weight_bytes` per batch.
+pub fn weak_scaling_baseline(
+    cost: &CostModel,
+    net: &NetworkModel,
+    cells_per_rank: usize,
+    epochs: usize,
+    weight_bytes: usize,
+    batches_per_epoch: usize,
+    rank_counts: &[usize],
+    cores: usize,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty(), "weak_scaling_baseline: no rank counts");
+    let sim = ClusterSim::new(cores);
+    let t1 = cost.training_seconds(cells_per_rank, epochs).max(f64::MIN_POSITIVE);
+    rank_counts
+        .iter()
+        .map(|&p| {
+            assert!(p >= 1, "weak_scaling_baseline: P must be >= 1");
+            // The replica computes over the FULL (grown) domain.
+            let compute = cost.training_seconds(cells_per_rank * p, epochs) / p as f64;
+            let comm = epochs as f64 * batches_per_epoch as f64 * net.allreduce(weight_bytes, p);
+            let seconds = sim.makespan_uniform(p, compute) + comm;
+            let efficiency = t1 / seconds;
+            ScalingPoint { ranks: p, seconds, speedup: efficiency * p as f64, efficiency }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::new(0.0, 1e-6)
+    }
+
+    #[test]
+    fn scheme_weak_efficiency_is_one_with_enough_cores() {
+        let pts = weak_scaling(&cost(), 4096, 10, &[1, 4, 16, 64], 64);
+        for p in &pts {
+            assert!((p.efficiency - 1.0).abs() < 1e-12, "P={}: {}", p.ranks, p.efficiency);
+            // Constant wall time — the flat weak-scaling line.
+            assert!((p.seconds - pts[0].seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oversubscription_shows_up_as_linear_slowdown() {
+        let pts = weak_scaling(&cost(), 4096, 10, &[1, 4], 1);
+        assert!((pts[1].seconds / pts[0].seconds - 4.0).abs() < 1e-9);
+        assert!((pts[1].efficiency - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_weak_efficiency_decays_with_log_p() {
+        let net = NetworkModel::new(1e-3, 0.0); // latency-dominated
+        let pts = weak_scaling_baseline(&cost(), &net, 4096, 10, 48 * 1024, 4, &[1, 4, 64], 64);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        assert!(pts[1].efficiency < 1.0);
+        assert!(pts[2].efficiency < pts[1].efficiency);
+    }
+
+    #[test]
+    fn baseline_with_ideal_network_still_pays_full_domain_compute() {
+        // Even with free communication the baseline replica computes over
+        // the whole grown domain (chunked 1/P of batches): compute per rank
+        // is constant, so weak efficiency is 1 — the model separates the
+        // two penalty sources cleanly.
+        let pts = weak_scaling_baseline(
+            &cost(),
+            &NetworkModel::ideal(),
+            4096,
+            10,
+            1,
+            1,
+            &[1, 16],
+            16,
+        );
+        assert!((pts[1].efficiency - 1.0).abs() < 1e-9);
+    }
+}

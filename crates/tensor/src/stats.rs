@@ -1,0 +1,189 @@
+//! Small statistics helpers shared by accuracy metrics and tests.
+
+/// Mean of a slice (NaN for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Returns 0 when either input is constant (no linear relation definable).
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    assert!(!a.is_empty(), "pearson: empty input");
+    let (ma, mb) = (mean(a), mean(b));
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        num / (da * db).sqrt()
+    }
+}
+
+/// Root-mean-square error between prediction and target.
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "rmse: length mismatch");
+    let s: f64 = pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum();
+    (s / pred.len() as f64).sqrt()
+}
+
+/// Maximum absolute error.
+pub fn max_abs_err(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "max_abs_err: length mismatch");
+    pred.iter().zip(target).fold(0.0, |m, (p, t)| m.max((p - t).abs()))
+}
+
+/// Mean absolute percentage error in percent, with an absolute floor on the
+/// denominator to keep near-zero targets from exploding the metric.
+///
+/// This mirrors the paper's Eq. (7) with the standard epsilon guard used by
+/// practical MAPE implementations.
+pub fn mape(pred: &[f64], target: &[f64], floor: f64) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mape: length mismatch");
+    let s: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs() / t.abs().max(floor))
+        .sum();
+    100.0 * s / pred.len() as f64
+}
+
+/// Simple online accumulator for min/max/mean/std over streamed values.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_max_err() {
+        let p = [1.0, 2.0];
+        let t = [0.0, 4.0];
+        assert!((rmse(&p, &t) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(max_abs_err(&p, &t), 2.0);
+    }
+
+    #[test]
+    fn mape_with_floor() {
+        // Target 0 would divide by zero without the floor.
+        let p = [1.0, 1.1];
+        let t = [0.0, 1.0];
+        let m = mape(&p, &t, 0.5);
+        // |1-0|/0.5 = 2 ; |1.1-1|/1 = 0.1 → mean 1.05 → 105 %.
+        assert!((m - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_stats() {
+        let xs = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 6);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.std_dev() - std_dev(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), -1.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+}

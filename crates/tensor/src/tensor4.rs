@@ -1,0 +1,301 @@
+//! Batched tensors in `(N, C, H, W)` layout — the neural-network workhorse.
+
+use crate::Tensor3;
+use std::ops::{Index, IndexMut};
+
+/// A `(N, C, H, W)` tensor: a batch of `n` samples, each with `c` channels of
+/// an `h × w` grid. Contiguous, row-major within each plane.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// All-zero tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Tensor with every element set to `v`.
+    pub fn full(n: usize, c: usize, h: usize, w: usize, v: f64) -> Self {
+        Self { n, c, h, w, data: vec![v; n * c * h * w] }
+    }
+
+    /// Tensor from an `(N, C, H, W)`-ordered buffer.
+    ///
+    /// # Panics
+    /// If the buffer length disagrees with the shape.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_vec: buffer length mismatch");
+        Self { n, c, h, w, data }
+    }
+
+    /// Tensor built by evaluating `f(n, c, i, j)` everywhere.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for s in 0..n {
+            for ch in 0..c {
+                for i in 0..h {
+                    for j in 0..w {
+                        data.push(f(s, ch, i, j));
+                    }
+                }
+            }
+        }
+        Self { n, c, h, w, data }
+    }
+
+    /// Stacks samples into a batch.
+    ///
+    /// # Panics
+    /// If samples disagree in shape or `samples` is empty.
+    pub fn stack(samples: &[Tensor3]) -> Self {
+        assert!(!samples.is_empty(), "Tensor4::stack: empty batch");
+        let (c, h, w) = samples[0].shape();
+        let mut data = Vec::with_capacity(samples.len() * c * h * w);
+        for s in samples {
+            assert_eq!(s.shape(), (c, h, w), "Tensor4::stack: inconsistent sample shapes");
+            data.extend_from_slice(s.as_slice());
+        }
+        Self { n: samples.len(), c, h, w, data }
+    }
+
+    /// A batch of one sample.
+    pub fn from_sample(s: &Tensor3) -> Self {
+        Self::stack(std::slice::from_ref(s))
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Grid height.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Grid width.
+    #[inline]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// `(n, c, h, w)` quadruple.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat `(N, C, H, W)`-ordered view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows one sample as a flat `c*h*w` slice.
+    #[inline]
+    pub fn sample(&self, s: usize) -> &[f64] {
+        debug_assert!(s < self.n);
+        let sz = self.c * self.h * self.w;
+        &self.data[s * sz..(s + 1) * sz]
+    }
+
+    /// Mutably borrows one sample.
+    #[inline]
+    pub fn sample_mut(&mut self, s: usize) -> &mut [f64] {
+        debug_assert!(s < self.n);
+        let sz = self.c * self.h * self.w;
+        &mut self.data[s * sz..(s + 1) * sz]
+    }
+
+    /// Copies one sample out as a [`Tensor3`].
+    pub fn sample_tensor(&self, s: usize) -> Tensor3 {
+        Tensor3::from_vec(self.c, self.h, self.w, self.sample(s).to_vec())
+    }
+
+    /// Builds a new batch from the samples selected by `idx` (repeats allowed).
+    ///
+    /// # Panics
+    /// If any index is out of range or `idx` is empty.
+    pub fn select(&self, idx: &[usize]) -> Tensor4 {
+        assert!(!idx.is_empty(), "Tensor4::select: empty index set");
+        let sz = self.c * self.h * self.w;
+        let mut data = Vec::with_capacity(idx.len() * sz);
+        for &s in idx {
+            assert!(s < self.n, "Tensor4::select: index {s} out of range (n={})", self.n);
+            data.extend_from_slice(self.sample(s));
+        }
+        Tensor4 { n: idx.len(), c: self.c, h: self.h, w: self.w, data }
+    }
+
+    /// Applies `f` to every value in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Tensor4 {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Elementwise `self += alpha * other`.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor4) {
+        assert_eq!(self.shape(), other.shape(), "Tensor4::axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (NaN for an empty tensor).
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Maximum absolute value.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+}
+
+impl Index<(usize, usize, usize, usize)> for Tensor4 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (s, c, i, j): (usize, usize, usize, usize)) -> &f64 {
+        debug_assert!(
+            s < self.n && c < self.c && i < self.h && j < self.w,
+            "Tensor4 index out of bounds"
+        );
+        &self.data[((s * self.c + c) * self.h + i) * self.w + j]
+    }
+}
+
+impl IndexMut<(usize, usize, usize, usize)> for Tensor4 {
+    #[inline]
+    fn index_mut(&mut self, (s, c, i, j): (usize, usize, usize, usize)) -> &mut f64 {
+        debug_assert!(
+            s < self.n && c < self.c && i < self.h && j < self.w,
+            "Tensor4 index out of bounds"
+        );
+        &mut self.data[((s * self.c + c) * self.h + i) * self.w + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_and_sample_round_trip() {
+        let a = Tensor3::from_fn(2, 3, 3, |c, i, j| (c * 9 + i * 3 + j) as f64);
+        let b = Tensor3::from_fn(2, 3, 3, |c, i, j| -((c * 9 + i * 3 + j) as f64));
+        let t = Tensor4::stack(&[a.clone(), b.clone()]);
+        assert_eq!(t.shape(), (2, 2, 3, 3));
+        assert_eq!(t.sample_tensor(0), a);
+        assert_eq!(t.sample_tensor(1), b);
+    }
+
+    #[test]
+    fn select_repeats_and_reorders() {
+        let t = Tensor4::from_fn(3, 1, 1, 1, |s, _, _, _| s as f64);
+        let sel = t.select(&[2, 0, 2]);
+        assert_eq!(sel.as_slice(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn indexing_layout() {
+        let t = Tensor4::from_fn(2, 2, 1, 2, |s, c, _i, j| (s * 4 + c * 2 + j) as f64);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t[(1, 1, 0, 1)], 7.0);
+    }
+
+    #[test]
+    fn axpy_scale_norms() {
+        let mut a = Tensor4::full(1, 1, 2, 2, 1.0);
+        let b = Tensor4::full(1, 1, 2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.sum(), 28.0);
+        a.scale(0.5);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.max_abs(), 3.5);
+        assert!((a.norm_sq() - 4.0 * 3.5 * 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_rejects_bad_index() {
+        let t = Tensor4::zeros(2, 1, 1, 1);
+        let _ = t.select(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent sample shapes")]
+    fn stack_rejects_mixed_shapes() {
+        let _ = Tensor4::stack(&[Tensor3::zeros(1, 2, 2), Tensor3::zeros(1, 2, 3)]);
+    }
+}

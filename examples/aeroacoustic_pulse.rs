@@ -1,0 +1,99 @@
+//! Domain-scenario example: an aeroacoustics study with the full pipeline.
+//!
+//! The paper motivates the scheme with aeroacoustic simulations (§IV). This
+//! example plays the role of a practitioner's workflow:
+//!
+//! 1. simulate a Gaussian pressure pulse (the paper's test case) *and* an
+//!    off-center double-pulse variant the network never saw structured this
+//!    way,
+//! 2. train subdomain networks on the single-pulse run,
+//! 3. use them as a surrogate on both initial conditions and report how far
+//!    the surrogate can be trusted (single-step vs. rollout, in-distribution
+//!    vs. out-of-distribution).
+//!
+//! Run with: `cargo run --release --example aeroacoustic_pulse`
+//! Writes `results/aeroacoustic_pulse.csv`.
+
+use pde_euler::{
+    dataset::SnapshotRecorder, Boundary, InitialCondition, SolverConfig,
+};
+use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
+use pde_ml_core::prelude::*;
+use pde_ml_core::report::Csv;
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let grid = env_usize("GRID", 64);
+    let snapshots = env_usize("SNAPSHOTS", 90);
+    let epochs = env_usize("EPOCHS", 20);
+    let ranks = env_usize("RANKS", 4);
+    let train_pairs = snapshots * 2 / 3;
+    let horizon = 8;
+
+    // --- 1. Two simulations. ---------------------------------------------
+    let cfg = SolverConfig::paper(grid, grid);
+    let centered = SnapshotRecorder::new(cfg, Boundary::Outflow, &InitialCondition::paper_pulse(), 1)
+        .record(snapshots);
+    let double_ic = InitialCondition::MultiPulse(vec![
+        (-0.4, -0.3, 0.25, 0.4),
+        (0.5, 0.4, 0.2, 0.3),
+    ]);
+    let double = SnapshotRecorder::new(cfg, Boundary::Outflow, &double_ic, 1).record(horizon + 1);
+
+    // --- 2. Train on the centered pulse only. ----------------------------
+    let arch = ArchSpec::paper();
+    let mut config = TrainConfig::paper_residual();
+    config.epochs = epochs;
+    let strategy = PaddingStrategy::NeighborPad;
+    let outcome = ParallelTrainer::new(arch.clone(), strategy, config)
+        .train_view(&centered, train_pairs, ranks)
+        .expect("training");
+    println!(
+        "trained {ranks} subdomain networks on the centered pulse \
+         ({:.1}s, mean final MAPE {:.2}%)\n",
+        outcome.wall_seconds,
+        outcome.mean_final_loss()
+    );
+    let inference = ParallelInference::from_outcome(arch, strategy, &outcome);
+
+    // --- 3a. In-distribution single step (validation regime). ------------
+    let (_, val) = centered.chronological_split(train_pairs);
+    let (x, y) = val.pair(val.len() / 2);
+    let one = inference.rollout(x, 1);
+    println!("in-distribution single-step prediction:");
+    print!("{}", format_error_table(&field_errors(&one.states[1], y, 1e-3)));
+
+    // --- 3b. In-distribution rollout (the accumulative-error regime). ----
+    let (start, _) = val.pair(0);
+    let roll = inference.rollout(start, horizon);
+    let reference: Vec<_> =
+        (0..=horizon).map(|s| centered.snapshot(val.global_index(0) + s).clone()).collect();
+    let curve_in = rollout_error_curve(&roll.states, &reference);
+
+    // --- 3c. Out-of-distribution: double pulse. ---------------------------
+    let roll_ood = inference.rollout(double.snapshot(0), horizon);
+    let reference_ood: Vec<_> = (0..=horizon).map(|s| double.snapshot(s).clone()).collect();
+    let curve_ood = rollout_error_curve(&roll_ood.states, &reference_ood);
+
+    println!("\nrollout mean-RMSE per step (in-distribution vs out-of-distribution):");
+    println!("{:>6} {:>16} {:>16}", "step", "centered pulse", "double pulse");
+    let mut csv = Csv::new(&["step", "rmse_in_distribution", "rmse_double_pulse"]);
+    for s in 0..=horizon {
+        println!("{s:>6} {:>16.4e} {:>16.4e}", curve_in[s], curve_ood[s]);
+        csv.row_f64(&[s as f64, curve_in[s], curve_ood[s]]);
+    }
+
+    let out = Path::new("results/aeroacoustic_pulse.csv");
+    csv.write_to(out).expect("write CSV");
+    println!(
+        "\nwrote {} — note the error growth with horizon (paper §IV-B); compare the \
+         two columns relative to each run's own field scale (the double pulse is \
+         weaker, so equal-looking absolute errors mean a larger relative \
+         out-of-distribution penalty)",
+        out.display()
+    );
+}

@@ -1,0 +1,129 @@
+//! Experiment F3 — reproduces **Fig. 3** of the paper: comparison of the
+//! network prediction with the solver's target solution for pressure,
+//! density and both velocity components, on a randomly chosen validation
+//! snapshot; plus the §IV-B observation that accuracy drops under
+//! multi-step rollout (accumulative error).
+//!
+//! Protocol (paper §IV-B/§IV-C): one simulation run produces all
+//! snapshots; the first ⅔ of the pairs train, the rest validate. The paper
+//! uses a 256×256 grid, 1500 snapshots, 1000 training steps; the default
+//! here is scaled down to finish on a laptop core — set `PAPER_FULL=1` for
+//! the full-size run.
+//!
+//! Environment overrides: `GRID`, `SNAPSHOTS`, `TRAIN_PAIRS`, `EPOCHS`,
+//! `RANKS`, `SEED`.
+//!
+//! Run with: `cargo run --release --example fig3_accuracy`
+//! Writes `results/fig3_fields.csv` (target/prediction/error maps) and
+//! `results/fig3_rollout.csv` (error growth over prediction steps).
+
+use pde_euler::dataset::paper_dataset;
+use pde_euler::state::FIELD_NAMES;
+use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
+use pde_ml_core::prelude::*;
+use pde_ml_core::report::Csv;
+use pde_ml_core::train::PredictionMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let full = std::env::var("PAPER_FULL").map(|v| v == "1").unwrap_or(false);
+    let grid = env_usize("GRID", if full { 256 } else { 64 });
+    let snapshots = env_usize("SNAPSHOTS", if full { 1500 } else { 120 });
+    let train_pairs = env_usize("TRAIN_PAIRS", if full { 1000 } else { snapshots * 2 / 3 });
+    let epochs = env_usize("EPOCHS", if full { 50 } else { 20 });
+    let ranks = env_usize("RANKS", 4);
+    let seed = env_usize("SEED", 42) as u64;
+
+    println!(
+        "Fig. 3 reproduction: {grid}x{grid} grid, {snapshots} snapshots, \
+         {train_pairs} training pairs, {epochs} epochs, {ranks} ranks"
+    );
+
+    // --- Data: single solver run, chronological split (paper protocol). --
+    let data = paper_dataset(grid, snapshots);
+    let (_train, val) = data.chronological_split(train_pairs);
+    println!("validation pairs: {}", val.len());
+
+    // --- Train the paper architecture with neighbor-data padding, in both
+    //     prediction modes: Absolute (the paper's formulation) and Residual
+    //     (the recommended extension — ablation X5). -----------------------
+    let arch = ArchSpec::paper();
+    let strategy = PaddingStrategy::NeighborPad;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = rng.gen_range(0..val.len().saturating_sub(1).max(1));
+    let (input, target) = val.pair(k);
+    let horizon = val.len().min(10);
+    let (start, _) = val.pair(0);
+    let reference: Vec<_> =
+        (0..=horizon).map(|s| data.snapshot(val.global_index(0) + s).clone()).collect();
+
+    let mut fields = Csv::new(&["mode", "field", "i", "j", "target", "prediction", "abs_error"]);
+    let mut roll = Csv::new(&["mode", "step", "mean_rmse"]);
+
+    for mode in [PredictionMode::Absolute, PredictionMode::Residual] {
+        let mut config = TrainConfig::paper();
+        config.epochs = epochs;
+        config.seed = seed;
+        config.prediction = mode;
+        let outcome = ParallelTrainer::new(arch.clone(), strategy, config)
+            .train_view(&data, train_pairs, ranks)
+            .expect("training");
+        println!(
+            "\n== {} mode: trained in {:.1}s wall, mean final MAPE {:.2}%, \
+             training bytes sent: {}",
+            mode.label(),
+            outcome.wall_seconds,
+            outcome.mean_final_loss(),
+            outcome.total_bytes_sent()
+        );
+
+        // Single-step prediction on the chosen validation snapshot.
+        let inference = ParallelInference::from_outcome(arch.clone(), strategy, &outcome);
+        let one = inference.rollout(input, 1);
+        let pred = &one.states[1];
+        println!("validation pair {k} (global snapshot {}):", val.global_index(k));
+        println!("{}", format_error_table(&field_errors(pred, target, 1e-3)));
+
+        // Field maps CSV (Fig. 3's panels: target, prediction, |error|).
+        for (c, name) in FIELD_NAMES.iter().enumerate() {
+            for i in 0..target.h() {
+                for j in 0..target.w() {
+                    let t = target[(c, i, j)];
+                    let p = pred[(c, i, j)];
+                    fields.row(&[
+                        mode.label().to_string(),
+                        name.to_string(),
+                        i.to_string(),
+                        j.to_string(),
+                        format!("{t:.6e}"),
+                        format!("{p:.6e}"),
+                        format!("{:.6e}", (p - t).abs()),
+                    ]);
+                }
+            }
+        }
+
+        // Multi-step rollout: the accumulative-error effect (§IV-B).
+        let rollout = inference.rollout(start, horizon);
+        let curve = rollout_error_curve(&rollout.states, &reference);
+        println!("rollout error growth (mean RMSE per step):");
+        for (s, e) in curve.iter().enumerate() {
+            println!("  step {s}: {e:.4e}");
+            roll.row(&[mode.label().to_string(), s.to_string(), format!("{e:.6e}")]);
+        }
+        println!(
+            "{} boundary-exchange bytes during the {horizon}-step rollout",
+            rollout.total_bytes()
+        );
+    }
+
+    fields.write_to(Path::new("results/fig3_fields.csv")).expect("write fields CSV");
+    roll.write_to(Path::new("results/fig3_rollout.csv")).expect("write rollout CSV");
+    println!("\nwrote results/fig3_fields.csv and results/fig3_rollout.csv");
+}

@@ -1,0 +1,156 @@
+//! Accuracy-focused integration tests (the Fig.-3 claims at test scale):
+//! single-step agreement with the solver and the §IV-B accumulative-error
+//! effect under rollout.
+
+use pde_euler::dataset::paper_dataset;
+use pde_ml_core::metrics::{field_errors, rollout_error_curve};
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::PredictionMode;
+
+fn trained_setup() -> (pde_euler::DataSet, usize, ParallelInference) {
+    let grid = 32;
+    let snapshots = 48;
+    let n_train = 32;
+    let data = paper_dataset(grid, snapshots);
+    let arch = ArchSpec::tiny();
+    let mut cfg = TrainConfig::paper_residual();
+    cfg.epochs = 60;
+    cfg.batch_size = 8;
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train_view(&data, n_train, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    (data, n_train, inf)
+}
+
+#[test]
+fn single_step_prediction_agrees_with_solver() {
+    let (data, n_train, inf) = trained_setup();
+    let val = data.view(n_train, data.pair_count() - n_train);
+
+    // Average single-step quality over several validation pairs.
+    let mut pearson_p = 0.0;
+    let mut nrmse_p = 0.0;
+    let n_eval = 5.min(val.len());
+    for k in 0..n_eval {
+        let (x, y) = val.pair(k);
+        let pred = inf.rollout(x, 1);
+        let errs = field_errors(&pred.states[1], y, 1e-3);
+        pearson_p += errs[0].pearson;
+        nrmse_p += errs[0].nrmse();
+    }
+    pearson_p /= n_eval as f64;
+    nrmse_p /= n_eval as f64;
+
+    // "A very good agreement between the prediction and target data can be
+    // observed" — at our reduced budget: strong correlation and small
+    // normalized error on the pressure field.
+    assert!(pearson_p > 0.85, "pressure correlation too low: {pearson_p}");
+    assert!(nrmse_p < 0.25, "pressure NRMSE too high: {nrmse_p}");
+}
+
+#[test]
+fn rollout_error_accumulates_as_paper_reports() {
+    // §IV-B: "the accumulative error decreases the accuracy" when the
+    // output is fed back. The error at the rollout horizon must exceed the
+    // single-step error, and the curve must trend upward.
+    let (data, n_train, inf) = trained_setup();
+    let val = data.view(n_train, data.pair_count() - n_train);
+    let horizon = 8.min(val.len());
+    let (start, _) = val.pair(0);
+    let rollout = inf.rollout(start, horizon);
+    let reference: Vec<_> =
+        (0..=horizon).map(|s| data.snapshot(n_train + s).clone()).collect();
+    let curve = rollout_error_curve(&rollout.states, &reference);
+
+    assert_eq!(curve[0], 0.0, "step 0 compares the shared initial state");
+    assert!(curve[1] > 0.0);
+    assert!(
+        curve[horizon] > 2.0 * curve[1],
+        "error should accumulate: step1 {} vs step{horizon} {}",
+        curve[1],
+        curve[horizon]
+    );
+    // The trend is upward: the last third averages higher than the first
+    // third (pointwise monotonicity is too strict for a stochastic model).
+    let third = horizon / 3;
+    let early: f64 = curve[1..=third.max(1)].iter().sum::<f64>() / third.max(1) as f64;
+    let late: f64 =
+        curve[horizon - third.max(1) + 1..=horizon].iter().sum::<f64>() / third.max(1) as f64;
+    assert!(late > early, "rollout error should trend upward: early {early} late {late}");
+}
+
+#[test]
+fn velocity_fields_are_hardest_as_paper_observes() {
+    // Fig. 3 discussion: "There are small discrepancies in the velocities"
+    // while pressure/density agree best — an observation about the paper's
+    // direct (absolute) prediction, so train in that mode here.
+    let grid = 32;
+    let snapshots = 48;
+    let n_train = 32;
+    let data = paper_dataset(grid, snapshots);
+    let arch = ArchSpec::tiny();
+    let mut cfg = TrainConfig::paper();
+    cfg.epochs = 30;
+    cfg.batch_size = 8;
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train_view(&data, n_train, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let val = data.view(n_train, data.pair_count() - n_train);
+    let mut nrmse = [0.0f64; 4];
+    let n_eval = 5.min(val.len());
+    for k in 0..n_eval {
+        let (x, y) = val.pair(k);
+        let pred = inf.rollout(x, 1);
+        for (c, e) in field_errors(&pred.states[1], y, 1e-3).iter().enumerate() {
+            nrmse[c] += e.nrmse() / n_eval as f64;
+        }
+    }
+    // pressure (0) and density (1) at least as good as the worse velocity.
+    let worst_vel = nrmse[2].max(nrmse[3]);
+    assert!(
+        nrmse[0] <= worst_vel * 1.5,
+        "pressure should be among the best: {nrmse:?}"
+    );
+    assert!(nrmse[1] <= worst_vel * 1.5, "density should be among the best: {nrmse:?}");
+}
+
+#[test]
+fn residual_mode_stabilizes_rollout_vs_absolute() {
+    // Ablation X5 (DESIGN.md): with the same budget, absolute prediction
+    // accumulates error explosively under rollout while residual prediction
+    // stays near the solver trajectory — quantifying the §IV-B accuracy
+    // drop and the fix.
+    let grid = 32;
+    let snapshots = 44;
+    let n_train = 32;
+    let horizon = 6;
+    let data = paper_dataset(grid, snapshots);
+    let arch = ArchSpec::tiny();
+
+    let run = |prediction: PredictionMode| {
+        let mut cfg = TrainConfig::paper();
+        cfg.epochs = 30;
+        cfg.batch_size = 8;
+        cfg.prediction = prediction;
+        let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+            .train_view(&data, n_train, 4)
+            .expect("training");
+        let inf =
+            ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome);
+        let (start, _) = data.view(n_train, data.pair_count() - n_train).pair(0);
+        let roll = inf.rollout(start, horizon);
+        let reference: Vec<_> =
+            (0..=horizon).map(|s| data.snapshot(n_train + s).clone()).collect();
+        rollout_error_curve(&roll.states, &reference)[horizon]
+    };
+
+    let absolute = run(PredictionMode::Absolute);
+    let residual = run(PredictionMode::Residual);
+    assert!(
+        residual < 0.2 * absolute,
+        "residual rollout ({residual:.3e}) should be far more stable than absolute \
+         ({absolute:.3e}) at horizon {horizon}"
+    );
+}

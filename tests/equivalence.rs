@@ -1,0 +1,174 @@
+//! Equivalence guarantees of the parallel scheme.
+//!
+//! The paper's claim that the scheme "preserv\[es\] the learning quality"
+//! rests on parallel execution changing *nothing* about each network's
+//! training, and the halo exchange reconstructing *exactly* the overlapping
+//! inputs. These tests pin both properties down bit-for-bit.
+
+use pde_euler::dataset::paper_dataset;
+use pde_ml_core::prelude::*;
+use pde_ml_core::train::train_rank;
+use pde_nn::serialize::restore;
+use pde_tensor::assert_slice_close;
+
+#[test]
+fn parallel_training_equals_isolated_per_rank_training() {
+    // Running P ranks concurrently must produce, per rank, the exact same
+    // weights as running that rank's training alone — no interference, no
+    // reordering, no shared-RNG coupling.
+    let data = paper_dataset(16, 10);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    for strategy in [PaddingStrategy::ZeroPad, PaddingStrategy::NeighborPad] {
+        let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg.clone())
+            .train(&data, 4)
+            .expect("parallel");
+        let part = outcome.partition;
+        let view = data.view(0, data.pair_count());
+        for r in 0..4 {
+            let (w, losses) = train_rank(&arch, strategy, &cfg, &view, &part, r);
+            assert_eq!(outcome.rank_results[r].weights, w, "{strategy:?} rank {r}");
+            assert_eq!(outcome.rank_results[r].epoch_losses, losses);
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_bitwise_reproducible() {
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let t = ParallelTrainer::new(arch, PaddingStrategy::NeighborPad, cfg);
+    let a = t.train(&data, 4).unwrap();
+    let b = t.train(&data, 4).unwrap();
+    for (ra, rb) in a.rank_results.iter().zip(&b.rank_results) {
+        assert_eq!(ra.weights, rb.weights);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+    }
+}
+
+#[test]
+fn halo_exchange_rollout_equals_global_window_rollout() {
+    // The parallel rollout's two-phase halo exchange must assemble, on
+    // every rank and at every step, exactly the input that a global
+    // observer would cut from the stitched state. 3×3 ranks exercises
+    // interior, edge and corner cases at once.
+    let data = paper_dataset(18, 10);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 9)
+        .expect("training");
+    assert_eq!(outcome.partition.py(), 3);
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let initial = data.snapshot(0).clone();
+    let par = inf.rollout(&initial, 4);
+    let refr = inf.reference_rollout(&initial, 4);
+    for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
+        assert_slice_close(a.as_slice(), b.as_slice(), 1e-13, 1e-13, &format!("step {k}"));
+    }
+}
+
+#[test]
+fn one_rank_parallel_equals_sequential_trainer() {
+    // P = 1 must reduce to the sequential trainer exactly (same seed paths).
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let par = ParallelTrainer::new(arch.clone(), PaddingStrategy::ZeroPad, cfg.clone())
+        .train_view(&data, 6, 1)
+        .expect("parallel");
+    let mut seq = SequentialTrainer::new(arch, PaddingStrategy::ZeroPad, cfg)
+        .train(&data, 6)
+        .expect("sequential");
+    assert_eq!(par.rank_results[0].epoch_losses, seq.epoch_losses);
+    assert_eq!(par.rank_results[0].weights, pde_nn::serialize::snapshot(&mut seq.net));
+    assert_eq!(par.norm, seq.norm);
+}
+
+#[test]
+fn weights_survive_serialization_round_trip() {
+    // Checkpoint → reload → identical inference, across rank boundaries.
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let dir = std::env::temp_dir().join("pde_ml_equivalence_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut reloaded = Vec::new();
+    for r in &outcome.rank_results {
+        let path = dir.join(format!("rank{}.pdenn", r.rank));
+        let mut net = arch.build(false, 0);
+        restore(&mut net, &r.weights);
+        pde_nn::serialize::save_params(&mut net, &path).unwrap();
+        let mut net2 = arch.build(false, 99);
+        pde_nn::serialize::load_params(&mut net2, &path).unwrap();
+        reloaded.push(pde_nn::serialize::snapshot(&mut net2));
+        std::fs::remove_file(&path).ok();
+    }
+    let inf_orig =
+        ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome);
+    let inf_reloaded = ParallelInference::new(
+        arch,
+        PaddingStrategy::NeighborPad,
+        outcome.partition,
+        reloaded,
+        outcome.norm.clone(),
+        outcome.prediction,
+    );
+    let initial = data.snapshot(0).clone();
+    let a = inf_orig.rollout(&initial, 2);
+    let b = inf_reloaded.rollout(&initial, 2);
+    for (x, y) in a.states.iter().zip(&b.states) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn windowed_rollout_matches_reference() {
+    // Time-window extension (X6): a window-2 model's threaded halo-exchange
+    // rollout must equal the global-window oracle bit-for-bit, like the
+    // window-1 case.
+    let data = paper_dataset(16, 12);
+    let mut arch = ArchSpec::tiny();
+    arch.channels[0] = 8; // 2 snapshots × 4 fields
+    let mut cfg = TrainConfig::quick_test();
+    cfg.window = 2;
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("windowed training");
+    assert_eq!(outcome.window, 2);
+    assert_eq!(outcome.total_bytes_sent(), 0, "windowed training is still communication-free");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let history = [data.snapshot(5).clone(), data.snapshot(6).clone()];
+    let par = inf.rollout_from_history(&history, 3);
+    let refr = inf.reference_rollout_from_history(&history, 3);
+    assert_eq!(par.states.len(), 4);
+    for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
+        assert_slice_close(a.as_slice(), b.as_slice(), 1e-12, 1e-12, &format!("win step {k}"));
+    }
+    // Two exchanges per step per axis-neighbor (one per window slot).
+    let steps = 3u64;
+    for t in &par.traffic {
+        assert_eq!(t.0, 2 * 2 * steps, "per-rank message count with window 2");
+    }
+}
+
+#[test]
+fn window_one_windowed_api_matches_plain_rollout() {
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let initial = data.snapshot(0).clone();
+    let a = inf.rollout(&initial, 2);
+    let b = inf.rollout_from_history(std::slice::from_ref(&initial), 2);
+    for (x, y) in a.states.iter().zip(&b.states) {
+        assert_eq!(x, y);
+    }
+}

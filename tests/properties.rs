@@ -1,0 +1,247 @@
+//! Property-based tests over the cross-crate invariants.
+
+use pde_domain::{gather, scatter, GridPartition};
+use pde_ml_core::data::{extract_input, extract_target};
+use pde_tensor::pad::{crop_tensor4, pad_tensor4_asym, PadMode};
+use pde_tensor::{Tensor3, Tensor4};
+use proptest::prelude::*;
+
+fn arb_tensor3(c: usize, max_side: usize) -> impl Strategy<Value = Tensor3> {
+    (2..=max_side, 2..=max_side).prop_flat_map(move |(h, w)| {
+        prop::collection::vec(-10.0f64..10.0, c * h * w)
+            .prop_map(move |data| Tensor3::from_vec(c, h, w, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every partition tiles the grid exactly once.
+    #[test]
+    fn partition_tiles_exactly(
+        h in 4usize..40,
+        w in 4usize..40,
+        py in 1usize..5,
+        px in 1usize..5,
+    ) {
+        prop_assume!(h >= py && w >= px);
+        let part = GridPartition::new(h, w, py, px);
+        let mut covered = vec![0u32; h * w];
+        for b in part.blocks() {
+            for i in b.i0..b.i1() {
+                for j in b.j0..b.j1() {
+                    covered[i * w + j] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// scatter → gather is the identity for any snapshot and partition.
+    #[test]
+    fn scatter_gather_identity(
+        t in arb_tensor3(3, 24),
+        py in 1usize..4,
+        px in 1usize..4,
+    ) {
+        prop_assume!(t.h() >= py && t.w() >= px);
+        let part = GridPartition::new(t.h(), t.w(), py, px);
+        let locals = scatter(&t, &part);
+        prop_assert_eq!(gather(&locals, &part), t);
+    }
+
+    /// Stitching every rank's extracted target (crop 0) back reproduces the
+    /// global snapshot, and each input's interior window equals its block.
+    #[test]
+    fn extract_input_interior_matches_block(
+        t in arb_tensor3(4, 20),
+        halo in 0usize..4,
+        rank_seed in 0usize..16,
+    ) {
+        prop_assume!(t.h() >= 2 && t.w() >= 2);
+        let part = GridPartition::new(t.h(), t.w(), 2, 2);
+        let rank = rank_seed % part.rank_count();
+        let block = part.block_of_rank(rank);
+        let input = extract_input(&t, &block, halo, PadMode::Zeros);
+        prop_assert_eq!(input.shape(), (4, block.h + 2 * halo, block.w + 2 * halo));
+        let (oi, oj) = block.interior_offset_in_extended(halo);
+        // The interior of the input equals the raw block — regardless of
+        // where the halo was clipped or padded. Offsets: the extended
+        // window starts at (block.i0 - oi); interior sits oi rows below the
+        // halo... compare through the definition instead:
+        let interior = input.window(halo, halo, block.h, block.w);
+        let direct = extract_target(&t, &block, 0);
+        prop_assert_eq!(interior, direct);
+        let _ = (oi, oj);
+    }
+
+    /// pad → crop round-trips for every mode and asymmetric margins.
+    #[test]
+    fn pad_crop_roundtrip(
+        n in 1usize..3,
+        c in 1usize..3,
+        h in 2usize..8,
+        w in 2usize..8,
+        t in 0usize..3,
+        b in 0usize..3,
+        l in 0usize..3,
+        r in 0usize..3,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [PadMode::Zeros, PadMode::Replicate, PadMode::Reflect][mode_idx];
+        let x = Tensor4::from_fn(n, c, h, w, |s, ch, i, j| {
+            (s * 1000 + ch * 100 + i * 10 + j) as f64
+        });
+        let padded = pad_tensor4_asym(&x, t, b, l, r, mode);
+        prop_assert_eq!(crop_tensor4(&padded, t, b, l, r), x);
+    }
+
+    /// The GEMM and direct convolution paths agree on random geometry.
+    #[test]
+    fn conv_paths_agree(
+        in_c in 1usize..4,
+        out_c in 1usize..4,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        pad in 0usize..3,
+        h in 5usize..10,
+        w in 5usize..10,
+        seed in 0u64..1000,
+    ) {
+        use pde_tensor::conv::{conv2d, conv2d_im2col, ConvScratch};
+        use pde_tensor::Conv2dSpec;
+        let spec = Conv2dSpec { in_c, out_c, kh: k, kw: k, stride: 1, pad };
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        let x = Tensor4::from_fn(2, in_c, h, w, |_, _, _, _| next());
+        let wt = Tensor4::from_fn(out_c, in_c, k, k, |_, _, _, _| next());
+        let bias: Vec<f64> = (0..out_c).map(|_| next()).collect();
+        let y1 = conv2d(&x, &wt, &bias, &spec);
+        let y2 = conv2d_im2col(&x, &wt, &bias, &spec, &mut ConvScratch::new());
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Allreduce equals the plain sum of contributions, at any world size.
+    #[test]
+    fn allreduce_is_sum(
+        n_ranks in 1usize..6,
+        len in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        use pde_commsim::World;
+        let contributions: Vec<Vec<f64>> = (0..n_ranks)
+            .map(|r| (0..len).map(|i| ((seed + r as u64) * 31 + i as u64) as f64 * 0.1).collect())
+            .collect();
+        let expected: Vec<f64> = (0..len)
+            .map(|i| contributions.iter().map(|c| c[i]).sum())
+            .collect();
+        let contributions = std::sync::Arc::new(contributions);
+        let cc = contributions.clone();
+        let results = World::new(n_ranks).run(move |mut comm| {
+            comm.allreduce_sum(&cc[comm.rank()])
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// MAPE loss value is invariant under joint scaling of prediction and
+    /// target (well above the floor) — the property that makes it suitable
+    /// for multi-magnitude fields.
+    #[test]
+    fn mape_is_scale_invariant(
+        scale in 1.0f64..1e6,
+        vals in prop::collection::vec((1.0f64..10.0, 1.0f64..10.0), 4..32),
+    ) {
+        use pde_nn::loss::{Loss, Mape};
+        let m = Mape::new(1e-12);
+        let (p, t): (Vec<f64>, Vec<f64>) = vals.into_iter().unzip();
+        let n = p.len();
+        let mk = |v: &[f64], s: f64| Tensor4::from_vec(1, 1, 1, n, v.iter().map(|x| x * s).collect());
+        let base = m.value(&mk(&p, 1.0), &mk(&t, 1.0));
+        let scaled = m.value(&mk(&p, scale), &mk(&t, scale));
+        prop_assert!((base - scaled).abs() < 1e-6 * (1.0 + base));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Messages with the same (src, tag) are delivered in send order (the
+    /// FIFO guarantee the halo-exchange protocol relies on when reusing a
+    /// tag across rounds).
+    #[test]
+    fn same_tag_messages_are_fifo(count in 1usize..20, tag in 0u32..100) {
+        use pde_commsim::World;
+        let out = World::new(2).run(move |mut comm| {
+            if comm.rank() == 0 {
+                for k in 0..count {
+                    comm.send(1, tag, vec![k as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..count).map(|_| comm.recv(0, tag)[0] as usize).collect::<Vec<_>>()
+            }
+        });
+        prop_assert_eq!(&out[1], &(0..count).collect::<Vec<_>>());
+    }
+
+    /// The linearized Euler solver is linear: scaling the initial condition
+    /// scales the whole trajectory (superposition holds for the scheme, not
+    /// just the PDE, because Rusanov fluxes of a linear system are linear).
+    #[test]
+    fn solver_is_linear_in_the_initial_condition(
+        alpha in 0.1f64..5.0,
+        steps in 1usize..12,
+    ) {
+        use pde_euler::{Boundary, EulerSolver, InitialCondition, SolverConfig};
+        let cfg = SolverConfig::paper(16, 16);
+        let base = InitialCondition::GaussianPulse {
+            x0: 0.1, y0: -0.2, half_width: 0.3, amplitude: 0.5,
+        };
+        let scaled = InitialCondition::GaussianPulse {
+            x0: 0.1, y0: -0.2, half_width: 0.3, amplitude: 0.5 * alpha,
+        };
+        let mut a = EulerSolver::new(cfg, Boundary::Outflow, &base);
+        let mut b = EulerSolver::new(cfg, Boundary::Outflow, &scaled);
+        a.run(steps);
+        b.run(steps);
+        let ta = a.state().to_tensor();
+        let tb = b.state().to_tensor();
+        for (x, y) in ta.as_slice().iter().zip(tb.as_slice()) {
+            prop_assert!(
+                (x * alpha - y).abs() < 1e-9 * (1.0 + y.abs()),
+                "linearity violated: {} * {} != {}", x, alpha, y
+            );
+        }
+    }
+
+    /// Channel normalization round-trips any snapshot whose values exceed
+    /// the fitting floor.
+    #[test]
+    fn channel_norm_roundtrip(
+        seed in 0u64..500,
+        h in 2usize..10,
+        w in 2usize..10,
+    ) {
+        use pde_ml_core::norm::ChannelNorm;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state % 2000) as f64 / 100.0 - 10.0
+        };
+        let t = Tensor3::from_fn(4, h, w, |_, _, _| next());
+        let scales: Vec<f64> = (0..4).map(|c| 10f64.powi(c as i32 * 2 - 3)).collect();
+        let n = ChannelNorm::from_scales(scales);
+        let back = n.denormalize3(&n.normalize3(&t));
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+}
