@@ -25,15 +25,23 @@ fn scheme_vs_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_baseline/full_training");
     group.sample_size(10);
 
-    group.bench_with_input(BenchmarkId::from_parameter("subdomain_scheme"), &ranks, |b, &p| {
-        let t = ParallelTrainer::new(arch.clone(), strategy, cfg.clone());
-        b.iter(|| black_box(t.train_view(&data, n_pairs, p).expect("scheme")))
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("subdomain_scheme"),
+        &ranks,
+        |b, &p| {
+            let t = ParallelTrainer::new(arch.clone(), strategy, cfg.clone());
+            b.iter(|| black_box(t.train_view(&data, n_pairs, p).expect("scheme")))
+        },
+    );
 
-    group.bench_with_input(BenchmarkId::from_parameter("allreduce_baseline"), &ranks, |b, &p| {
-        let t = DataParallelTrainer::new(arch.clone(), strategy, cfg.clone());
-        b.iter(|| black_box(t.train(&data, n_pairs, p).expect("baseline")))
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("allreduce_baseline"),
+        &ranks,
+        |b, &p| {
+            let t = DataParallelTrainer::new(arch.clone(), strategy, cfg.clone());
+            b.iter(|| black_box(t.train(&data, n_pairs, p).expect("baseline")))
+        },
+    );
 
     group.finish();
 }

@@ -21,7 +21,14 @@ fn loss_ablation(c: &mut Criterion) {
     let part = GridPartition::for_ranks(BENCH_GRID, BENCH_GRID, 4);
     let n_train = data.pair_count() - 2;
     let view = data.view(0, n_train);
-    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+    let ds = SubdomainDataset::build(
+        &view,
+        &part,
+        0,
+        arch.halo(),
+        strategy,
+        &pde_ml_core::norm::ChannelNorm::fit(&view),
+    );
 
     // Convergence/accuracy comparison: train with each loss, evaluate
     // per-field errors on a held-out pair.
@@ -42,7 +49,9 @@ fn loss_ablation(c: &mut Criterion) {
         cfg.loss = loss;
         let mut net = arch.build_for(strategy, 0);
         let _ = train_network(&mut net, &ds, &cfg);
-        let pred = net.forward(&Tensor4::from_sample(&val_in), false).sample_tensor(0);
+        let pred = net
+            .forward(&Tensor4::from_sample(&val_in), false)
+            .sample_tensor(0);
         let errs = field_errors(&pred, &val_tgt, 1e-3);
         let mean_mape = errs.iter().map(|e| e.mape).sum::<f64>() / errs.len() as f64;
         println!("  {:<8} mean MAPE {:8.2}%", loss.label(), mean_mape);

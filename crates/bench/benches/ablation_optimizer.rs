@@ -17,7 +17,14 @@ fn optimizer_epoch_cost(c: &mut Criterion) {
     let strategy = PaddingStrategy::ZeroPad;
     let part = GridPartition::for_ranks(BENCH_GRID, BENCH_GRID, 4);
     let view = data.view(0, data.pair_count());
-    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+    let ds = SubdomainDataset::build(
+        &view,
+        &part,
+        0,
+        arch.halo(),
+        strategy,
+        &pde_ml_core::norm::ChannelNorm::fit(&view),
+    );
 
     // Print the convergence comparison once (criterion benches are run
     // with --bench, so this lands in the bench log next to the timings).

@@ -25,7 +25,14 @@ fn epoch_cost_by_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_padding/one_rank_epoch");
     group.sample_size(10);
     for strategy in PaddingStrategy::ALL {
-        let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
+        let ds = SubdomainDataset::build(
+            &view,
+            &part,
+            0,
+            arch.halo(),
+            strategy,
+            &pde_ml_core::norm::ChannelNorm::fit(&view),
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,

@@ -33,11 +33,13 @@ fn window_ablation(c: &mut Criterion) {
             .train_view(&data, n_train, 4)
             .expect("train");
         let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
-        let history: Vec<_> =
-            (n_train + 1 - window..=n_train).map(|k| data.snapshot(k).clone()).collect();
+        let history: Vec<_> = (n_train + 1 - window..=n_train)
+            .map(|k| data.snapshot(k).clone())
+            .collect();
         let roll = inf.rollout_from_history(&history, horizon);
-        let reference: Vec<_> =
-            (0..=horizon).map(|s| data.snapshot(n_train + s).clone()).collect();
+        let reference: Vec<_> = (0..=horizon)
+            .map(|s| data.snapshot(n_train + s).clone())
+            .collect();
         let curve = rollout_error_curve(&roll.states, &reference);
         println!("  window {window}: {:.4e}", curve[horizon]);
     }

@@ -49,13 +49,24 @@ fn per_rank_work_vs_subdomain(c: &mut Criterion) {
         let data = paper_dataset(side, 10);
         let part = GridPartition::new(side, side, 1, 1);
         let view = data.view(0, data.pair_count());
-        let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), strategy, &pde_ml_core::norm::ChannelNorm::fit(&view));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("P{p}_side{side}")), &p, |b, _| {
-            b.iter(|| {
-                let mut net = arch.build_for(strategy, 0);
-                black_box(train_network(&mut net, &ds, &cfg))
-            })
-        });
+        let ds = SubdomainDataset::build(
+            &view,
+            &part,
+            0,
+            arch.halo(),
+            strategy,
+            &pde_ml_core::norm::ChannelNorm::fit(&view),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("P{p}_side{side}")),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    let mut net = arch.build_for(strategy, 0);
+                    black_box(train_network(&mut net, &ds, &cfg))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,106 @@
+//! Convolution kernel throughput on the Table-I layers.
+//!
+//! Times the im2col+GEMM forward pass and both backward passes for each of
+//! the paper's three conv layers on a 64×64 subdomain, reporting sustained
+//! GFLOP/s (2 · out_c · in_c·kh·kw · out_h·out_w FLOPs per sample per pass).
+//! Results merge into the `BENCH_kernels.json` baseline next to the raw GEMM
+//! numbers from `kernel_gemm`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pde_tensor::conv::ConvScratch;
+use pde_tensor::{
+    conv2d_backward_input, conv2d_backward_weight, conv2d_im2col, Conv2dSpec, Tensor4,
+};
+
+/// Batch size for every timed pass.
+const SAMPLES: usize = 4;
+/// Subdomain edge (64×64 interior, "same" padding keeps it fixed).
+const EDGE: usize = 64;
+
+/// The paper's three conv layers: `(label, in_c, out_c)`, all 5×5 "same".
+const LAYERS: &[(&str, usize, usize)] = &[
+    ("layer1-4to6", 4, 6),
+    ("layer2-6to16", 6, 16),
+    ("layer3-16to4", 16, 4),
+];
+
+fn det_t4(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor4 {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let data = (0..n * c * h * w)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect();
+    Tensor4::from_vec(n, c, h, w, data)
+}
+
+/// FLOPs of one pass over the batch for a layer.
+fn layer_flops(in_c: usize, out_c: usize) -> u64 {
+    (2 * SAMPLES * out_c * in_c * 5 * 5 * EDGE * EDGE) as u64
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv");
+    group.sample_size(50);
+    for &(label, in_c, out_c) in LAYERS {
+        let spec = Conv2dSpec::same(in_c, out_c, 5);
+        let x = det_t4(SAMPLES, in_c, EDGE, EDGE, 11);
+        let w = det_t4(out_c, in_c, 5, 5, 12);
+        let bias = vec![0.01; out_c];
+        let mut scratch = ConvScratch::new();
+        let y = conv2d_im2col(&x, &w, &bias, &spec, &mut scratch);
+        group.throughput(Throughput::Elements(layer_flops(in_c, out_c)));
+        group.bench_with_input(BenchmarkId::new("forward", label), &(), |bencher, _| {
+            bencher.iter(|| conv2d_im2col(&x, &w, &bias, &spec, &mut scratch));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("backward_input", label),
+            &(),
+            |bencher, _| {
+                bencher.iter(|| conv2d_backward_input(&y, &w, &spec, EDGE, EDGE, &mut scratch));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backward_weight", label),
+            &(),
+            |bencher, _| {
+                let mut gw = Tensor4::zeros(out_c, in_c, 5, 5);
+                let mut gb = vec![0.0; out_c];
+                bencher
+                    .iter(|| conv2d_backward_weight(&x, &y, &spec, &mut gw, &mut gb, &mut scratch));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Prints GFLOP/s per result and merges them into the JSON baseline.
+fn report(c: &mut Criterion) {
+    let mut entries = Vec::new();
+    println!("\n{:<38} {:>12} {:>10}", "benchmark", "s/iter", "GFLOP/s");
+    for r in c.results() {
+        let flops = LAYERS
+            .iter()
+            .find(|(label, _, _)| r.id.ends_with(label))
+            .map(|&(_, in_c, out_c)| layer_flops(in_c, out_c))
+            .unwrap_or(0);
+        let gflops = if r.mean_s > 0.0 {
+            flops as f64 / r.mean_s / 1e9
+        } else {
+            0.0
+        };
+        println!("{:<38} {:>12.3e} {:>10.2}", r.id, r.mean_s, gflops);
+        entries.push(pde_bench::KernelEntry {
+            id: r.id.clone(),
+            mean_s: r.mean_s,
+            gflops,
+        });
+    }
+    pde_bench::merge_kernel_baseline("conv/", &entries);
+}
+
+criterion_group!(benches, bench_conv, report);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! GEMM kernel throughput on the Table-I layer shapes.
+//!
+//! Benchmarks the packed register-tiled kernel in `pde-tensor` against the
+//! repo's previous cache-blocked kernel (reproduced below verbatim as
+//! `seed_gemm`), so the speedup is measured in the same run with identical
+//! codegen flags. Shapes are the `(out_c × col_rows × col_cols)` GEMMs the
+//! paper's CNN lowers to on a 64×64 subdomain: layer 1 maps 4 input channels
+//! through 5×5 kernels to 6 channels (6×100×4096), layer 2 maps 6 to 16
+//! (16×150×4096), layer 3 maps 16 back to 4 (4×400×4096).
+//!
+//! The final "report" step writes `BENCH_kernels.json` at the workspace root
+//! with mean seconds/iter and derived GFLOP/s per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pde_tensor::gemm;
+
+/// The pre-packing seed kernel: cache-blocked triple loop with a zero-skip
+/// branch, copied unchanged so the comparison is honest.
+#[allow(clippy::needless_range_loop)]
+fn seed_gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    const BLOCK: usize = 64;
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for p in p0..p1 {
+                        let av = a_row[p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for j in j0..j1 {
+                            c_row[j] += av * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn det_fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+/// Table-I layer GEMM shapes `(label, m, k, n)` for a 64×64 subdomain.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("layer1-6x100x4096", 6, 100, 4096),
+    ("layer2-16x150x4096", 16, 150, 4096),
+    ("layer3-4x400x4096", 4, 400, 4096),
+];
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(label, m, k, n) in SHAPES {
+        let a = det_fill(m * k, 42);
+        let b = det_fill(k * n, 7);
+        let mut out = vec![0.0; m * n];
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(BenchmarkId::new("seed", label), &(), |bencher, _| {
+            bencher.iter(|| seed_gemm(m, k, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", label), &(), |bencher, _| {
+            bencher.iter(|| gemm::gemm(m, k, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("packed_tn", label), &(), |bencher, _| {
+            // A stored k × m for the transposed-A path.
+            bencher.iter(|| gemm::gemm_tn(m, k, n, &a, &b, &mut out));
+        });
+    }
+    group.finish();
+}
+
+/// Not a benchmark: prints GFLOP/s for every result and merges them into the
+/// JSON baseline. Runs last in the group so it sees all records.
+fn report(c: &mut Criterion) {
+    let mut entries = Vec::new();
+    println!("\n{:<38} {:>12} {:>10}", "benchmark", "s/iter", "GFLOP/s");
+    for r in c.results() {
+        // Recover the shape from the id suffix "...-MxKxN".
+        let shape = r.id.rsplit('-').next().unwrap_or("");
+        let dims: Vec<f64> = shape.split('x').filter_map(|t| t.parse().ok()).collect();
+        let gflops = if dims.len() == 3 && r.mean_s > 0.0 {
+            2.0 * dims.iter().product::<f64>() / r.mean_s / 1e9
+        } else {
+            0.0
+        };
+        println!("{:<38} {:>12.3e} {:>10.2}", r.id, r.mean_s, gflops);
+        entries.push(pde_bench::KernelEntry {
+            id: r.id.clone(),
+            mean_s: r.mean_s,
+            gflops,
+        });
+    }
+    pde_bench::merge_kernel_baseline("gemm/", &entries);
+}
+
+criterion_group!(benches, bench_gemm, report);
+criterion_main!(benches);

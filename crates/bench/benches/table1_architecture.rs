@@ -19,9 +19,11 @@ fn layer_benches(c: &mut Criterion) {
         let x = Tensor4::from_fn(1, row.in_channels, h, w, |_, ch, i, j| {
             ((ch + i) as f64 * 0.1 + j as f64 * 0.01).sin()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("conv{}", row.layer)), &x, |b, x| {
-            b.iter(|| black_box(conv.forward(black_box(x), false)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("conv{}", row.layer)),
+            &x,
+            |b, x| b.iter(|| black_box(conv.forward(black_box(x), false))),
+        );
     }
     group.finish();
 
@@ -33,13 +35,17 @@ fn layer_benches(c: &mut Criterion) {
             ((ch + i) as f64 * 0.1 + j as f64 * 0.01).cos()
         });
         let g = conv.forward(&x, true);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("conv{}", row.layer)), &x, |b, x| {
-            b.iter(|| {
-                conv.zero_grad();
-                let _ = conv.forward(black_box(x), true);
-                black_box(conv.backward(black_box(&g)))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("conv{}", row.layer)),
+            &x,
+            |b, x| {
+                b.iter(|| {
+                    conv.zero_grad();
+                    let _ = conv.forward(black_box(x), true);
+                    black_box(conv.backward(black_box(&g)))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -47,7 +53,9 @@ fn layer_benches(c: &mut Criterion) {
 fn stack_bench(c: &mut Criterion) {
     let arch = ArchSpec::paper();
     let mut net = arch.build(true, 0);
-    let x = Tensor4::from_fn(1, 4, 32, 32, |_, ch, i, j| ((ch * 7 + i * 3 + j) as f64 * 0.01).sin());
+    let x = Tensor4::from_fn(1, 4, 32, 32, |_, ch, i, j| {
+        ((ch * 7 + i * 3 + j) as f64 * 0.01).sin()
+    });
     c.bench_function("table1/full_stack_forward_32x32", |b| {
         b.iter(|| black_box(net.forward(black_box(&x), false)))
     });

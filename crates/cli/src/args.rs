@@ -34,14 +34,17 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 
     /// Optional parsed option with default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
         }
     }
 }

@@ -28,9 +28,10 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     };
     println!("simulating {grid}x{grid} linearized Euler, {snapshots} snapshots, {boundary:?} BCs…");
     let cfg = SolverConfig::paper(grid, grid);
-    let data = SnapshotRecorder::new(cfg, boundary, &InitialCondition::paper_pulse(), 1)
-        .record(snapshots);
-    data.save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let data =
+        SnapshotRecorder::new(cfg, boundary, &InitialCondition::paper_pulse(), 1).record(snapshots);
+    data.save(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
         "wrote {} ({} snapshots, dt = {:.3e} s, {} bytes)",
         out.display(),
@@ -84,6 +85,24 @@ pub fn train(args: &Args) -> Result<(), String> {
         outcome.mean_final_loss(),
         outcome.total_bytes_sent()
     );
+    for r in &outcome.rank_results {
+        println!(
+            "  rank {:>3}: {:.2} GFLOP/s over {:.1}s ({} GEMM calls, {:.2e} FLOPs, \
+             {} hot-path allocations)",
+            r.rank,
+            r.perf.gflops(r.train_seconds),
+            r.train_seconds,
+            r.perf.gemm_calls,
+            r.perf.flops as f64,
+            r.perf.allocs
+        );
+    }
+    let total_flops: u64 = outcome.rank_results.iter().map(|r| r.perf.flops).sum();
+    println!(
+        "  aggregate: {:.2} GFLOP/s across {ranks} ranks ({:.2e} FLOPs total)",
+        total_flops as f64 / outcome.wall_seconds.max(1e-12) / 1e9,
+        total_flops as f64
+    );
 
     let meta = ModelMeta {
         arch: arch.clone(),
@@ -93,14 +112,20 @@ pub fn train(args: &Args) -> Result<(), String> {
         partition: outcome.partition,
         norm: outcome.norm.clone(),
     };
-    meta.save(&out_dir).map_err(|e| format!("cannot write meta: {e}"))?;
+    meta.save(&out_dir)
+        .map_err(|e| format!("cannot write meta: {e}"))?;
     for r in &outcome.rank_results {
         let mut net = arch.build_for(strategy, 0);
         restore(&mut net, &r.weights);
         let path = out_dir.join(format!("rank{:03}.pdenn", r.rank));
-        save_params(&mut net, &path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        save_params(&mut net, &path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
-    println!("model written to {}/ (meta.txt + {} rank checkpoints)", out_dir.display(), ranks);
+    println!(
+        "model written to {}/ (meta.txt + {} rank checkpoints)",
+        out_dir.display(),
+        ranks
+    );
     Ok(())
 }
 
@@ -152,16 +177,18 @@ pub fn infer(args: &Args) -> Result<(), String> {
         meta.prediction.label(),
         meta.window
     );
-    let history: Vec<_> =
-        (start + 1 - meta.window..=start).map(|k| data.snapshot(k).clone()).collect();
+    let history: Vec<_> = (start + 1 - meta.window..=start)
+        .map(|k| data.snapshot(k).clone())
+        .collect();
     let rollout = inf.rollout_from_history(&history, steps);
     println!("boundary bytes exchanged: {}", rollout.total_bytes());
 
     // Compare against the solver where reference snapshots exist.
     let available = data.len().saturating_sub(start + 1).min(steps);
     if available > 0 {
-        let reference: Vec<_> =
-            (0..=available).map(|s| data.snapshot(start + s).clone()).collect();
+        let reference: Vec<_> = (0..=available)
+            .map(|s| data.snapshot(start + s).clone())
+            .collect();
         let curve = rollout_error_curve(&rollout.states[..=available], &reference);
         println!("mean-RMSE vs solver per step:");
         for (s, e) in curve.iter().enumerate() {
@@ -177,7 +204,8 @@ pub fn infer(args: &Args) -> Result<(), String> {
             for (s, e) in curve.iter().enumerate() {
                 csv.row_f64(&[s as f64, *e]);
             }
-            csv.write_to(Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+            csv.write_to(Path::new(out))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
             println!("wrote {out}");
         }
     } else {
@@ -211,20 +239,38 @@ pub fn scale(args: &Args) -> Result<(), String> {
     );
     let ranks = [1usize, 2, 4, 8, 16, 32, 64];
     println!("strong scaling, {cores}-core machine, {grid}x{grid} global grid:");
-    print!("{}", format_scaling_table(&strong_scaling(&cost, grid * grid, epochs, &ranks, cores)));
-    println!("\nweak scaling, {} cells per rank:", (grid / 8) * (grid / 8));
     print!(
         "{}",
-        format_scaling_table(&weak_scaling(&cost, (grid / 8) * (grid / 8), epochs, &ranks, cores))
+        format_scaling_table(&strong_scaling(&cost, grid * grid, epochs, &ranks, cores))
+    );
+    println!(
+        "\nweak scaling, {} cells per rank:",
+        (grid / 8) * (grid / 8)
+    );
+    print!(
+        "{}",
+        format_scaling_table(&weak_scaling(
+            &cost,
+            (grid / 8) * (grid / 8),
+            epochs,
+            &ranks,
+            cores
+        ))
     );
     Ok(())
 }
 
 /// `pdeml info` — version and the Table-I architecture.
 pub fn info() -> Result<(), String> {
-    println!("pdeml {} — reproduction of 'Parallel Machine Learning of PDEs' (PDSEC 2021)", env!("CARGO_PKG_VERSION"));
+    println!(
+        "pdeml {} — reproduction of 'Parallel Machine Learning of PDEs' (PDSEC 2021)",
+        env!("CARGO_PKG_VERSION")
+    );
     let arch = ArchSpec::paper();
-    println!("\nTable I architecture ({} parameters):", arch.param_count());
+    println!(
+        "\nTable I architecture ({} parameters):",
+        arch.param_count()
+    );
     print!("{}", arch.table());
     println!("\npadding strategies: zero-pad | neighbor-pad | inner-crop | deconv");
     println!("prediction modes:   absolute | residual");

@@ -3,11 +3,11 @@
 //! prediction mode, window, partition and normalization scales — as plain
 //! `key = value` lines.
 
+use pde_domain::GridPartition;
 use pde_ml_core::arch::ArchSpec;
 use pde_ml_core::norm::ChannelNorm;
 use pde_ml_core::padding::PaddingStrategy;
 use pde_ml_core::train::PredictionMode;
-use pde_domain::GridPartition;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -36,7 +36,12 @@ impl ModelMeta {
         let _ = writeln!(
             s,
             "channels = {}",
-            self.arch.channels.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+            self.arch
+                .channels
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         );
         let _ = writeln!(s, "kernel = {}", self.arch.kernel);
         let _ = writeln!(s, "leak = {}", self.arch.leak);
@@ -50,7 +55,12 @@ impl ModelMeta {
         let _ = writeln!(
             s,
             "norm_scales = {}",
-            self.norm.scales().iter().map(|v| format!("{v:.17e}")).collect::<Vec<_>>().join(",")
+            self.norm
+                .scales()
+                .iter()
+                .map(|v| format!("{v:.17e}"))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         s
     }
@@ -73,7 +83,9 @@ impl ModelMeta {
             return Err("unsupported meta format".into());
         }
         let parse_usize = |k: &str| -> Result<usize, String> {
-            get(k)?.parse().map_err(|_| format!("meta '{k}' is not an integer"))
+            get(k)?
+                .parse()
+                .map_err(|_| format!("meta '{k}' is not an integer"))
         };
         let channels: Vec<usize> = get("channels")?
             .split(',')
@@ -185,7 +197,10 @@ mod tests {
 
     #[test]
     fn label_parsers() {
-        assert_eq!(strategy_from_str("deconv").unwrap(), PaddingStrategy::Deconv);
+        assert_eq!(
+            strategy_from_str("deconv").unwrap(),
+            PaddingStrategy::Deconv
+        );
         assert!(strategy_from_str("bogus").is_err());
         assert_eq!(mode_from_str("residual").unwrap(), PredictionMode::Residual);
         assert!(mode_from_str("bogus").is_err());

@@ -22,7 +22,12 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions, in a fixed order.
-    pub const ALL: [Direction; 4] = [Direction::Left, Direction::Right, Direction::Down, Direction::Up];
+    pub const ALL: [Direction; 4] = [
+        Direction::Left,
+        Direction::Right,
+        Direction::Down,
+        Direction::Up,
+    ];
 
     /// The direction a message sent this way arrives *from*.
     pub fn opposite(&self) -> Direction {
@@ -58,8 +63,18 @@ impl CartComm {
     /// # Panics
     /// If `px * py != comm.size()`.
     pub fn new(comm: Comm, py: usize, px: usize, periodic: bool) -> Self {
-        assert_eq!(px * py, comm.size(), "CartComm: {py}x{px} grid != {} ranks", comm.size());
-        Self { comm, px, py, periodic }
+        assert_eq!(
+            px * py,
+            comm.size(),
+            "CartComm: {py}x{px} grid != {} ranks",
+            comm.size()
+        );
+        Self {
+            comm,
+            px,
+            py,
+            periodic,
+        }
     }
 
     /// Borrow of the underlying communicator.
@@ -90,7 +105,12 @@ impl CartComm {
 
     /// Rank at `(row, col)`.
     pub fn rank_at(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.py && col < self.px, "rank_at: ({row},{col}) outside {}x{}", self.py, self.px);
+        assert!(
+            row < self.py && col < self.px,
+            "rank_at: ({row},{col}) outside {}x{}",
+            self.py,
+            self.px
+        );
         row * self.px + col
     }
 
@@ -128,9 +148,9 @@ impl CartComm {
         // Post all sends first (eager buffering ⇒ no deadlock), then recv.
         for dir in Direction::ALL {
             if let Some(nb) = self.neighbor(dir) {
-                let buf = outgoing[dir.index()]
-                    .clone()
-                    .unwrap_or_else(|| panic!("exchange: neighbor in {dir:?} but no outgoing buffer"));
+                let buf = outgoing[dir.index()].clone().unwrap_or_else(|| {
+                    panic!("exchange: neighbor in {dir:?} but no outgoing buffer")
+                });
                 // Tag encodes the direction *from the receiver's view* so
                 // concurrent opposite-direction messages can't be confused.
                 self.comm.send(nb, encode_tag(tag, dir.opposite()), buf);
@@ -195,8 +215,12 @@ impl CartComm {
         if let (Some(nb), Some(buf)) = (self.neighbor(pos), to_pos) {
             self.comm.send(nb, encode_tag(tag, neg), buf);
         }
-        let from_neg = self.neighbor(neg).map(|nb| self.comm.recv(nb, encode_tag(tag, neg)));
-        let from_pos = self.neighbor(pos).map(|nb| self.comm.recv(nb, encode_tag(tag, pos)));
+        let from_neg = self
+            .neighbor(neg)
+            .map(|nb| self.comm.recv(nb, encode_tag(tag, neg)));
+        let from_pos = self
+            .neighbor(pos)
+            .map(|nb| self.comm.recv(nb, encode_tag(tag, pos)));
         (from_neg, from_pos)
     }
 }
@@ -284,8 +308,8 @@ mod tests {
             if cart.neighbor(Direction::Left).is_some() {
                 outgoing[0] = Some(vec![me; 3]);
             }
-            let incoming = cart.exchange(outgoing, 1);
-            incoming
+
+            cart.exchange(outgoing, 1)
         });
         // Rank 0 received from its Right neighbor (rank 1).
         assert_eq!(out[0][1].as_ref().unwrap(), &vec![1.0; 3]);
@@ -329,7 +353,10 @@ mod tests {
             };
             let first = cart.exchange(mk(me), 10);
             let second = cart.exchange(mk(me + 100.0), 11);
-            (first[dir].as_ref().unwrap()[0], second[dir].as_ref().unwrap()[0])
+            (
+                first[dir].as_ref().unwrap()[0],
+                second[dir].as_ref().unwrap()[0],
+            )
         });
         assert_eq!(out[0], (1.0, 101.0));
         assert_eq!(out[1], (0.0, 100.0));

@@ -95,7 +95,15 @@ impl Comm {
         stats: Arc<Vec<CommStats>>,
         drop_fn: Option<Arc<FaultFn>>,
     ) -> Self {
-        Self { rank, size, senders, inbox, pending: Vec::new(), stats, drop_fn }
+        Self {
+            rank,
+            size,
+            senders,
+            inbox,
+            pending: Vec::new(),
+            stats,
+            drop_fn,
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -119,11 +127,16 @@ impl Comm {
     /// If `dest` is out of range or is this rank (self-sends are almost
     /// always a bug in SPMD code; loop back through memory instead).
     pub fn send(&self, dest: usize, tag: Tag, data: Vec<f64>) {
-        assert!(dest < self.size, "send: dest {dest} out of range (size {})", self.size);
+        assert!(
+            dest < self.size,
+            "send: dest {dest} out of range (size {})",
+            self.size
+        );
         assert_ne!(dest, self.rank, "send: self-send (rank {})", self.rank);
         let s = &self.stats[self.rank];
         s.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        s.values_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        s.values_sent
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         if let Some(f) = &self.drop_fn {
             if f(self.rank, dest, tag) {
                 return; // silently dropped by the fault plan
@@ -132,12 +145,19 @@ impl Comm {
         // Receiver never drops its inbox before the world ends, so this
         // only fails when the peer thread panicked; propagate as a panic.
         self.senders[dest]
-            .send(Message { src: self.rank, tag, data })
+            .send(Message {
+                src: self.rank,
+                tag,
+                data,
+            })
             .expect("send: destination rank is gone");
     }
 
     fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Message> {
-        let idx = self.pending.iter().position(|m| m.src == src && m.tag == tag)?;
+        let idx = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)?;
         Some(self.pending.swap_remove(idx))
     }
 
@@ -152,7 +172,12 @@ impl Comm {
 
     /// Like [`Comm::recv`] but gives up after `timeout` — the building block
     /// for loss-tolerant protocols under fault injection.
-    pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Result<Vec<f64>, RecvError> {
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, RecvError> {
         self.recv_impl(src, tag, Some(timeout))
     }
 
@@ -162,9 +187,15 @@ impl Comm {
         tag: Tag,
         timeout: Option<Duration>,
     ) -> Result<Vec<f64>, RecvError> {
-        assert!(src < self.size, "recv: src {src} out of range (size {})", self.size);
+        assert!(
+            src < self.size,
+            "recv: src {src} out of range (size {})",
+            self.size
+        );
         if let Some(m) = self.take_pending(src, tag) {
-            self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+            self.stats[self.rank]
+                .msgs_received
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(m.data);
         }
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
@@ -184,7 +215,9 @@ impl Comm {
                 }
             };
             if msg.src == src && msg.tag == tag {
-                self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+                self.stats[self.rank]
+                    .msgs_received
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok(msg.data);
             }
             self.pending.push(msg);
@@ -194,12 +227,16 @@ impl Comm {
     /// Non-blocking probe-and-receive.
     pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Vec<f64>> {
         if let Some(m) = self.take_pending(src, tag) {
-            self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+            self.stats[self.rank]
+                .msgs_received
+                .fetch_add(1, Ordering::Relaxed);
             return Some(m.data);
         }
         while let Ok(msg) = self.inbox.try_recv() {
             if msg.src == src && msg.tag == tag {
-                self.stats[self.rank].msgs_received.fetch_add(1, Ordering::Relaxed);
+                self.stats[self.rank]
+                    .msgs_received
+                    .fetch_add(1, Ordering::Relaxed);
                 return Some(msg.data);
             }
             self.pending.push(msg);
@@ -263,7 +300,11 @@ impl Comm {
                     continue;
                 }
                 let part = self.recv(r, Self::TAG_REDUCE);
-                assert_eq!(part.len(), acc.len(), "reduce_sum: length mismatch from rank {r}");
+                assert_eq!(
+                    part.len(),
+                    acc.len(),
+                    "reduce_sum: length mismatch from rank {r}"
+                );
                 for (a, b) in acc.iter_mut().zip(part) {
                     *a += b;
                 }
@@ -292,10 +333,8 @@ impl Comm {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size];
             out[root] = data.to_vec();
-            for r in 0..self.size {
-                if r != root {
-                    out[r] = self.recv(r, Self::TAG_GATHER);
-                }
+            for r in (0..self.size).filter(|&r| r != root) {
+                out[r] = self.recv(r, Self::TAG_GATHER);
             }
             Some(out)
         } else {
@@ -310,7 +349,8 @@ impl Comm {
         // Flatten with a length header so a single broadcast suffices.
         if self.rank == 0 {
             let parts = gathered.expect("gather on root");
-            let mut flat = Vec::with_capacity(1 + parts.len() + parts.iter().map(Vec::len).sum::<usize>());
+            let mut flat =
+                Vec::with_capacity(1 + parts.len() + parts.iter().map(Vec::len).sum::<usize>());
             flat.push(parts.len() as f64);
             for p in &parts {
                 flat.push(p.len() as f64);
@@ -400,11 +440,15 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let out = World::new(4).run(|mut comm| {
-            let data = if comm.rank() == 2 { vec![3.14, 2.71] } else { Vec::new() };
+            let data = if comm.rank() == 2 {
+                vec![3.25, 2.5]
+            } else {
+                Vec::new()
+            };
             comm.broadcast(2, data)
         });
         for r in out {
-            assert_eq!(r, vec![3.14, 2.71]);
+            assert_eq!(r, vec![3.25, 2.5]);
         }
     }
 
@@ -412,8 +456,8 @@ mod tests {
     fn reduce_and_allreduce_sum() {
         let out = World::new(4).run(|mut comm| {
             let mine = vec![comm.rank() as f64, 1.0];
-            let all = comm.allreduce_sum(&mine);
-            all
+
+            comm.allreduce_sum(&mine)
         });
         for r in out {
             assert_eq!(r, vec![6.0, 4.0]); // 0+1+2+3, 1×4
@@ -492,8 +536,8 @@ mod tests {
         let out = World::new(1).run(|mut comm| {
             comm.barrier();
             let b = comm.broadcast(0, vec![5.0]);
-            let r = comm.allreduce_sum(&b);
-            r
+
+            comm.allreduce_sum(&b)
         });
         assert_eq!(out[0], vec![5.0]);
     }

@@ -54,7 +54,10 @@ impl World {
     /// If `size` is 0.
     pub fn new(size: usize) -> Self {
         assert!(size >= 1, "World: need at least one rank");
-        Self { size, fault_plan: None }
+        Self {
+            size,
+            fault_plan: None,
+        }
     }
 
     /// Attaches a fault-injection plan (builder style).
@@ -92,7 +95,14 @@ impl World {
             .into_iter()
             .enumerate()
             .map(|(rank, inbox)| {
-                Comm::new(rank, n, senders.clone(), inbox, stats.clone(), drop_fn.clone())
+                Comm::new(
+                    rank,
+                    n,
+                    senders.clone(),
+                    inbox,
+                    stats.clone(),
+                    drop_fn.clone(),
+                )
             })
             .collect();
         // Drop the original senders so channels close when all ranks finish.
@@ -115,7 +125,10 @@ impl World {
             }
         })
         .expect("World::run: a rank panicked");
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
     /// Runs and additionally returns the per-rank `(sent, bytes_sent,
@@ -139,7 +152,14 @@ impl World {
             .into_iter()
             .enumerate()
             .map(|(rank, inbox)| {
-                Comm::new(rank, n, senders.clone(), inbox, stats.clone(), drop_fn.clone())
+                Comm::new(
+                    rank,
+                    n,
+                    senders.clone(),
+                    inbox,
+                    stats.clone(),
+                    drop_fn.clone(),
+                )
             })
             .collect();
         drop(senders);
@@ -165,7 +185,13 @@ impl World {
             .iter()
             .map(|s| (s.sent(), s.bytes_sent(), s.received()))
             .collect();
-        (results.into_iter().map(|r| r.expect("rank produced no result")).collect(), traffic)
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("rank produced no result"))
+                .collect(),
+            traffic,
+        )
     }
 }
 
@@ -190,8 +216,8 @@ mod tests {
             }
             c.barrier();
         });
-        assert_eq!(traffic[0].1, 24 + 0 * 8 + barrier_bytes()); // payload + barrier empties
-        // Rank 1 received the payload message plus barrier messages.
+        assert_eq!(traffic[0].1, 24 + barrier_bytes()); // payload + barrier empties
+                                                        // Rank 1 received the payload message plus barrier messages.
         assert!(traffic[1].2 >= 1);
     }
 

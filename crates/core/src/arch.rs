@@ -8,8 +8,8 @@
 use crate::padding::PaddingStrategy;
 use pde_nn::init::{init_conv, Init};
 use pde_nn::{Conv2d, ConvTranspose2d, LeakyReLu, Sequential};
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 /// A conv-stack architecture: channel widths, square kernel, activation
@@ -46,12 +46,20 @@ pub struct LayerRow {
 impl ArchSpec {
     /// Table I of the paper: 4 layers, channels 4→6→16→6→4, 5×5 kernels.
     pub fn paper() -> Self {
-        Self { channels: vec![4, 6, 16, 6, 4], kernel: 5, leak: 0.01 }
+        Self {
+            channels: vec![4, 6, 16, 6, 4],
+            kernel: 5,
+            leak: 0.01,
+        }
     }
 
     /// A two-layer 3×3 variant (halo 2) for fast tests on small grids.
     pub fn tiny() -> Self {
-        Self { channels: vec![4, 6, 4], kernel: 3, leak: 0.01 }
+        Self {
+            channels: vec![4, 6, 4],
+            kernel: 3,
+            leak: 0.01,
+        }
     }
 
     /// Number of conv layers.
@@ -99,10 +107,19 @@ impl ArchSpec {
 
     /// Validates the spec (≥1 layer, odd kernel, sane leak).
     pub fn validate(&self) {
-        assert!(self.channels.len() >= 2, "ArchSpec: need at least one layer");
-        assert!(self.kernel % 2 == 1 && self.kernel >= 1, "ArchSpec: kernel must be odd");
+        assert!(
+            self.channels.len() >= 2,
+            "ArchSpec: need at least one layer"
+        );
+        assert!(
+            self.kernel % 2 == 1 && self.kernel >= 1,
+            "ArchSpec: kernel must be odd"
+        );
         assert!((0.0..1.0).contains(&self.leak), "ArchSpec: leak in [0, 1)");
-        assert!(self.channels.iter().all(|&c| c > 0), "ArchSpec: zero-width layer");
+        assert!(
+            self.channels.iter().all(|&c| c > 0),
+            "ArchSpec: zero-width layer"
+        );
     }
 
     /// Builds the network with Kaiming-initialized weights.
@@ -126,7 +143,13 @@ impl ArchSpec {
                 Conv2d::new(pde_tensor::Conv2dSpec::square(io[0], io[1], self.kernel, 0))
             }
             .named(&format!("conv{}", l + 1));
-            init_conv(&mut conv, Init::KaimingUniform { neg_slope: self.leak }, &mut rng);
+            init_conv(
+                &mut conv,
+                Init::KaimingUniform {
+                    neg_slope: self.leak,
+                },
+                &mut rng,
+            );
             net.push_boxed(Box::new(conv));
             if l + 1 < n {
                 net.push_boxed(Box::new(LeakyReLu::new(self.leak)));
@@ -142,8 +165,13 @@ impl ArchSpec {
     ///   [`ConvTranspose2d`] with kernel `2·halo + 1` that restores the
     ///   spatial extent (paper §III approach 4).
     pub fn build_for(&self, strategy: PaddingStrategy, seed: u64) -> Sequential {
-        let mut net = self.build(!matches!(strategy,
-            PaddingStrategy::NeighborPad | PaddingStrategy::InnerCrop | PaddingStrategy::Deconv), seed);
+        let mut net = self.build(
+            !matches!(
+                strategy,
+                PaddingStrategy::NeighborPad | PaddingStrategy::InnerCrop | PaddingStrategy::Deconv
+            ),
+            seed,
+        );
         if strategy == PaddingStrategy::Deconv {
             let k = 2 * self.halo() + 1;
             let c = self.out_channels();
@@ -274,7 +302,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "kernel must be odd")]
     fn rejects_even_kernel() {
-        let a = ArchSpec { channels: vec![4, 4], kernel: 4, leak: 0.01 };
+        let a = ArchSpec {
+            channels: vec![4, 4],
+            kernel: 4,
+            leak: 0.01,
+        };
         a.validate();
     }
 }

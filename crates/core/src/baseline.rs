@@ -18,8 +18,8 @@
 
 use crate::arch::ArchSpec;
 use crate::data::SubdomainDataset;
-use crate::padding::PaddingStrategy;
 use crate::norm::ChannelNorm;
+use crate::padding::PaddingStrategy;
 use crate::train::{check_geometry, fit_norm, TrainConfig, TrainError};
 use pde_commsim::World;
 use pde_domain::GridPartition;
@@ -64,7 +64,11 @@ impl DataParallelTrainer {
     pub fn new(arch: ArchSpec, strategy: PaddingStrategy, config: TrainConfig) -> Self {
         arch.validate();
         config.validate();
-        Self { arch, strategy, config }
+        Self {
+            arch,
+            strategy,
+            config,
+        }
     }
 
     /// Trains on the first `n_train_pairs` pairs with `n_ranks` data-parallel
@@ -192,7 +196,7 @@ mod tests {
         // Rank 0 receives P−1 reduce contributions and sends P−1 broadcast
         // copies per allreduce; others send 1 and receive 1.
         let r1_bytes = out.traffic[1].1;
-        assert_eq!(r1_bytes, 2 /*epochs*/ * 1 /*batch*/ * params * 8);
+        assert_eq!(r1_bytes, 2 /*batch*/ * params * 8);
     }
 
     #[test]

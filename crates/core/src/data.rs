@@ -39,7 +39,12 @@ pub fn extract_target(snapshot: &Tensor3, block: &Block, crop: usize) -> Tensor3
         block.h,
         block.w
     );
-    snapshot.window(block.i0 + crop, block.j0 + crop, block.h - 2 * crop, block.w - 2 * crop)
+    snapshot.window(
+        block.i0 + crop,
+        block.j0 + crop,
+        block.h - 2 * crop,
+        block.w - 2 * crop,
+    )
 }
 
 /// Builds a *time-windowed* per-rank dataset directly from a [`DataSet`]:
@@ -74,7 +79,10 @@ pub fn build_windowed(
         start + 1 >= window,
         "build_windowed: pair {start} lacks {window}-snapshot history"
     );
-    assert!(start + count <= data.pair_count(), "build_windowed: range exceeds dataset");
+    assert!(
+        start + count <= data.pair_count(),
+        "build_windowed: range exceeds dataset"
+    );
     let block = part.block_of_rank(rank);
     let halo = strategy.input_halo(arch_halo);
     let crop = strategy.target_crop(arch_halo);
@@ -124,7 +132,15 @@ impl SubdomainDataset {
         strategy: PaddingStrategy,
         norm: &ChannelNorm,
     ) -> Self {
-        Self::build_with_mode(view, part, rank, arch_halo, strategy, norm, PredictionMode::Absolute)
+        Self::build_with_mode(
+            view,
+            part,
+            rank,
+            arch_halo,
+            strategy,
+            norm,
+            PredictionMode::Absolute,
+        )
     }
 
     /// Like [`SubdomainDataset::build`], with an explicit prediction mode:
@@ -156,7 +172,12 @@ impl SubdomainDataset {
             }
             targets.push(target);
         }
-        Self { inputs: Tensor4::stack(&inputs), targets: Tensor4::stack(&targets), block, halo }
+        Self {
+            inputs: Tensor4::stack(&inputs),
+            targets: Tensor4::stack(&targets),
+            block,
+            halo,
+        }
     }
 
     /// Number of supervised pairs.
@@ -193,12 +214,20 @@ impl SubdomainDataset {
     /// `shuffle` is set, identity otherwise. Deterministic in
     /// `(seed, epoch)`.
     pub fn epoch_order(&self, shuffle: bool, seed: u64, epoch: usize) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut order = Vec::new();
+        self.fill_epoch_order(shuffle, seed, epoch, &mut order);
+        order
+    }
+
+    /// [`SubdomainDataset::epoch_order`] into a caller-owned buffer: once
+    /// `order` has capacity for `len()` indices this never allocates.
+    pub fn fill_epoch_order(&self, shuffle: bool, seed: u64, epoch: usize, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..self.len());
         if shuffle {
             let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
             order.shuffle(&mut rng);
         }
-        order
     }
 
     /// Cuts `order` into `(input, target)` mini-batches of at most
@@ -209,6 +238,56 @@ impl SubdomainDataset {
             .chunks(batch_size)
             .map(|idx| (self.inputs.select(idx), self.targets.select(idx)))
             .collect()
+    }
+
+    /// Lazy mini-batch iterator over `order`: each call to
+    /// [`BatchCursor::next_into`] fills two caller-owned tensors instead of
+    /// allocating a fresh pair per batch.
+    pub fn batch_cursor<'a>(&'a self, order: &'a [usize], batch_size: usize) -> BatchCursor<'a> {
+        assert!(batch_size >= 1, "batch_cursor: batch_size must be >= 1");
+        BatchCursor {
+            ds: self,
+            rest: order,
+            batch_size,
+        }
+    }
+
+    /// Copies the samples named by `idx` into two reusable batch tensors,
+    /// resizing them in place (allocation-free once grown).
+    pub fn fill_batch(&self, idx: &[usize], x: &mut Tensor4, y: &mut Tensor4) {
+        let (n, ci, hi, wi) = self.inputs.shape();
+        let (_, ct, ht, wt) = self.targets.shape();
+        x.resize(idx.len(), ci, hi, wi);
+        y.resize(idx.len(), ct, ht, wt);
+        for (i, &s) in idx.iter().enumerate() {
+            assert!(s < n, "fill_batch: sample index {s} out of range (n={n})");
+            x.sample_mut(i).copy_from_slice(self.inputs.sample(s));
+            y.sample_mut(i).copy_from_slice(self.targets.sample(s));
+        }
+    }
+}
+
+/// Walks an epoch's index order in mini-batch chunks, filling reusable
+/// tensors. Created by [`SubdomainDataset::batch_cursor`].
+pub struct BatchCursor<'a> {
+    ds: &'a SubdomainDataset,
+    rest: &'a [usize],
+    batch_size: usize,
+}
+
+impl BatchCursor<'_> {
+    /// Fills `x`/`y` with the next mini-batch; `false` when exhausted.
+    /// The final batch may be smaller than `batch_size` (the tensors are
+    /// resized to match, which shrinks within retained capacity).
+    pub fn next_into(&mut self, x: &mut Tensor4, y: &mut Tensor4) -> bool {
+        if self.rest.is_empty() {
+            return false;
+        }
+        let take = self.batch_size.min(self.rest.len());
+        let (idx, rest) = self.rest.split_at(take);
+        self.rest = rest;
+        self.ds.fill_batch(idx, x, y);
+        true
     }
 }
 
@@ -258,7 +337,10 @@ mod tests {
         let block = part.block_of_rank(3);
         let y = extract_target(ds.snapshot(1), &block, 2);
         assert_eq!(y.shape(), (4, 4, 4));
-        assert_eq!(y[(0, 0, 0)], ds.snapshot(1)[(0, block.i0 + 2, block.j0 + 2)]);
+        assert_eq!(
+            y[(0, 0, 0)],
+            ds.snapshot(1)[(0, block.i0 + 2, block.j0 + 2)]
+        );
     }
 
     #[test]
@@ -271,7 +353,14 @@ mod tests {
             (PaddingStrategy::NeighborPad, 12, 8),
             (PaddingStrategy::InnerCrop, 8, 4),
         ] {
-            let sd = SubdomainDataset::build(&train, &part, 1, arch_halo, strategy, &ChannelNorm::identity(4));
+            let sd = SubdomainDataset::build(
+                &train,
+                &part,
+                1,
+                arch_halo,
+                strategy,
+                &ChannelNorm::identity(4),
+            );
             assert_eq!(sd.len(), 5);
             assert_eq!(sd.inputs().shape(), (5, 4, in_hw, in_hw), "{strategy:?}");
             assert_eq!(sd.targets().shape(), (5, 4, tgt_hw, tgt_hw), "{strategy:?}");
@@ -282,7 +371,14 @@ mod tests {
     fn neighbor_pad_input_overlaps_neighbor_interior() {
         let (ds, part) = setup();
         let (train, _) = ds.chronological_split(5);
-        let sd0 = SubdomainDataset::build(&train, &part, 0, 2, PaddingStrategy::NeighborPad, &ChannelNorm::identity(4));
+        let sd0 = SubdomainDataset::build(
+            &train,
+            &part,
+            0,
+            2,
+            PaddingStrategy::NeighborPad,
+            &ChannelNorm::identity(4),
+        );
         // Rank 0's input right halo equals rank 1's interior left columns.
         let b1 = part.block_of_rank(1);
         let x0 = sd0.inputs().sample_tensor(0);
@@ -301,7 +397,14 @@ mod tests {
     fn epoch_order_deterministic_and_permuting() {
         let (ds, part) = setup();
         let (train, _) = ds.chronological_split(6);
-        let sd = SubdomainDataset::build(&train, &part, 0, 2, PaddingStrategy::ZeroPad, &ChannelNorm::identity(4));
+        let sd = SubdomainDataset::build(
+            &train,
+            &part,
+            0,
+            2,
+            PaddingStrategy::ZeroPad,
+            &ChannelNorm::identity(4),
+        );
         let o1 = sd.epoch_order(true, 9, 3);
         let o2 = sd.epoch_order(true, 9, 3);
         assert_eq!(o1, o2);
@@ -318,7 +421,14 @@ mod tests {
         let ds = paper_dataset(16, 9); // 8 pairs
         let part = GridPartition::new(16, 16, 2, 2);
         let (train, _) = ds.chronological_split(7);
-        let sd = SubdomainDataset::build(&train, &part, 2, 2, PaddingStrategy::ZeroPad, &ChannelNorm::identity(4));
+        let sd = SubdomainDataset::build(
+            &train,
+            &part,
+            2,
+            2,
+            PaddingStrategy::ZeroPad,
+            &ChannelNorm::identity(4),
+        );
         let order = sd.epoch_order(false, 0, 0);
         let batches = sd.batches(&order, 3);
         assert_eq!(batches.len(), 3); // 3 + 3 + 1
@@ -326,5 +436,52 @@ mod tests {
         assert_eq!(batches[2].0.n(), 1);
         let total: usize = batches.iter().map(|(x, _)| x.n()).sum();
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn batch_cursor_matches_eager_batches() {
+        let ds = paper_dataset(16, 9); // 8 pairs
+        let part = GridPartition::new(16, 16, 2, 2);
+        let (train, _) = ds.chronological_split(7);
+        let sd = SubdomainDataset::build(
+            &train,
+            &part,
+            2,
+            2,
+            PaddingStrategy::ZeroPad,
+            &ChannelNorm::identity(4),
+        );
+        let order = sd.epoch_order(true, 11, 2);
+        let eager = sd.batches(&order, 3);
+        let mut cursor = sd.batch_cursor(&order, 3);
+        let mut x = Tensor4::zeros(0, 0, 0, 0);
+        let mut y = Tensor4::zeros(0, 0, 0, 0);
+        let mut k = 0;
+        while cursor.next_into(&mut x, &mut y) {
+            assert_eq!(x.as_slice(), eager[k].0.as_slice());
+            assert_eq!(y.as_slice(), eager[k].1.as_slice());
+            assert_eq!(x.shape(), eager[k].0.shape());
+            k += 1;
+        }
+        assert_eq!(k, eager.len());
+    }
+
+    #[test]
+    fn fill_epoch_order_matches_epoch_order() {
+        let (ds, part) = setup();
+        let (train, _) = ds.chronological_split(6);
+        let sd = SubdomainDataset::build(
+            &train,
+            &part,
+            0,
+            2,
+            PaddingStrategy::ZeroPad,
+            &ChannelNorm::identity(4),
+        );
+        let mut order = Vec::new();
+        sd.fill_epoch_order(true, 9, 3, &mut order);
+        assert_eq!(order, sd.epoch_order(true, 9, 3));
+        sd.fill_epoch_order(false, 9, 3, &mut order);
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
     }
 }

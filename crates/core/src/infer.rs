@@ -93,10 +93,18 @@ impl ParallelInference {
              boundary ring, as §III of the paper notes)",
             strategy.label()
         );
-        assert_eq!(weights.len(), part.rank_count(), "ParallelInference: one weight set per rank");
+        assert_eq!(
+            weights.len(),
+            part.rank_count(),
+            "ParallelInference: one weight set per rank"
+        );
         let expected = arch.param_count_for(strategy);
         for (r, w) in weights.iter().enumerate() {
-            assert_eq!(w.len(), expected, "ParallelInference: rank {r} weight snapshot length");
+            assert_eq!(
+                w.len(),
+                expected,
+                "ParallelInference: rank {r} weight snapshot length"
+            );
         }
         assert_eq!(
             norm.channels() * window,
@@ -106,12 +114,24 @@ impl ParallelInference {
             norm.channels(),
             arch.in_channels()
         );
-        Self { arch, strategy, part, weights, norm, prediction, window }
+        Self {
+            arch,
+            strategy,
+            part,
+            weights,
+            norm,
+            prediction,
+            window,
+        }
     }
 
     /// Builds from a [`TrainOutcome`] (same arch/strategy as training).
     pub fn from_outcome(arch: ArchSpec, strategy: PaddingStrategy, outcome: &TrainOutcome) -> Self {
-        let weights = outcome.rank_results.iter().map(|r| r.weights.clone()).collect();
+        let weights = outcome
+            .rank_results
+            .iter()
+            .map(|r| r.weights.clone())
+            .collect();
         Self::with_window(
             arch,
             strategy,
@@ -162,14 +182,21 @@ impl ParallelInference {
             (part.global_h(), part.global_w()),
             "rollout: initial state does not match the partition"
         );
-        assert_eq!(initial.c(), self.norm.channels(), "rollout: channel mismatch");
+        assert_eq!(
+            initial.c(),
+            self.norm.channels(),
+            "rollout: channel mismatch"
+        );
         // The networks operate in normalized space; states are mapped back
         // before being returned. Each rank keeps the last `window` local
         // states (oldest first).
         let per_rank_history: Vec<Vec<Tensor3>> = {
             let mut acc: Vec<Vec<Tensor3>> = vec![Vec::new(); part.rank_count()];
             for g in history {
-                for (r, local) in scatter(&self.norm.normalize3(g), &part).into_iter().enumerate() {
+                for (r, local) in scatter(&self.norm.normalize3(g), &part)
+                    .into_iter()
+                    .enumerate()
+                {
                     acc[r].push(local);
                 }
             }
@@ -213,7 +240,9 @@ impl ParallelInference {
                     .collect();
                 let refs: Vec<&Tensor3> = padded.iter().collect();
                 let input = Tensor3::concat_channels(&refs);
-                let y = net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+                let y = net
+                    .forward(&Tensor4::from_sample(&input), false)
+                    .sample_tensor(0);
                 let last = recent.last().expect("history");
                 let next = match prediction {
                     PredictionMode::Absolute => y,
@@ -249,7 +278,10 @@ impl ParallelInference {
     /// integration tests enforce it — because the halo exchange is supposed
     /// to reproduce precisely the overlapping-window inputs.
     pub fn reference_rollout(&self, initial: &Tensor3, n_steps: usize) -> Vec<Tensor3> {
-        assert_eq!(self.window, 1, "reference_rollout: use reference_rollout_from_history");
+        assert_eq!(
+            self.window, 1,
+            "reference_rollout: use reference_rollout_from_history"
+        );
         self.reference_rollout_from_history(std::slice::from_ref(initial), n_steps)
     }
 
@@ -259,7 +291,11 @@ impl ParallelInference {
         history: &[Tensor3],
         n_steps: usize,
     ) -> Vec<Tensor3> {
-        assert_eq!(history.len(), self.window, "reference_rollout_from_history: history length");
+        assert_eq!(
+            history.len(),
+            self.window,
+            "reference_rollout_from_history: history length"
+        );
         let part = self.part;
         let halo = self.strategy.input_halo(self.arch.halo());
         let mode = self.strategy.boundary_pad_mode();
@@ -284,7 +320,9 @@ impl ParallelInference {
                         .collect();
                     let refs: Vec<&Tensor3> = padded.iter().collect();
                     let input = Tensor3::concat_channels(&refs);
-                    let y = nets[r].forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+                    let y = nets[r]
+                        .forward(&Tensor4::from_sample(&input), false)
+                        .sample_tensor(0);
                     match self.prediction {
                         PredictionMode::Absolute => y,
                         PredictionMode::Residual => {
@@ -316,16 +354,26 @@ impl ParallelInference {
 /// swaps `halo × (w+2halo)` row strips **of the partially assembled padded
 /// tensor**, so corner cells arrive from diagonal neighbors without any
 /// extra messages.
-pub fn assemble_halo_input(cart: &mut CartComm, local: &Tensor3, halo: usize, step: u32) -> Tensor3 {
+pub fn assemble_halo_input(
+    cart: &mut CartComm,
+    local: &Tensor3,
+    halo: usize,
+    step: u32,
+) -> Tensor3 {
     let (c, h, w) = local.shape();
-    assert!(halo <= h && halo <= w, "assemble_halo_input: halo {halo} exceeds local {h}x{w}");
+    assert!(
+        halo <= h && halo <= w,
+        "assemble_halo_input: halo {halo} exceeds local {h}x{w}"
+    );
     let mut padded = Tensor3::zeros(c, h + 2 * halo, w + 2 * halo);
     padded.set_window(halo, halo, local);
 
     use pde_commsim::Direction::*;
     // Phase 1: x-axis (column strips from the raw interior).
     let to_left = cart.neighbor(Left).map(|_| pack_cols(local, 0, halo));
-    let to_right = cart.neighbor(Right).map(|_| pack_cols(local, w - halo, halo));
+    let to_right = cart
+        .neighbor(Right)
+        .map(|_| pack_cols(local, w - halo, halo));
     let (from_left, from_right) = cart.exchange_x(to_left, to_right, step * 2);
     if let Some(buf) = from_left {
         let strip = Tensor3::from_vec(c, h, halo, buf);
@@ -361,7 +409,11 @@ pub fn single_network_rollout(
     initial: &Tensor3,
     n_steps: usize,
 ) -> Vec<Tensor3> {
-    assert!(strategy.supports_rollout(), "single_network_rollout: {} cannot roll out", strategy.label());
+    assert!(
+        strategy.supports_rollout(),
+        "single_network_rollout: {} cannot roll out",
+        strategy.label()
+    );
     let halo = strategy.input_halo(arch.halo());
     let mode = strategy.boundary_pad_mode();
     let mut normalized = vec![norm.normalize3(initial)];
@@ -373,7 +425,9 @@ pub fn single_network_rollout(
         } else {
             pde_tensor::pad::pad_tensor3(cur, halo, halo, halo, halo, mode)
         };
-        let y = net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0);
+        let y = net
+            .forward(&Tensor4::from_sample(&input), false)
+            .sample_tensor(0);
         let next = match prediction {
             PredictionMode::Absolute => y,
             PredictionMode::Residual => {
@@ -416,7 +470,13 @@ mod tests {
         let refr = inf.reference_rollout(&initial, 3);
         assert_eq!(par.states.len(), 4);
         for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
-            assert_slice_close(a.as_slice(), b.as_slice(), 1e-12, 1e-12, &format!("step {k}"));
+            assert_slice_close(
+                a.as_slice(),
+                b.as_slice(),
+                1e-12,
+                1e-12,
+                &format!("step {k}"),
+            );
         }
     }
 
@@ -451,7 +511,11 @@ mod tests {
         let per_rank_per_step = 4 * 8 * 2 + 4 * 2 * 12;
         for (rank, t) in r.traffic.iter().enumerate() {
             assert_eq!(t.0, 2 * steps as u64, "rank {rank} message count");
-            assert_eq!(t.1, (per_rank_per_step * steps * 8) as u64, "rank {rank} bytes");
+            assert_eq!(
+                t.1,
+                (per_rank_per_step * steps * 8) as u64,
+                "rank {rank} bytes"
+            );
         }
     }
 
@@ -493,10 +557,13 @@ mod tests {
     fn inner_crop_rollout_is_rejected() {
         let data = paper_dataset(32, 6);
         let arch = ArchSpec::tiny();
-        let outcome =
-            ParallelTrainer::new(arch.clone(), PaddingStrategy::InnerCrop, TrainConfig::quick_test())
-                .train_view(&data, 4, 4)
-                .unwrap();
+        let outcome = ParallelTrainer::new(
+            arch.clone(),
+            PaddingStrategy::InnerCrop,
+            TrainConfig::quick_test(),
+        )
+        .train_view(&data, 4, 4)
+        .unwrap();
         let _ = ParallelInference::from_outcome(arch, PaddingStrategy::InnerCrop, &outcome);
     }
 

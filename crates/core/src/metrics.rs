@@ -48,9 +48,11 @@ pub fn field_errors(pred: &Tensor3, target: &Tensor3, mape_floor: f64) -> Vec<Fi
         .map(|c| {
             let p = pred.channel(c);
             let t = target.channel(c);
-            let (lo, hi) = t.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-                (lo.min(x), hi.max(x))
-            });
+            let (lo, hi) = t
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                });
             FieldErrors {
                 name: FIELD_NAMES.get(c).copied().unwrap_or("field").to_string()
                     + if c >= FIELD_NAMES.len() { "?" } else { "" },
@@ -75,7 +77,10 @@ pub fn mean_rmse(pred: &Tensor3, target: &Tensor3) -> f64 {
 ///
 /// Compares `pred[k]` with `reference[k]` for `k = 0..min(len)`.
 pub fn rollout_error_curve(pred: &[Tensor3], reference: &[Tensor3]) -> Vec<f64> {
-    pred.iter().zip(reference).map(|(p, r)| mean_rmse(p, r)).collect()
+    pred.iter()
+        .zip(reference)
+        .map(|(p, r)| mean_rmse(p, r))
+        .collect()
 }
 
 /// Renders a fixed-width per-field error table.

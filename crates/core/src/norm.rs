@@ -24,7 +24,9 @@ pub struct ChannelNorm {
 impl ChannelNorm {
     /// The identity map for `c` channels (normalization disabled).
     pub fn identity(c: usize) -> Self {
-        Self { scales: vec![1.0; c] }
+        Self {
+            scales: vec![1.0; c],
+        }
     }
 
     /// Builds from explicit per-channel scales.
@@ -48,10 +50,10 @@ impl ChannelNorm {
         let mut scales = vec![0.0f64; c];
         for k in 0..view.len() {
             let (x, y) = view.pair(k);
-            for ch in 0..c {
+            for (ch, s) in scales.iter_mut().enumerate() {
                 let mx = x.channel(ch).iter().fold(0.0f64, |m, v| m.max(v.abs()));
                 let my = y.channel(ch).iter().fold(0.0f64, |m, v| m.max(v.abs()));
-                scales[ch] = scales[ch].max(mx).max(my);
+                *s = s.max(mx).max(my);
             }
         }
         for s in &mut scales {
@@ -156,7 +158,11 @@ mod tests {
         let n = ChannelNorm::fit(&view);
         // Pressure is O(0.5), density O(1e-6): the fitted scales must keep
         // that ordering and both normalized fields must be within [-1, 1].
-        assert!(n.scales()[0] > 100.0 * n.scales()[1], "scales {:?}", n.scales());
+        assert!(
+            n.scales()[0] > 100.0 * n.scales()[1],
+            "scales {:?}",
+            n.scales()
+        );
         let normed = n.normalize3(data.snapshot(3));
         assert!(normed.max_abs() <= 1.0 + 1e-12);
     }

@@ -20,7 +20,10 @@ impl Csv {
     /// New table with the given column names.
     pub fn new(header: &[&str]) -> Self {
         assert!(!header.is_empty(), "Csv: empty header");
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row of already formatted cells.
@@ -65,9 +68,21 @@ impl Csv {
                 c.to_string()
             }
         };
-        let _ = writeln!(s, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            s,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for r in &self.rows {
-            let _ = writeln!(s, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                s,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         s
     }

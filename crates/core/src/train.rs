@@ -24,6 +24,7 @@ use pde_nn::loss::{Huber, Loss, Mae, Mape, Mse};
 use pde_nn::optim::{Adam, Optimizer, RmsProp, Sgd};
 use pde_nn::serialize::snapshot;
 use pde_nn::{Layer, LrSchedule, Sequential};
+use pde_tensor::{perf, PerfCounters, Tensor4};
 use std::time::Instant;
 
 /// Which optimizer a trainer builds.
@@ -190,12 +191,19 @@ impl TrainConfig {
     /// recommended mode for actually deploying the surrogate (see
     /// [`PredictionMode::Residual`]).
     pub fn paper_residual() -> Self {
-        Self { prediction: PredictionMode::Residual, ..Self::paper() }
+        Self {
+            prediction: PredictionMode::Residual,
+            ..Self::paper()
+        }
     }
 
     /// A minimal configuration for unit tests (2 epochs).
     pub fn quick_test() -> Self {
-        Self { epochs: 2, batch_size: 4, ..Self::paper() }
+        Self {
+            epochs: 2,
+            batch_size: 4,
+            ..Self::paper()
+        }
     }
 
     /// Effective learning rate for an epoch.
@@ -248,6 +256,9 @@ pub struct RankResult {
     pub msgs_sent: u64,
     /// Bytes this rank sent during training (must be 0).
     pub bytes_sent: u64,
+    /// Kernel FLOP / GEMM-call / allocation counters for this rank's
+    /// training thread (exact per-rank attribution: one OS thread per rank).
+    pub perf: PerfCounters,
 }
 
 /// Result of a parallel training run.
@@ -272,7 +283,11 @@ pub struct TrainOutcome {
 impl TrainOutcome {
     /// Mean final-epoch loss across ranks.
     pub fn mean_final_loss(&self) -> f64 {
-        let s: f64 = self.rank_results.iter().map(|r| *r.epoch_losses.last().unwrap()).sum();
+        let s: f64 = self
+            .rank_results
+            .iter()
+            .map(|r| *r.epoch_losses.last().unwrap())
+            .sum();
         s / self.rank_results.len() as f64
     }
 
@@ -282,35 +297,88 @@ impl TrainOutcome {
     }
 }
 
-/// The inner optimization loop shared by every trainer in the workspace.
+/// Reusable state of the training hot loop: the optimizer, the loss, and
+/// every buffer a per-batch step touches (epoch order, the two mini-batch
+/// tensors, prediction, loss gradient, input gradient).
 ///
-/// Returns the mean loss per epoch.
-pub fn train_network(net: &mut Sequential, ds: &SubdomainDataset, cfg: &TrainConfig) -> Vec<f64> {
-    cfg.validate();
-    let loss = cfg.loss.build();
-    let mut opt = cfg.optimizer.build(cfg.lr);
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
-        opt.set_learning_rate(cfg.rate(epoch));
-        let order = ds.epoch_order(cfg.shuffle, cfg.seed, epoch);
+/// All buffers grow monotonically: after the first epoch has warmed them —
+/// together with the network's own workspace and the optimizer's moment
+/// state — a full epoch performs **zero heap allocations** (asserted by
+/// `zero_alloc.rs` in the bench crate against the allocation probe in
+/// [`pde_tensor::perf`]).
+pub struct TrainSession {
+    opt: Box<dyn Optimizer>,
+    loss: Box<dyn Loss>,
+    order: Vec<usize>,
+    x: Tensor4,
+    y: Tensor4,
+    pred: Tensor4,
+    grad: Tensor4,
+    grad_in: Tensor4,
+}
+
+impl TrainSession {
+    /// Builds the optimizer/loss from `cfg` and empty (capacity-0) buffers.
+    pub fn new(cfg: &TrainConfig) -> Self {
+        cfg.validate();
+        Self {
+            opt: cfg.optimizer.build(cfg.lr),
+            loss: cfg.loss.build(),
+            order: Vec::new(),
+            x: Tensor4::zeros(0, 0, 0, 0),
+            y: Tensor4::zeros(0, 0, 0, 0),
+            pred: Tensor4::zeros(0, 0, 0, 0),
+            grad: Tensor4::zeros(0, 0, 0, 0),
+            grad_in: Tensor4::zeros(0, 0, 0, 0),
+        }
+    }
+
+    /// One pass over the shard; returns the mean per-batch loss.
+    ///
+    /// The session must be used with the same network and dataset across
+    /// epochs (the optimizer's moment state is keyed to the parameter-group
+    /// structure).
+    pub fn run_epoch(
+        &mut self,
+        net: &mut Sequential,
+        ds: &SubdomainDataset,
+        cfg: &TrainConfig,
+        epoch: usize,
+    ) -> f64 {
+        self.opt.set_learning_rate(cfg.rate(epoch));
+        ds.fill_epoch_order(cfg.shuffle, cfg.seed, epoch, &mut self.order);
         let mut sum = 0.0;
         let mut batches = 0usize;
-        for (x, y) in ds.batches(&order, cfg.batch_size) {
+        let mut cursor = ds.batch_cursor(&self.order, cfg.batch_size);
+        while cursor.next_into(&mut self.x, &mut self.y) {
             net.zero_grad();
-            let pred = net.forward(&x, true);
-            let (l, grad) = loss.value_and_grad(&pred, &y);
-            let _ = net.backward(&grad);
+            net.forward_into(&self.x, true, &mut self.pred);
+            let l = self
+                .loss
+                .value_and_grad_into(&self.pred, &self.y, &mut self.grad);
+            net.backward_into(&self.grad, &mut self.grad_in);
             if let Some(max_norm) = cfg.grad_clip {
-                let norm = pde_nn::optim::gradient_norm(&net.param_groups());
+                let norm = pde_nn::optim::gradient_norm_of(net);
                 if norm > max_norm {
                     net.scale_gradients(max_norm / norm);
                 }
             }
-            opt.step(&mut net.param_groups());
+            self.opt.step_visit(net);
             sum += l;
             batches += 1;
         }
-        epoch_losses.push(sum / batches as f64);
+        sum / batches as f64
+    }
+}
+
+/// The inner optimization loop shared by every trainer in the workspace.
+///
+/// Returns the mean loss per epoch.
+pub fn train_network(net: &mut Sequential, ds: &SubdomainDataset, cfg: &TrainConfig) -> Vec<f64> {
+    let mut session = TrainSession::new(cfg);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        epoch_losses.push(session.run_epoch(net, ds, cfg, epoch));
     }
     epoch_losses
 }
@@ -362,7 +430,10 @@ pub fn train_rank(
     part: &GridPartition,
     rank: usize,
 ) -> (Vec<f64>, Vec<f64>) {
-    assert_eq!(cfg.window, 1, "train_rank: use train_rank_windowed for window > 1");
+    assert_eq!(
+        cfg.window, 1,
+        "train_rank: use train_rank_windowed for window > 1"
+    );
     let norm = fit_norm(cfg, view, arch);
     let ds = SubdomainDataset::build_with_mode(
         view,
@@ -390,7 +461,11 @@ impl ParallelTrainer {
     pub fn new(arch: ArchSpec, strategy: PaddingStrategy, config: TrainConfig) -> Self {
         arch.validate();
         config.validate();
-        Self { arch, strategy, config }
+        Self {
+            arch,
+            strategy,
+            config,
+        }
     }
 
     /// The architecture in use.
@@ -460,6 +535,7 @@ impl ParallelTrainer {
         let results = world.run(|comm| {
             let rank = comm.rank();
             let rank_t0 = Instant::now();
+            let perf0 = perf::snapshot();
             // Build the rank's shard straight from (shared) memory — the
             // paper's "training data are directly fed into the network from
             // the memory".
@@ -484,6 +560,7 @@ impl ParallelTrainer {
                 train_seconds: rank_t0.elapsed().as_secs_f64(),
                 msgs_sent: comm.stats().sent(),
                 bytes_sent: comm.stats().bytes_sent(),
+                perf: perf::snapshot().since(&perf0),
             }
         });
         Ok(TrainOutcome {
@@ -526,7 +603,11 @@ impl SequentialTrainer {
     pub fn new(arch: ArchSpec, strategy: PaddingStrategy, config: TrainConfig) -> Self {
         arch.validate();
         config.validate();
-        Self { arch, strategy, config }
+        Self {
+            arch,
+            strategy,
+            config,
+        }
     }
 
     /// Trains on pairs `0..n_train_pairs`.
@@ -593,10 +674,20 @@ mod tests {
         .unwrap();
         assert_eq!(out.rank_results.len(), 4);
         for r in &out.rank_results {
-            assert_eq!(r.msgs_sent, 0, "rank {} communicated during training", r.rank);
+            assert_eq!(
+                r.msgs_sent, 0,
+                "rank {} communicated during training",
+                r.rank
+            );
             assert_eq!(r.bytes_sent, 0);
             assert_eq!(r.epoch_losses.len(), 2);
             assert!(r.train_seconds >= 0.0);
+            assert!(
+                r.perf.gemm_calls > 0,
+                "rank {} reported no GEMM calls",
+                r.rank
+            );
+            assert!(r.perf.flops > 0, "rank {} reported no FLOPs", r.rank);
         }
         assert_eq!(out.total_bytes_sent(), 0);
     }
@@ -607,13 +698,21 @@ mod tests {
         let cfg = TrainConfig::quick_test();
         let arch = ArchSpec::tiny();
         let strategy = PaddingStrategy::NeighborPad;
-        let out = ParallelTrainer::new(arch.clone(), strategy, cfg.clone()).train(&d, 4).unwrap();
+        let out = ParallelTrainer::new(arch.clone(), strategy, cfg.clone())
+            .train(&d, 4)
+            .unwrap();
         let part = out.partition;
         for r in 0..4 {
             let view = d.view(0, d.pair_count());
             let (w_ref, losses_ref) = train_rank(&arch, strategy, &cfg, &view, &part, r);
-            assert_eq!(out.rank_results[r].weights, w_ref, "rank {r} weights differ");
-            assert_eq!(out.rank_results[r].epoch_losses, losses_ref, "rank {r} losses differ");
+            assert_eq!(
+                out.rank_results[r].weights, w_ref,
+                "rank {r} weights differ"
+            );
+            assert_eq!(
+                out.rank_results[r].epoch_losses, losses_ref,
+                "rank {r} losses differ"
+            );
         }
     }
 
@@ -640,14 +739,22 @@ mod tests {
     #[test]
     fn sequential_trainer_runs() {
         let d = data();
-        let mut out =
-            SequentialTrainer::new(ArchSpec::tiny(), PaddingStrategy::ZeroPad, TrainConfig::quick_test())
-                .train(&d, 5)
-                .unwrap();
+        let mut out = SequentialTrainer::new(
+            ArchSpec::tiny(),
+            PaddingStrategy::ZeroPad,
+            TrainConfig::quick_test(),
+        )
+        .train(&d, 5)
+        .unwrap();
         assert_eq!(out.epoch_losses.len(), 2);
         assert!(out.seconds > 0.0);
-        assert!(!out.norm.is_identity(), "paper config normalizes by default");
-        let x = out.norm.normalize4(&pde_tensor::Tensor4::from_sample(d.snapshot(0)));
+        assert!(
+            !out.norm.is_identity(),
+            "paper config normalizes by default"
+        );
+        let x = out
+            .norm
+            .normalize4(&pde_tensor::Tensor4::from_sample(d.snapshot(0)));
         assert_eq!(out.net.forward(&x, false).shape(), (1, 4, 16, 16));
     }
 

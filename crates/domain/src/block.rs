@@ -68,12 +68,20 @@ impl Block {
     /// input dimension … input data for neighboring processes are
     /// overlapping" (§III).
     pub fn extended(&self, halo: usize, gh: usize, gw: usize) -> (Block, Margins) {
-        assert!(self.i1() <= gh && self.j1() <= gw, "Block::extended: block outside global grid");
+        assert!(
+            self.i1() <= gh && self.j1() <= gw,
+            "Block::extended: block outside global grid"
+        );
         let i0 = self.i0.saturating_sub(halo);
         let j0 = self.j0.saturating_sub(halo);
         let i1 = (self.i1() + halo).min(gh);
         let j1 = (self.j1() + halo).min(gw);
-        let clipped = Block { i0, j0, h: i1 - i0, w: j1 - j0 };
+        let clipped = Block {
+            i0,
+            j0,
+            h: i1 - i0,
+            w: j1 - j0,
+        };
         let margins = Margins {
             top: halo - (self.i0 - i0),
             left: halo - (self.j0 - j0),
@@ -96,7 +104,12 @@ mod tests {
 
     #[test]
     fn area_and_bounds() {
-        let b = Block { i0: 2, j0: 3, h: 4, w: 5 };
+        let b = Block {
+            i0: 2,
+            j0: 3,
+            h: 4,
+            w: 5,
+        };
         assert_eq!(b.area(), 20);
         assert_eq!(b.i1(), 6);
         assert_eq!(b.j1(), 8);
@@ -108,9 +121,24 @@ mod tests {
 
     #[test]
     fn intersection_detection() {
-        let a = Block { i0: 0, j0: 0, h: 4, w: 4 };
-        let b = Block { i0: 3, j0: 3, h: 4, w: 4 };
-        let c = Block { i0: 4, j0: 0, h: 2, w: 4 };
+        let a = Block {
+            i0: 0,
+            j0: 0,
+            h: 4,
+            w: 4,
+        };
+        let b = Block {
+            i0: 3,
+            j0: 3,
+            h: 4,
+            w: 4,
+        };
+        let c = Block {
+            i0: 4,
+            j0: 0,
+            h: 2,
+            w: 4,
+        };
         assert!(a.intersects(&b));
         assert!(b.intersects(&a));
         assert!(!a.intersects(&c));
@@ -118,33 +146,90 @@ mod tests {
 
     #[test]
     fn extended_interior_block_has_no_margins() {
-        let b = Block { i0: 4, j0: 4, h: 4, w: 4 };
+        let b = Block {
+            i0: 4,
+            j0: 4,
+            h: 4,
+            w: 4,
+        };
         let (e, m) = b.extended(2, 16, 16);
-        assert_eq!(e, Block { i0: 2, j0: 2, h: 8, w: 8 });
+        assert_eq!(
+            e,
+            Block {
+                i0: 2,
+                j0: 2,
+                h: 8,
+                w: 8
+            }
+        );
         assert!(m.is_zero());
     }
 
     #[test]
     fn extended_corner_block_reports_margins() {
-        let b = Block { i0: 0, j0: 0, h: 4, w: 4 };
+        let b = Block {
+            i0: 0,
+            j0: 0,
+            h: 4,
+            w: 4,
+        };
         let (e, m) = b.extended(2, 16, 16);
-        assert_eq!(e, Block { i0: 0, j0: 0, h: 6, w: 6 });
-        assert_eq!(m, Margins { top: 2, left: 2, bottom: 0, right: 0 });
+        assert_eq!(
+            e,
+            Block {
+                i0: 0,
+                j0: 0,
+                h: 6,
+                w: 6
+            }
+        );
+        assert_eq!(
+            m,
+            Margins {
+                top: 2,
+                left: 2,
+                bottom: 0,
+                right: 0
+            }
+        );
     }
 
     #[test]
     fn extended_full_grid_block_pads_everywhere() {
-        let b = Block { i0: 0, j0: 0, h: 8, w: 8 };
+        let b = Block {
+            i0: 0,
+            j0: 0,
+            h: 8,
+            w: 8,
+        };
         let (e, m) = b.extended(3, 8, 8);
         assert_eq!(e, b);
-        assert_eq!(m, Margins { top: 3, left: 3, bottom: 3, right: 3 });
+        assert_eq!(
+            m,
+            Margins {
+                top: 3,
+                left: 3,
+                bottom: 3,
+                right: 3
+            }
+        );
     }
 
     #[test]
     fn interior_offset_matches_margins() {
-        let b = Block { i0: 0, j0: 4, h: 4, w: 4 };
+        let b = Block {
+            i0: 0,
+            j0: 4,
+            h: 4,
+            w: 4,
+        };
         assert_eq!(b.interior_offset_in_extended(2), (0, 2));
-        let c = Block { i0: 6, j0: 0, h: 2, w: 4 };
+        let c = Block {
+            i0: 6,
+            j0: 0,
+            h: 2,
+            w: 4,
+        };
         assert_eq!(c.interior_offset_in_extended(2), (2, 0));
     }
 }

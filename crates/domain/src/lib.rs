@@ -31,7 +31,9 @@ use pde_tensor::Tensor3;
 
 /// Slices a global snapshot into per-rank interior tensors, rank order.
 pub fn scatter(global: &Tensor3, part: &GridPartition) -> Vec<Tensor3> {
-    part.blocks().map(|b| global.window(b.i0, b.j0, b.h, b.w)).collect()
+    part.blocks()
+        .map(|b| global.window(b.i0, b.j0, b.h, b.w))
+        .collect()
 }
 
 /// Reassembles per-rank interior tensors into a global snapshot — the
@@ -41,7 +43,11 @@ pub fn scatter(global: &Tensor3, part: &GridPartition) -> Vec<Tensor3> {
 /// If the tensor list does not match the partition (count, shapes,
 /// channel counts).
 pub fn gather(locals: &[Tensor3], part: &GridPartition) -> Tensor3 {
-    assert_eq!(locals.len(), part.rank_count(), "gather: wrong number of local tensors");
+    assert_eq!(
+        locals.len(),
+        part.rank_count(),
+        "gather: wrong number of local tensors"
+    );
     assert!(!locals.is_empty(), "gather: empty input");
     let c = locals[0].c();
     let mut global = Tensor3::zeros(c, part.global_h(), part.global_w());

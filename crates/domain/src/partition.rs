@@ -81,17 +81,28 @@ impl GridPartition {
 
     /// Block owned by process-grid position `(row, col)`.
     pub fn block_at(&self, row: usize, col: usize) -> Block {
-        assert!(row < self.py && col < self.px, "block_at: ({row},{col}) outside process grid");
+        assert!(
+            row < self.py && col < self.px,
+            "block_at: ({row},{col}) outside process grid"
+        );
         let i0 = band_start(self.h, self.py, row);
         let i1 = band_start(self.h, self.py, row + 1);
         let j0 = band_start(self.w, self.px, col);
         let j1 = band_start(self.w, self.px, col + 1);
-        Block { i0, j0, h: i1 - i0, w: j1 - j0 }
+        Block {
+            i0,
+            j0,
+            h: i1 - i0,
+            w: j1 - j0,
+        }
     }
 
     /// Block owned by `rank` (row-major rank layout).
     pub fn block_of_rank(&self, rank: usize) -> Block {
-        assert!(rank < self.rank_count(), "block_of_rank: rank {rank} out of range");
+        assert!(
+            rank < self.rank_count(),
+            "block_of_rank: rank {rank} out of range"
+        );
         self.block_at(rank / self.px, rank % self.px)
     }
 
@@ -121,7 +132,12 @@ mod tests {
 
     #[test]
     fn blocks_tile_the_grid_exactly() {
-        for &(h, w, py, px) in &[(8, 8, 2, 2), (7, 11, 3, 2), (256, 256, 8, 8), (10, 10, 1, 10)] {
+        for &(h, w, py, px) in &[
+            (8, 8, 2, 2),
+            (7, 11, 3, 2),
+            (256, 256, 8, 8),
+            (10, 10, 1, 10),
+        ] {
             let part = GridPartition::new(h, w, py, px);
             let mut covered = vec![0u8; h * w];
             for b in part.blocks() {

@@ -94,9 +94,16 @@ mod tests {
         let e32 = wave_error_at(32, 0.25);
         let e64 = wave_error_at(64, 0.25);
         let e128 = wave_error_at(128, 0.25);
-        assert!(e32 > e64 && e64 > e128, "errors not decreasing: {e32} {e64} {e128}");
+        assert!(
+            e32 > e64 && e64 > e128,
+            "errors not decreasing: {e32} {e64} {e128}"
+        );
         assert!(e32 / e64 > 1.5, "convergence ratio too low: {}", e32 / e64);
-        assert!(e64 / e128 > 1.5, "convergence ratio too low: {}", e64 / e128);
+        assert!(
+            e64 / e128 > 1.5,
+            "convergence ratio too low: {}",
+            e64 / e128
+        );
     }
 
     #[test]

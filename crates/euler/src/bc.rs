@@ -88,11 +88,15 @@ impl Boundary {
                 // (ρ' − p'/c²) and the tangential velocity are extrapolated.
                 let c = bg.sound_speed();
                 let z = bg.rho * c; // acoustic impedance
-                let (n_idx, t_idx) = if edge.normal_is_x() { (IDX_U, IDX_V) } else { (IDX_V, IDX_U) };
+                let (n_idx, t_idx) = if edge.normal_is_x() {
+                    (IDX_U, IDX_V)
+                } else {
+                    (IDX_V, IDX_U)
+                };
                 let sign = edge.outward_sign();
                 let un_int = sign * interior[n_idx];
                 let w_out = interior[IDX_P] + z * un_int; // leaves the domain
-                // Ghost: w_out preserved, w_in = 0.
+                                                          // Ghost: w_out preserved, w_in = 0.
                 let p_g = 0.5 * w_out;
                 let un_g = 0.5 * w_out / z;
                 let mut g = *interior;
@@ -130,7 +134,10 @@ mod tests {
     fn periodic_uses_wrapped_state() {
         let b = Boundary::Periodic;
         let wrapped: Q = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(b.ghost_state(&[0.0; 4], &wrapped, Edge::Top, &bg()), wrapped);
+        assert_eq!(
+            b.ghost_state(&[0.0; 4], &wrapped, Edge::Top, &bg()),
+            wrapped
+        );
     }
 
     #[test]
@@ -151,7 +158,12 @@ mod tests {
         let q: Q = [0.7, 0.7, 0.7, 0.0]; // p = u, z = 1, ρ' = p/c² = p
         let g = b.ghost_state(&q, &[0.0; 4], Edge::Right, &bg());
         for k in 0..N_FIELDS {
-            assert!((g[k] - q[k]).abs() < 1e-12, "field {k}: {} vs {}", g[k], q[k]);
+            assert!(
+                (g[k] - q[k]).abs() < 1e-12,
+                "field {k}: {} vs {}",
+                g[k],
+                q[k]
+            );
         }
     }
 

@@ -20,13 +20,25 @@ impl Background {
     /// The paper's test case (§IV-A): fluid at rest, `p_c = 1 bar`,
     /// `ρ_c = 1 kg/m³`, γ = 1.4.
     pub fn paper() -> Self {
-        Self { rho: 1.0, p: 1.0e5, u: 0.0, v: 0.0, gamma: 1.4 }
+        Self {
+            rho: 1.0,
+            p: 1.0e5,
+            u: 0.0,
+            v: 0.0,
+            gamma: 1.4,
+        }
     }
 
     /// A nondimensionalized quiescent background with unit sound speed
     /// (`ρ_c = 1`, `γ p_c = 1`). Handy for analytic tests.
     pub fn unit() -> Self {
-        Self { rho: 1.0, p: 1.0 / 1.4, u: 0.0, v: 0.0, gamma: 1.4 }
+        Self {
+            rho: 1.0,
+            p: 1.0 / 1.4,
+            u: 0.0,
+            v: 0.0,
+            gamma: 1.4,
+        }
     }
 
     /// Speed of sound `c = sqrt(γ p_c / ρ_c)`.
@@ -69,12 +81,22 @@ impl Domain {
     /// The paper's square domain centered at the origin, `[-1, 1]²`
     /// (the Gaussian pulse sits at `P(0, 0)`).
     pub fn paper() -> Self {
-        Self { x0: -1.0, y0: -1.0, lx: 2.0, ly: 2.0 }
+        Self {
+            x0: -1.0,
+            y0: -1.0,
+            lx: 2.0,
+            ly: 2.0,
+        }
     }
 
     /// Unit square `[0, 1]²`.
     pub fn unit() -> Self {
-        Self { x0: 0.0, y0: 0.0, lx: 1.0, ly: 1.0 }
+        Self {
+            x0: 0.0,
+            y0: 0.0,
+            lx: 1.0,
+            ly: 1.0,
+        }
     }
 
     /// Cell size for an `nx × ny` cell-centered grid.
@@ -86,7 +108,10 @@ impl Domain {
     /// indexes x (column), matching the row-major grids of `pde-tensor`.
     pub fn cell_center(&self, nx: usize, ny: usize, i: usize, j: usize) -> (f64, f64) {
         let (dx, dy) = self.cell_size(nx, ny);
-        (self.x0 + (j as f64 + 0.5) * dx, self.y0 + (i as f64 + 0.5) * dy)
+        (
+            self.x0 + (j as f64 + 0.5) * dx,
+            self.y0 + (i as f64 + 0.5) * dy,
+        )
     }
 }
 
@@ -150,9 +175,18 @@ impl SolverConfig {
     /// Sanity checks.
     pub fn validate(&self) {
         self.background.validate();
-        assert!(self.nx >= 4 && self.ny >= 4, "SolverConfig: need at least 4x4 cells");
-        assert!(self.cfl > 0.0 && self.cfl <= 1.0, "SolverConfig: CFL must be in (0, 1]");
-        assert!(self.domain.lx > 0.0 && self.domain.ly > 0.0, "SolverConfig: degenerate domain");
+        assert!(
+            self.nx >= 4 && self.ny >= 4,
+            "SolverConfig: need at least 4x4 cells"
+        );
+        assert!(
+            self.cfl > 0.0 && self.cfl <= 1.0,
+            "SolverConfig: CFL must be in (0, 1]"
+        );
+        assert!(
+            self.domain.lx > 0.0 && self.domain.ly > 0.0,
+            "SolverConfig: degenerate domain"
+        );
     }
 }
 

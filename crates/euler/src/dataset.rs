@@ -156,7 +156,11 @@ impl DataSet {
             start + count,
             self.pair_count()
         );
-        DataSetView { data: self, start, count }
+        DataSetView {
+            data: self,
+            start,
+            count,
+        }
     }
 
     /// Splits chronologically: the first `n_train` *pairs* for training, the
@@ -165,15 +169,26 @@ impl DataSet {
     /// # Panics
     /// If `n_train` is 0 or leaves no validation pair.
     pub fn chronological_split(&self, n_train: usize) -> (DataSetView<'_>, DataSetView<'_>) {
-        assert!(n_train >= 1, "chronological_split: need at least one training pair");
+        assert!(
+            n_train >= 1,
+            "chronological_split: need at least one training pair"
+        );
         assert!(
             n_train < self.pair_count(),
             "chronological_split: n_train={n_train} leaves no validation pairs (have {})",
             self.pair_count()
         );
         (
-            DataSetView { data: self, start: 0, count: n_train },
-            DataSetView { data: self, start: n_train, count: self.pair_count() - n_train },
+            DataSetView {
+                data: self,
+                start: 0,
+                count: n_train,
+            },
+            DataSetView {
+                data: self,
+                start: n_train,
+                count: self.pair_count() - n_train,
+            },
         )
     }
 }
@@ -199,7 +214,11 @@ impl<'a> DataSetView<'a> {
 
     /// The `k`-th pair of the view.
     pub fn pair(&self, k: usize) -> (&'a Tensor3, &'a Tensor3) {
-        assert!(k < self.count, "DataSetView: pair {k} out of range ({})", self.count);
+        assert!(
+            k < self.count,
+            "DataSetView: pair {k} out of range ({})",
+            self.count
+        );
         self.data.pair(self.start + k)
     }
 
@@ -218,15 +237,26 @@ pub struct SnapshotRecorder {
 
 impl SnapshotRecorder {
     /// New recorder over a freshly initialized solver.
-    pub fn new(config: SolverConfig, boundary: Boundary, ic: &InitialCondition, stride: usize) -> Self {
+    pub fn new(
+        config: SolverConfig,
+        boundary: Boundary,
+        ic: &InitialCondition,
+        stride: usize,
+    ) -> Self {
         assert!(stride >= 1, "SnapshotRecorder: stride must be >= 1");
-        Self { solver: EulerSolver::new(config, boundary, ic), stride }
+        Self {
+            solver: EulerSolver::new(config, boundary, ic),
+            stride,
+        }
     }
 
     /// Runs the simulation, recording `n_snapshots` states (including the
     /// initial one) and returning the assembled dataset.
     pub fn record(mut self, n_snapshots: usize) -> DataSet {
-        assert!(n_snapshots >= 2, "SnapshotRecorder: need at least 2 snapshots");
+        assert!(
+            n_snapshots >= 2,
+            "SnapshotRecorder: need at least 2 snapshots"
+        );
         let mut snaps = Vec::with_capacity(n_snapshots);
         snaps.push(self.solver.state().to_tensor());
         while snaps.len() < n_snapshots {
@@ -284,7 +314,11 @@ mod tests {
     #[test]
     fn snapshots_evolve() {
         let ds = tiny_dataset();
-        assert_ne!(ds.snapshot(0), ds.snapshot(5), "simulation did not change the state");
+        assert_ne!(
+            ds.snapshot(0),
+            ds.snapshot(5),
+            "simulation did not change the state"
+        );
     }
 
     #[test]
@@ -303,20 +337,12 @@ mod tests {
     #[test]
     fn stride_skips_steps() {
         let cfg = SolverConfig::paper(16, 16);
-        let every = SnapshotRecorder::new(
-            cfg,
-            Boundary::Outflow,
-            &InitialCondition::paper_pulse(),
-            1,
-        )
-        .record(5);
-        let strided = SnapshotRecorder::new(
-            cfg,
-            Boundary::Outflow,
-            &InitialCondition::paper_pulse(),
-            2,
-        )
-        .record(3);
+        let every =
+            SnapshotRecorder::new(cfg, Boundary::Outflow, &InitialCondition::paper_pulse(), 1)
+                .record(5);
+        let strided =
+            SnapshotRecorder::new(cfg, Boundary::Outflow, &InitialCondition::paper_pulse(), 2)
+                .record(3);
         // Strided snapshot 1 equals every-step snapshot 2.
         assert_eq!(strided.snapshot(1), every.snapshot(2));
         assert!((strided.dt() - 2.0 * every.dt()).abs() < 1e-15);

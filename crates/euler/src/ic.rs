@@ -42,7 +42,12 @@ impl InitialCondition {
     /// The paper's pulse: centered at the origin of the `[-1,1]²` domain,
     /// half width 0.3 m, amplitude 0.5.
     pub fn paper_pulse() -> Self {
-        InitialCondition::GaussianPulse { x0: 0.0, y0: 0.0, half_width: 0.3, amplitude: 0.5 }
+        InitialCondition::GaussianPulse {
+            x0: 0.0,
+            y0: 0.0,
+            half_width: 0.3,
+            amplitude: 0.5,
+        }
     }
 
     /// Samples the condition onto the configured grid.
@@ -51,7 +56,12 @@ impl InitialCondition {
         let mut s = EulerState::zeros(ny, nx);
         match self {
             InitialCondition::Quiescent => {}
-            InitialCondition::GaussianPulse { x0, y0, half_width, amplitude } => {
+            InitialCondition::GaussianPulse {
+                x0,
+                y0,
+                half_width,
+                amplitude,
+            } => {
                 fill_pulse(&mut s, cfg, *x0, *y0, *half_width, *amplitude);
             }
             InitialCondition::MultiPulse(pulses) => {
@@ -119,7 +129,11 @@ mod tests {
         let j_half = j_center + (0.3 / dx).round() as usize;
         let i_center = 128;
         let v = s.p[(i_center, j_half)];
-        assert!((v / peak - 0.5).abs() < 0.05, "half-width value ratio {}", v / peak);
+        assert!(
+            (v / peak - 0.5).abs() < 0.05,
+            "half-width value ratio {}",
+            v / peak
+        );
         // Fluid at rest, zero density perturbation.
         assert_eq!(s.u.max_abs(), 0.0);
         assert_eq!(s.v.max_abs(), 0.0);
@@ -135,11 +149,8 @@ mod tests {
             amplitude: 0.5,
         }
         .evaluate(&cfg(32));
-        let double = InitialCondition::MultiPulse(vec![
-            (0.0, 0.0, 0.3, 0.5),
-            (0.0, 0.0, 0.3, 0.5),
-        ])
-        .evaluate(&cfg(32));
+        let double = InitialCondition::MultiPulse(vec![(0.0, 0.0, 0.3, 0.5), (0.0, 0.0, 0.3, 0.5)])
+            .evaluate(&cfg(32));
         for k in 0..single.p.len() {
             assert!((double.p.as_slice()[k] - 2.0 * single.p.as_slice()[k]).abs() < 1e-12);
         }

@@ -59,7 +59,11 @@ impl EulerSolver {
 
     /// Replaces the state (used by restart tests).
     pub fn set_state(&mut self, s: EulerState) {
-        assert_eq!(s.shape(), (self.config.ny, self.config.nx), "set_state: shape mismatch");
+        assert_eq!(
+            s.shape(),
+            (self.config.ny, self.config.nx),
+            "set_state: shape mismatch"
+        );
         self.state = s;
     }
 
@@ -98,15 +102,23 @@ impl EulerSolver {
         };
         // Left/right ghosts (x-normal edges).
         for i in 0..ny {
-            let gl = self.boundary.ghost_state(&cell(i, 0), &cell(i, nx - 1), Edge::Left, &bg);
-            let gr = self.boundary.ghost_state(&cell(i, nx - 1), &cell(i, 0), Edge::Right, &bg);
+            let gl = self
+                .boundary
+                .ghost_state(&cell(i, 0), &cell(i, nx - 1), Edge::Left, &bg);
+            let gr = self
+                .boundary
+                .ghost_state(&cell(i, nx - 1), &cell(i, 0), Edge::Right, &bg);
             write_ghost(&mut self.padded, i + 1, 0, gl);
             write_ghost(&mut self.padded, i + 1, nx + 1, gr);
         }
         // Bottom/top ghosts (y-normal edges).
         for j in 0..nx {
-            let gb = self.boundary.ghost_state(&cell(0, j), &cell(ny - 1, j), Edge::Bottom, &bg);
-            let gt = self.boundary.ghost_state(&cell(ny - 1, j), &cell(0, j), Edge::Top, &bg);
+            let gb = self
+                .boundary
+                .ghost_state(&cell(0, j), &cell(ny - 1, j), Edge::Bottom, &bg);
+            let gt = self
+                .boundary
+                .ghost_state(&cell(ny - 1, j), &cell(0, j), Edge::Top, &bg);
             write_ghost(&mut self.padded, 0, j + 1, gb);
             write_ghost(&mut self.padded, ny + 1, j + 1, gt);
         }
@@ -272,7 +284,10 @@ mod tests {
         let e0 = s.state().acoustic_energy(bg.rho, bg.sound_speed());
         s.run_until(2.0);
         let e1 = s.state().acoustic_energy(bg.rho, bg.sound_speed());
-        assert!(e1 < 0.05 * e0, "absorbing boundary left too much energy: {e1} vs {e0}");
+        assert!(
+            e1 < 0.05 * e0,
+            "absorbing boundary left too much energy: {e1} vs {e0}"
+        );
     }
 
     #[test]
@@ -290,8 +305,14 @@ mod tests {
         s.run(100);
         let m1 = s.state().field(IDX_RHO).sum();
         let p1 = s.state().field(IDX_P).sum();
-        assert!((m0 - m1).abs() < 1e-10 * (1.0 + m0.abs()), "density sum drifted: {m0} -> {m1}");
-        assert!((p0 - p1).abs() < 1e-10 * (1.0 + p0.abs()), "pressure sum drifted: {p0} -> {p1}");
+        assert!(
+            (m0 - m1).abs() < 1e-10 * (1.0 + m0.abs()),
+            "density sum drifted: {m0} -> {m1}"
+        );
+        assert!(
+            (p0 - p1).abs() < 1e-10 * (1.0 + p0.abs()),
+            "pressure sum drifted: {p0} -> {p1}"
+        );
     }
 
     #[test]
@@ -335,8 +356,14 @@ mod tests {
         let e_wall = run(Boundary::Reflective);
         let e_out = run(Boundary::Outflow);
         let e_abs = run(Boundary::Absorbing);
-        assert!(e_wall > e_out, "wall {e_wall} should exceed outflow {e_out}");
-        assert!(e_out > 5.0 * e_abs, "outflow {e_out} should exceed absorbing {e_abs}");
+        assert!(
+            e_wall > e_out,
+            "wall {e_wall} should exceed outflow {e_out}"
+        );
+        assert!(
+            e_out > 5.0 * e_abs,
+            "outflow {e_out} should exceed absorbing {e_abs}"
+        );
     }
 
     #[test]
@@ -357,8 +384,14 @@ mod tests {
             for j in 0..n {
                 let mirror_x = p[(i, n - 1 - j)];
                 let mirror_y = p[(n - 1 - i, j)];
-                assert!((p[(i, j)] - mirror_x).abs() < 1e-12, "x-symmetry broken at ({i},{j})");
-                assert!((p[(i, j)] - mirror_y).abs() < 1e-12, "y-symmetry broken at ({i},{j})");
+                assert!(
+                    (p[(i, j)] - mirror_x).abs() < 1e-12,
+                    "x-symmetry broken at ({i},{j})"
+                );
+                assert!(
+                    (p[(i, j)] - mirror_y).abs() < 1e-12,
+                    "y-symmetry broken at ({i},{j})"
+                );
             }
         }
     }

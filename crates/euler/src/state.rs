@@ -84,7 +84,12 @@ impl EulerState {
     /// Packs the state into a 4-channel tensor `(p, ρ, u, v)`.
     pub fn to_tensor(&self) -> Tensor3 {
         self.validate();
-        Tensor3::from_channels(&[self.p.clone(), self.rho.clone(), self.u.clone(), self.v.clone()])
+        Tensor3::from_channels(&[
+            self.p.clone(),
+            self.rho.clone(),
+            self.u.clone(),
+            self.v.clone(),
+        ])
     }
 
     /// Unpacks a 4-channel tensor back into a state.
@@ -92,7 +97,11 @@ impl EulerState {
     /// # Panics
     /// If the tensor does not have exactly [`N_FIELDS`] channels.
     pub fn from_tensor(t: &Tensor3) -> Self {
-        assert_eq!(t.c(), N_FIELDS, "EulerState::from_tensor: expected {N_FIELDS} channels");
+        assert_eq!(
+            t.c(),
+            N_FIELDS,
+            "EulerState::from_tensor: expected {N_FIELDS} channels"
+        );
         Self {
             p: t.channel_grid(IDX_P),
             rho: t.channel_grid(IDX_RHO),

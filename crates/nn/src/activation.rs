@@ -18,8 +18,14 @@ impl LeakyReLu {
     /// # Panics
     /// If `epsilon` is negative or ≥ 1 (that would not be a *leaky* ReLU).
     pub fn new(epsilon: f64) -> Self {
-        assert!((0.0..1.0).contains(&epsilon), "LeakyReLu: epsilon must be in [0, 1)");
-        Self { epsilon, cached_input: None }
+        assert!(
+            (0.0..1.0).contains(&epsilon),
+            "LeakyReLu: epsilon must be in [0, 1)"
+        );
+        Self {
+            epsilon,
+            cached_input: None,
+        }
     }
 
     /// The paper's default (ε = 0.01).
@@ -35,26 +41,55 @@ impl LeakyReLu {
 
 impl Layer for LeakyReLu {
     fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
-        if train {
-            self.cached_input = Some(input.clone());
-        }
-        let eps = self.epsilon;
-        input.map(|x| if x >= 0.0 { x } else { eps * x })
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(input, train, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let input = self.cached_input.as_ref().expect("LeakyReLu::backward before forward");
-        assert_eq!(input.shape(), grad_out.shape(), "LeakyReLu::backward: shape mismatch");
-        let eps = self.epsilon;
-        let mut g = grad_out.clone();
-        for (gv, &xv) in g.as_mut_slice().iter_mut().zip(input.as_slice()) {
-            // The subgradient at exactly 0 is taken from the positive side,
-            // matching the forward convention x >= 0 → identity.
-            if xv < 0.0 {
-                *gv *= eps;
+        let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        if train {
+            match &mut self.cached_input {
+                Some(t) => t.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
             }
         }
-        g
+        let eps = self.epsilon;
+        let (n, c, h, w) = input.shape();
+        out.resize(n, c, h, w);
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = if x >= 0.0 { x } else { eps * x };
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("LeakyReLu::backward before forward");
+        assert_eq!(
+            input.shape(),
+            grad_out.shape(),
+            "LeakyReLu::backward: shape mismatch"
+        );
+        let eps = self.epsilon;
+        let (n, c, h, w) = grad_out.shape();
+        grad_in.resize(n, c, h, w);
+        for ((gi, &go), &xv) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(input.as_slice())
+        {
+            // The subgradient at exactly 0 is taken from the positive side,
+            // matching the forward convention x >= 0 → identity.
+            *gi = if xv < 0.0 { eps * go } else { go };
+        }
     }
 
     fn zero_grad(&mut self) {}
@@ -78,7 +113,10 @@ pub struct ReLu(LeakyReLu);
 impl ReLu {
     /// New ReLU.
     pub fn new() -> Self {
-        Self(LeakyReLu { epsilon: 0.0, cached_input: None })
+        Self(LeakyReLu {
+            epsilon: 0.0,
+            cached_input: None,
+        })
     }
 }
 
@@ -94,6 +132,12 @@ impl Layer for ReLu {
     }
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
         self.0.backward(grad_out)
+    }
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        self.0.forward_into(input, train, out);
+    }
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
+        self.0.backward_into(grad_out, grad_in);
     }
     fn zero_grad(&mut self) {}
     fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
@@ -115,7 +159,9 @@ pub struct Tanh {
 impl Tanh {
     /// New tanh layer.
     pub fn new() -> Self {
-        Self { cached_output: None }
+        Self {
+            cached_output: None,
+        }
     }
 }
 
@@ -127,21 +173,51 @@ impl Default for Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
-        let out = input.map(f64::tanh);
-        if train {
-            self.cached_output = Some(out.clone());
-        }
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(input, train, &mut out);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let out = self.cached_output.as_ref().expect("Tanh::backward before forward");
-        assert_eq!(out.shape(), grad_out.shape(), "Tanh::backward: shape mismatch");
-        let mut g = grad_out.clone();
-        for (gv, &yv) in g.as_mut_slice().iter_mut().zip(out.as_slice()) {
-            *gv *= 1.0 - yv * yv;
+        let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        let (n, c, h, w) = input.shape();
+        out.resize(n, c, h, w);
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = x.tanh();
         }
-        g
+        if train {
+            match &mut self.cached_output {
+                Some(t) => t.copy_from(out),
+                None => self.cached_output = Some(out.clone()),
+            }
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("Tanh::backward before forward");
+        assert_eq!(
+            out.shape(),
+            grad_out.shape(),
+            "Tanh::backward: shape mismatch"
+        );
+        let (n, c, h, w) = grad_out.shape();
+        grad_in.resize(n, c, h, w);
+        for ((gi, &go), &yv) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(out.as_slice())
+        {
+            *gi = go * (1.0 - yv * yv);
+        }
     }
 
     fn zero_grad(&mut self) {}

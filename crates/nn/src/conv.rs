@@ -3,7 +3,7 @@
 
 use crate::layer::{Layer, ParamGroup};
 use pde_tensor::conv::{
-    conv2d_backward_input, conv2d_backward_weight, conv2d_im2col, ConvScratch,
+    conv2d_backward_input_into, conv2d_backward_weight, conv2d_im2col_into, ConvScratch,
 };
 use pde_tensor::{Conv2dSpec, Tensor4};
 
@@ -85,13 +85,37 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
-        if train {
-            self.cached_input = Some(input.clone());
-        }
-        conv2d_im2col(input, &self.weight, &self.bias, &self.spec, &mut self.scratch)
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(input, train, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        if train {
+            // Copy into the persistent cache instead of re-cloning: after
+            // the first batch this never touches the heap.
+            match &mut self.cached_input {
+                Some(t) => t.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
+        }
+        conv2d_im2col_into(
+            input,
+            &self.weight,
+            &self.bias,
+            &self.spec,
+            &mut self.scratch,
+            out,
+        );
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
         let input = self
             .cached_input
             .as_ref()
@@ -104,7 +128,15 @@ impl Layer for Conv2d {
             &mut self.grad_bias,
             &mut self.scratch,
         );
-        conv2d_backward_input(grad_out, &self.weight, &self.spec, input.h(), input.w(), &mut self.scratch)
+        conv2d_backward_input_into(
+            grad_out,
+            &self.weight,
+            &self.spec,
+            input.h(),
+            input.w(),
+            &mut self.scratch,
+            grad_in,
+        );
     }
 
     fn zero_grad(&mut self) {
@@ -126,8 +158,25 @@ impl Layer for Conv2d {
                 grad: self.grad_weight.as_slice(),
                 name: "weight",
             },
-            ParamGroup { param: &mut self.bias, grad: &self.grad_bias, name: "bias" },
+            ParamGroup {
+                param: &mut self.bias,
+                grad: &self.grad_bias,
+                name: "bias",
+            },
         ]
+    }
+
+    fn visit_param_groups(&mut self, f: &mut dyn FnMut(ParamGroup<'_>)) {
+        f(ParamGroup {
+            param: self.weight.as_mut_slice(),
+            grad: self.grad_weight.as_slice(),
+            name: "weight",
+        });
+        f(ParamGroup {
+            param: &mut self.bias,
+            grad: &self.grad_bias,
+            name: "bias",
+        });
     }
 
     fn param_count(&self) -> usize {

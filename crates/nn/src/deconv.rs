@@ -19,7 +19,7 @@
 
 use crate::layer::{Layer, ParamGroup};
 use pde_tensor::conv::{
-    conv2d_backward_input, conv2d_backward_weight, conv2d_im2col, ConvScratch,
+    conv2d_backward_input_into, conv2d_backward_weight, conv2d_im2col_into, ConvScratch,
 };
 use pde_tensor::{Conv2dSpec, Tensor4};
 
@@ -100,6 +100,18 @@ impl ConvTranspose2d {
 
 impl Layer for ConvTranspose2d {
     fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(input, train, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
         assert_eq!(
             input.c(),
             self.in_channels(),
@@ -108,16 +120,26 @@ impl Layer for ConvTranspose2d {
             self.in_channels()
         );
         if train {
-            self.cached_input = Some(input.clone());
+            match &mut self.cached_input {
+                Some(t) => t.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
         }
         let (oh, ow) = self.out_dims(input.h(), input.w());
         // y = Aᵀ x: the conv's input-gradient pass with x in the grad slot.
-        let mut y =
-            conv2d_backward_input(input, &self.weight, &self.conv_spec, oh, ow, &mut self.scratch);
+        conv2d_backward_input_into(
+            input,
+            &self.weight,
+            &self.conv_spec,
+            oh,
+            ow,
+            &mut self.scratch,
+            out,
+        );
         if self.bias.iter().any(|&b| b != 0.0) {
-            let (n, c, h, w) = y.shape();
+            let (n, c, h, w) = out.shape();
             for s in 0..n {
-                let sample = y.sample_mut(s);
+                let sample = out.sample_mut(s);
                 for ch in 0..c {
                     let b = self.bias[ch];
                     for v in &mut sample[ch * h * w..(ch + 1) * h * w] {
@@ -126,10 +148,9 @@ impl Layer for ConvTranspose2d {
                 }
             }
         }
-        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
         let input = self
             .cached_input
             .as_ref()
@@ -153,7 +174,14 @@ impl Layer for ConvTranspose2d {
             }
         }
         // Input gradient: d(Aᵀx)/dx pairs with A — a forward conv.
-        conv2d_im2col(grad_out, &self.weight, &[], &self.conv_spec, &mut self.scratch)
+        conv2d_im2col_into(
+            grad_out,
+            &self.weight,
+            &[],
+            &self.conv_spec,
+            &mut self.scratch,
+            grad_in,
+        );
     }
 
     fn zero_grad(&mut self) {
@@ -175,8 +203,25 @@ impl Layer for ConvTranspose2d {
                 grad: self.grad_weight.as_slice(),
                 name: "weight",
             },
-            ParamGroup { param: &mut self.bias, grad: &self.grad_bias, name: "bias" },
+            ParamGroup {
+                param: &mut self.bias,
+                grad: &self.grad_bias,
+                name: "bias",
+            },
         ]
+    }
+
+    fn visit_param_groups(&mut self, f: &mut dyn FnMut(ParamGroup<'_>)) {
+        f(ParamGroup {
+            param: self.weight.as_mut_slice(),
+            grad: self.grad_weight.as_slice(),
+            name: "weight",
+        });
+        f(ParamGroup {
+            param: &mut self.bias,
+            grad: &self.grad_bias,
+            name: "bias",
+        });
     }
 
     fn param_count(&self) -> usize {
@@ -236,7 +281,10 @@ mod tests {
         let mut conv = Conv2d::new(Conv2dSpec::square(c1, c2, k, 0));
         det_fill(conv.weight_mut(), 11);
         let mut tconv = ConvTranspose2d::new(c2, c1, k);
-        tconv.weight_mut().as_mut_slice().copy_from_slice(conv.weight().as_slice());
+        tconv
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(conv.weight().as_slice());
 
         let mut u = Tensor4::zeros(1, c1, h, w);
         det_fill(&mut u, 5);
@@ -246,9 +294,22 @@ mod tests {
 
         let v = conv.forward(&u, false);
         let y = tconv.forward(&x, false);
-        let lhs: f64 = v.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f64 = u.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-10, "adjoint identity violated: {lhs} vs {rhs}");
+        let lhs: f64 = v
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f64 = u
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-10,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -277,10 +338,17 @@ mod tests {
             *b = rng.gen_range(-0.1..0.1);
         }
         let mut net = Sequential::new().push(tconv);
-        let x = Tensor4::from_fn(1, 2, 4, 4, |_, c, i, j| ((c + i * 4 + j) as f64 * 0.37).sin());
+        let x = Tensor4::from_fn(1, 2, 4, 4, |_, c, i, j| {
+            ((c + i * 4 + j) as f64 * 0.37).sin()
+        });
         let t = Tensor4::full(1, 3, 6, 6, 0.25);
         let r = check_network_gradients(&mut net, &Mse, &x, &t, 1e-5, 5);
-        assert!(r.passes(1e-6), "max rel err {} at {}", r.max_rel_err, r.worst_index);
+        assert!(
+            r.passes(1e-6),
+            "max rel err {} at {}",
+            r.max_rel_err,
+            r.worst_index
+        );
     }
 
     #[test]

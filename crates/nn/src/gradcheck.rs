@@ -53,7 +53,11 @@ pub fn check_network_gradients(
     let pred = net.forward(input, true);
     let (_, dl_dpred) = loss.value_and_grad(&pred, target);
     let _ = net.backward(&dl_dpred);
-    let analytic: Vec<f64> = net.param_groups().iter().flat_map(|g| g.grad.to_vec()).collect();
+    let analytic: Vec<f64> = net
+        .param_groups()
+        .iter()
+        .flat_map(|g| g.grad.to_vec())
+        .collect();
 
     let mut report = GradCheckReport {
         checked: 0,
@@ -118,7 +122,10 @@ mod tests {
         let mut c2 = Conv2d::same(3, 2, 3);
         init_conv(&mut c1, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
         init_conv(&mut c2, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
-        Sequential::new().push(c1).push(LeakyReLu::paper_default()).push(c2)
+        Sequential::new()
+            .push(c1)
+            .push(LeakyReLu::paper_default())
+            .push(c2)
     }
 
     fn data(seed: u64) -> (Tensor4, Tensor4) {
@@ -187,16 +194,26 @@ mod tests {
         // Instead of corrupting internals (no API for that — by design),
         // emulate a broken analytic gradient by comparing against a shifted
         // loss: gradcheck against MAE while backprop ran with MSE.
-        let analytic: Vec<f64> = net.param_groups().iter().flat_map(|gr| gr.grad.to_vec()).collect();
+        let analytic: Vec<f64> = net
+            .param_groups()
+            .iter()
+            .flat_map(|gr| gr.grad.to_vec())
+            .collect();
         let r = check_network_gradients(&mut net, &Mae, &x, &t, 1e-5, 29);
         // The MAE check passes internally (it redoes its own backward), so
         // instead verify the two gradients genuinely differ — guarding the
         // premise of the main tests.
-        let mae_analytic: Vec<f64> =
-            net.param_groups().iter().flat_map(|gr| gr.grad.to_vec()).collect();
+        let mae_analytic: Vec<f64> = net
+            .param_groups()
+            .iter()
+            .flat_map(|gr| gr.grad.to_vec())
+            .collect();
         assert!(r.passes(1e-5));
-        let diff: f64 =
-            analytic.iter().zip(&mae_analytic).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f64 = analytic
+            .iter()
+            .zip(&mae_analytic)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 1e-6, "MSE and MAE gradients should differ");
     }
 }

@@ -68,7 +68,11 @@ pub fn init_conv(layer: &mut Conv2d, scheme: Init, rng: &mut StdRng) {
     let fan_out = spec.out_c * spec.kh * spec.kw;
     let (uniform, scale) = scheme.bound_or_std(fan_in, fan_out);
     for w in layer.weight_mut().as_mut_slice() {
-        *w = if uniform { rng.gen_range(-scale..scale) } else { scale * normal(rng) };
+        *w = if uniform {
+            rng.gen_range(-scale..scale)
+        } else {
+            scale * normal(rng)
+        };
     }
     layer.bias_mut().fill(0.0);
 }
@@ -104,7 +108,11 @@ pub fn init_sequential_convs(net: &mut Sequential, scheme: Init, seed: u64) {
             // with `init_conv` before pushing it into the stack.
             let (uniform, scale) = scheme.bound_or_std(fan_in, fan_in);
             for w in groups[i].param.iter_mut() {
-                *w = if uniform { rng.gen_range(-scale..scale) } else { scale * normal(&mut rng) };
+                *w = if uniform {
+                    rng.gen_range(-scale..scale)
+                } else {
+                    scale * normal(&mut rng)
+                };
             }
             groups[i + 1].param.fill(0.0);
             i += 2;
@@ -127,7 +135,11 @@ mod tests {
     #[test]
     fn kaiming_uniform_respects_bound() {
         let mut l = Conv2d::same(4, 6, 5);
-        init_conv(&mut l, Init::KaimingUniform { neg_slope: 0.01 }, &mut seeded());
+        init_conv(
+            &mut l,
+            Init::KaimingUniform { neg_slope: 0.01 },
+            &mut seeded(),
+        );
         let fan_in = 4 * 5 * 5;
         let gain = (2.0f64 / (1.0 + 0.0001)).sqrt();
         let bound = gain * (3.0 / fan_in as f64).sqrt();
@@ -140,7 +152,11 @@ mod tests {
     #[test]
     fn kaiming_normal_std_is_plausible() {
         let mut l = Conv2d::same(8, 16, 5);
-        init_conv(&mut l, Init::KaimingNormal { neg_slope: 0.0 }, &mut seeded());
+        init_conv(
+            &mut l,
+            Init::KaimingNormal { neg_slope: 0.0 },
+            &mut seeded(),
+        );
         let fan_in = (8 * 5 * 5) as f64;
         let expect = (2.0 / fan_in).sqrt();
         let measured = stats::std_dev(l.weight().as_slice());
@@ -196,8 +212,16 @@ mod tests {
         let mut b = build();
         init_sequential_convs(&mut a, Init::KaimingNormal { neg_slope: 0.01 }, 99);
         init_sequential_convs(&mut b, Init::KaimingNormal { neg_slope: 0.01 }, 99);
-        let ga = a.param_groups().iter().flat_map(|g| g.param.to_vec()).collect::<Vec<_>>();
-        let gb = b.param_groups().iter().flat_map(|g| g.param.to_vec()).collect::<Vec<_>>();
+        let ga = a
+            .param_groups()
+            .iter()
+            .flat_map(|g| g.param.to_vec())
+            .collect::<Vec<_>>();
+        let gb = b
+            .param_groups()
+            .iter()
+            .flat_map(|g| g.param.to_vec())
+            .collect::<Vec<_>>();
         assert_eq!(ga, gb);
     }
 

@@ -34,6 +34,21 @@ pub trait Layer: Send {
     /// Backward pass; returns the gradient w.r.t. the layer input.
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
 
+    /// [`Layer::forward`] writing into a caller-owned output tensor, which is
+    /// resized in place — the allocation-free path used by the training
+    /// loop. `out` must not alias `input`. The default falls back to the
+    /// allocating `forward`; layers on the hot path override it.
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        *out = self.forward(input, train);
+    }
+
+    /// [`Layer::backward`] writing into a caller-owned gradient tensor,
+    /// resized in place. `grad_in` must not alias `grad_out`. The default
+    /// falls back to the allocating `backward`.
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
+        *grad_in = self.backward(grad_out);
+    }
+
     /// Clears accumulated parameter gradients.
     fn zero_grad(&mut self);
 
@@ -47,6 +62,16 @@ pub trait Layer: Send {
     /// Parameter/gradient groups in a stable order (empty for stateless
     /// layers such as activations).
     fn param_groups(&mut self) -> Vec<ParamGroup<'_>>;
+
+    /// Visits every parameter group in the same stable order as
+    /// [`Layer::param_groups`], without allocating the intermediate `Vec` —
+    /// the optimizer's per-step path. The default delegates to
+    /// `param_groups`; layers with parameters override it.
+    fn visit_param_groups(&mut self, f: &mut dyn FnMut(ParamGroup<'_>)) {
+        for g in self.param_groups() {
+            f(g);
+        }
+    }
 
     /// Total number of learnable scalars.
     fn param_count(&self) -> usize;

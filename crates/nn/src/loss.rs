@@ -15,12 +15,25 @@ pub trait Loss: Send + Sync {
     /// Loss value and `dL/d(pred)` in one pass.
     fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4);
 
+    /// [`Loss::value_and_grad`] writing the gradient into a caller-owned
+    /// tensor (resized in place) — the allocation-free path used by the
+    /// training loop. The default falls back to the allocating variant.
+    fn value_and_grad_into(&self, pred: &Tensor4, target: &Tensor4, grad: &mut Tensor4) -> f64 {
+        let (v, g) = self.value_and_grad(pred, target);
+        grad.copy_from(&g);
+        v
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }
 
 fn check(pred: &Tensor4, target: &Tensor4, what: &str) {
-    assert_eq!(pred.shape(), target.shape(), "{what}: prediction/target shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "{what}: prediction/target shape mismatch"
+    );
     assert!(!pred.is_empty(), "{what}: empty tensors");
 }
 
@@ -32,20 +45,37 @@ impl Loss for Mse {
     fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
         check(pred, target, "Mse");
         let m = pred.len() as f64;
-        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / m
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / m
     }
 
     fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        let mut grad = Tensor4::zeros(0, 0, 0, 0);
+        let v = self.value_and_grad_into(pred, target, &mut grad);
+        (v, grad)
+    }
+
+    fn value_and_grad_into(&self, pred: &Tensor4, target: &Tensor4, grad: &mut Tensor4) -> f64 {
         check(pred, target, "Mse");
         let m = pred.len() as f64;
-        let mut grad = pred.clone();
+        let (n, c, h, w) = pred.shape();
+        grad.resize(n, c, h, w);
         let mut loss = 0.0;
-        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
-            let d = *g - t;
+        for ((g, &p), &t) in grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            let d = p - t;
             loss += d * d;
             *g = 2.0 * d / m;
         }
-        (loss / m, grad)
+        loss / m
     }
 
     fn name(&self) -> &'static str {
@@ -61,20 +91,37 @@ impl Loss for Mae {
     fn value(&self, pred: &Tensor4, target: &Tensor4) -> f64 {
         check(pred, target, "Mae");
         let m = pred.len() as f64;
-        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| (p - t).abs()).sum::<f64>() / m
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / m
     }
 
     fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        let mut grad = Tensor4::zeros(0, 0, 0, 0);
+        let v = self.value_and_grad_into(pred, target, &mut grad);
+        (v, grad)
+    }
+
+    fn value_and_grad_into(&self, pred: &Tensor4, target: &Tensor4, grad: &mut Tensor4) -> f64 {
         check(pred, target, "Mae");
         let m = pred.len() as f64;
-        let mut grad = pred.clone();
+        let (n, c, h, w) = pred.shape();
+        grad.resize(n, c, h, w);
         let mut loss = 0.0;
-        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
-            let d = *g - t;
+        for ((g, &p), &t) in grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            let d = p - t;
             loss += d.abs();
             *g = d.signum() / m;
         }
-        (loss / m, grad)
+        loss / m
     }
 
     fn name(&self) -> &'static str {
@@ -126,17 +173,29 @@ impl Loss for Mape {
     }
 
     fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        let mut grad = Tensor4::zeros(0, 0, 0, 0);
+        let v = self.value_and_grad_into(pred, target, &mut grad);
+        (v, grad)
+    }
+
+    fn value_and_grad_into(&self, pred: &Tensor4, target: &Tensor4, grad: &mut Tensor4) -> f64 {
         check(pred, target, "Mape");
         let m = pred.len() as f64;
-        let mut grad = pred.clone();
+        let (n, c, h, w) = pred.shape();
+        grad.resize(n, c, h, w);
         let mut loss = 0.0;
-        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+        for ((g, &p), &t) in grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
             let denom = t.abs().max(self.floor);
-            let d = *g - t;
+            let d = p - t;
             loss += d.abs() / denom;
             *g = 100.0 * d.signum() / (denom * m);
         }
-        (100.0 * loss / m, grad)
+        100.0 * loss / m
     }
 
     fn name(&self) -> &'static str {
@@ -189,13 +248,25 @@ impl Loss for Huber {
     }
 
     fn value_and_grad(&self, pred: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        let mut grad = Tensor4::zeros(0, 0, 0, 0);
+        let v = self.value_and_grad_into(pred, target, &mut grad);
+        (v, grad)
+    }
+
+    fn value_and_grad_into(&self, pred: &Tensor4, target: &Tensor4, grad: &mut Tensor4) -> f64 {
         check(pred, target, "Huber");
         let m = pred.len() as f64;
         let d = self.delta;
-        let mut grad = pred.clone();
+        let (n, c, h, w) = pred.shape();
+        grad.resize(n, c, h, w);
         let mut loss = 0.0;
-        for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
-            let e = *g - t;
+        for ((g, &p), &t) in grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            let e = p - t;
             if e.abs() <= d {
                 loss += 0.5 * e * e;
                 *g = e / m;
@@ -204,7 +275,7 @@ impl Loss for Huber {
                 *g = d * e.signum() / m;
             }
         }
-        (loss / m, grad)
+        loss / m
     }
 
     fn name(&self) -> &'static str {
@@ -274,7 +345,12 @@ mod tests {
     }
 
     fn losses() -> Vec<Box<dyn Loss>> {
-        vec![Box::new(Mse), Box::new(Mae), Box::new(Mape::default()), Box::new(Huber::default())]
+        vec![
+            Box::new(Mse),
+            Box::new(Mae),
+            Box::new(Mape::default()),
+            Box::new(Huber::default()),
+        ]
     }
 
     #[test]

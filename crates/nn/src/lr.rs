@@ -41,11 +41,22 @@ impl LrSchedule {
     pub fn rate(&self, epoch: usize) -> f64 {
         match *self {
             LrSchedule::Constant(r) => r,
-            LrSchedule::StepDecay { base, gamma, step_every } => {
-                assert!(step_every > 0, "LrSchedule::StepDecay: step_every must be > 0");
+            LrSchedule::StepDecay {
+                base,
+                gamma,
+                step_every,
+            } => {
+                assert!(
+                    step_every > 0,
+                    "LrSchedule::StepDecay: step_every must be > 0"
+                );
                 base * gamma.powi((epoch / step_every) as i32)
             }
-            LrSchedule::Cosine { base, min, total_epochs } => {
+            LrSchedule::Cosine {
+                base,
+                min,
+                total_epochs,
+            } => {
                 if total_epochs == 0 || epoch >= total_epochs {
                     return min;
                 }
@@ -76,7 +87,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { base: 1.0, gamma: 0.5, step_every: 10 };
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            gamma: 0.5,
+            step_every: 10,
+        };
         assert_eq!(s.rate(0), 1.0);
         assert_eq!(s.rate(9), 1.0);
         assert_eq!(s.rate(10), 0.5);
@@ -85,7 +100,11 @@ mod tests {
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { base: 1.0, min: 0.1, total_epochs: 100 };
+        let s = LrSchedule::Cosine {
+            base: 1.0,
+            min: 0.1,
+            total_epochs: 100,
+        };
         assert!((s.rate(0) - 1.0).abs() < 1e-12);
         assert!((s.rate(50) - 0.55).abs() < 1e-12);
         assert_eq!(s.rate(100), 0.1);
@@ -94,7 +113,11 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing() {
-        let s = LrSchedule::Cosine { base: 1.0, min: 0.0, total_epochs: 50 };
+        let s = LrSchedule::Cosine {
+            base: 1.0,
+            min: 0.0,
+            total_epochs: 50,
+        };
         let mut prev = f64::INFINITY;
         for e in 0..60 {
             let r = s.rate(e);
@@ -105,7 +128,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = LrSchedule::Warmup { base: 1.0, warmup: 4 };
+        let s = LrSchedule::Warmup {
+            base: 1.0,
+            warmup: 4,
+        };
         assert_eq!(s.rate(0), 0.25);
         assert_eq!(s.rate(1), 0.5);
         assert_eq!(s.rate(3), 1.0);

@@ -17,7 +17,7 @@
 //! Per-group state (momenta, second moments) is keyed by group *order*,
 //! which is stable for a fixed network structure.
 
-use crate::layer::ParamGroup;
+use crate::layer::{Layer, ParamGroup};
 
 /// Global L2 norm of all gradients in the groups.
 pub fn gradient_norm(groups: &[ParamGroup<'_>]) -> f64 {
@@ -29,11 +29,28 @@ pub fn gradient_norm(groups: &[ParamGroup<'_>]) -> f64 {
         .sqrt()
 }
 
+/// Global L2 norm of all gradients of a network, computed through the
+/// allocation-free [`Layer::visit_param_groups`] visitor.
+pub fn gradient_norm_of(net: &mut dyn Layer) -> f64 {
+    let mut sq = 0.0;
+    net.visit_param_groups(&mut |g| {
+        sq += g.grad.iter().map(|v| v * v).sum::<f64>();
+    });
+    sq.sqrt()
+}
+
 /// A first-order optimizer over flat parameter groups.
 pub trait Optimizer: Send {
     /// Applies one update step using the gradients currently stored in the
     /// groups. Must be called with the same group structure every time.
     fn step(&mut self, groups: &mut [ParamGroup<'_>]);
+
+    /// Applies one update step directly over a network's parameter groups
+    /// via [`Layer::visit_param_groups`] — same arithmetic and group order
+    /// as [`Optimizer::step`], but without materializing the group `Vec`.
+    /// After per-group state has been created on the first call, this path
+    /// performs no heap allocation.
+    fn step_visit(&mut self, net: &mut dyn Layer);
 
     /// Current learning rate.
     fn learning_rate(&self) -> f64;
@@ -61,6 +78,25 @@ fn ensure_state(state: &mut Vec<Vec<f64>>, groups: &[ParamGroup<'_>]) {
     }
 }
 
+/// Per-group variant of [`ensure_state`] for the visitor path: lazily grows
+/// the state list on first visit, then insists the structure is unchanged.
+fn ensure_group_state(state: &mut Vec<Vec<f64>>, idx: usize, g: &ParamGroup<'_>) {
+    if state.len() == idx {
+        state.push(vec![0.0; g.param.len()]);
+    }
+    assert!(
+        idx < state.len(),
+        "optimizer: group structure changed between steps (group '{}')",
+        g.name
+    );
+    assert_eq!(
+        state[idx].len(),
+        g.param.len(),
+        "optimizer: group structure changed between steps (group '{}')",
+        g.name
+    );
+}
+
 /// Stochastic gradient descent, optionally with (Nesterov) momentum.
 pub struct Sgd {
     lr: f64,
@@ -72,13 +108,23 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f64) -> Self {
-        Self { lr, momentum: 0.0, nesterov: false, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            nesterov: false,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with classical momentum `mu` (paper Eq. (3) family).
     pub fn with_momentum(lr: f64, mu: f64) -> Self {
         assert!((0.0..1.0).contains(&mu), "Sgd: momentum must be in [0, 1)");
-        Self { lr, momentum: mu, nesterov: false, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: mu,
+            nesterov: false,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with Nesterov momentum.
@@ -89,22 +135,38 @@ impl Sgd {
     }
 }
 
+/// The SGD per-group update shared by both step paths.
+fn sgd_update(g: &mut ParamGroup<'_>, vel: &mut [f64], lr: f64, momentum: f64, nesterov: bool) {
+    if momentum == 0.0 {
+        for (p, &dg) in g.param.iter_mut().zip(g.grad) {
+            *p -= lr * dg;
+        }
+    } else {
+        for ((p, &dg), v) in g.param.iter_mut().zip(g.grad).zip(vel.iter_mut()) {
+            *v = momentum * *v + dg;
+            let upd = if nesterov { dg + momentum * *v } else { *v };
+            *p -= lr * upd;
+        }
+    }
+}
+
 impl Optimizer for Sgd {
     fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
         ensure_state(&mut self.velocity, groups);
         for (g, vel) in groups.iter_mut().zip(&mut self.velocity) {
-            if self.momentum == 0.0 {
-                for (p, &dg) in g.param.iter_mut().zip(g.grad) {
-                    *p -= self.lr * dg;
-                }
-            } else {
-                for ((p, &dg), v) in g.param.iter_mut().zip(g.grad).zip(vel.iter_mut()) {
-                    *v = self.momentum * *v + dg;
-                    let upd = if self.nesterov { dg + self.momentum * *v } else { *v };
-                    *p -= self.lr * upd;
-                }
-            }
+            sgd_update(g, vel, self.lr, self.momentum, self.nesterov);
         }
+    }
+
+    fn step_visit(&mut self, net: &mut dyn Layer) {
+        let (lr, momentum, nesterov) = (self.lr, self.momentum, self.nesterov);
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        net.visit_param_groups(&mut |mut g| {
+            ensure_group_state(velocity, idx, &g);
+            sgd_update(&mut g, &mut velocity[idx], lr, momentum, nesterov);
+            idx += 1;
+        });
     }
 
     fn learning_rate(&self) -> f64 {
@@ -149,14 +211,53 @@ impl Adam {
     /// # Panics
     /// If the betas are outside `[0, 1)` or `eps ≤ 0`.
     pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "Adam: betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "Adam: betas in [0,1)"
+        );
         assert!(eps > 0.0, "Adam: eps must be > 0");
-        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+}
+
+/// The ADAM per-group update shared by both step paths.
+#[allow(clippy::too_many_arguments)]
+fn adam_update(
+    g: &mut ParamGroup<'_>,
+    m: &mut [f64],
+    v: &mut [f64],
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    for (((p, &dg), mi), vi) in g
+        .param
+        .iter_mut()
+        .zip(g.grad)
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+    {
+        *mi = beta1 * *mi + (1.0 - beta1) * dg;
+        *vi = beta2 * *vi + (1.0 - beta2) * dg * dg;
+        let mhat = *mi / bc1;
+        let vhat = *vi / bc2;
+        *p -= lr * mhat / (vhat.sqrt() + eps);
     }
 }
 
@@ -168,16 +269,33 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for ((g, m), v) in groups.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            for (((p, &dg), mi), vi) in
-                g.param.iter_mut().zip(g.grad).zip(m.iter_mut()).zip(v.iter_mut())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * dg;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * dg * dg;
-                let mhat = *mi / bc1;
-                let vhat = *vi / bc2;
-                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            adam_update(g, m, v, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2);
         }
+    }
+
+    fn step_visit(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m_state, v_state) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        net.visit_param_groups(&mut |mut g| {
+            ensure_group_state(m_state, idx, &g);
+            ensure_group_state(v_state, idx, &g);
+            adam_update(
+                &mut g,
+                &mut m_state[idx],
+                &mut v_state[idx],
+                lr,
+                beta1,
+                beta2,
+                eps,
+                bc1,
+                bc2,
+            );
+            idx += 1;
+        });
     }
 
     fn learning_rate(&self) -> f64 {
@@ -203,7 +321,10 @@ impl AdamW {
     /// AdamW with default moments and the given decoupled decay.
     pub fn new(lr: f64, weight_decay: f64) -> Self {
         assert!(weight_decay >= 0.0, "AdamW: weight_decay must be >= 0");
-        Self { inner: Adam::new(lr), weight_decay }
+        Self {
+            inner: Adam::new(lr),
+            weight_decay,
+        }
     }
 }
 
@@ -217,6 +338,18 @@ impl Optimizer for AdamW {
             }
         }
         self.inner.step(groups);
+    }
+
+    fn step_visit(&mut self, net: &mut dyn Layer) {
+        // Decoupled decay in a first sweep, then the ADAM update — the same
+        // order as `step`, which decays every group before updating any.
+        let decay = self.inner.lr * self.weight_decay;
+        net.visit_param_groups(&mut |g| {
+            for p in g.param.iter_mut() {
+                *p -= decay * *p;
+            }
+        });
+        self.inner.step_visit(net);
     }
 
     fn learning_rate(&self) -> f64 {
@@ -250,7 +383,20 @@ impl RmsProp {
     pub fn with_params(lr: f64, rho: f64, eps: f64) -> Self {
         assert!((0.0..1.0).contains(&rho), "RmsProp: rho in [0,1)");
         assert!(eps > 0.0, "RmsProp: eps must be > 0");
-        Self { lr, rho, eps, sq: Vec::new() }
+        Self {
+            lr,
+            rho,
+            eps,
+            sq: Vec::new(),
+        }
+    }
+}
+
+/// The RMSProp per-group update shared by both step paths.
+fn rmsprop_update(g: &mut ParamGroup<'_>, sq: &mut [f64], lr: f64, rho: f64, eps: f64) {
+    for ((p, &dg), s) in g.param.iter_mut().zip(g.grad).zip(sq.iter_mut()) {
+        *s = rho * *s + (1.0 - rho) * dg * dg;
+        *p -= lr * dg / (s.sqrt() + eps);
     }
 }
 
@@ -258,11 +404,19 @@ impl Optimizer for RmsProp {
     fn step(&mut self, groups: &mut [ParamGroup<'_>]) {
         ensure_state(&mut self.sq, groups);
         for (g, sq) in groups.iter_mut().zip(&mut self.sq) {
-            for ((p, &dg), s) in g.param.iter_mut().zip(g.grad).zip(sq.iter_mut()) {
-                *s = self.rho * *s + (1.0 - self.rho) * dg * dg;
-                *p -= self.lr * dg / (s.sqrt() + self.eps);
-            }
+            rmsprop_update(g, sq, self.lr, self.rho, self.eps);
         }
+    }
+
+    fn step_visit(&mut self, net: &mut dyn Layer) {
+        let (lr, rho, eps) = (self.lr, self.rho, self.eps);
+        let sq_state = &mut self.sq;
+        let mut idx = 0;
+        net.visit_param_groups(&mut |mut g| {
+            ensure_group_state(sq_state, idx, &g);
+            rmsprop_update(&mut g, &mut sq_state[idx], lr, rho, eps);
+            idx += 1;
+        });
     }
 
     fn learning_rate(&self) -> f64 {
@@ -291,7 +445,11 @@ mod tests {
 
     impl Quad {
         fn new(start: &[f64], target: &[f64]) -> Self {
-            Self { x: start.to_vec(), g: vec![0.0; start.len()], target: target.to_vec() }
+            Self {
+                x: start.to_vec(),
+                g: vec![0.0; start.len()],
+                target: target.to_vec(),
+            }
         }
 
         fn compute_grad(&mut self) {
@@ -301,7 +459,11 @@ mod tests {
         }
 
         fn groups(&mut self) -> Vec<ParamGroup<'_>> {
-            vec![ParamGroup { param: &mut self.x, grad: &self.g, name: "x" }]
+            vec![ParamGroup {
+                param: &mut self.x,
+                grad: &self.g,
+                name: "x",
+            }]
         }
 
         fn dist(&self) -> f64 {
@@ -333,7 +495,12 @@ mod tests {
                 q.compute_grad();
                 opt.step(&mut q.groups());
             }
-            assert!(q.dist() < 1e-2, "{} did not converge: dist={}", opt.name(), q.dist());
+            assert!(
+                q.dist() < 1e-2,
+                "{} did not converge: dist={}",
+                opt.name(),
+                q.dist()
+            );
         }
     }
 
@@ -362,7 +529,11 @@ mod tests {
         let mut x = vec![1.0];
         let g = vec![0.0];
         let mut opt = AdamW::new(0.1, 0.5);
-        let mut groups = vec![ParamGroup { param: &mut x, grad: &g, name: "x" }];
+        let mut groups = vec![ParamGroup {
+            param: &mut x,
+            grad: &g,
+            name: "x",
+        }];
         opt.step(&mut groups);
         // Pure decay (gradient is zero): x *= (1 - lr*wd) = 0.95.
         assert!((x[0] - 0.95).abs() < 1e-9);
@@ -382,9 +553,86 @@ mod tests {
         let mut opt = Adam::new(0.1);
         let mut a = vec![0.0; 3];
         let ga = vec![0.0; 3];
-        opt.step(&mut [ParamGroup { param: &mut a, grad: &ga, name: "a" }]);
+        opt.step(&mut [ParamGroup {
+            param: &mut a,
+            grad: &ga,
+            name: "a",
+        }]);
         let mut b = vec![0.0; 5];
         let gb = vec![0.0; 5];
-        opt.step(&mut [ParamGroup { param: &mut b, grad: &gb, name: "b" }]);
+        opt.step(&mut [ParamGroup {
+            param: &mut b,
+            grad: &gb,
+            name: "b",
+        }]);
+    }
+
+    /// A two-group [`Layer`] over [`Quad`] states, for exercising the
+    /// visitor-based optimizer path.
+    struct QuadLayer {
+        a: Quad,
+        b: Quad,
+    }
+
+    impl Layer for QuadLayer {
+        fn forward(&mut self, input: &pde_tensor::Tensor4, _train: bool) -> pde_tensor::Tensor4 {
+            input.clone()
+        }
+        fn backward(&mut self, grad_out: &pde_tensor::Tensor4) -> pde_tensor::Tensor4 {
+            grad_out.clone()
+        }
+        fn zero_grad(&mut self) {}
+        fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
+            vec![
+                ParamGroup {
+                    param: &mut self.a.x,
+                    grad: &self.a.g,
+                    name: "a",
+                },
+                ParamGroup {
+                    param: &mut self.b.x,
+                    grad: &self.b.g,
+                    name: "b",
+                },
+            ]
+        }
+        fn param_count(&self) -> usize {
+            self.a.x.len() + self.b.x.len()
+        }
+        fn describe(&self) -> String {
+            "QuadLayer".into()
+        }
+    }
+
+    #[test]
+    fn step_visit_matches_step_bitwise() {
+        for (mut by_slice, mut by_visit) in optimizers().into_iter().zip(optimizers()) {
+            let fresh = || QuadLayer {
+                a: Quad::new(&[5.0, -3.0, 0.5], &[1.0, 2.0, -1.0]),
+                b: Quad::new(&[0.25, 8.0], &[-2.0, 0.0]),
+            };
+            let mut net_s = fresh();
+            let mut net_v = fresh();
+            for _ in 0..25 {
+                net_s.a.compute_grad();
+                net_s.b.compute_grad();
+                by_slice.step(&mut net_s.param_groups());
+                net_v.a.compute_grad();
+                net_v.b.compute_grad();
+                by_visit.step_visit(&mut net_v);
+            }
+            assert_eq!(
+                net_s.a.x,
+                net_v.a.x,
+                "{}: group a diverged",
+                by_slice.name()
+            );
+            assert_eq!(
+                net_s.b.x,
+                net_v.b.x,
+                "{}: group b diverged",
+                by_slice.name()
+            );
+        }
     }
 }

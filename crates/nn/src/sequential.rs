@@ -3,18 +3,43 @@
 use crate::layer::{Layer, ParamGroup};
 use pde_tensor::Tensor4;
 
+/// Ping-pong activation buffers owned by a [`Sequential`] stack.
+///
+/// `forward_into`/`backward_into` alternate between the two tensors as the
+/// signal moves through the stack, so a whole pass allocates nothing once
+/// the buffers have grown to the largest intermediate activation.
+struct Workspace {
+    ping: Tensor4,
+    pong: Tensor4,
+}
+
+impl Workspace {
+    fn new() -> Self {
+        Self {
+            ping: Tensor4::zeros(0, 0, 0, 0),
+            pong: Tensor4::zeros(0, 0, 0, 0),
+        }
+    }
+}
+
 /// A straight-line stack of layers executed in order.
 ///
 /// This is the only composition the paper's architecture needs. The struct
-/// itself implements [`Layer`], so stacks nest.
+/// itself implements [`Layer`], so stacks nest. The stack owns a
+/// [`Workspace`] of ping-pong activation buffers, making `forward_into` /
+/// `backward_into` allocation-free after warm-up.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    ws: Workspace,
 }
 
 impl Sequential {
     /// Empty stack.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self {
+            layers: Vec::new(),
+            ws: Workspace::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -69,19 +94,51 @@ impl Default for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor4, train: bool) -> Tensor4 {
-        let mut x = input.clone();
-        for l in &mut self.layers {
-            x = l.forward(&x, train);
-        }
-        x
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(input, train, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let mut g = grad_out.clone();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+        let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor4, train: bool, out: &mut Tensor4) {
+        let n = self.layers.len();
+        if n == 0 {
+            out.copy_from(input);
+            return;
         }
-        g
+        let (ping, pong) = (&mut self.ws.ping, &mut self.ws.pong);
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            let src: &Tensor4 = if i == 0 { input } else { ping };
+            if i == n - 1 {
+                l.forward_into(src, train, out);
+            } else {
+                l.forward_into(src, train, pong);
+                std::mem::swap(ping, pong);
+            }
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor4, grad_in: &mut Tensor4) {
+        let n = self.layers.len();
+        if n == 0 {
+            grad_in.copy_from(grad_out);
+            return;
+        }
+        let (ping, pong) = (&mut self.ws.ping, &mut self.ws.pong);
+        for (i, l) in self.layers.iter_mut().rev().enumerate() {
+            let src: &Tensor4 = if i == 0 { grad_out } else { ping };
+            if i == n - 1 {
+                l.backward_into(src, grad_in);
+            } else {
+                l.backward_into(src, pong);
+                std::mem::swap(ping, pong);
+            }
+        }
     }
 
     fn zero_grad(&mut self) {
@@ -97,7 +154,16 @@ impl Layer for Sequential {
     }
 
     fn param_groups(&mut self) -> Vec<ParamGroup<'_>> {
-        self.layers.iter_mut().flat_map(|l| l.param_groups()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.param_groups())
+            .collect()
+    }
+
+    fn visit_param_groups(&mut self, f: &mut dyn FnMut(ParamGroup<'_>)) {
+        for l in &mut self.layers {
+            l.visit_param_groups(f);
+        }
     }
 
     fn param_count(&self) -> usize {
@@ -105,11 +171,17 @@ impl Layer for Sequential {
     }
 
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
-        self.layers.iter().fold((h, w), |(h, w), l| l.out_dims(h, w))
+        self.layers
+            .iter()
+            .fold((h, w), |(h, w), l| l.out_dims(h, w))
     }
 
     fn describe(&self) -> String {
-        format!("Sequential({} layers, {} params)", self.layers.len(), self.param_count())
+        format!(
+            "Sequential({} layers, {} params)",
+            self.layers.len(),
+            self.param_count()
+        )
     }
 }
 

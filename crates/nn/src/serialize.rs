@@ -71,7 +71,8 @@ pub fn write_params(net: &mut dyn Layer, w: &mut dyn Write) -> io::Result<()> {
 
 fn read_u64(r: &mut dyn Read) -> Result<u64, LoadError> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b).map_err(|e| LoadError::Format(format!("truncated: {e}")))?;
+    r.read_exact(&mut b)
+        .map_err(|e| LoadError::Format(format!("truncated: {e}")))?;
     Ok(u64::from_le_bytes(b))
 }
 
@@ -79,7 +80,8 @@ fn read_u64(r: &mut dyn Read) -> Result<u64, LoadError> {
 /// names and lengths match group-for-group.
 pub fn read_params(net: &mut dyn Layer, r: &mut dyn Read) -> Result<(), LoadError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(|e| LoadError::Format(format!("no magic: {e}")))?;
+    r.read_exact(&mut magic)
+        .map_err(|e| LoadError::Format(format!("no magic: {e}")))?;
     if &magic != MAGIC {
         return Err(LoadError::Format("bad magic (not a PDENN v1 file)".into()));
     }
@@ -94,13 +96,20 @@ pub fn read_params(net: &mut dyn Layer, r: &mut dyn Read) -> Result<(), LoadErro
     for g in groups.iter_mut() {
         let name_len = read_u64(r)? as usize;
         if name_len > 4096 {
-            return Err(LoadError::Format(format!("implausible name length {name_len}")));
+            return Err(LoadError::Format(format!(
+                "implausible name length {name_len}"
+            )));
         }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name).map_err(|e| LoadError::Format(format!("truncated name: {e}")))?;
-        let name = String::from_utf8(name).map_err(|_| LoadError::Format("non-UTF-8 name".into()))?;
+        r.read_exact(&mut name)
+            .map_err(|e| LoadError::Format(format!("truncated name: {e}")))?;
+        let name =
+            String::from_utf8(name).map_err(|_| LoadError::Format("non-UTF-8 name".into()))?;
         if name != g.name {
-            return Err(LoadError::Mismatch(format!("group name '{name}' vs expected '{}'", g.name)));
+            return Err(LoadError::Mismatch(format!(
+                "group name '{name}' vs expected '{}'",
+                g.name
+            )));
         }
         let data_len = read_u64(r)? as usize;
         if data_len != g.param.len() {
@@ -111,7 +120,8 @@ pub fn read_params(net: &mut dyn Layer, r: &mut dyn Read) -> Result<(), LoadErro
         }
         let mut buf = [0u8; 8];
         for v in g.param.iter_mut() {
-            r.read_exact(&mut buf).map_err(|e| LoadError::Format(format!("truncated data: {e}")))?;
+            r.read_exact(&mut buf)
+                .map_err(|e| LoadError::Format(format!("truncated data: {e}")))?;
             *v = f64::from_le_bytes(buf);
         }
     }
@@ -134,7 +144,10 @@ pub fn load_params(net: &mut dyn Layer, path: &Path) -> Result<(), LoadError> {
 
 /// Snapshots all parameters into one flat vector (group order).
 pub fn snapshot(net: &mut dyn Layer) -> Vec<f64> {
-    net.param_groups().iter().flat_map(|g| g.param.to_vec()).collect()
+    net.param_groups()
+        .iter()
+        .flat_map(|g| g.param.to_vec())
+        .collect()
 }
 
 /// Restores a [`snapshot`] taken from an identically structured network.
@@ -142,10 +155,15 @@ pub fn snapshot(net: &mut dyn Layer) -> Vec<f64> {
 /// # Panics
 /// If the snapshot length does not match the parameter count.
 pub fn restore(net: &mut dyn Layer, snap: &[f64]) {
-    assert_eq!(net.param_count(), snap.len(), "restore: snapshot length mismatch");
+    assert_eq!(
+        net.param_count(),
+        snap.len(),
+        "restore: snapshot length mismatch"
+    );
     let mut offset = 0;
     for g in net.param_groups() {
-        g.param.copy_from_slice(&snap[offset..offset + g.param.len()]);
+        g.param
+            .copy_from_slice(&snap[offset..offset + g.param.len()]);
         offset += g.param.len();
     }
 }
@@ -166,7 +184,10 @@ mod tests {
         let mut c2 = Conv2d::same(4, 2, 3);
         init_conv(&mut c1, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
         init_conv(&mut c2, Init::KaimingUniform { neg_slope: 0.01 }, &mut rng);
-        Sequential::new().push(c1).push(LeakyReLu::paper_default()).push(c2)
+        Sequential::new()
+            .push(c1)
+            .push(LeakyReLu::paper_default())
+            .push(c2)
     }
 
     #[test]

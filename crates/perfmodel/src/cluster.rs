@@ -88,11 +88,26 @@ mod tests {
     fn lpt_packs_mixed_tasks_well() {
         let sim = ClusterSim::new(2);
         let tasks = [
-            Task { rank: 0, seconds: 3.0 },
-            Task { rank: 1, seconds: 3.0 },
-            Task { rank: 2, seconds: 2.0 },
-            Task { rank: 3, seconds: 2.0 },
-            Task { rank: 4, seconds: 2.0 },
+            Task {
+                rank: 0,
+                seconds: 3.0,
+            },
+            Task {
+                rank: 1,
+                seconds: 3.0,
+            },
+            Task {
+                rank: 2,
+                seconds: 2.0,
+            },
+            Task {
+                rank: 3,
+                seconds: 2.0,
+            },
+            Task {
+                rank: 4,
+                seconds: 2.0,
+            },
         ];
         // Optimal: {3,3} on one core? No — LPT: 3→c0, 3→c1, 2→c0(5), 2→c1(5),
         // 2→c0 or c1 (7). Optimal is 6 ({3,3},{2,2,2}); LPT gives 7 — a

@@ -17,8 +17,14 @@ pub struct CostModel {
 impl CostModel {
     /// Builds a model from explicit coefficients.
     pub fn new(overhead_s: f64, rate_s_per_cell: f64) -> Self {
-        assert!(overhead_s >= 0.0 && rate_s_per_cell > 0.0, "CostModel: nonphysical coefficients");
-        Self { overhead_s, rate_s_per_cell }
+        assert!(
+            overhead_s >= 0.0 && rate_s_per_cell > 0.0,
+            "CostModel: nonphysical coefficients"
+        );
+        Self {
+            overhead_s,
+            rate_s_per_cell,
+        }
     }
 
     /// Least-squares fit of `(cells, seconds_per_epoch)` samples.
@@ -29,18 +35,30 @@ impl CostModel {
     /// # Panics
     /// If fewer than 2 samples or all with the same cell count.
     pub fn calibrate(samples: &[(f64, f64)]) -> Self {
-        assert!(samples.len() >= 2, "CostModel::calibrate: need >= 2 samples");
+        assert!(
+            samples.len() >= 2,
+            "CostModel::calibrate: need >= 2 samples"
+        );
         let n = samples.len() as f64;
         let sx: f64 = samples.iter().map(|s| s.0).sum();
         let sy: f64 = samples.iter().map(|s| s.1).sum();
         let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
         let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
         let det = n * sxx - sx * sx;
-        assert!(det.abs() > 1e-12, "CostModel::calibrate: degenerate samples");
+        assert!(
+            det.abs() > 1e-12,
+            "CostModel::calibrate: degenerate samples"
+        );
         let rate = (n * sxy - sx * sy) / det;
         let overhead = ((sy - rate * sx) / n).max(0.0);
-        assert!(rate > 0.0, "CostModel::calibrate: non-positive rate (bad samples?)");
-        Self { overhead_s: overhead, rate_s_per_cell: rate }
+        assert!(
+            rate > 0.0,
+            "CostModel::calibrate: non-positive rate (bad samples?)"
+        );
+        Self {
+            overhead_s: overhead,
+            rate_s_per_cell: rate,
+        }
     }
 
     /// Seconds one rank needs for one epoch over `cells` grid cells.

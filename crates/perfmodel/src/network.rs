@@ -16,8 +16,14 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A model with the given α/β.
     pub fn new(latency_s: f64, per_byte_s: f64) -> Self {
-        assert!(latency_s >= 0.0 && per_byte_s >= 0.0, "NetworkModel: negative costs");
-        Self { latency_s, per_byte_s }
+        assert!(
+            latency_s >= 0.0 && per_byte_s >= 0.0,
+            "NetworkModel: negative costs"
+        );
+        Self {
+            latency_s,
+            per_byte_s,
+        }
     }
 
     /// Typical commodity-cluster numbers: 1 µs latency, 10 GB/s links.

@@ -42,7 +42,12 @@ pub fn strong_scaling(
             let per_rank = cost.training_seconds(cells.div_ceil(p), epochs);
             let seconds = sim.makespan_uniform(p, per_rank);
             let speedup = t1 / seconds;
-            ScalingPoint { ranks: p, seconds, speedup, efficiency: speedup / p as f64 }
+            ScalingPoint {
+                ranks: p,
+                seconds,
+                speedup,
+                efficiency: speedup / p as f64,
+            }
         })
         .collect()
 }
@@ -53,6 +58,7 @@ pub fn strong_scaling(
 ///
 /// `steps_per_epoch(p)` is the number of allreduce rounds one epoch incurs
 /// at P = p (i.e. the per-rank batch count); `weight_bytes` the model size.
+#[allow(clippy::too_many_arguments)]
 pub fn strong_scaling_baseline(
     cost: &CostModel,
     net: &NetworkModel,
@@ -63,7 +69,10 @@ pub fn strong_scaling_baseline(
     rank_counts: &[usize],
     cores: usize,
 ) -> Vec<ScalingPoint> {
-    assert!(!rank_counts.is_empty(), "strong_scaling_baseline: no rank counts");
+    assert!(
+        !rank_counts.is_empty(),
+        "strong_scaling_baseline: no rank counts"
+    );
     let sim = ClusterSim::new(cores);
     // P = 1 reference: full data, full domain, no communication.
     let t1 = cost.training_seconds(cells, epochs).max(f64::MIN_POSITIVE);
@@ -74,18 +83,25 @@ pub fn strong_scaling_baseline(
             // Compute shrinks with the data chunking (1/P of the batches),
             // but every batch still runs the FULL-domain network.
             let compute = cost.training_seconds(cells, epochs) / p as f64;
-            let comm =
-                epochs as f64 * batches_per_epoch(p) as f64 * net.allreduce(weight_bytes, p);
+            let comm = epochs as f64 * batches_per_epoch(p) as f64 * net.allreduce(weight_bytes, p);
             let seconds = sim.makespan_uniform(p, compute).max(compute) + comm;
             let speedup = t1 / seconds;
-            ScalingPoint { ranks: p, seconds, speedup, efficiency: speedup / p as f64 }
+            ScalingPoint {
+                ranks: p,
+                seconds,
+                speedup,
+                efficiency: speedup / p as f64,
+            }
         })
         .collect()
 }
 
 /// Renders a scaling curve as a fixed-width table (the Fig.-4 companion).
 pub fn format_scaling_table(points: &[ScalingPoint]) -> String {
-    let mut s = format!("{:>6} {:>14} {:>10} {:>11}\n", "ranks", "time[s]", "speedup", "efficiency");
+    let mut s = format!(
+        "{:>6} {:>14} {:>10} {:>11}\n",
+        "ranks", "time[s]", "speedup", "efficiency"
+    );
     for p in points {
         s.push_str(&format!(
             "{:>6} {:>14.6} {:>10.2} {:>11.3}\n",
@@ -132,23 +148,18 @@ mod tests {
         let pts = strong_scaling(&cost(), 65536, 10, &[1, 4, 64], 4);
         let t1 = pts[0].seconds;
         assert!((pts[1].seconds - t1 / 4.0).abs() < 1e-9);
-        assert!((pts[2].seconds - t1 / 4.0).abs() < 1e-6, "64 ranks on 4 cores ≈ T(1)/4");
+        assert!(
+            (pts[2].seconds - t1 / 4.0).abs() < 1e-6,
+            "64 ranks on 4 cores ≈ T(1)/4"
+        );
     }
 
     #[test]
     fn baseline_pays_for_allreduce() {
         let net = NetworkModel::new(1e-4, 1e-9); // slow network
         let scheme = strong_scaling(&cost(), 65536, 10, &[64], 64);
-        let base = strong_scaling_baseline(
-            &cost(),
-            &net,
-            65536,
-            10,
-            5 * 1024 * 8,
-            |_| 16,
-            &[64],
-            64,
-        );
+        let base =
+            strong_scaling_baseline(&cost(), &net, 65536, 10, 5 * 1024 * 8, |_| 16, &[64], 64);
         assert!(
             base[0].seconds > scheme[0].seconds,
             "baseline {} should be slower than scheme {}",

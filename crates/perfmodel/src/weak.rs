@@ -26,7 +26,9 @@ pub fn weak_scaling(
 ) -> Vec<ScalingPoint> {
     assert!(!rank_counts.is_empty(), "weak_scaling: no rank counts");
     let sim = ClusterSim::new(cores);
-    let t1 = cost.training_seconds(cells_per_rank, epochs).max(f64::MIN_POSITIVE);
+    let t1 = cost
+        .training_seconds(cells_per_rank, epochs)
+        .max(f64::MIN_POSITIVE);
     rank_counts
         .iter()
         .map(|&p| {
@@ -34,7 +36,12 @@ pub fn weak_scaling(
             let per_rank = cost.training_seconds(cells_per_rank, epochs);
             let seconds = sim.makespan_uniform(p, per_rank);
             let efficiency = t1 / seconds;
-            ScalingPoint { ranks: p, seconds, speedup: efficiency * p as f64, efficiency }
+            ScalingPoint {
+                ranks: p,
+                seconds,
+                speedup: efficiency * p as f64,
+                efficiency,
+            }
         })
         .collect()
 }
@@ -42,6 +49,7 @@ pub fn weak_scaling(
 /// Weak scaling of the allreduce baseline: every replica keeps a constant
 /// per-epoch batch count over the grown dataset, paying one allreduce of
 /// `weight_bytes` per batch.
+#[allow(clippy::too_many_arguments)]
 pub fn weak_scaling_baseline(
     cost: &CostModel,
     net: &NetworkModel,
@@ -52,9 +60,14 @@ pub fn weak_scaling_baseline(
     rank_counts: &[usize],
     cores: usize,
 ) -> Vec<ScalingPoint> {
-    assert!(!rank_counts.is_empty(), "weak_scaling_baseline: no rank counts");
+    assert!(
+        !rank_counts.is_empty(),
+        "weak_scaling_baseline: no rank counts"
+    );
     let sim = ClusterSim::new(cores);
-    let t1 = cost.training_seconds(cells_per_rank, epochs).max(f64::MIN_POSITIVE);
+    let t1 = cost
+        .training_seconds(cells_per_rank, epochs)
+        .max(f64::MIN_POSITIVE);
     rank_counts
         .iter()
         .map(|&p| {
@@ -64,7 +77,12 @@ pub fn weak_scaling_baseline(
             let comm = epochs as f64 * batches_per_epoch as f64 * net.allreduce(weight_bytes, p);
             let seconds = sim.makespan_uniform(p, compute) + comm;
             let efficiency = t1 / seconds;
-            ScalingPoint { ranks: p, seconds, speedup: efficiency * p as f64, efficiency }
+            ScalingPoint {
+                ranks: p,
+                seconds,
+                speedup: efficiency * p as f64,
+                efficiency,
+            }
         })
         .collect()
 }
@@ -81,7 +99,12 @@ mod tests {
     fn scheme_weak_efficiency_is_one_with_enough_cores() {
         let pts = weak_scaling(&cost(), 4096, 10, &[1, 4, 16, 64], 64);
         for p in &pts {
-            assert!((p.efficiency - 1.0).abs() < 1e-12, "P={}: {}", p.ranks, p.efficiency);
+            assert!(
+                (p.efficiency - 1.0).abs() < 1e-12,
+                "P={}: {}",
+                p.ranks,
+                p.efficiency
+            );
             // Constant wall time — the flat weak-scaling line.
             assert!((p.seconds - pts[0].seconds).abs() < 1e-12);
         }

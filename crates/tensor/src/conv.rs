@@ -5,7 +5,7 @@
 //! (trivially auditable, used as the test oracle) and the im2col+GEMM
 //! lowering (the fast path used by `pde-nn`). Both share [`Conv2dSpec`].
 
-use crate::gemm::{gemm, gemm_nt, gemm_tn};
+use crate::gemm::{gemm_batch, gemm_nt_batch, gemm_tn_batch};
 use crate::im2col::{col2im, im2col, ConvGeom};
 use crate::Tensor4;
 
@@ -29,7 +29,14 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// Square-kernel, stride-1 spec.
     pub fn square(in_c: usize, out_c: usize, k: usize, pad: usize) -> Self {
-        Self { in_c, out_c, kh: k, kw: k, stride: 1, pad }
+        Self {
+            in_c,
+            out_c,
+            kh: k,
+            kw: k,
+            stride: 1,
+            pad,
+        }
     }
 
     /// "Same" convolution: output spatial dims equal input dims (requires an
@@ -44,7 +51,15 @@ impl Conv2dSpec {
 
     /// Geometry for a given input spatial size.
     pub fn geom(&self, h: usize, w: usize) -> ConvGeom {
-        ConvGeom { c: self.in_c, h, w, kh: self.kh, kw: self.kw, stride: self.stride, pad: self.pad }
+        ConvGeom {
+            c: self.in_c,
+            h,
+            w,
+            kh: self.kh,
+            kw: self.kw,
+            stride: self.stride,
+            pad: self.pad,
+        }
     }
 
     /// Output spatial dims for a given input spatial size.
@@ -91,7 +106,10 @@ impl Conv2dSpec {
 pub fn conv2d(input: &Tensor4, weight: &Tensor4, bias: &[f64], spec: &Conv2dSpec) -> Tensor4 {
     spec.check_weights(weight);
     spec.check_input(input);
-    assert!(bias.is_empty() || bias.len() == spec.out_c, "conv2d: bias length");
+    assert!(
+        bias.is_empty() || bias.len() == spec.out_c,
+        "conv2d: bias length"
+    );
     let (n, _, h, w) = input.shape();
     let g = spec.geom(h, w);
     g.validate();
@@ -110,9 +128,6 @@ pub fn conv2d(input: &Tensor4, weight: &Tensor4, bias: &[f64], spec: &Conv2dSpec
                 for ki in 0..spec.kh {
                     for kj in 0..spec.kw {
                         let wv = weight[(oc, ic, ki, kj)];
-                        if wv == 0.0 {
-                            continue;
-                        }
                         for oi in 0..oh {
                             let ii = (oi * spec.stride + ki) as isize - spec.pad as isize;
                             if ii < 0 || ii >= h as isize {
@@ -120,10 +135,10 @@ pub fn conv2d(input: &Tensor4, weight: &Tensor4, bias: &[f64], spec: &Conv2dSpec
                             }
                             let x_row = &x_plane[ii as usize * w..(ii as usize + 1) * w];
                             let y_row = &mut y_plane[oi * ow..(oi + 1) * ow];
-                            for oj in 0..ow {
+                            for (oj, yv) in y_row.iter_mut().enumerate() {
                                 let jj = (oj * spec.stride + kj) as isize - spec.pad as isize;
                                 if jj >= 0 && jj < w as isize {
-                                    y_row[oj] += wv * x_row[jj as usize];
+                                    *yv += wv * x_row[jj as usize];
                                 }
                             }
                         }
@@ -148,8 +163,11 @@ impl ConvScratch {
         Self::default()
     }
 
-    fn cols_for(&mut self, g: &ConvGeom) -> &mut [f64] {
-        let need = g.col_rows() * g.col_cols();
+    /// The batch-wide column buffer: `samples` consecutive per-sample column
+    /// matrices. Grows monotonically, so a buffer that has seen the largest
+    /// layer × batch combination never reallocates again.
+    fn cols_for_batch(&mut self, g: &ConvGeom, samples: usize) -> &mut [f64] {
+        let need = samples * g.col_rows() * g.col_cols();
         if self.cols.len() < need {
             self.cols.resize(need, 0.0);
         }
@@ -166,29 +184,54 @@ pub fn conv2d_im2col(
     spec: &Conv2dSpec,
     scratch: &mut ConvScratch,
 ) -> Tensor4 {
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    conv2d_im2col_into(input, weight, bias, spec, scratch, &mut out);
+    out
+}
+
+/// [`conv2d_im2col`] writing into a caller-owned output tensor (resized in
+/// place), with the whole mini-batch lowered at once: every sample's columns
+/// land in one batch-wide buffer and a single batched GEMM computes all
+/// samples, sharing one packed copy of the weight matrix.
+pub fn conv2d_im2col_into(
+    input: &Tensor4,
+    weight: &Tensor4,
+    bias: &[f64],
+    spec: &Conv2dSpec,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor4,
+) {
     spec.check_weights(weight);
     spec.check_input(input);
-    assert!(bias.is_empty() || bias.len() == spec.out_c, "conv2d: bias length");
+    assert!(
+        bias.is_empty() || bias.len() == spec.out_c,
+        "conv2d: bias length"
+    );
     let (n, _, h, w) = input.shape();
     let g = spec.geom(h, w);
     g.validate();
     let (oh, ow) = (g.out_h(), g.out_w());
     let (rows, n_cols) = (g.col_rows(), g.col_cols());
-    let mut out = Tensor4::zeros(n, spec.out_c, oh, ow);
+    out.resize(n, spec.out_c, oh, ow);
 
+    let cols = scratch.cols_for_batch(&g, n);
     for s in 0..n {
-        let cols = scratch.cols_for(&g);
-        im2col(input.sample(s), &g, cols);
-        let y = out.sample_mut(s);
-        if !bias.is_empty() {
-            for oc in 0..spec.out_c {
-                y[oc * n_cols..(oc + 1) * n_cols].fill(bias[oc]);
-            }
-        }
-        // (out_c × rows) · (rows × n_cols) += into (out_c × n_cols).
-        gemm(spec.out_c, rows, n_cols, weight.as_slice(), cols, y);
+        im2col(
+            input.sample(s),
+            &g,
+            &mut cols[s * rows * n_cols..(s + 1) * rows * n_cols],
+        );
     }
-    out
+    let y = out.as_mut_slice();
+    if bias.is_empty() {
+        y.fill(0.0);
+    } else {
+        for (oc, chunk) in y.chunks_exact_mut(n_cols).enumerate() {
+            chunk.fill(bias[oc % spec.out_c]);
+        }
+    }
+    // Per sample: (out_c × rows) · (rows × n_cols) += into (out_c × n_cols).
+    gemm_batch(n, spec.out_c, rows, n_cols, weight.as_slice(), cols, y);
 }
 
 /// Gradient of the loss w.r.t. the convolution *input*.
@@ -204,29 +247,64 @@ pub fn conv2d_backward_input(
     in_w: usize,
     scratch: &mut ConvScratch,
 ) -> Tensor4 {
+    let mut grad_in = Tensor4::zeros(0, 0, 0, 0);
+    conv2d_backward_input_into(grad_out, weight, spec, in_h, in_w, scratch, &mut grad_in);
+    grad_in
+}
+
+/// [`conv2d_backward_input`] writing into a caller-owned tensor (resized in
+/// place), batch-fused: one batched GEMM produces every sample's column
+/// gradients against a single packed copy of the weight matrix.
+pub fn conv2d_backward_input_into(
+    grad_out: &Tensor4,
+    weight: &Tensor4,
+    spec: &Conv2dSpec,
+    in_h: usize,
+    in_w: usize,
+    scratch: &mut ConvScratch,
+    grad_in: &mut Tensor4,
+) {
     spec.check_weights(weight);
     let (n, oc, oh, ow) = grad_out.shape();
     assert_eq!(oc, spec.out_c, "backward_input: grad_out channels");
     let g = spec.geom(in_h, in_w);
-    assert_eq!((g.out_h(), g.out_w()), (oh, ow), "backward_input: geometry mismatch");
+    assert_eq!(
+        (g.out_h(), g.out_w()),
+        (oh, ow),
+        "backward_input: geometry mismatch"
+    );
     let (rows, n_cols) = (g.col_rows(), g.col_cols());
-    let mut grad_in = Tensor4::zeros(n, spec.in_c, in_h, in_w);
+    grad_in.resize(n, spec.in_c, in_h, in_w);
+    grad_in.as_mut_slice().fill(0.0);
 
+    // cols_grad_s = Wᵀ (rows × out_c) · grad_out_s (out_c × n_cols).
+    let cols = scratch.cols_for_batch(&g, n);
+    cols.fill(0.0);
+    gemm_tn_batch(
+        n,
+        rows,
+        spec.out_c,
+        n_cols,
+        weight.as_slice(),
+        grad_out.as_slice(),
+        cols,
+    );
     for s in 0..n {
-        // cols_grad = Wᵀ (rows × out_c) · grad_out (out_c × n_cols).
-        let cols = scratch.cols_for(&g);
-        cols.fill(0.0);
-        gemm_tn(rows, spec.out_c, n_cols, weight.as_slice(), grad_out.sample(s), cols);
-        col2im(cols, &g, grad_in.sample_mut(s));
+        col2im(
+            &cols[s * rows * n_cols..(s + 1) * rows * n_cols],
+            &g,
+            grad_in.sample_mut(s),
+        );
     }
-    grad_in
 }
 
 /// Gradient of the loss w.r.t. the convolution *weights* and *bias*.
 ///
 /// Accumulates into `grad_weight` (shape `(out_c, in_c, kh, kw)`) and
 /// `grad_bias` (length `out_c`, or empty to skip), matching the convention
-/// that gradients are summed over a mini-batch.
+/// that gradients are summed over a mini-batch. Batch-fused: the whole
+/// mini-batch is lowered once and a single batched GEMM accumulates every
+/// sample's contribution into the shared gradient tile.
 pub fn conv2d_backward_weight(
     input: &Tensor4,
     grad_out: &Tensor4,
@@ -236,20 +314,45 @@ pub fn conv2d_backward_weight(
     scratch: &mut ConvScratch,
 ) {
     spec.check_input(input);
-    assert_eq!(grad_weight.shape(), spec.weight_shape(), "backward_weight: grad shape");
-    assert!(grad_bias.is_empty() || grad_bias.len() == spec.out_c, "backward_weight: bias length");
+    assert_eq!(
+        grad_weight.shape(),
+        spec.weight_shape(),
+        "backward_weight: grad shape"
+    );
+    assert!(
+        grad_bias.is_empty() || grad_bias.len() == spec.out_c,
+        "backward_weight: bias length"
+    );
     let (n, _, h, w) = input.shape();
     let g = spec.geom(h, w);
     let (oh, ow) = (g.out_h(), g.out_w());
-    assert_eq!(grad_out.shape(), (n, spec.out_c, oh, ow), "backward_weight: grad_out shape");
+    assert_eq!(
+        grad_out.shape(),
+        (n, spec.out_c, oh, ow),
+        "backward_weight: grad_out shape"
+    );
     let (rows, n_cols) = (g.col_rows(), g.col_cols());
 
+    let cols = scratch.cols_for_batch(&g, n);
     for s in 0..n {
-        let cols = scratch.cols_for(&g);
-        im2col(input.sample(s), &g, cols);
-        // grad_W (out_c × rows) += grad_out (out_c × n_cols) · colsᵀ.
-        gemm_nt(spec.out_c, n_cols, rows, grad_out.sample(s), cols, grad_weight.as_mut_slice());
-        if !grad_bias.is_empty() {
+        im2col(
+            input.sample(s),
+            &g,
+            &mut cols[s * rows * n_cols..(s + 1) * rows * n_cols],
+        );
+    }
+    // grad_W (out_c × rows) += Σ_s grad_out_s (out_c × n_cols) · cols_sᵀ.
+    gemm_nt_batch(
+        n,
+        spec.out_c,
+        n_cols,
+        rows,
+        grad_out.as_slice(),
+        cols,
+        grad_weight.as_mut_slice(),
+    );
+    if !grad_bias.is_empty() {
+        for s in 0..n {
             let go = grad_out.sample(s);
             for oc in 0..spec.out_c {
                 grad_bias[oc] += go[oc * n_cols..(oc + 1) * n_cols].iter().sum::<f64>();
@@ -319,13 +422,26 @@ mod tests {
             (3, 2, 3, 0, 1, 6, 7),
             (2, 4, 3, 1, 2, 9, 9),
         ] {
-            let spec = Conv2dSpec { in_c, out_c, kh: k, kw: k, stride, pad };
+            let spec = Conv2dSpec {
+                in_c,
+                out_c,
+                kh: k,
+                kw: k,
+                stride,
+                pad,
+            };
             let x = det_t4(2, in_c, h, w, 10 + k as u64);
             let wt = det_t4(out_c, in_c, k, k, 20 + k as u64);
             let b = det(out_c, 30);
             let y1 = conv2d(&x, &wt, &b, &spec);
             let y2 = conv2d_im2col(&x, &wt, &b, &spec, &mut scratch);
-            crate::assert_slice_close(y1.as_slice(), y2.as_slice(), 1e-11, 1e-11, "im2col vs direct");
+            crate::assert_slice_close(
+                y1.as_slice(),
+                y2.as_slice(),
+                1e-11,
+                1e-11,
+                "im2col vs direct",
+            );
         }
     }
 
@@ -404,7 +520,10 @@ mod tests {
             let lp = 0.5 * conv2d(&x, &wt, &bp, &spec).norm_sq();
             let lm = 0.5 * conv2d(&x, &wt, &bm, &spec).norm_sq();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - gb[oc]).abs() < 1e-4 * (1.0 + fd.abs()), "bias grad mismatch at {oc}");
+            assert!(
+                (fd - gb[oc]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "bias grad mismatch at {oc}"
+            );
         }
     }
 

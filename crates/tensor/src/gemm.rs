@@ -1,17 +1,303 @@
-//! Blocked general matrix–matrix multiply.
+//! Packed, register-tiled general matrix–matrix multiply.
 //!
 //! The kernels here are the single hot spot of the whole training pipeline:
 //! every convolution forward/backward pass lowers to one of them (see
-//! [`crate::im2col`]). They are written as straightforward cache-blocked
-//! loops over flat slices — no unsafe, no SIMD intrinsics — which is enough
-//! for the CNN sizes in the paper (5×5 kernels, ≤16 channels) while staying
-//! obviously correct.
+//! [`crate::im2col`]). The design is the classic panel-packing scheme: the
+//! shared dimension is blocked by [`KC`], and within each block A is packed
+//! into [`MR`]-interleaved row panels and B into [`NR`]-interleaved column
+//! panels. The micro-kernel then streams both panels contiguously, keeping a
+//! full `MR × NR` accumulator tile in locals and advancing with
+//! [`f64::mul_add`] — which the repo-level `.cargo/config.toml` lowers to FMA
+//! instructions.
+//!
+//! Transposed variants ([`gemm_tn`], [`gemm_nt`]) reuse the exact same
+//! micro-kernel: the transposition happens for free during packing, so all
+//! operand layouts produce bit-identical results for identical logical
+//! inputs. Pack buffers live in thread-local storage and are reused across
+//! calls, so steady-state GEMM performs no heap allocation.
+//!
+//! Every driver call records FLOPs, call counts and packing traffic in
+//! [`crate::perf`].
 
-use crate::Matrix;
+use crate::{perf, Matrix};
+use std::cell::RefCell;
 
-/// Cache block edge. 64×64 f64 tiles are 32 KiB, comfortably inside L1+L2 on
-/// any machine this crate targets.
-const BLOCK: usize = 64;
+/// Micro-tile rows: how many rows of C each micro-kernel invocation owns.
+const MR: usize = 4;
+/// Micro-tile columns. `MR × NR` f64 accumulators fill 8 AVX2 (or 4 AVX-512)
+/// vector registers, leaving room for the broadcast and B loads.
+const NR: usize = 8;
+/// Shared-dimension block: one packed A panel (`KC × MR`) is 8 KiB and one B
+/// panel (`KC × NR`) is 16 KiB, so the working set of a micro-kernel call
+/// stays resident in L1.
+const KC: usize = 256;
+/// Column block: B is packed `NC` columns at a time so each source row
+/// contributes a long contiguous run (`NC` doubles) — sequential enough for
+/// the hardware prefetcher — while the packed chunk (`KC × NC`, ≤512 KiB)
+/// stays L2-resident for reuse by every A panel.
+const NC: usize = 256;
+
+struct PackBufs {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+thread_local! {
+    static PACK_BUFS: RefCell<PackBufs> =
+        const { RefCell::new(PackBufs { a: Vec::new(), b: Vec::new() }) };
+}
+
+/// Operand layout: `N` means the slice stores the logical matrix row-major,
+/// `T` means it stores the transpose (so packing walks it column-wise).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Trans {
+    N,
+    T,
+}
+
+/// Packs every `MR`-row panel of the logical `m × k` matrix A for the
+/// shared-dimension block `p0 .. p0+kc` into `buf`, zero-padding the last
+/// panel. Layout: panel `ip` at `buf[ip*kc*MR..]`, element `(p, r)` at
+/// `p*MR + r`.
+fn pack_a_block(op: Trans, a: &[f64], m: usize, k: usize, p0: usize, kc: usize, buf: &mut [f64]) {
+    let m_panels = m.div_ceil(MR);
+    for ip in 0..m_panels {
+        let i0 = ip * MR;
+        let mr_eff = MR.min(m - i0);
+        let panel = &mut buf[ip * kc * MR..][..kc * MR];
+        match op {
+            Trans::N => {
+                // a[(i0+r)*k + p0+p] → panel[p*MR + r]
+                if mr_eff < MR {
+                    panel.fill(0.0);
+                }
+                for r in 0..mr_eff {
+                    let row = &a[(i0 + r) * k + p0..][..kc];
+                    for (p, &v) in row.iter().enumerate() {
+                        panel[p * MR + r] = v;
+                    }
+                }
+            }
+            Trans::T => {
+                // a stored k × m: a[(p0+p)*m + i0+r] → panel[p*MR + r]
+                for p in 0..kc {
+                    let src = &a[(p0 + p) * m + i0..][..mr_eff];
+                    let dst = &mut panel[p * MR..][..MR];
+                    dst[..mr_eff].copy_from_slice(src);
+                    dst[mr_eff..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Packs a chunk of B — columns `jc .. jc+nc_eff`, shared rows
+/// `p0 .. p0+kc` — into `buf` as `ceil(nc_eff / NR)` NR-interleaved strips
+/// (strip `js` at `buf[js*kc*NR..]`, element `(p, c)` at `p*NR + c`), zero-
+/// padding the last strip.
+///
+/// For `Trans::N` (`k × n` slice) each source row contributes one contiguous
+/// `nc_eff`-wide run, scattered across the strips; for `Trans::T` (`n × k`
+/// slice) the transposition happens here, walking contiguous columns.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_chunk(
+    op: Trans,
+    b: &[f64],
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    jc: usize,
+    nc_eff: usize,
+    buf: &mut [f64],
+) {
+    let full = nc_eff / NR;
+    let rem = nc_eff % NR;
+    match op {
+        Trans::N => {
+            // b[(p0+p)*n + jc+c] → strip[c/NR][p*NR + c%NR]
+            for p in 0..kc {
+                let src = &b[(p0 + p) * n + jc..][..nc_eff];
+                for js in 0..full {
+                    let dst = &mut buf[js * kc * NR + p * NR..][..NR];
+                    dst.copy_from_slice(&src[js * NR..][..NR]);
+                }
+                if rem > 0 {
+                    let dst = &mut buf[full * kc * NR + p * NR..][..NR];
+                    dst[..rem].copy_from_slice(&src[full * NR..]);
+                    dst[rem..].fill(0.0);
+                }
+            }
+        }
+        Trans::T => {
+            // b stored n × k: b[(jc+c)*k + p0+p] → strip[c/NR][p*NR + c%NR]
+            if rem > 0 {
+                buf[full * kc * NR..][..kc * NR].fill(0.0);
+            }
+            for c in 0..nc_eff {
+                let col = &b[(jc + c) * k + p0..][..kc];
+                let (js, cr) = (c / NR, c % NR);
+                let strip = &mut buf[js * kc * NR..][..kc * NR];
+                for (p, &v) in col.iter().enumerate() {
+                    strip[p * NR + cr] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Accumulator write-back: adds the live `mr_eff × nr_eff` corner of the
+/// register tile into C.
+#[inline(always)]
+fn write_back(
+    acc: &[[f64; NR]; MR],
+    c: &mut [f64],
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    ldc: usize,
+) {
+    for r in 0..mr_eff {
+        let c_row = &mut c[(i0 + r) * ldc + j0..][..nr_eff];
+        for (dst, &v) in c_row.iter_mut().zip(&acc[r][..nr_eff]) {
+            *dst += v;
+        }
+    }
+}
+
+/// The register-tiled core: `C[i0.., j0..] += Ap · Bp` for one packed A
+/// panel (`kc × MR`) against one packed B strip (`kc × NR`). The accumulator
+/// tile lives entirely in locals (it compiles to 8 packed-FMA chains, enough
+/// to saturate both FMA ports); edge tiles compute the full micro-tile on
+/// the zero padding and clip only the write-back.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    // `chunks_exact` + `zip` lets the compiler drop every bounds check in the
+    // kc loop; both panels advance in lockstep, one micro-tile rank-1 update
+    // per step. The fixed-size reborrows below are what lets the tile update
+    // compile to packed FMA: with `[f64; NR]` operands the whole inner loop
+    // unrolls into straight-line vector code.
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a_col: &[f64; MR] = a_col.try_into().unwrap();
+        let b_row: &[f64; NR] = b_row.try_into().unwrap();
+        for r in 0..MR {
+            let av = a_col[r];
+            for j in 0..NR {
+                acc[r][j] = av.mul_add(b_row[j], acc[r][j]);
+            }
+        }
+    }
+    write_back(&acc, c, i0, j0, mr_eff, nr_eff, ldc);
+}
+
+/// Column-segment width of the small-m kernel: 4 KiB per C row, so the
+/// whole `m × SEG` C working set plus one B segment stays L1-resident.
+const SEG: usize = 512;
+
+/// Fast path for `m ≤ MR` against row-major B: with a single A panel there
+/// is no packing to amortize, so B is read in place, sequentially, exactly
+/// once. C is walked in [`SEG`]-wide column segments held in L1 across the
+/// shared-dimension loop; each B row segment is loaded once and reused by
+/// all `m` output rows.
+fn small_m_kernel(m: usize, n: usize, ap: &[f64], kc: usize, b: &[f64], p0: usize, c: &mut [f64]) {
+    for jc in (0..n).step_by(SEG) {
+        let seg = SEG.min(n - jc);
+        for p in 0..kc {
+            let a_col = &ap[p * MR..][..MR];
+            let b_row = &b[(p0 + p) * n + jc..][..seg];
+            for r in 0..m {
+                let av = a_col[r];
+                let c_row = &mut c[r * n + jc..][..seg];
+                for (dst, &bv) in c_row.iter_mut().zip(b_row) {
+                    *dst = av.mul_add(bv, *dst);
+                }
+            }
+        }
+    }
+}
+
+/// Shared driver behind every public entry point.
+///
+/// Computes `C_s += op_a(A) · op_b(B_s)` for `samples` consecutive
+/// `k × n` / `m × n` operand pairs in `b_all` / `c_all`, sharing one packed
+/// copy of A across all samples. The batched conv path uses `samples > 1` to
+/// amortize A packing over a whole mini-batch; the plain entry points pass
+/// `samples == 1`.
+///
+/// Loop order: the shared dimension is blocked by [`KC`] and A packed once
+/// per block (L2-resident, `m × kc` doubles). Inside, B is packed [`NC`]
+/// columns at a time into a single reused `kc × NC` chunk and swept strip by
+/// strip by every A panel while cache-hot — B is streamed from memory
+/// exactly once per sample, and no operand-sized pack buffer is ever
+/// materialized.
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    op_a: Trans,
+    op_b: Trans,
+    samples: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b_all: &[f64],
+    c_all: &mut [f64],
+) {
+    if samples == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let m_panels = m.div_ceil(MR);
+    let n_panels = n.div_ceil(NR);
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let PackBufs { a: abuf, b: bbuf } = &mut *bufs;
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            abuf.resize(m_panels * kc * MR, 0.0);
+            bbuf.resize((NC / NR) * kc * NR, 0.0);
+            pack_a_block(op_a, a, m, k, p0, kc, abuf);
+            for s in 0..samples {
+                let b = &b_all[s * k * n..][..k * n];
+                let c = &mut c_all[s * m * n..][..m * n];
+                if m <= MR && op_b == Trans::N {
+                    small_m_kernel(m, n, abuf, kc, b, p0, c);
+                    continue;
+                }
+                for jc in (0..n).step_by(NC) {
+                    let nc_eff = NC.min(n - jc);
+                    pack_b_chunk(op_b, b, k, n, p0, kc, jc, nc_eff, bbuf);
+                    for js in 0..nc_eff.div_ceil(NR) {
+                        let strip = &bbuf[js * kc * NR..][..kc * NR];
+                        let j0 = jc + js * NR;
+                        let nr_eff = NR.min(n - j0);
+                        for ip in 0..m_panels {
+                            let ap = &abuf[ip * kc * MR..][..kc * MR];
+                            let i0 = ip * MR;
+                            micro_kernel(ap, strip, c, i0, j0, MR.min(m - i0), nr_eff, n);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    let flops = 2 * (samples as u64) * (m as u64) * (k as u64) * (n as u64);
+    let mut packed_elems = (m_panels * MR * k) as u64;
+    if !(m <= MR && op_b == Trans::N) {
+        packed_elems += (samples as u64) * (n_panels * NR * k) as u64;
+    }
+    perf::record_gemm(flops, packed_elems * std::mem::size_of::<f64>() as u64);
+}
 
 /// `C += A * B` on flat row-major buffers.
 ///
@@ -24,79 +310,100 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), m * k, "gemm: A length");
     assert_eq!(b.len(), k * n, "gemm: B length");
     assert_eq!(c.len(), m * n, "gemm: C length");
-
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j1 = (j0 + BLOCK).min(n);
-                for i in i0..i1 {
-                    let a_row = &a[i * k..(i + 1) * k];
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for p in p0..p1 {
-                        let av = a_row[p];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[p * n..(p + 1) * n];
-                        for j in j0..j1 {
-                            c_row[j] += av * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    gemm_driver(Trans::N, Trans::N, 1, m, k, n, a, b, c);
 }
 
 /// `C += Aᵀ * B` on flat row-major buffers, without materializing `Aᵀ`.
 ///
 /// `a` is `k × m` (so `aᵀ` is `m × k`), `b` is `k × n`, `c` is `m × n`.
-/// This is the shape needed by the convolution weight-gradient pass.
+/// This is the shape needed by the convolution input-gradient pass.
 pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), k * m, "gemm_tn: A length");
     assert_eq!(b.len(), k * n, "gemm_tn: B length");
     assert_eq!(c.len(), m * n, "gemm_tn: C length");
-
-    // Loop over the shared dimension outermost: each iteration is a rank-1
-    // update using contiguous rows of both A and B.
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = a_row[i];
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                c_row[j] += av * b_row[j];
-            }
-        }
-    }
+    gemm_driver(Trans::T, Trans::N, 1, m, k, n, a, b, c);
 }
 
 /// `C += A * Bᵀ` on flat row-major buffers, without materializing `Bᵀ`.
 ///
 /// `a` is `m × k`, `b` is `n × k`, `c` is `m × n`. Used by the convolution
-/// input-gradient pass.
+/// weight-gradient pass.
 pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), m * k, "gemm_nt: A length");
     assert_eq!(b.len(), n * k, "gemm_nt: B length");
     assert_eq!(c.len(), m * n, "gemm_nt: C length");
+    gemm_driver(Trans::N, Trans::T, 1, m, k, n, a, b, c);
+}
 
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
-            }
-            c_row[j] += acc;
-        }
+/// Batched `C_s += A * B_s` sharing one packed copy of A across the batch.
+///
+/// `a` is `m × k`; `b_all` holds `samples` consecutive `k × n` matrices and
+/// `c_all` the matching `m × n` outputs. Used by the batch-fused convolution
+/// forward pass: one call per layer per mini-batch.
+pub fn gemm_batch(
+    samples: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b_all: &[f64],
+    c_all: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "gemm_batch: A length");
+    assert_eq!(b_all.len(), samples * k * n, "gemm_batch: B length");
+    assert_eq!(c_all.len(), samples * m * n, "gemm_batch: C length");
+    gemm_driver(Trans::N, Trans::N, samples, m, k, n, a, b_all, c_all);
+}
+
+/// Batched `C_s += Aᵀ * B_s` sharing one packed copy of A across the batch.
+///
+/// `a` is `k × m`; `b_all` / `c_all` as in [`gemm_batch`]. Used by the
+/// batch-fused convolution input-gradient pass.
+pub fn gemm_tn_batch(
+    samples: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b_all: &[f64],
+    c_all: &mut [f64],
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn_batch: A length");
+    assert_eq!(b_all.len(), samples * k * n, "gemm_tn_batch: B length");
+    assert_eq!(c_all.len(), samples * m * n, "gemm_tn_batch: C length");
+    gemm_driver(Trans::T, Trans::N, samples, m, k, n, a, b_all, c_all);
+}
+
+/// Batched `C += Σ_s A_s * B_sᵀ`: all samples accumulate into one shared C.
+///
+/// `a_all` holds `samples` consecutive `m × k` matrices, `b_all` the matching
+/// `n × k` matrices, `c` the single shared `m × n` accumulator. Used by the
+/// batch-fused convolution weight-gradient pass, where every sample
+/// contributes to the same gradient tile.
+pub fn gemm_nt_batch(
+    samples: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_all: &[f64],
+    b_all: &[f64],
+    c: &mut [f64],
+) {
+    assert_eq!(a_all.len(), samples * m * k, "gemm_nt_batch: A length");
+    assert_eq!(b_all.len(), samples * n * k, "gemm_nt_batch: B length");
+    assert_eq!(c.len(), m * n, "gemm_nt_batch: C length");
+    for s in 0..samples {
+        gemm_driver(
+            Trans::N,
+            Trans::T,
+            1,
+            m,
+            k,
+            n,
+            &a_all[s * m * k..][..m * k],
+            &b_all[s * n * k..][..n * k],
+            c,
+        );
     }
 }
 
@@ -107,7 +414,14 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
     let mut c = Matrix::zeros(a.rows(), b.cols());
-    gemm(a.rows(), a.cols(), b.cols(), a.as_slice(), b.as_slice(), c.as_mut_slice());
+    gemm(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+    );
     c
 }
 
@@ -145,7 +459,17 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_on_odd_sizes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 64, 63), (130, 17, 70)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (65, 64, 63),
+            (130, 17, 70),
+            // Exercise micro-tile edges and KC-block boundaries.
+            (4, 8, 8),
+            (5, 256, 9),
+            (7, 300, 17),
+            (1, 513, 1),
+        ] {
             let a = det_fill(m * k, 42);
             let b = det_fill(k * n, 7);
             let mut c = vec![0.0; m * n];
@@ -162,6 +486,13 @@ mod tests {
         let mut c = vec![1.0; 4];
         gemm(2, 2, 2, &a, &b, &mut c);
         assert_eq!(c, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_with_empty_shared_dim_is_identity() {
+        let mut c = vec![1.5; 6];
+        gemm(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![1.5; 6]);
     }
 
     #[test]
@@ -197,6 +528,72 @@ mod tests {
         let mut c = vec![0.0; m * n];
         gemm_nt(m, k, n, &a, &b, &mut c);
         crate::assert_slice_close(&c, &r, 1e-10, 1e-10, "gemm_nt");
+    }
+
+    #[test]
+    fn batched_variants_match_per_sample_calls() {
+        let (samples, m, k, n) = (3, 5, 13, 9);
+        let a = det_fill(m * k, 11);
+        let a_t = det_fill(k * m, 12);
+        let b_all = det_fill(samples * k * n, 13);
+        let bt_all = det_fill(samples * n * k, 14);
+
+        // gemm_batch vs per-sample gemm.
+        let mut c_batch = vec![0.0; samples * m * n];
+        gemm_batch(samples, m, k, n, &a, &b_all, &mut c_batch);
+        for s in 0..samples {
+            let mut c_one = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b_all[s * k * n..][..k * n], &mut c_one);
+            assert_eq!(
+                &c_batch[s * m * n..][..m * n],
+                &c_one[..],
+                "gemm_batch sample {s}"
+            );
+        }
+
+        // gemm_tn_batch vs per-sample gemm_tn.
+        let mut c_batch = vec![0.0; samples * m * n];
+        gemm_tn_batch(samples, m, k, n, &a_t, &b_all, &mut c_batch);
+        for s in 0..samples {
+            let mut c_one = vec![0.0; m * n];
+            gemm_tn(m, k, n, &a_t, &b_all[s * k * n..][..k * n], &mut c_one);
+            assert_eq!(
+                &c_batch[s * m * n..][..m * n],
+                &c_one[..],
+                "gemm_tn_batch sample {s}"
+            );
+        }
+
+        // gemm_nt_batch vs accumulating per-sample gemm_nt.
+        let a_all = det_fill(samples * m * k, 15);
+        let mut c_shared = vec![0.0; m * n];
+        gemm_nt_batch(samples, m, k, n, &a_all, &bt_all, &mut c_shared);
+        let mut c_ref = vec![0.0; m * n];
+        for s in 0..samples {
+            gemm_nt(
+                m,
+                k,
+                n,
+                &a_all[s * m * k..][..m * k],
+                &bt_all[s * n * k..][..n * k],
+                &mut c_ref,
+            );
+        }
+        assert_eq!(c_shared, c_ref, "gemm_nt_batch vs per-sample accumulation");
+    }
+
+    #[test]
+    fn gemm_records_perf_counters() {
+        let (m, k, n) = (4, 6, 8);
+        let a = det_fill(m * k, 1);
+        let b = det_fill(k * n, 2);
+        let mut c = vec![0.0; m * n];
+        let before = perf::snapshot();
+        gemm(m, k, n, &a, &b, &mut c);
+        let spent = perf::snapshot().since(&before);
+        assert_eq!(spent.gemm_calls, 1);
+        assert_eq!(spent.flops, 2 * (m * k * n) as u64);
+        assert!(spent.bytes_packed > 0);
     }
 
     #[test]

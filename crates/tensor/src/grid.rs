@@ -18,12 +18,20 @@ pub struct Grid2 {
 impl Grid2 {
     /// All-zero field.
     pub fn zeros(h: usize, w: usize) -> Self {
-        Self { h, w, data: vec![0.0; h * w] }
+        Self {
+            h,
+            w,
+            data: vec![0.0; h * w],
+        }
     }
 
     /// Constant field.
     pub fn constant(h: usize, w: usize, v: f64) -> Self {
-        Self { h, w, data: vec![v; h * w] }
+        Self {
+            h,
+            w,
+            data: vec![v; h * w],
+        }
     }
 
     /// Field from an existing row-major buffer.
@@ -174,14 +182,24 @@ impl Grid2 {
     pub fn min_max(&self) -> (f64, f64) {
         self.data
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
-            .into()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            })
     }
 
     /// L2 norm of the difference with `other`, normalized by point count.
     pub fn rms_diff(&self, other: &Grid2) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "Grid2::rms_diff: shape mismatch");
-        let s: f64 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Grid2::rms_diff: shape mismatch"
+        );
+        let s: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
         (s / self.data.len() as f64).sqrt()
     }
 }

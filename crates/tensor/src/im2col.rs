@@ -70,7 +70,11 @@ impl ConvGeom {
 pub fn im2col(input: &[f64], g: &ConvGeom, cols: &mut [f64]) {
     g.validate();
     assert_eq!(input.len(), g.c * g.h * g.w, "im2col: input length");
-    assert_eq!(cols.len(), g.col_rows() * g.col_cols(), "im2col: cols length");
+    assert_eq!(
+        cols.len(),
+        g.col_rows() * g.col_cols(),
+        "im2col: cols length"
+    );
 
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
@@ -108,7 +112,11 @@ pub fn im2col(input: &[f64], g: &ConvGeom, cols: &mut [f64]) {
 pub fn col2im(cols: &[f64], g: &ConvGeom, output: &mut [f64]) {
     g.validate();
     assert_eq!(output.len(), g.c * g.h * g.w, "col2im: output length");
-    assert_eq!(cols.len(), g.col_rows() * g.col_cols(), "col2im: cols length");
+    assert_eq!(
+        cols.len(),
+        g.col_rows() * g.col_cols(),
+        "col2im: cols length"
+    );
 
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
@@ -143,7 +151,15 @@ mod tests {
 
     #[test]
     fn geometry_same_padding() {
-        let g = ConvGeom { c: 4, h: 16, w: 16, kh: 5, kw: 5, stride: 1, pad: 2 };
+        let g = ConvGeom {
+            c: 4,
+            h: 16,
+            w: 16,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
         assert_eq!((g.out_h(), g.out_w()), (16, 16));
         assert_eq!(g.col_rows(), 100);
         assert_eq!(g.col_cols(), 256);
@@ -151,14 +167,30 @@ mod tests {
 
     #[test]
     fn geometry_valid_no_pad() {
-        let g = ConvGeom { c: 1, h: 6, w: 7, kh: 3, kw: 3, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 1,
+            h: 6,
+            w: 7,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 0,
+        };
         assert_eq!((g.out_h(), g.out_w()), (4, 5));
     }
 
     #[test]
     fn im2col_identity_kernel_geometry() {
         // 1×1 kernel, stride 1, no pad: cols == input.
-        let g = ConvGeom { c: 2, h: 3, w: 3, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 2,
+            h: 3,
+            w: 3,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input: Vec<f64> = (0..18).map(|x| x as f64).collect();
         let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
         im2col(&input, &g, &mut cols);
@@ -168,7 +200,15 @@ mod tests {
     #[test]
     fn im2col_known_values() {
         // 1 channel, 3×3 input, 2×2 kernel, no pad → 2×2 output, 4 rows.
-        let g = ConvGeom { c: 1, h: 3, w: 3, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 1,
+            h: 3,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
         let input = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
         let mut cols = vec![0.0; 4 * 4];
         im2col(&input, &g, &mut cols);
@@ -182,7 +222,15 @@ mod tests {
 
     #[test]
     fn im2col_padding_zeros() {
-        let g = ConvGeom { c: 1, h: 2, w: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let g = ConvGeom {
+            c: 1,
+            h: 2,
+            w: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let input = vec![1.0, 2.0, 3.0, 4.0];
         let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
         im2col(&input, &g, &mut cols);
@@ -196,10 +244,21 @@ mod tests {
     #[test]
     fn col2im_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> on random-ish data.
-        let g = ConvGeom { c: 2, h: 4, w: 5, kh: 3, kw: 3, stride: 1, pad: 1 };
-        let x: Vec<f64> = (0..g.c * g.h * g.w).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
-        let y: Vec<f64> =
-            (0..g.col_rows() * g.col_cols()).map(|i| ((i * 13 + 5) % 19) as f64 - 9.0).collect();
+        let g = ConvGeom {
+            c: 2,
+            h: 4,
+            w: 5,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x: Vec<f64> = (0..g.c * g.h * g.w)
+            .map(|i| ((i * 37 + 11) % 17) as f64 - 8.0)
+            .collect();
+        let y: Vec<f64> = (0..g.col_rows() * g.col_cols())
+            .map(|i| ((i * 13 + 5) % 19) as f64 - 9.0)
+            .collect();
         let mut cols = vec![0.0; y.len()];
         im2col(&x, &g, &mut cols);
         let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
@@ -211,7 +270,15 @@ mod tests {
 
     #[test]
     fn stride_two_geometry_and_values() {
-        let g = ConvGeom { c: 1, h: 4, w: 4, kh: 2, kw: 2, stride: 2, pad: 0 };
+        let g = ConvGeom {
+            c: 1,
+            h: 4,
+            w: 4,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        };
         assert_eq!((g.out_h(), g.out_w()), (2, 2));
         let input: Vec<f64> = (0..16).map(|x| x as f64).collect();
         let mut cols = vec![0.0; 4 * 4];
@@ -223,7 +290,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "kernel")]
     fn validate_rejects_oversized_kernel() {
-        let g = ConvGeom { c: 1, h: 2, w: 2, kh: 5, kw: 5, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 1,
+            h: 2,
+            w: 2,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 0,
+        };
         g.validate();
     }
 }

@@ -25,15 +25,17 @@ pub mod grid;
 pub mod im2col;
 pub mod matrix;
 pub mod pad;
+pub mod perf;
 pub mod stats;
 pub mod tensor3;
 pub mod tensor4;
 
 pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_im2col, Conv2dSpec};
-pub use gemm::{gemm, gemm_tn};
+pub use gemm::{gemm, gemm_batch, gemm_nt, gemm_nt_batch, gemm_tn, gemm_tn_batch};
 pub use grid::Grid2;
 pub use matrix::Matrix;
 pub use pad::PadMode;
+pub use perf::PerfCounters;
 pub use tensor3::Tensor3;
 pub use tensor4::Tensor4;
 
@@ -49,7 +51,13 @@ pub fn approx_eq(a: f64, b: f64, atol: f64, rtol: f64) -> bool {
 ///
 /// Panics with the first offending index, the values and the tolerance.
 pub fn assert_slice_close(a: &[f64], b: &[f64], atol: f64, rtol: f64, what: &str) {
-    assert_eq!(a.len(), b.len(), "{what}: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{what}: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             approx_eq(x, y, atol, rtol),

@@ -41,7 +41,14 @@ fn src_index(i: isize, n: usize, mode: PadMode) -> Option<usize> {
 }
 
 /// Pads a grid by `top`, `bottom`, `left`, `right` cells.
-pub fn pad_grid(g: &Grid2, top: usize, bottom: usize, left: usize, right: usize, mode: PadMode) -> Grid2 {
+pub fn pad_grid(
+    g: &Grid2,
+    top: usize,
+    bottom: usize,
+    left: usize,
+    right: usize,
+    mode: PadMode,
+) -> Grid2 {
     let (h, w) = g.shape();
     Grid2::from_fn(h + top + bottom, w + left + right, |i, j| {
         let si = src_index(i as isize - top as isize, h, mode);
@@ -125,7 +132,10 @@ pub fn pad_tensor4_asym(
 /// If the crop would remove everything.
 pub fn crop_tensor4(t: &Tensor4, top: usize, bottom: usize, left: usize, right: usize) -> Tensor4 {
     let (n, c, h, w) = t.shape();
-    assert!(top + bottom < h && left + right < w, "crop_tensor4: margins consume the tensor");
+    assert!(
+        top + bottom < h && left + right < w,
+        "crop_tensor4: margins consume the tensor"
+    );
     let (oh, ow) = (h - top - bottom, w - left - right);
     let mut out = Tensor4::zeros(n, c, oh, ow);
     for s in 0..n {
@@ -156,7 +166,10 @@ pub fn pad_backward_tensor4(
     mode: PadMode,
 ) -> Tensor4 {
     let (n, c, oh, ow) = grad_padded.shape();
-    assert!(oh > top + bottom && ow > left + right, "pad_backward: inconsistent margins");
+    assert!(
+        oh > top + bottom && ow > left + right,
+        "pad_backward: inconsistent margins"
+    );
     let (h, w) = (oh - top - bottom, ow - left - right);
     let mut out = Tensor4::zeros(n, c, h, w);
     for s in 0..n {
@@ -216,7 +229,9 @@ mod tests {
 
     #[test]
     fn crop_inverts_pad() {
-        let t = Tensor4::from_fn(2, 3, 4, 5, |s, c, i, j| (s * 1000 + c * 100 + i * 10 + j) as f64);
+        let t = Tensor4::from_fn(2, 3, 4, 5, |s, c, i, j| {
+            (s * 1000 + c * 100 + i * 10 + j) as f64
+        });
         for mode in [PadMode::Zeros, PadMode::Replicate, PadMode::Reflect] {
             let p = pad_tensor4_asym(&t, 1, 2, 2, 1, mode);
             assert_eq!(p.shape(), (2, 3, 7, 8));
@@ -230,7 +245,10 @@ mod tests {
         for mode in [PadMode::Zeros, PadMode::Replicate, PadMode::Reflect] {
             let p = pad_tensor3(&t, 1, 1, 2, 0, mode);
             for c in 0..2 {
-                assert_eq!(p.channel_grid(c), pad_grid(&t.channel_grid(c), 1, 1, 2, 0, mode));
+                assert_eq!(
+                    p.channel_grid(c),
+                    pad_grid(&t.channel_grid(c), 1, 1, 2, 0, mode)
+                );
             }
         }
     }
@@ -248,10 +266,18 @@ mod tests {
                 let y = Tensor4::from_fn(n, c, h + t_ + b_, w + l_ + r_, |_, _, i, j| {
                     ((i * 31 + j * 7) % 13) as f64 - 6.0
                 });
-                let lhs: f64 = px.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+                let lhs: f64 = px
+                    .as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let by = pad_backward_tensor4(&y, t_, b_, l_, r_, mode);
                 let rhs = by.as_slice()[k];
-                assert!((lhs - rhs).abs() < 1e-12, "adjoint mismatch mode={mode:?} k={k}");
+                assert!(
+                    (lhs - rhs).abs() < 1e-12,
+                    "adjoint mismatch mode={mode:?} k={k}"
+                );
             }
         }
     }

@@ -44,14 +44,20 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// Root-mean-square error between prediction and target.
 pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
     assert_eq!(pred.len(), target.len(), "rmse: length mismatch");
-    let s: f64 = pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum();
+    let s: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     (s / pred.len() as f64).sqrt()
 }
 
 /// Maximum absolute error.
 pub fn max_abs_err(pred: &[f64], target: &[f64]) -> f64 {
     assert_eq!(pred.len(), target.len(), "max_abs_err: length mismatch");
-    pred.iter().zip(target).fold(0.0, |m, (p, t)| m.max((p - t).abs()))
+    pred.iter()
+        .zip(target)
+        .fold(0.0, |m, (p, t)| m.max((p - t).abs()))
 }
 
 /// Mean absolute percentage error in percent, with an absolute floor on the
@@ -82,7 +88,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// Fresh accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feeds one observation (Welford update).

@@ -20,7 +20,12 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// All-zero tensor.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Self { c, h, w, data: vec![0.0; c * h * w] }
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Tensor from an existing `(C, H, W)`-ordered buffer.
@@ -28,12 +33,21 @@ impl Tensor3 {
     /// # Panics
     /// If `data.len() != c * h * w`.
     pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), c * h * w, "Tensor3::from_vec: buffer length mismatch");
+        assert_eq!(
+            data.len(),
+            c * h * w,
+            "Tensor3::from_vec: buffer length mismatch"
+        );
         Self { c, h, w, data }
     }
 
     /// Tensor built by evaluating `f(c, i, j)` everywhere.
-    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut data = Vec::with_capacity(c * h * w);
         for ch in 0..c {
             for i in 0..h {
@@ -57,7 +71,11 @@ impl Tensor3 {
         let total_c: usize = parts.iter().map(|p| p.c).sum();
         let mut data = Vec::with_capacity(total_c * h * w);
         for p in parts {
-            assert_eq!((p.h, p.w), (h, w), "Tensor3::concat_channels: spatial mismatch");
+            assert_eq!(
+                (p.h, p.w),
+                (h, w),
+                "Tensor3::concat_channels: spatial mismatch"
+            );
             data.extend_from_slice(p.as_slice());
         }
         Tensor3::from_vec(total_c, h, w, data)
@@ -72,10 +90,19 @@ impl Tensor3 {
         let (h, w) = grids[0].shape();
         let mut data = Vec::with_capacity(grids.len() * h * w);
         for g in grids {
-            assert_eq!(g.shape(), (h, w), "Tensor3::from_channels: inconsistent channel shapes");
+            assert_eq!(
+                g.shape(),
+                (h, w),
+                "Tensor3::from_channels: inconsistent channel shapes"
+            );
             data.extend_from_slice(g.as_slice());
         }
-        Self { c: grids.len(), h, w, data }
+        Self {
+            c: grids.len(),
+            h,
+            w,
+            data,
+        }
     }
 
     /// Number of channels.
@@ -155,7 +182,11 @@ impl Tensor3 {
     /// # Panics
     /// If the grid shape differs from `(h, w)`.
     pub fn set_channel(&mut self, ch: usize, g: &Grid2) {
-        assert_eq!(g.shape(), (self.h, self.w), "Tensor3::set_channel: shape mismatch");
+        assert_eq!(
+            g.shape(),
+            (self.h, self.w),
+            "Tensor3::set_channel: shape mismatch"
+        );
         self.channel_mut(ch).copy_from_slice(g.as_slice());
     }
 
@@ -199,7 +230,8 @@ impl Tensor3 {
             let src_plane = patch.channel(ch);
             for i in 0..patch.h {
                 let d0 = (i0 + i) * w + j0;
-                dst_plane[d0..d0 + patch.w].copy_from_slice(&src_plane[i * patch.w..(i + 1) * patch.w]);
+                dst_plane[d0..d0 + patch.w]
+                    .copy_from_slice(&src_plane[i * patch.w..(i + 1) * patch.w]);
             }
         }
     }
@@ -229,7 +261,10 @@ impl Index<(usize, usize, usize)> for Tensor3 {
     type Output = f64;
     #[inline]
     fn index(&self, (c, i, j): (usize, usize, usize)) -> &f64 {
-        debug_assert!(c < self.c && i < self.h && j < self.w, "Tensor3 index out of bounds");
+        debug_assert!(
+            c < self.c && i < self.h && j < self.w,
+            "Tensor3 index out of bounds"
+        );
         &self.data[(c * self.h + i) * self.w + j]
     }
 }
@@ -237,7 +272,10 @@ impl Index<(usize, usize, usize)> for Tensor3 {
 impl IndexMut<(usize, usize, usize)> for Tensor3 {
     #[inline]
     fn index_mut(&mut self, (c, i, j): (usize, usize, usize)) -> &mut f64 {
-        debug_assert!(c < self.c && i < self.h && j < self.w, "Tensor3 index out of bounds");
+        debug_assert!(
+            c < self.c && i < self.h && j < self.w,
+            "Tensor3 index out of bounds"
+        );
         &mut self.data[(c * self.h + i) * self.w + j]
     }
 }

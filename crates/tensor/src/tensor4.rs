@@ -17,12 +17,24 @@ pub struct Tensor4 {
 impl Tensor4 {
     /// All-zero tensor.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Self { n, c, h, w, data: vec![0.0; n * c * h * w] }
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
     }
 
     /// Tensor with every element set to `v`.
     pub fn full(n: usize, c: usize, h: usize, w: usize, v: f64) -> Self {
-        Self { n, c, h, w, data: vec![v; n * c * h * w] }
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: vec![v; n * c * h * w],
+        }
     }
 
     /// Tensor from an `(N, C, H, W)`-ordered buffer.
@@ -30,7 +42,11 @@ impl Tensor4 {
     /// # Panics
     /// If the buffer length disagrees with the shape.
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_vec: buffer length mismatch");
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "Tensor4::from_vec: buffer length mismatch"
+        );
         Self { n, c, h, w, data }
     }
 
@@ -64,10 +80,20 @@ impl Tensor4 {
         let (c, h, w) = samples[0].shape();
         let mut data = Vec::with_capacity(samples.len() * c * h * w);
         for s in samples {
-            assert_eq!(s.shape(), (c, h, w), "Tensor4::stack: inconsistent sample shapes");
+            assert_eq!(
+                s.shape(),
+                (c, h, w),
+                "Tensor4::stack: inconsistent sample shapes"
+            );
             data.extend_from_slice(s.as_slice());
         }
-        Self { n: samples.len(), c, h, w, data }
+        Self {
+            n: samples.len(),
+            c,
+            h,
+            w,
+            data,
+        }
     }
 
     /// A batch of one sample.
@@ -164,10 +190,20 @@ impl Tensor4 {
         let sz = self.c * self.h * self.w;
         let mut data = Vec::with_capacity(idx.len() * sz);
         for &s in idx {
-            assert!(s < self.n, "Tensor4::select: index {s} out of range (n={})", self.n);
+            assert!(
+                s < self.n,
+                "Tensor4::select: index {s} out of range (n={})",
+                self.n
+            );
             data.extend_from_slice(self.sample(s));
         }
-        Tensor4 { n: idx.len(), c: self.c, h: self.h, w: self.w, data }
+        Tensor4 {
+            n: idx.len(),
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data,
+        }
     }
 
     /// Applies `f` to every value in place.
@@ -220,6 +256,29 @@ impl Tensor4 {
     /// Squared L2 norm.
     pub fn norm_sq(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Reshapes the tensor in place, reusing the existing buffer.
+    ///
+    /// Element values after a resize are unspecified (a mix of old data and
+    /// zeros) — callers are expected to overwrite them. The backing
+    /// allocation only grows: shrinking and re-growing within a previously
+    /// reached size never touches the heap, which is what keeps the training
+    /// hot path allocation-free across ragged final mini-batches.
+    pub fn resize(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.resize(n * c * h * w, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing buffer
+    /// (allocation-free once the buffer has grown to `other`'s size).
+    pub fn copy_from(&mut self, other: &Tensor4) {
+        let (n, c, h, w) = other.shape();
+        self.resize(n, c, h, w);
+        self.data.copy_from_slice(&other.data);
     }
 }
 
@@ -284,6 +343,27 @@ mod tests {
         assert_eq!(a.mean(), 3.5);
         assert_eq!(a.max_abs(), 3.5);
         assert!((a.norm_sq() - 4.0 * 3.5 * 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resize_and_copy_from_reuse_capacity() {
+        let mut t = Tensor4::from_fn(2, 3, 4, 4, |s, c, i, j| (s + c + i + j) as f64);
+        let cap = t.data.capacity();
+        t.resize(1, 3, 4, 4);
+        assert_eq!(t.shape(), (1, 3, 4, 4));
+        assert_eq!(t.len(), 48);
+        t.resize(2, 3, 4, 4);
+        assert_eq!(
+            t.data.capacity(),
+            cap,
+            "regrowing within capacity must not reallocate"
+        );
+
+        let src = Tensor4::from_fn(1, 2, 2, 2, |_, c, i, j| (c * 4 + i * 2 + j) as f64);
+        t.copy_from(&src);
+        assert_eq!(t.shape(), src.shape());
+        assert_eq!(t.as_slice(), src.as_slice());
+        assert_eq!(t.data.capacity(), cap);
     }
 
     #[test]

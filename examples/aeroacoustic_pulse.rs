@@ -14,16 +14,17 @@
 //! Run with: `cargo run --release --example aeroacoustic_pulse`
 //! Writes `results/aeroacoustic_pulse.csv`.
 
-use pde_euler::{
-    dataset::SnapshotRecorder, Boundary, InitialCondition, SolverConfig,
-};
+use pde_euler::{dataset::SnapshotRecorder, Boundary, InitialCondition, SolverConfig};
 use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
 use pde_ml_core::prelude::*;
 use pde_ml_core::report::Csv;
 use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -36,12 +37,11 @@ fn main() {
 
     // --- 1. Two simulations. ---------------------------------------------
     let cfg = SolverConfig::paper(grid, grid);
-    let centered = SnapshotRecorder::new(cfg, Boundary::Outflow, &InitialCondition::paper_pulse(), 1)
-        .record(snapshots);
-    let double_ic = InitialCondition::MultiPulse(vec![
-        (-0.4, -0.3, 0.25, 0.4),
-        (0.5, 0.4, 0.2, 0.3),
-    ]);
+    let centered =
+        SnapshotRecorder::new(cfg, Boundary::Outflow, &InitialCondition::paper_pulse(), 1)
+            .record(snapshots);
+    let double_ic =
+        InitialCondition::MultiPulse(vec![(-0.4, -0.3, 0.25, 0.4), (0.5, 0.4, 0.2, 0.3)]);
     let double = SnapshotRecorder::new(cfg, Boundary::Outflow, &double_ic, 1).record(horizon + 1);
 
     // --- 2. Train on the centered pulse only. ----------------------------
@@ -65,13 +65,17 @@ fn main() {
     let (x, y) = val.pair(val.len() / 2);
     let one = inference.rollout(x, 1);
     println!("in-distribution single-step prediction:");
-    print!("{}", format_error_table(&field_errors(&one.states[1], y, 1e-3)));
+    print!(
+        "{}",
+        format_error_table(&field_errors(&one.states[1], y, 1e-3))
+    );
 
     // --- 3b. In-distribution rollout (the accumulative-error regime). ----
     let (start, _) = val.pair(0);
     let roll = inference.rollout(start, horizon);
-    let reference: Vec<_> =
-        (0..=horizon).map(|s| centered.snapshot(val.global_index(0) + s).clone()).collect();
+    let reference: Vec<_> = (0..=horizon)
+        .map(|s| centered.snapshot(val.global_index(0) + s).clone())
+        .collect();
     let curve_in = rollout_error_curve(&roll.states, &reference);
 
     // --- 3c. Out-of-distribution: double pulse. ---------------------------
@@ -80,7 +84,10 @@ fn main() {
     let curve_ood = rollout_error_curve(&roll_ood.states, &reference_ood);
 
     println!("\nrollout mean-RMSE per step (in-distribution vs out-of-distribution):");
-    println!("{:>6} {:>16} {:>16}", "step", "centered pulse", "double pulse");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "step", "centered pulse", "double pulse"
+    );
     let mut csv = Csv::new(&["step", "rmse_in_distribution", "rmse_double_pulse"]);
     for s in 0..=horizon {
         println!("{s:>6} {:>16.4e} {:>16.4e}", curve_in[s], curve_ood[s]);

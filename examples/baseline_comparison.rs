@@ -24,7 +24,10 @@ use pde_tensor::Tensor4;
 use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -72,7 +75,8 @@ fn main() {
             let (x, y) = val.pair(k);
             let input = baseline.norm.normalize3(x);
             let pred = baseline.norm.denormalize3(
-                &net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0),
+                &net.forward(&Tensor4::from_sample(&input), false)
+                    .sample_tensor(0),
             );
             err += mean_rmse(&pred, y);
         }

@@ -37,7 +37,11 @@ fn main() {
         pde_nn::serialize::restore(&mut net, &r.weights);
         let path = dir.join(format!("rank{:03}.pdenn", r.rank));
         save_params(&mut net, &path).expect("save");
-        println!("wrote {} ({} bytes)", path.display(), fs::metadata(&path).unwrap().len());
+        println!(
+            "wrote {} ({} bytes)",
+            path.display(),
+            fs::metadata(&path).unwrap().len()
+        );
     }
     // Persist the normalization scales alongside (tiny CSV).
     let mut norm_csv = pde_ml_core::report::Csv::new(&["channel", "scale"]);
@@ -84,7 +88,11 @@ fn main() {
     }
     println!(
         "\nreloaded fleet replayed a 4-step rollout: {}",
-        if identical { "bit-identical to the original" } else { "MISMATCH (bug!)" }
+        if identical {
+            "bit-identical to the original"
+        } else {
+            "MISMATCH (bug!)"
+        }
     );
     assert!(identical);
 

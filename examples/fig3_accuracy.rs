@@ -28,11 +28,16 @@ use rand::{Rng, SeedableRng};
 use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
-    let full = std::env::var("PAPER_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("PAPER_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let grid = env_usize("GRID", if full { 256 } else { 64 });
     let snapshots = env_usize("SNAPSHOTS", if full { 1500 } else { 120 });
     let train_pairs = env_usize("TRAIN_PAIRS", if full { 1000 } else { snapshots * 2 / 3 });
@@ -60,10 +65,19 @@ fn main() {
     let (input, target) = val.pair(k);
     let horizon = val.len().min(10);
     let (start, _) = val.pair(0);
-    let reference: Vec<_> =
-        (0..=horizon).map(|s| data.snapshot(val.global_index(0) + s).clone()).collect();
+    let reference: Vec<_> = (0..=horizon)
+        .map(|s| data.snapshot(val.global_index(0) + s).clone())
+        .collect();
 
-    let mut fields = Csv::new(&["mode", "field", "i", "j", "target", "prediction", "abs_error"]);
+    let mut fields = Csv::new(&[
+        "mode",
+        "field",
+        "i",
+        "j",
+        "target",
+        "prediction",
+        "abs_error",
+    ]);
     let mut roll = Csv::new(&["mode", "step", "mean_rmse"]);
 
     for mode in [PredictionMode::Absolute, PredictionMode::Residual] {
@@ -87,7 +101,10 @@ fn main() {
         let inference = ParallelInference::from_outcome(arch.clone(), strategy, &outcome);
         let one = inference.rollout(input, 1);
         let pred = &one.states[1];
-        println!("validation pair {k} (global snapshot {}):", val.global_index(k));
+        println!(
+            "validation pair {k} (global snapshot {}):",
+            val.global_index(k)
+        );
         println!("{}", format_error_table(&field_errors(pred, target, 1e-3)));
 
         // Field maps CSV (Fig. 3's panels: target, prediction, |error|).
@@ -123,7 +140,10 @@ fn main() {
         );
     }
 
-    fields.write_to(Path::new("results/fig3_fields.csv")).expect("write fields CSV");
-    roll.write_to(Path::new("results/fig3_rollout.csv")).expect("write rollout CSV");
+    fields
+        .write_to(Path::new("results/fig3_fields.csv"))
+        .expect("write fields CSV");
+    roll.write_to(Path::new("results/fig3_rollout.csv"))
+        .expect("write rollout CSV");
     println!("\nwrote results/fig3_fields.csv and results/fig3_rollout.csv");
 }

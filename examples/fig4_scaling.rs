@@ -30,14 +30,19 @@ use pde_perfmodel::{
 use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let grid = env_usize("GRID", 128);
     let epochs = env_usize("EPOCHS", 3);
     let snapshots = env_usize("SNAPSHOTS", 12);
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "Fig. 4 reproduction: {grid}x{grid} global grid, {epochs} epochs, \
          host has {host_cores} core(s)\n"
@@ -58,7 +63,10 @@ fn main() {
     for &side in &[grid / 8, grid / 4, grid / 2] {
         let data = paper_dataset(side, snapshots);
         let trainer = SequentialTrainer::new(arch.clone(), strategy, config.clone());
-        let secs = trainer.train(&data, snapshots - 2).expect("calibration run").seconds;
+        let secs = trainer
+            .train(&data, snapshots - 2)
+            .expect("calibration run")
+            .seconds;
         let cells = side * side;
         let per_epoch = secs / epochs as f64;
         println!("  {side:>4}x{side:<4} ({cells:>6} cells): {per_epoch:.4} s/epoch");
@@ -83,17 +91,38 @@ fn main() {
     // machine and network.
     let net = NetworkModel::cluster_default();
     let weight_bytes = arch.param_count() * 8;
-    let batches = |p: usize| (snapshots - 2).div_ceil(p).div_ceil(config.batch_size).max(1);
-    let base64 =
-        strong_scaling_baseline(&cost, &net, cells, epochs, weight_bytes, batches, &ranks, 64);
+    let batches = |p: usize| {
+        (snapshots - 2)
+            .div_ceil(p)
+            .div_ceil(config.batch_size)
+            .max(1)
+    };
+    let base64 = strong_scaling_baseline(
+        &cost,
+        &net,
+        cells,
+        epochs,
+        weight_bytes,
+        batches,
+        &ranks,
+        64,
+    );
     println!("\nallreduce baseline on the same machine (fast 10 GB/s fabric):");
     print!("{}", format_scaling_table(&base64));
     // With the paper's tiny 6k-parameter model a modern fabric makes the
     // allreduce almost free; the §I bottleneck argument bites on slower
     // interconnects (or bigger models), so show that series too.
     let slow_net = NetworkModel::new(50e-6, 8e-9); // 50 µs, ~1 Gb/s
-    let base_slow =
-        strong_scaling_baseline(&cost, &slow_net, cells, epochs, weight_bytes, batches, &ranks, 64);
+    let base_slow = strong_scaling_baseline(
+        &cost,
+        &slow_net,
+        cells,
+        epochs,
+        weight_bytes,
+        batches,
+        &ranks,
+        64,
+    );
     println!("\nallreduce baseline, commodity 1 Gb/s network:");
     print!("{}", format_scaling_table(&base_slow));
 
@@ -150,7 +179,9 @@ fn main() {
     let model_host = strong_scaling(&cost, cells, epochs, &[1, 2, 4], host_cores);
     for (i, &p) in [1usize, 2, 4].iter().enumerate() {
         let trainer = ParallelTrainer::new(arch.clone(), strategy, config.clone());
-        let outcome = trainer.train_view(&data, snapshots - 2, p).expect("threaded run");
+        let outcome = trainer
+            .train_view(&data, snapshots - 2, p)
+            .expect("threaded run");
         let measured = outcome.wall_seconds;
         let modelled = model_host[i].seconds;
         println!("{p:>6} {measured:>14.3} {modelled:>14.3}");

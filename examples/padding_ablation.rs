@@ -23,7 +23,10 @@ use pde_tensor::Tensor4;
 use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -47,7 +50,13 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>14}",
         "strategy", "train MAPE%", "val MAPE%", "val RMSE", "train time[s]"
     );
-    let mut csv = Csv::new(&["strategy", "train_mape", "val_mape", "val_rmse", "train_seconds"]);
+    let mut csv = Csv::new(&[
+        "strategy",
+        "train_mape",
+        "val_mape",
+        "val_rmse",
+        "train_seconds",
+    ]);
 
     for strategy in PaddingStrategy::ALL {
         let trainer = ParallelTrainer::new(arch.clone(), strategy, config.clone());
@@ -87,7 +96,8 @@ fn main() {
                 let input = norm.normalize3(&extract_input(x_global, &block, halo, mode));
                 let target = extract_target(y_global, &block, crop);
                 let pred = norm.denormalize3(
-                    &net.forward(&Tensor4::from_sample(&input), false).sample_tensor(0),
+                    &net.forward(&Tensor4::from_sample(&input), false)
+                        .sample_tensor(0),
                 );
                 let errs = field_errors(&pred, &target, 1e-3);
                 mape_sum += errs.iter().map(|e| e.mape).sum::<f64>() / errs.len() as f64;

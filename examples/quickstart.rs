@@ -19,7 +19,10 @@ fn main() {
     // --- 1. Data generation (32×32 grid, 40 snapshots). -----------------
     let n = 32;
     let data = paper_dataset(n, 40);
-    println!("generated {} snapshots of a {n}x{n} linearized-Euler run", data.len());
+    println!(
+        "generated {} snapshots of a {n}x{n} linearized-Euler run",
+        data.len()
+    );
     let n_train = 30; // chronological split like the paper's 1000/500
 
     // --- 2. Parallel training: 4 ranks, one CNN each. -------------------
@@ -41,9 +44,8 @@ fn main() {
     let trainer = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, config);
     let outcome = trainer.train_view(&data, n_train, 4).expect("training");
     println!(
-        "trained 4 subdomain networks in {:.2}s (mean final {} loss {:.2})",
+        "trained 4 subdomain networks in {:.2}s (mean final MAPE loss {:.2})",
         outcome.wall_seconds,
-        "MAPE",
         outcome.mean_final_loss()
     );
     println!(
@@ -52,8 +54,7 @@ fn main() {
     );
 
     // --- 3. Parallel inference with halo exchange. -----------------------
-    let inference =
-        ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let inference = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let initial = data.snapshot(n_train).clone(); // first validation state
     let rollout = inference.rollout(&initial, 1);
     println!(

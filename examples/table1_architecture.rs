@@ -23,7 +23,10 @@ fn main() {
     let (h, w) = (64, 64);
     let batch = 4;
     println!("measured per-layer cost on a {h}x{w} input (batch {batch}):\n");
-    println!("{:<8} {:>10} {:>14} {:>14}", "layer", "params", "fwd [ms]", "fwd+bwd [ms]");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14}",
+        "layer", "params", "fwd [ms]", "fwd+bwd [ms]"
+    );
 
     let mut csv = Csv::new(&[
         "layer",
@@ -55,12 +58,18 @@ fn main() {
             let _ = conv.backward(&y);
         }
         let fb_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
-        println!("conv{:<4} {:>10} {:>14.3} {:>14.3}", row.layer, row.params, fwd_ms, fb_ms);
+        println!(
+            "conv{:<4} {:>10} {:>14.3} {:>14.3}",
+            row.layer, row.params, fwd_ms, fb_ms
+        );
         csv.row(&[
             format!("conv{}", row.layer),
             row.in_channels.to_string(),
             row.out_channels.to_string(),
-            format!("{}x{}x{}x{}", row.kernel.0, row.kernel.1, row.kernel.2, row.kernel.3),
+            format!(
+                "{}x{}x{}x{}",
+                row.kernel.0, row.kernel.1, row.kernel.2, row.kernel.3
+            ),
             "Yes".to_string(),
             row.params.to_string(),
             format!("{fwd_ms:.4}"),

@@ -11,13 +11,24 @@ use pde_nn::Layer;
 use pde_tensor::Tensor4;
 
 fn fixture() -> (pde_euler::DataSet, GridPartition, ArchSpec) {
-    (paper_dataset(32, 24), GridPartition::for_ranks(32, 32, 4), ArchSpec::tiny())
+    (
+        paper_dataset(32, 24),
+        GridPartition::for_ranks(32, 32, 4),
+        ArchSpec::tiny(),
+    )
 }
 
 fn train_with(cfg: &TrainConfig, epochs: usize) -> f64 {
     let (data, part, arch) = fixture();
     let view = data.view(0, 20);
-    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), PaddingStrategy::ZeroPad, &pde_ml_core::norm::ChannelNorm::fit(&view));
+    let ds = SubdomainDataset::build(
+        &view,
+        &part,
+        0,
+        arch.halo(),
+        PaddingStrategy::ZeroPad,
+        &pde_ml_core::norm::ChannelNorm::fit(&view),
+    );
     let mut cfg = cfg.clone();
     cfg.epochs = epochs;
     let mut net = arch.build(true, cfg.seed);
@@ -54,7 +65,14 @@ fn momentum_learns_stably_at_reduced_rate() {
     // stays finite at the rate it tolerates.
     let (data, part, arch) = fixture();
     let view = data.view(0, 20);
-    let ds = SubdomainDataset::build(&view, &part, 0, arch.halo(), PaddingStrategy::ZeroPad, &pde_ml_core::norm::ChannelNorm::fit(&view));
+    let ds = SubdomainDataset::build(
+        &view,
+        &part,
+        0,
+        arch.halo(),
+        PaddingStrategy::ZeroPad,
+        &pde_ml_core::norm::ChannelNorm::fit(&view),
+    );
     // Score on MSE: its smooth gradients isolate the optimizer's behaviour
     // from the MAPE kinks (the MAPE-specific difficulty is exactly what the
     // Adam-vs-SGD test above demonstrates).
@@ -65,7 +83,10 @@ fn momentum_learns_stably_at_reduced_rate() {
     cfg.epochs = 12;
     let mut net = arch.build(true, cfg.seed);
     let losses = train_network(&mut net, &ds, &cfg);
-    assert!(losses.iter().all(|l| l.is_finite()), "momentum diverged: {losses:?}");
+    assert!(
+        losses.iter().all(|l| l.is_finite()),
+        "momentum diverged: {losses:?}"
+    );
     assert!(
         losses.last().unwrap() < &losses[0],
         "momentum did not learn: {losses:?}"
@@ -103,8 +124,13 @@ fn mape_training_balances_small_magnitude_fields_better_than_mse() {
         cfg.epochs = 15;
         let mut net = arch.build(true, cfg.seed);
         let _ = train_network(&mut net, &ds, &cfg);
-        let pred = net.forward(&Tensor4::from_sample(&val_in), false).sample_tensor(0);
-        field_errors(&pred, &val_tgt, 1e-3).iter().map(|e| e.mape).collect()
+        let pred = net
+            .forward(&Tensor4::from_sample(&val_in), false)
+            .sample_tensor(0);
+        field_errors(&pred, &val_tgt, 1e-3)
+            .iter()
+            .map(|e| e.mape)
+            .collect()
     };
 
     let mape_errs = eval(LossKind::Mape { floor: 1e-3 });

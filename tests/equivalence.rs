@@ -65,7 +65,13 @@ fn halo_exchange_rollout_equals_global_window_rollout() {
     let par = inf.rollout(&initial, 4);
     let refr = inf.reference_rollout(&initial, 4);
     for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
-        assert_slice_close(a.as_slice(), b.as_slice(), 1e-13, 1e-13, &format!("step {k}"));
+        assert_slice_close(
+            a.as_slice(),
+            b.as_slice(),
+            1e-13,
+            1e-13,
+            &format!("step {k}"),
+        );
     }
 }
 
@@ -82,7 +88,10 @@ fn one_rank_parallel_equals_sequential_trainer() {
         .train(&data, 6)
         .expect("sequential");
     assert_eq!(par.rank_results[0].epoch_losses, seq.epoch_losses);
-    assert_eq!(par.rank_results[0].weights, pde_nn::serialize::snapshot(&mut seq.net));
+    assert_eq!(
+        par.rank_results[0].weights,
+        pde_nn::serialize::snapshot(&mut seq.net)
+    );
     assert_eq!(par.norm, seq.norm);
 }
 
@@ -140,14 +149,24 @@ fn windowed_rollout_matches_reference() {
         .train(&data, 4)
         .expect("windowed training");
     assert_eq!(outcome.window, 2);
-    assert_eq!(outcome.total_bytes_sent(), 0, "windowed training is still communication-free");
+    assert_eq!(
+        outcome.total_bytes_sent(),
+        0,
+        "windowed training is still communication-free"
+    );
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let history = [data.snapshot(5).clone(), data.snapshot(6).clone()];
     let par = inf.rollout_from_history(&history, 3);
     let refr = inf.reference_rollout_from_history(&history, 3);
     assert_eq!(par.states.len(), 4);
     for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
-        assert_slice_close(a.as_slice(), b.as_slice(), 1e-12, 1e-12, &format!("win step {k}"));
+        assert_slice_close(
+            a.as_slice(),
+            b.as_slice(),
+            1e-12,
+            1e-12,
+            &format!("win step {k}"),
+        );
     }
     // Two exchanges per step per axis-neighbor (one per window slot).
     let steps = 3u64;

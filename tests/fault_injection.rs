@@ -19,7 +19,10 @@ fn pull_with_fallback(
     tag: u32,
     strip_len: usize,
 ) -> (Vec<f64>, bool) {
-    match cart.comm_mut().recv_timeout(dir_src, tag, Duration::from_millis(50)) {
+    match cart
+        .comm_mut()
+        .recv_timeout(dir_src, tag, Duration::from_millis(50))
+    {
         Ok(buf) => (buf, false),
         Err(_) => (vec![0.0; strip_len], true),
     }
@@ -82,16 +85,22 @@ fn healthy_world_with_fault_plan_noise_everywhere_else_is_unaffected() {
 #[test]
 fn dropped_message_is_counted_as_sent_but_never_received() {
     let plan = FaultPlan::drop_edge(0, 1);
-    let (_, traffic) = World::new(2).with_fault_plan(plan).run_with_stats(|mut comm| {
-        if comm.rank() == 0 {
-            comm.send(1, 9, vec![1.0, 2.0]);
-        } else {
-            let r = comm.recv_timeout(0, 9, Duration::from_millis(30));
-            assert!(r.is_err());
-        }
-        comm.barrier();
-    });
-    assert_eq!(traffic[0].0, 1 + 1, "payload + barrier messages sent by rank 0");
+    let (_, traffic) = World::new(2)
+        .with_fault_plan(plan)
+        .run_with_stats(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![1.0, 2.0]);
+            } else {
+                let r = comm.recv_timeout(0, 9, Duration::from_millis(30));
+                assert!(r.is_err());
+            }
+            comm.barrier();
+        });
+    assert_eq!(
+        traffic[0].0,
+        1 + 1,
+        "payload + barrier messages sent by rank 0"
+    );
     // Rank 1 received only the barrier message, not the payload.
     assert_eq!(traffic[1].2, 1);
 }
@@ -117,10 +126,14 @@ fn absorbing_and_reflective_boundaries_compose_with_training() {
     use pde_euler::dataset::SnapshotRecorder;
     use pde_euler::{Boundary, InitialCondition, SolverConfig};
     use pde_ml_core::prelude::*;
-    for boundary in [Boundary::Reflective, Boundary::Absorbing, Boundary::Periodic] {
+    for boundary in [
+        Boundary::Reflective,
+        Boundary::Absorbing,
+        Boundary::Periodic,
+    ] {
         let cfg = SolverConfig::paper(16, 16);
-        let data = SnapshotRecorder::new(cfg, boundary, &InitialCondition::paper_pulse(), 1)
-            .record(8);
+        let data =
+            SnapshotRecorder::new(cfg, boundary, &InitialCondition::paper_pulse(), 1).record(8);
         let outcome = ParallelTrainer::new(
             ArchSpec::tiny(),
             PaddingStrategy::NeighborPad,

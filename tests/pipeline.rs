@@ -26,8 +26,7 @@ fn train_pipeline(
 
 #[test]
 fn full_pipeline_neighbor_pad() {
-    let (data, n_train, outcome) =
-        train_pipeline(32, 45, 60, 4, PaddingStrategy::NeighborPad);
+    let (data, n_train, outcome) = train_pipeline(32, 45, 60, 4, PaddingStrategy::NeighborPad);
 
     // Training was communication-free.
     assert_eq!(outcome.total_bytes_sent(), 0);
@@ -64,8 +63,14 @@ fn full_pipeline_neighbor_pad() {
     // pressure field (the pulse carrier).
     let errs = field_errors(&pred.states[1], y, 1e-3);
     assert_eq!(errs.len(), 4);
-    assert!(errs.iter().all(|e| e.rmse.is_finite() && e.mape.is_finite()));
-    assert!(errs[0].pearson > 0.9, "pressure correlation too low: {}", errs[0].pearson);
+    assert!(errs
+        .iter()
+        .all(|e| e.rmse.is_finite() && e.mape.is_finite()));
+    assert!(
+        errs[0].pearson > 0.9,
+        "pressure correlation too low: {}",
+        errs[0].pearson
+    );
 }
 
 #[test]
@@ -84,7 +89,10 @@ fn full_pipeline_zero_pad_is_fully_communication_free() {
 fn inner_crop_trains_but_cannot_roll_out() {
     let (_, _, outcome) = train_pipeline(32, 30, 5, 4, PaddingStrategy::InnerCrop);
     assert_eq!(outcome.total_bytes_sent(), 0);
-    assert!(outcome.rank_results.iter().all(|r| r.epoch_losses.iter().all(|l| l.is_finite())));
+    assert!(outcome
+        .rank_results
+        .iter()
+        .all(|r| r.epoch_losses.iter().all(|l| l.is_finite())));
     // Rollout construction must refuse (§III: inner data points limit
     // usability as simulation substitute).
     let caught = std::panic::catch_unwind(|| {
@@ -137,7 +145,11 @@ fn deconv_strategy_trains_and_rolls_out_comm_free() {
     let inf = ParallelInference::from_outcome(ArchSpec::tiny(), PaddingStrategy::Deconv, &outcome);
     let (x, y) = data.view(n_train, data.pair_count() - n_train).pair(0);
     let r = inf.rollout(x, 3);
-    assert_eq!(r.total_bytes(), 0, "deconv inference needs no halo exchange");
+    assert_eq!(
+        r.total_bytes(),
+        0,
+        "deconv inference needs no halo exchange"
+    );
     assert_eq!(r.states.len(), 4);
     let errs = field_errors(&r.states[1], y, 1e-3);
     assert!(errs.iter().all(|e| e.rmse.is_finite()));
@@ -167,7 +179,10 @@ fn gradient_clipping_keeps_training_stable_at_high_rate() {
     let clipped = run(Some(1.0));
     let unclipped = run(None);
     assert!(
-        clipped.rank_results[0].epoch_losses.iter().all(|l| l.is_finite()),
+        clipped.rank_results[0]
+            .epoch_losses
+            .iter()
+            .all(|l| l.is_finite()),
         "clipped run diverged: {:?}",
         clipped.rank_results[0].epoch_losses
     );

@@ -13,6 +13,132 @@ fn arb_tensor3(c: usize, max_side: usize) -> impl Strategy<Value = Tensor3> {
     })
 }
 
+/// Naive reference `C += op(A) * op(B)` triple loop (row-major flat buffers).
+#[allow(clippy::too_many_arguments)]
+fn naive_gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    ta: bool,
+    tb: bool,
+) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = if ta { a[p * m + i] } else { a[i * k + p] };
+            for j in 0..n {
+                let bv = if tb { b[j * k + p] } else { b[p * n + j] };
+                c[i * n + j] += av * bv;
+            }
+        }
+    }
+}
+
+/// Dimensions stressing the packed kernel's edge handling: values around and
+/// below the MR=4 / NR=8 micro-tile, never a multiple of either by luck
+/// alone, and the degenerate 1s.
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 33])
+}
+
+fn arb_mat(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-4.0f64..4.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed register-tiled `gemm` matches the naive triple loop on
+    /// arbitrary (non-tile-divisible) shapes, accumulating into non-zero C.
+    #[test]
+    fn packed_gemm_matches_naive(
+        m in arb_dim(),
+        k in arb_dim(),
+        n in arb_dim(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 250.0 - 2.0
+        };
+        let a: Vec<f64> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| next()).collect();
+        let c0: Vec<f64> = (0..m * n).map(|_| next()).collect();
+        let mut c = c0.clone();
+        let mut c_ref = c0;
+        pde_tensor::gemm(m, k, n, &a, &b, &mut c);
+        naive_gemm(m, k, n, &a, &b, &mut c_ref, false, false);
+        for (x, y) in c.iter().zip(&c_ref) {
+            prop_assert!((x - y).abs() < 1e-10, "gemm {m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+
+    /// `gemm_tn` (`C += Aᵀ·B`, A stored k×m) matches the naive loop.
+    #[test]
+    fn packed_gemm_tn_matches_naive(
+        m in arb_dim(),
+        k in arb_dim(),
+        n in arb_dim(),
+        a in arb_mat(33 * 33),
+        b in arb_mat(33 * 33),
+    ) {
+        let a = &a[..k * m];
+        let b = &b[..k * n];
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        pde_tensor::gemm_tn(m, k, n, a, b, &mut c);
+        naive_gemm(m, k, n, a, b, &mut c_ref, true, false);
+        for (x, y) in c.iter().zip(&c_ref) {
+            prop_assert!((x - y).abs() < 1e-10, "gemm_tn {m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+
+    /// `gemm_nt` (`C += A·Bᵀ`, B stored n×k) matches the naive loop.
+    #[test]
+    fn packed_gemm_nt_matches_naive(
+        m in arb_dim(),
+        k in arb_dim(),
+        n in arb_dim(),
+        a in arb_mat(33 * 33),
+        b in arb_mat(33 * 33),
+    ) {
+        let a = &a[..m * k];
+        let b = &b[..n * k];
+        let mut c = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        pde_tensor::gemm_nt(m, k, n, a, b, &mut c);
+        naive_gemm(m, k, n, a, b, &mut c_ref, false, true);
+        for (x, y) in c.iter().zip(&c_ref) {
+            prop_assert!((x - y).abs() < 1e-10, "gemm_nt {m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+
+    /// The batched entry points equal per-sample calls of the plain ones —
+    /// bitwise, since the driver accumulates KC blocks in the same order.
+    #[test]
+    fn batched_gemm_equals_per_sample(
+        m in arb_dim(),
+        k in arb_dim(),
+        n in arb_dim(),
+        samples in 1usize..4,
+        a in arb_mat(33 * 33),
+        b in arb_mat(3 * 33 * 33),
+    ) {
+        let a = &a[..m * k];
+        let b_all = &b[..samples * k * n];
+        let mut c_batch = vec![0.0; samples * m * n];
+        pde_tensor::gemm_batch(samples, m, k, n, a, b_all, &mut c_batch);
+        for s in 0..samples {
+            let mut c_one = vec![0.0; m * n];
+            pde_tensor::gemm(m, k, n, a, &b_all[s * k * n..][..k * n], &mut c_one);
+            prop_assert_eq!(&c_batch[s * m * n..][..m * n], &c_one[..]);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -237,7 +363,7 @@ proptest! {
             (state % 2000) as f64 / 100.0 - 10.0
         };
         let t = Tensor3::from_fn(4, h, w, |_, _, _| next());
-        let scales: Vec<f64> = (0..4).map(|c| 10f64.powi(c as i32 * 2 - 3)).collect();
+        let scales: Vec<f64> = (0..4).map(|c| 10f64.powi(c * 2 - 3)).collect();
         let n = ChannelNorm::from_scales(scales);
         let back = n.denormalize3(&n.normalize3(&t));
         for (a, b) in back.as_slice().iter().zip(t.as_slice()) {

@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion::{benchmark_group,
+//! bench_function}`, `BenchmarkGroup::{sample_size, throughput,
+//! bench_with_input, finish}`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurement model: one warm-up call, then timed batches until either the
+//! configured sample count or a wall-clock budget is reached; the mean
+//! seconds/iteration is recorded and printed. Results are additionally kept
+//! on the `Criterion` value (`results()`) so benches can export machine-
+//! readable baselines — the real crate writes `target/criterion/` instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark (after warm-up).
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function` or `group/parameter`).
+    pub id: String,
+    /// Mean wall-clock seconds per iteration.
+    pub mean_s: f64,
+    /// Number of timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// Identifies one benchmark inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and ignored; GFLOP/s reporting in this
+/// workspace is computed by the benches themselves).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures under a timing loop and collects the results.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id.to_string(), 100, &mut f);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
+    }
+
+    fn run_one(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: sample_size.max(1) as u64,
+            observed: None,
+        };
+        f(&mut b);
+        let (mean_s, iters) = b
+            .observed
+            .unwrap_or_else(|| panic!("bench {id}: Bencher::iter never called"));
+        println!("bench {id:<60} {:>14.3e} s/iter ({iters} iters)", mean_s);
+        self.results.push(BenchRecord { id, mean_s, iters });
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepts a throughput annotation (not used by the timing loop).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against one `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.c.run_one(full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function with no extra input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: u64,
+    observed: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean seconds/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.samples && elapsed < TIME_BUDGET {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.observed = Some((elapsed.as_secs_f64() / iters as f64, iters));
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn records_results() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+        let r = c.results();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, "g/3");
+        assert_eq!(r[1].id, "plain");
+        assert!(r.iter().all(|rec| rec.mean_s >= 0.0 && rec.iters >= 1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! `channel::{unbounded, Sender, Receiver, RecvTimeoutError}` and
+//! `thread::scope`/`Scope::spawn`.
+//!
+//! Backed entirely by `std`: `std::sync::mpsc` channels (whose `Sender` is
+//! `Clone + Send` and whose `recv_timeout`/`try_recv` semantics match what
+//! `commsim` relies on) and `std::thread::scope` for structured spawning.
+//! The observable differences from real crossbeam are not exercised here:
+//! `commsim` uses one consumer per receiver and joins every handle.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPSC channels with the crossbeam naming.
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention
+    //! (`scope` returns a `Result`, spawn closures receive `&Scope`).
+
+    use std::any::Any;
+
+    /// Error payload of a propagated panic.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; passed by reference to `scope` and `spawn` closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// again so it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&child)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing from the caller's stack is
+    /// allowed; all spawned threads are joined before this returns.
+    ///
+    /// Unlike real crossbeam, a panic in an unjoined child propagates out of
+    /// this call directly instead of being collected into the `Err` variant;
+    /// callers here always join explicitly, so the distinction is unobservable.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(41_i32).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1_u64, 2, 3, 4];
+        let total = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}
