@@ -154,6 +154,26 @@ fn load_fleet(dir: &Path) -> Result<(ModelMeta, ParallelInference), String> {
     Ok((meta, inf))
 }
 
+/// Parses `--halo-policy` / `--halo-timeout-ms` into a [`HaloPolicy`].
+fn halo_policy_from_args(args: &Args) -> Result<HaloPolicy, String> {
+    let timeout_ms: u64 = args.get_or("halo-timeout-ms", 250)?;
+    let timeout = std::time::Duration::from_millis(timeout_ms);
+    match args.get("halo-policy").unwrap_or("strict") {
+        "strict" => Ok(HaloPolicy::Strict),
+        "zero-fill" => Ok(HaloPolicy::Degrade {
+            timeout,
+            fallback: HaloFallback::ZeroFill,
+        }),
+        "last-known" => Ok(HaloPolicy::Degrade {
+            timeout,
+            fallback: HaloFallback::LastKnown,
+        }),
+        other => Err(format!(
+            "unknown halo policy '{other}' (expected strict, zero-fill or last-known)"
+        )),
+    }
+}
+
 /// `pdeml infer` — parallel rollout from a stored model + dataset.
 pub fn infer(args: &Args) -> Result<(), String> {
     let data_path = PathBuf::from(args.require("data")?);
@@ -161,7 +181,19 @@ pub fn infer(args: &Args) -> Result<(), String> {
     let steps: usize = args.get_or("steps", 10)?;
     let data = DataSet::load(&data_path)
         .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
-    let (meta, inf) = load_fleet(&model_dir)?;
+    let (meta, mut inf) = load_fleet(&model_dir)?;
+    let policy = halo_policy_from_args(args)?;
+    inf = inf.with_halo_policy(policy);
+    if let Some(spec) = args.get("fault") {
+        if policy == HaloPolicy::Strict {
+            return Err(
+                "--fault with --halo-policy strict would hang on the first lost halo; \
+                 pick zero-fill or last-known"
+                    .into(),
+            );
+        }
+        inf = inf.with_fault_plan(FaultPlan::parse(spec)?);
+    }
     let default_start = data.len().saturating_sub(steps + 1).max(meta.window - 1);
     let start: usize = args.get_or("start", default_start)?;
     if start + 1 < meta.window || start >= data.len() {
@@ -182,6 +214,28 @@ pub fn infer(args: &Args) -> Result<(), String> {
         .collect();
     let rollout = inf.rollout_from_history(&history, steps);
     println!("boundary bytes exchanged: {}", rollout.total_bytes());
+    if rollout.degraded() {
+        println!(
+            "degraded halos: {} lost ({} zero-filled, {} stale-reused) — per rank:",
+            rollout.total_halos_lost(),
+            rollout
+                .traffic
+                .iter()
+                .map(|t| t.halos_zero_filled)
+                .sum::<u64>(),
+            rollout.traffic.iter().map(|t| t.halos_stale).sum::<u64>()
+        );
+        for (rank, t) in rollout.traffic.iter().enumerate() {
+            if t.degraded() {
+                println!(
+                    "  rank {rank:>3}: {} lost, {} zero-filled, {} stale",
+                    t.halos_lost, t.halos_zero_filled, t.halos_stale
+                );
+            }
+        }
+    } else if policy != HaloPolicy::Strict {
+        println!("no halos lost (all strips arrived within the timeout)");
+    }
 
     // Compare against the solver where reference snapshots exist.
     let available = data.len().saturating_sub(start + 1).min(steps);

@@ -28,6 +28,8 @@ USAGE:
                  [--strategy neighbor-pad|zero-pad|inner-crop|deconv]
                  [--mode absolute|residual] [--window W] [--seed S] [--lr LR]
   pdeml infer    --data FILE --model DIR [--steps K] [--start IDX] [--out CSV]
+                 [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
+                 [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 

@@ -5,7 +5,8 @@
 //! [`CartComm::exchange`] performs the fully point-to-point boundary-data
 //! swap the paper's inference phase relies on (§III).
 
-use crate::comm::{Comm, Tag};
+use crate::comm::{Comm, RecvError, Tag};
+use std::time::Duration;
 
 /// The four lattice directions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,12 +40,58 @@ impl Direction {
         }
     }
 
-    fn index(&self) -> usize {
+    /// Position of this direction in [`Direction::ALL`]-indexed arrays.
+    pub fn index(&self) -> usize {
         match self {
             Direction::Left => 0,
             Direction::Right => 1,
             Direction::Down => 2,
             Direction::Up => 3,
+        }
+    }
+}
+
+/// Outcome classification of one directional halo receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaloStatus {
+    /// The strip arrived.
+    Ok,
+    /// The receive timed out — the message is presumed lost; the peer is
+    /// (as far as we can tell) still alive. Recoverable by policy.
+    Lost,
+    /// The peer's thread is gone and nothing matching can ever arrive.
+    /// NOT recoverable: a dead peer means its whole subdomain is missing,
+    /// not one boundary strip, so every halo policy must treat this as
+    /// fatal rather than mask it with fallback data.
+    PeerDead,
+}
+
+/// One directional halo receive: the strip, or why it is missing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HaloRecv {
+    /// The strip arrived.
+    Ok(Vec<f64>),
+    /// Timed out — presumed lost (recoverable by policy).
+    Lost,
+    /// The peer is dead (fatal under every policy).
+    PeerDead,
+}
+
+impl HaloRecv {
+    /// The status classification without the payload.
+    pub fn status(&self) -> HaloStatus {
+        match self {
+            HaloRecv::Ok(_) => HaloStatus::Ok,
+            HaloRecv::Lost => HaloStatus::Lost,
+            HaloRecv::PeerDead => HaloStatus::PeerDead,
+        }
+    }
+
+    /// The payload, if the strip arrived.
+    pub fn into_data(self) -> Option<Vec<f64>> {
+        match self {
+            HaloRecv::Ok(buf) => Some(buf),
+            _ => None,
         }
     }
 }
@@ -144,18 +191,13 @@ impl CartComm {
     /// Returns the four incoming buffers indexed like [`Direction::ALL`]
     /// (`None` where there is no neighbor). `tag` namespaces concurrent
     /// exchanges (e.g. one per field or per time step).
-    pub fn exchange(&mut self, outgoing: [Option<Vec<f64>>; 4], tag: Tag) -> [Option<Vec<f64>>; 4] {
+    pub fn exchange(
+        &mut self,
+        mut outgoing: [Option<Vec<f64>>; 4],
+        tag: Tag,
+    ) -> [Option<Vec<f64>>; 4] {
         // Post all sends first (eager buffering ⇒ no deadlock), then recv.
-        for dir in Direction::ALL {
-            if let Some(nb) = self.neighbor(dir) {
-                let buf = outgoing[dir.index()].clone().unwrap_or_else(|| {
-                    panic!("exchange: neighbor in {dir:?} but no outgoing buffer")
-                });
-                // Tag encodes the direction *from the receiver's view* so
-                // concurrent opposite-direction messages can't be confused.
-                self.comm.send(nb, encode_tag(tag, dir.opposite()), buf);
-            }
-        }
+        self.post_sends(&mut outgoing, tag);
         let mut incoming: [Option<Vec<f64>>; 4] = [None, None, None, None];
         for dir in Direction::ALL {
             if let Some(nb) = self.neighbor(dir) {
@@ -163,6 +205,96 @@ impl CartComm {
             }
         }
         incoming
+    }
+
+    /// Like [`CartComm::exchange`] but loss-tolerant: each directional
+    /// receive gives up after `timeout` and reports its outcome as a
+    /// [`HaloRecv`] instead of blocking forever (lost message) or panicking
+    /// (dead peer). Directions without a neighbor stay `None`.
+    ///
+    /// Timed-out receives bump this rank's `halos_lost` counter. A strip
+    /// that arrives *after* its receive timed out lingers in the inbox
+    /// harmlessly: every exchange uses a fresh tag, so it can never be
+    /// matched by a later step.
+    pub fn exchange_timeout(
+        &mut self,
+        mut outgoing: [Option<Vec<f64>>; 4],
+        tag: Tag,
+        timeout: Duration,
+    ) -> [Option<HaloRecv>; 4] {
+        self.post_sends(&mut outgoing, tag);
+        let mut incoming: [Option<HaloRecv>; 4] = [None, None, None, None];
+        for dir in Direction::ALL {
+            if let Some(nb) = self.neighbor(dir) {
+                incoming[dir.index()] = Some(self.recv_halo(nb, encode_tag(tag, dir), timeout));
+            }
+        }
+        incoming
+    }
+
+    /// The send half of a split-phase x-axis exchange: posts `to_left` /
+    /// `to_right` without receiving. Pair with [`CartComm::recv_halo_dir`].
+    ///
+    /// Splitting lets a resilient protocol interpose a synchronization
+    /// point between sends and timed receives, after which every
+    /// *delivered* strip is already in the inbox — so a timeout can only
+    /// ever fire for a message that is genuinely lost, making the
+    /// classification deterministic.
+    pub fn post_x_sends(
+        &mut self,
+        to_left: Option<Vec<f64>>,
+        to_right: Option<Vec<f64>>,
+        tag: Tag,
+    ) {
+        self.post_axis_sends(to_left, to_right, Direction::Left, Direction::Right, tag);
+    }
+
+    /// The send half of a split-phase y-axis exchange (see
+    /// [`CartComm::post_x_sends`]).
+    pub fn post_y_sends(&mut self, to_down: Option<Vec<f64>>, to_up: Option<Vec<f64>>, tag: Tag) {
+        self.post_axis_sends(to_down, to_up, Direction::Down, Direction::Up, tag);
+    }
+
+    /// The receive half of a split-phase exchange: one timed directional
+    /// receive classified as a [`HaloRecv`]; `None` when there is no
+    /// neighbor in `dir`. `tag` must match the value given to the
+    /// corresponding `post_*_sends` call.
+    pub fn recv_halo_dir(
+        &mut self,
+        dir: Direction,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Option<HaloRecv> {
+        self.neighbor(dir)
+            .map(|nb| self.recv_halo(nb, encode_tag(tag, dir), timeout))
+    }
+
+    /// Moves each outgoing buffer (no payload clone) to its neighbor.
+    fn post_sends(&mut self, outgoing: &mut [Option<Vec<f64>>; 4], tag: Tag) {
+        for dir in Direction::ALL {
+            if let Some(nb) = self.neighbor(dir) {
+                // `take()` moves the caller's buffer out instead of cloning
+                // it — the payload allocation travels through the channel.
+                let buf = outgoing[dir.index()].take().unwrap_or_else(|| {
+                    panic!("exchange: neighbor in {dir:?} but no outgoing buffer")
+                });
+                // Tag encodes the direction *from the receiver's view* so
+                // concurrent opposite-direction messages can't be confused.
+                self.comm.send(nb, encode_tag(tag, dir.opposite()), buf);
+            }
+        }
+    }
+
+    /// One timed directional receive classified as a [`HaloRecv`].
+    fn recv_halo(&mut self, src: usize, tag: Tag, timeout: Duration) -> HaloRecv {
+        match self.comm.recv_timeout(src, tag, timeout) {
+            Ok(buf) => HaloRecv::Ok(buf),
+            Err(RecvError::Timeout) => {
+                self.comm.stats().note_halo_lost();
+                HaloRecv::Lost
+            }
+            Err(RecvError::Disconnected) => HaloRecv::PeerDead,
+        }
     }
 }
 
@@ -193,14 +325,45 @@ impl CartComm {
         self.exchange_axis(to_down, to_up, Direction::Down, Direction::Up, tag)
     }
 
-    fn exchange_axis(
+    /// Loss-tolerant [`CartComm::exchange_x`]: `(from_left, from_right)`
+    /// as [`HaloRecv`] outcomes.
+    pub fn exchange_x_timeout(
+        &mut self,
+        to_left: Option<Vec<f64>>,
+        to_right: Option<Vec<f64>>,
+        tag: Tag,
+        timeout: Duration,
+    ) -> (Option<HaloRecv>, Option<HaloRecv>) {
+        self.exchange_axis_timeout(
+            to_left,
+            to_right,
+            Direction::Left,
+            Direction::Right,
+            tag,
+            timeout,
+        )
+    }
+
+    /// Loss-tolerant [`CartComm::exchange_y`]: `(from_down, from_up)` as
+    /// [`HaloRecv`] outcomes.
+    pub fn exchange_y_timeout(
+        &mut self,
+        to_down: Option<Vec<f64>>,
+        to_up: Option<Vec<f64>>,
+        tag: Tag,
+        timeout: Duration,
+    ) -> (Option<HaloRecv>, Option<HaloRecv>) {
+        self.exchange_axis_timeout(to_down, to_up, Direction::Down, Direction::Up, tag, timeout)
+    }
+
+    fn post_axis_sends(
         &mut self,
         to_neg: Option<Vec<f64>>,
         to_pos: Option<Vec<f64>>,
         neg: Direction,
         pos: Direction,
         tag: Tag,
-    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+    ) {
         for (dir, buf) in [(neg, &to_neg), (pos, &to_pos)] {
             assert_eq!(
                 self.neighbor(dir).is_some(),
@@ -215,12 +378,42 @@ impl CartComm {
         if let (Some(nb), Some(buf)) = (self.neighbor(pos), to_pos) {
             self.comm.send(nb, encode_tag(tag, neg), buf);
         }
+    }
+
+    fn exchange_axis(
+        &mut self,
+        to_neg: Option<Vec<f64>>,
+        to_pos: Option<Vec<f64>>,
+        neg: Direction,
+        pos: Direction,
+        tag: Tag,
+    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+        self.post_axis_sends(to_neg, to_pos, neg, pos, tag);
         let from_neg = self
             .neighbor(neg)
             .map(|nb| self.comm.recv(nb, encode_tag(tag, neg)));
         let from_pos = self
             .neighbor(pos)
             .map(|nb| self.comm.recv(nb, encode_tag(tag, pos)));
+        (from_neg, from_pos)
+    }
+
+    fn exchange_axis_timeout(
+        &mut self,
+        to_neg: Option<Vec<f64>>,
+        to_pos: Option<Vec<f64>>,
+        neg: Direction,
+        pos: Direction,
+        tag: Tag,
+        timeout: Duration,
+    ) -> (Option<HaloRecv>, Option<HaloRecv>) {
+        self.post_axis_sends(to_neg, to_pos, neg, pos, tag);
+        let from_neg = self
+            .neighbor(neg)
+            .map(|nb| self.recv_halo(nb, encode_tag(tag, neg), timeout));
+        let from_pos = self
+            .neighbor(pos)
+            .map(|nb| self.recv_halo(nb, encode_tag(tag, pos), timeout));
         (from_neg, from_pos)
     }
 }
@@ -368,5 +561,83 @@ mod tests {
         World::new(3).run(|comm| {
             let _ = CartComm::new(comm, 2, 2, false);
         });
+    }
+
+    #[test]
+    fn exchange_moves_outgoing_buffers_without_cloning() {
+        // Allocation parity: the Vec a rank hands to `exchange` must be the
+        // very allocation its neighbor receives. Each rank encodes its
+        // buffer's own address in the payload; the receiver checks that the
+        // arrived Vec still lives at that address. A clone (the old
+        // behaviour) would be a different allocation and fail — the original
+        // is still alive inside `outgoing` for the whole call, so the
+        // allocator cannot have reused its address.
+        let out = World::new(2).run(|comm| {
+            let mut cart = CartComm::new(comm, 1, 2, false);
+            let dir = if cart.coords().1 == 0 {
+                Direction::Right
+            } else {
+                Direction::Left
+            };
+            let mut buf = vec![0.0; 64];
+            buf[0] = buf.as_ptr() as usize as f64; // < 2^47 — exact in f64
+            let mut outgoing: [Option<Vec<f64>>; 4] = [None, None, None, None];
+            outgoing[dir.index()] = Some(buf);
+            let incoming = cart.exchange(outgoing, 5);
+            let got = incoming[dir.index()].as_ref().unwrap();
+            got.as_ptr() as usize as f64 == got[0]
+        });
+        assert_eq!(out, vec![true, true], "payload was cloned, not moved");
+    }
+
+    #[test]
+    fn exchange_timeout_reports_lost_and_counts_it() {
+        use crate::world::FaultPlan;
+        use std::time::Duration;
+        let plan = FaultPlan::drop_edge(0, 1);
+        let (out, traffic) = World::new(2).with_fault_plan(plan).run_with_stats(|comm| {
+            let rank = comm.rank();
+            let mut cart = CartComm::new(comm, 1, 2, false);
+            let dir = if rank == 0 {
+                Direction::Right
+            } else {
+                Direction::Left
+            };
+            let mut outgoing: [Option<Vec<f64>>; 4] = [None, None, None, None];
+            outgoing[dir.index()] = Some(vec![rank as f64; 3]);
+            let incoming = cart.exchange_timeout(outgoing, 1, Duration::from_millis(40));
+            let status = incoming[dir.index()].as_ref().unwrap().status();
+            // Keep both ranks alive until both exchanges resolve: rank 0
+            // finishing early would otherwise turn rank 1's in-progress
+            // timeout into PeerDead. (Collectives are fault-exempt.)
+            cart.comm_mut().barrier();
+            status
+        });
+        // The 1→0 edge is healthy; the 0→1 edge drops.
+        assert_eq!(out[0], HaloStatus::Ok);
+        assert_eq!(out[1], HaloStatus::Lost);
+        assert_eq!(traffic[0].halos_lost, 0);
+        assert_eq!(traffic[1].halos_lost, 1);
+    }
+
+    #[test]
+    fn exchange_timeout_distinguishes_dead_peer_from_lost_message() {
+        use crate::test_timeout;
+        // Rank 0 exits without participating: rank 1 must see PeerDead —
+        // not Lost — even with a generous timeout. (Rank 1's send toward
+        // the dead rank is silently undeliverable; death is detected on
+        // the receive side, where policy can refuse to mask it.)
+        let out = World::new(2).run(|comm| {
+            let rank = comm.rank();
+            if rank == 0 {
+                return HaloStatus::Ok; // dies immediately
+            }
+            let mut cart = CartComm::new(comm, 1, 2, false);
+            let mut outgoing: [Option<Vec<f64>>; 4] = [None, None, None, None];
+            outgoing[Direction::Left.index()] = Some(vec![1.0; 3]);
+            let incoming = cart.exchange_timeout(outgoing, 2, test_timeout());
+            incoming[Direction::Left.index()].as_ref().unwrap().status()
+        });
+        assert_eq!(out[1], HaloStatus::PeerDead);
     }
 }

@@ -1,9 +1,15 @@
 //! The per-rank communicator handle: point-to-point + collectives.
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::world::FaultAction;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How often a waiting receive re-checks peer aliveness. Purely a
+/// detection-latency bound for dead peers — delivered messages wake the
+/// receiver immediately regardless.
+const ALIVENESS_SLICE: Duration = Duration::from_millis(10);
 
 /// Message tag (same role as an MPI tag: disambiguates concurrent streams).
 pub type Tag = u32;
@@ -49,6 +55,12 @@ pub struct CommStats {
     pub values_sent: AtomicU64,
     /// Messages received (matched by a recv call).
     pub msgs_received: AtomicU64,
+    /// Halo receives that timed out (message presumed lost).
+    pub halos_lost: AtomicU64,
+    /// Lost halos this rank replaced with zeros.
+    pub halos_zero_filled: AtomicU64,
+    /// Lost halos this rank replaced with the previous step's strip.
+    pub halos_stale: AtomicU64,
 }
 
 impl CommStats {
@@ -66,10 +78,70 @@ impl CommStats {
     pub fn received(&self) -> u64 {
         self.msgs_received.load(Ordering::Relaxed)
     }
+
+    /// Records one halo receive that timed out.
+    pub fn note_halo_lost(&self) {
+        self.halos_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one lost halo that was replaced with zeros.
+    pub fn note_halo_zero_filled(&self) {
+        self.halos_zero_filled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one lost halo that reused the previous step's strip.
+    pub fn note_halo_stale(&self) {
+        self.halos_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of all counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            msgs_sent: self.sent(),
+            bytes_sent: self.bytes_sent(),
+            msgs_received: self.received(),
+            halos_lost: self.halos_lost.load(Ordering::Relaxed),
+            halos_zero_filled: self.halos_zero_filled.load(Ordering::Relaxed),
+            halos_stale: self.halos_stale.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of one rank's traffic and halo-resilience
+/// counters — the named replacement for the old `(sent, bytes, received)`
+/// tuple.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Messages sent (dropped messages still count: the sender paid for
+    /// them).
+    pub msgs_sent: u64,
+    /// Payload bytes sent (8 per f64 value).
+    pub bytes_sent: u64,
+    /// Messages received (matched by a recv call).
+    pub msgs_received: u64,
+    /// Halo receives that timed out (message presumed lost).
+    pub halos_lost: u64,
+    /// Lost halos replaced with zeros.
+    pub halos_zero_filled: u64,
+    /// Lost halos replaced with the previous step's (stale) strip.
+    pub halos_stale: u64,
+}
+
+impl TrafficReport {
+    /// Total fallback substitutions (zero-filled + stale-reused).
+    pub fn fallbacks(&self) -> u64 {
+        self.halos_zero_filled + self.halos_stale
+    }
+
+    /// True when this rank observed any halo loss or substituted any
+    /// fallback data.
+    pub fn degraded(&self) -> bool {
+        self.halos_lost > 0 || self.fallbacks() > 0
+    }
 }
 
 /// Decides the fate of a message on edge `(src, dst, tag)`.
-pub(crate) type FaultFn = dyn Fn(usize, usize, Tag) -> bool + Send + Sync;
+pub(crate) type FaultFn = dyn Fn(usize, usize, Tag) -> FaultAction + Send + Sync;
 
 /// The communicator handle owned by one rank.
 ///
@@ -78,22 +150,43 @@ pub(crate) type FaultFn = dyn Fn(usize, usize, Tag) -> bool + Send + Sync;
 pub struct Comm {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Message>>,
+    /// One sender per peer rank; `None` at this rank's own index, so a
+    /// rank's inbox disconnects once every *peer* has dropped its handle —
+    /// that is what makes [`RecvError::Disconnected`] (a dead peer)
+    /// observable and distinct from [`RecvError::Timeout`] (a lost
+    /// message).
+    senders: Vec<Option<Sender<Message>>>,
     inbox: Receiver<Message>,
     pending: Vec<Message>,
     stats: Arc<Vec<CommStats>>,
-    /// Returns `true` when the message must be dropped.
-    drop_fn: Option<Arc<FaultFn>>,
+    /// One flag per rank, cleared when that rank's `Comm` is dropped —
+    /// whether the thread finished normally or unwound from a panic. From a
+    /// receiver's point of view both are the same event: that peer will
+    /// never send again, so a pending receive from it can be classified as
+    /// [`RecvError::Disconnected`] instead of waiting out a full timeout.
+    alive: Arc<Vec<AtomicBool>>,
+    /// Decides delivery, loss or delay per message.
+    fault_fn: Option<Arc<FaultFn>>,
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // `Release` pairs with the `Acquire` load in `recv_impl`: every send
+        // this rank made is visible (enqueued) before peers can observe the
+        // flag as false, so a post-observation drain misses nothing.
+        self.alive[self.rank].store(false, Ordering::Release);
+    }
 }
 
 impl Comm {
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        senders: Vec<Sender<Message>>,
+        senders: Vec<Option<Sender<Message>>>,
         inbox: Receiver<Message>,
         stats: Arc<Vec<CommStats>>,
-        drop_fn: Option<Arc<FaultFn>>,
+        alive: Arc<Vec<AtomicBool>>,
+        fault_fn: Option<Arc<FaultFn>>,
     ) -> Self {
         Self {
             rank,
@@ -102,7 +195,8 @@ impl Comm {
             inbox,
             pending: Vec::new(),
             stats,
-            drop_fn,
+            alive,
+            fault_fn,
         }
     }
 
@@ -137,20 +231,33 @@ impl Comm {
         s.msgs_sent.fetch_add(1, Ordering::Relaxed);
         s.values_sent
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        if let Some(f) = &self.drop_fn {
-            if f(self.rank, dest, tag) {
-                return; // silently dropped by the fault plan
+        let action = self
+            .fault_fn
+            .as_ref()
+            .map_or(FaultAction::Deliver, |f| f(self.rank, dest, tag));
+        let msg = Message {
+            src: self.rank,
+            tag,
+            data,
+        };
+        let sender = self.senders[dest].as_ref().expect("non-self sender");
+        match action {
+            FaultAction::Drop => (), // silently dropped by the fault plan
+            // Sending to a rank whose thread already exited is a no-op: the
+            // peer can never read the message anyway, and the death is
+            // surfaced on the *receive* side as `RecvError::Disconnected`
+            // (which resilient protocols must treat as fatal).
+            FaultAction::Deliver => {
+                let _ = sender.send(msg);
+            }
+            FaultAction::Delay(delay) => {
+                let tx = sender.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    let _ = tx.send(msg);
+                });
             }
         }
-        // Receiver never drops its inbox before the world ends, so this
-        // only fails when the peer thread panicked; propagate as a panic.
-        self.senders[dest]
-            .send(Message {
-                src: self.rank,
-                tag,
-                data,
-            })
-            .expect("send: destination rank is gone");
     }
 
     fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Message> {
@@ -198,29 +305,68 @@ impl Comm {
                 .fetch_add(1, Ordering::Relaxed);
             return Ok(m.data);
         }
+        // Drain already-delivered messages non-blockingly BEFORE any
+        // deadline arithmetic: a zero (or already expired) timeout must
+        // still return a message that is sitting in the inbox. Declaring
+        // `Timeout` without polling would turn delivered data into a
+        // phantom loss.
+        if let Some(data) = self.drain_inbox(src, tag)? {
+            return Ok(data);
+        }
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
         loop {
-            let msg = match deadline {
-                None => self.inbox.recv().map_err(|_| RecvError::Disconnected)?,
+            // A dead peer can never send again. The flag flips (Release)
+            // only after every send that rank ever made was enqueued, so
+            // one more drain after observing it false (Acquire) is
+            // guaranteed to see any matching message — only then is
+            // `Disconnected` the truth, not a race.
+            if !self.alive[src].load(Ordering::Acquire) {
+                if let Some(data) = self.drain_inbox(src, tag)? {
+                    return Ok(data);
+                }
+                return Err(RecvError::Disconnected);
+            }
+            let wait = match deadline {
+                None => ALIVENESS_SLICE,
                 Some(d) => {
                     let now = std::time::Instant::now();
                     if now >= d {
                         return Err(RecvError::Timeout);
                     }
-                    match self.inbox.recv_timeout(d - now) {
-                        Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
-                        Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
-                    }
+                    (d - now).min(ALIVENESS_SLICE)
                 }
             };
-            if msg.src == src && msg.tag == tag {
-                self.stats[self.rank]
-                    .msgs_received
-                    .fetch_add(1, Ordering::Relaxed);
-                return Ok(msg.data);
+            match self.inbox.recv_timeout(wait) {
+                Ok(msg) if msg.src == src && msg.tag == tag => {
+                    self.stats[self.rank]
+                        .msgs_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(msg.data);
+                }
+                Ok(msg) => self.pending.push(msg),
+                // Slice expired: loop back to re-check aliveness/deadline.
+                Err(RecvTimeoutError::Timeout) => (),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
-            self.pending.push(msg);
+        }
+    }
+
+    /// Drains every already-delivered message without blocking; returns the
+    /// payload if one matches `(src, tag)`, parking the rest in the pending
+    /// queue. `Err(Disconnected)` only when every peer's handle is gone.
+    fn drain_inbox(&mut self, src: usize, tag: Tag) -> Result<Option<Vec<f64>>, RecvError> {
+        loop {
+            match self.inbox.try_recv() {
+                Ok(msg) if msg.src == src && msg.tag == tag => {
+                    self.stats[self.rank]
+                        .msgs_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(msg.data));
+                }
+                Ok(msg) => self.pending.push(msg),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(RecvError::Disconnected),
+            }
         }
     }
 
@@ -528,6 +674,74 @@ mod tests {
                 assert!(r.is_err());
             }
             comm.barrier();
+        });
+    }
+
+    #[test]
+    fn recv_timeout_zero_deadline_returns_delivered_message() {
+        // Regression: an expired/zero deadline used to report `Timeout`
+        // without ever polling the inbox, losing a message that had already
+        // been delivered. The std Barrier guarantees the payload is in rank
+        // 1's channel (sends enqueue synchronously) before the zero-timeout
+        // receive runs — no sleeps, no races.
+        use std::sync::{Arc, Barrier};
+        let gate = Arc::new(Barrier::new(2));
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![42.0, 43.0]);
+                gate.wait();
+            } else {
+                gate.wait();
+                let got = comm.recv_timeout(0, 9, Duration::ZERO);
+                assert_eq!(got, Ok(vec![42.0, 43.0]));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_zero_deadline_finds_pending_message() {
+        // Same regression via the pending queue: a non-matching receive
+        // parks the message; the zero-timeout receive must still find it.
+        use std::sync::{Arc, Barrier};
+        let gate = Arc::new(Barrier::new(2));
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1.0]);
+                comm.send(1, 6, vec![2.0]);
+                gate.wait();
+            } else {
+                gate.wait();
+                // Receiving tag 6 first parks tag 5 in pending.
+                assert_eq!(comm.recv(0, 6), vec![2.0]);
+                assert_eq!(comm.recv_timeout(0, 5, Duration::ZERO), Ok(vec![1.0]));
+            }
+        });
+    }
+
+    #[test]
+    fn dead_peer_is_disconnected_not_timeout() {
+        // Rank 0 exits immediately; rank 1's wait must resolve to
+        // `Disconnected` (peer death), never be mistaken for a `Timeout`
+        // (message loss). A generous timeout proves we do not simply expire.
+        use crate::comm::RecvError;
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 1 {
+                let r = comm.recv_timeout(0, 3, Duration::from_secs(30));
+                assert_eq!(r, Err(RecvError::Disconnected));
+            }
+        });
+    }
+
+    #[test]
+    fn message_sent_before_peer_death_is_still_received() {
+        // Buffered messages outlive their sender: death is only reported
+        // once nothing matching can ever arrive.
+        World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, vec![7.0]);
+            } else {
+                assert_eq!(comm.recv(0, 4), vec![7.0]);
+            }
         });
     }
 

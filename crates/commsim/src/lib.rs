@@ -20,15 +20,41 @@
 //! **zero bytes communicated during training**, O(boundary) bytes per step
 //! during inference, versus O(weights) per step for the allreduce baseline.
 //!
-//! Fault injection for robustness tests: [`World::with_fault_plan`] lets a
-//! test drop messages on selected edges; receivers using
-//! [`Comm::recv_timeout`] can then observe and handle the loss instead of
-//! deadlocking.
+//! Fault injection for resilience: [`World::with_fault_plan`] can drop
+//! messages on selected edges ([`FaultPlan::drop_edge`]), lose them with a
+//! deterministic seeded per-message probability ([`FaultPlan::loss_rate`]),
+//! or delay them ([`FaultPlan::delay_edge`]). Receivers observe loss
+//! through [`Comm::recv_timeout`] or the halo-level
+//! [`CartComm::exchange_timeout`] family, which classifies every
+//! directional receive as a [`HaloRecv`]: `Ok` (arrived), `Lost` (timed
+//! out — recoverable by policy) or `PeerDead` (the peer thread is gone —
+//! fatal under every policy, because a dead rank's whole subdomain is
+//! missing, not one strip). The two failure modes are structurally
+//! distinct: an inbox only disconnects when every peer has dropped its
+//! handle, and buffered messages are still drained first.
 
 pub mod cart;
 pub mod comm;
 pub mod world;
 
-pub use cart::{CartComm, Direction};
-pub use comm::{Comm, CommStats, Message, RecvError, Tag};
+pub use cart::{CartComm, Direction, HaloRecv, HaloStatus};
+pub use comm::{Comm, CommStats, Message, RecvError, Tag, TrafficReport};
 pub use world::{FaultAction, FaultPlan, World};
+
+use std::time::Duration;
+
+/// The receive timeout used by the fault-injection test suites, read from
+/// `PDEML_TEST_TIMEOUT_MS` (default 2000 ms — generous, because on a loaded
+/// CI runner a healthy rank can be descheduled for hundreds of
+/// milliseconds, and a healthy message declared lost makes a test flaky).
+/// A *dropped* message never arrives at all, so a generous timeout costs
+/// wall-clock time only on genuinely lossy edges, never correctness.
+pub fn test_timeout() -> Duration {
+    timeout_from(std::env::var("PDEML_TEST_TIMEOUT_MS").ok().as_deref())
+}
+
+/// Pure body of [`test_timeout`], separated for deterministic testing.
+pub(crate) fn timeout_from(var: Option<&str>) -> Duration {
+    let ms = var.and_then(|v| v.parse().ok()).unwrap_or(2000);
+    Duration::from_millis(ms)
+}

@@ -37,8 +37,8 @@ pub struct BaselineOutcome {
     pub epoch_losses: Vec<f64>,
     /// Wall-clock seconds end to end.
     pub wall_seconds: f64,
-    /// Per-rank `(messages, bytes, received)` traffic.
-    pub traffic: Vec<(u64, u64, u64)>,
+    /// Per-rank traffic counters.
+    pub traffic: Vec<pde_commsim::TrafficReport>,
     /// Channel normalization the replicas were trained in.
     pub norm: ChannelNorm,
 }
@@ -46,7 +46,7 @@ pub struct BaselineOutcome {
 impl BaselineOutcome {
     /// Total bytes all ranks pushed through the allreduce.
     pub fn total_bytes(&self) -> u64 {
-        self.traffic.iter().map(|t| t.1).sum()
+        self.traffic.iter().map(|t| t.bytes_sent).sum()
     }
 }
 
@@ -195,7 +195,7 @@ mod tests {
         let params = ArchSpec::tiny().param_count() as u64;
         // Rank 0 receives P−1 reduce contributions and sends P−1 broadcast
         // copies per allreduce; others send 1 and receive 1.
-        let r1_bytes = out.traffic[1].1;
+        let r1_bytes = out.traffic[1].bytes_sent;
         assert_eq!(r1_bytes, 2 /*batch*/ * params * 8);
     }
 

@@ -17,12 +17,52 @@ use crate::arch::ArchSpec;
 use crate::norm::ChannelNorm;
 use crate::padding::PaddingStrategy;
 use crate::train::{PredictionMode, TrainOutcome};
-use pde_commsim::{CartComm, World};
+use pde_commsim::{CartComm, Comm, Direction, FaultPlan, HaloRecv, TrafficReport, World};
 use pde_domain::halo::{pack_cols, pack_rows, place_rows};
 use pde_domain::{gather, scatter, GridPartition};
 use pde_nn::serialize::restore;
 use pde_nn::{Layer, Sequential};
 use pde_tensor::{Tensor3, Tensor4};
+use std::time::Duration;
+
+/// What replaces a halo strip whose message was lost (under
+/// [`HaloPolicy::Degrade`]). A *dead peer* is never replaced — see
+/// [`HaloPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaloFallback {
+    /// Leave the halo cells zero — the same treatment a physical boundary
+    /// gets, so the network sees in-distribution (if wrong-place) values.
+    ZeroFill,
+    /// Reuse the strip last received from that neighbor (bitwise), on the
+    /// grounds that the flow field decorrelates over a few steps, not one.
+    /// Falls back to zeros when nothing was ever received (counted as
+    /// zero-filled, not stale).
+    LastKnown,
+}
+
+/// How [`ParallelInference::rollout`] treats halo-exchange failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HaloPolicy {
+    /// Block until every strip arrives; a lost message hangs the rollout
+    /// and a dead peer panics. This is the exact pre-resilience code path —
+    /// bitwise-equal to [`ParallelInference::reference_rollout`] — and
+    /// assumes a reliable transport.
+    #[default]
+    Strict,
+    /// Give each directional receive `timeout` to produce the strip, then
+    /// substitute `fallback` and keep rolling. Lost and substituted strips
+    /// are counted per rank in the [`TrafficReport`]. A dead *peer* is
+    /// still fatal: its entire subdomain is gone, and silently zero-filling
+    /// a missing quarter of the domain would corrupt the result without a
+    /// trace — that distinction (loss vs. death) is the reason
+    /// [`pde_commsim::HaloStatus`] exists.
+    Degrade {
+        /// How long each directional receive waits before declaring loss.
+        timeout: Duration,
+        /// What fills the hole a lost strip leaves.
+        fallback: HaloFallback,
+    },
+}
 
 /// A rollout's outputs.
 #[derive(Clone, Debug)]
@@ -30,8 +70,8 @@ pub struct RolloutResult {
     /// Global states: `states[0]` is the initial condition, `states[k]` the
     /// prediction after `k` network steps.
     pub states: Vec<Tensor3>,
-    /// Per-rank `(messages, bytes, received)` traffic during the rollout.
-    pub traffic: Vec<(u64, u64, u64)>,
+    /// Per-rank traffic and halo-resilience counters during the rollout.
+    pub traffic: Vec<TrafficReport>,
 }
 
 impl RolloutResult {
@@ -42,7 +82,23 @@ impl RolloutResult {
 
     /// Total bytes moved between ranks.
     pub fn total_bytes(&self) -> u64 {
-        self.traffic.iter().map(|t| t.1).sum()
+        self.traffic.iter().map(|t| t.bytes_sent).sum()
+    }
+
+    /// Total halo receives (across ranks) that timed out.
+    pub fn total_halos_lost(&self) -> u64 {
+        self.traffic.iter().map(|t| t.halos_lost).sum()
+    }
+
+    /// Total fallback substitutions (zero-filled + stale) across ranks.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.traffic.iter().map(|t| t.fallbacks()).sum()
+    }
+
+    /// True when any rank lost a halo or substituted fallback data — i.e.
+    /// the states were NOT produced by the exact reference protocol.
+    pub fn degraded(&self) -> bool {
+        self.traffic.iter().any(|t| t.degraded())
     }
 }
 
@@ -55,6 +111,8 @@ pub struct ParallelInference {
     norm: ChannelNorm,
     prediction: PredictionMode,
     window: usize,
+    halo_policy: HaloPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ParallelInference {
@@ -122,7 +180,29 @@ impl ParallelInference {
             norm,
             prediction,
             window,
+            halo_policy: HaloPolicy::default(),
+            fault_plan: None,
         }
+    }
+
+    /// Sets the halo-failure policy for subsequent rollouts (builder
+    /// style). The default is [`HaloPolicy::Strict`].
+    pub fn with_halo_policy(mut self, policy: HaloPolicy) -> Self {
+        self.halo_policy = policy;
+        self
+    }
+
+    /// Injects a communication fault plan into subsequent rollouts
+    /// (builder style) — the rollout-level entry point for resilience
+    /// experiments and the CLI's `--fault` flag.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The halo-failure policy rollouts will use.
+    pub fn halo_policy(&self) -> HaloPolicy {
+        self.halo_policy
     }
 
     /// Builds from a [`TrainOutcome`] (same arch/strategy as training).
@@ -208,14 +288,23 @@ impl ParallelInference {
         let weights = &self.weights;
         let prediction = self.prediction;
         let window = self.window;
+        let policy = self.halo_policy;
         let n_ranks = part.rank_count();
 
-        let (histories, traffic) = World::new(n_ranks).run_with_stats(|comm| {
+        let mut world = World::new(n_ranks);
+        if let Some(plan) = &self.fault_plan {
+            world = world.with_fault_plan(plan.clone());
+        }
+        let (histories, traffic) = world.run_with_stats(|comm| {
             let rank = comm.rank();
             let mut net = arch.build_for(strategy, 0);
             restore(&mut net, &weights[rank]);
             let mut cart = CartComm::new(comm, part.py(), part.px(), false);
             let mut recent: Vec<Tensor3> = per_rank_history[rank].clone();
+            // One last-known-strip cache per window slot (the slots cycle
+            // through `recent` positions, so slot s at step k holds the
+            // same physical field as slot s at step k−1 did one step ago).
+            let mut caches: Vec<HaloCache> = vec![HaloCache::default(); window];
             let mut produced = Vec::with_capacity(n_steps + 1);
             produced.push(recent.last().expect("history").clone());
             for step in 0..n_steps {
@@ -229,12 +318,23 @@ impl ParallelInference {
                         if halo == 0 {
                             state.clone()
                         } else {
-                            assemble_halo_input(
-                                &mut cart,
-                                state,
-                                halo,
-                                (step * window + slot) as u32,
-                            )
+                            let tag = (step * window + slot) as u32;
+                            match policy {
+                                HaloPolicy::Strict => {
+                                    assemble_halo_input(&mut cart, state, halo, tag)
+                                }
+                                HaloPolicy::Degrade { timeout, fallback } => {
+                                    assemble_halo_input_degraded(
+                                        &mut cart,
+                                        state,
+                                        halo,
+                                        tag,
+                                        timeout,
+                                        fallback,
+                                        &mut caches[slot],
+                                    )
+                                }
+                            }
                         }
                     })
                     .collect();
@@ -255,6 +355,14 @@ impl ParallelInference {
                 recent.remove(0);
                 recent.push(next.clone());
                 produced.push(next);
+            }
+            // Quiesce under Degrade: a healthy rank can run several steps
+            // ahead of a neighbor that is waiting out timeouts; exiting
+            // (dropping the Comm) would make that neighbor's remaining
+            // receives read as peer death. The barrier (fault-exempt, like
+            // every collective) keeps each rank alive until all are done.
+            if matches!(policy, HaloPolicy::Degrade { .. }) && halo > 0 {
+                cart.comm_mut().barrier();
             }
             produced
         });
@@ -398,6 +506,125 @@ pub fn assemble_halo_input(
     padded
 }
 
+/// Last strip successfully received from each of the four neighbors (the
+/// [`HaloFallback::LastKnown`] source), indexed like [`Direction::ALL`].
+#[derive(Clone, Debug, Default)]
+pub struct HaloCache {
+    strips: [Option<Vec<f64>>; 4],
+}
+
+/// Loss-tolerant [`assemble_halo_input`]: the same two-phase exchange, but
+/// *synchronized* — each phase posts its sends, crosses a barrier, and only
+/// then runs the timed receives. After the barrier every delivered strip is
+/// already in the inbox (sends enqueue before the sender can enter the
+/// barrier), so a timeout can only fire for a message the fault plan
+/// actually dropped (or delayed longer than `timeout`). That is what makes
+/// degraded rollouts deterministic: which strips are lost is a pure
+/// function of the fault plan, never of thread scheduling.
+///
+/// A lost strip is replaced per `fallback` and the substitution is counted
+/// in this rank's [`TrafficReport`]. A **dead** neighbor panics under every
+/// policy: its whole subdomain is missing, and no strip-level fallback can
+/// stand in for a quarter of the domain. (The per-phase barriers cost
+/// `2⌈log₂P⌉` extra empty messages per rank per assembly — the price of
+/// determinism, visible in `msgs_sent` but not in `bytes_sent`.)
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_halo_input_degraded(
+    cart: &mut CartComm,
+    local: &Tensor3,
+    halo: usize,
+    step: u32,
+    timeout: Duration,
+    fallback: HaloFallback,
+    cache: &mut HaloCache,
+) -> Tensor3 {
+    let (c, h, w) = local.shape();
+    assert!(
+        halo <= h && halo <= w,
+        "assemble_halo_input_degraded: halo {halo} exceeds local {h}x{w}"
+    );
+    let mut padded = Tensor3::zeros(c, h + 2 * halo, w + 2 * halo);
+    padded.set_window(halo, halo, local);
+
+    use Direction::*;
+    // Phase 1: x-axis (column strips from the raw interior).
+    let to_left = cart.neighbor(Left).map(|_| pack_cols(local, 0, halo));
+    let to_right = cart
+        .neighbor(Right)
+        .map(|_| pack_cols(local, w - halo, halo));
+    cart.post_x_sends(to_left, to_right, step * 2);
+    cart.comm_mut().barrier(); // delivered x strips are now all inboxed
+    for dir in [Left, Right] {
+        if let Some(recv) = cart.recv_halo_dir(dir, step * 2, timeout) {
+            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
+                let strip = Tensor3::from_vec(c, h, halo, buf);
+                let col = if dir == Left { 0 } else { w + halo };
+                padded.set_window(halo, col, &strip);
+            }
+        }
+    }
+
+    // Phase 2: y-axis (row strips of the partially padded tensor — they
+    // carry the x-halos just placed, which become the corners; a
+    // zero-filled x-halo therefore propagates zeros into the corner it
+    // feeds, exactly as if that corner were a physical boundary).
+    let to_down = cart.neighbor(Down).map(|_| pack_rows(&padded, halo, halo));
+    let to_up = cart.neighbor(Up).map(|_| pack_rows(&padded, h, halo));
+    cart.post_y_sends(to_down, to_up, step * 2 + 1);
+    cart.comm_mut().barrier(); // delivered y strips are now all inboxed
+    for dir in [Down, Up] {
+        if let Some(recv) = cart.recv_halo_dir(dir, step * 2 + 1, timeout) {
+            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
+                let row = if dir == Down { 0 } else { h + halo };
+                place_rows(&mut padded, row, halo, &buf);
+            }
+        }
+    }
+    padded
+}
+
+/// Classifies one directional [`HaloRecv`] under `fallback`: the strip to
+/// place, or `None` to leave the (zeroed) halo cells alone. Maintains the
+/// last-known cache and the per-rank substitution counters.
+fn resolve_halo(
+    comm: &Comm,
+    recv: HaloRecv,
+    dir: Direction,
+    fallback: HaloFallback,
+    cache: &mut HaloCache,
+) -> Option<Vec<f64>> {
+    match recv {
+        HaloRecv::Ok(buf) => {
+            if fallback == HaloFallback::LastKnown {
+                cache.strips[dir.index()] = Some(buf.clone());
+            }
+            Some(buf)
+        }
+        HaloRecv::Lost => match fallback {
+            HaloFallback::ZeroFill => {
+                comm.stats().note_halo_zero_filled();
+                None
+            }
+            HaloFallback::LastKnown => match &cache.strips[dir.index()] {
+                Some(buf) => {
+                    comm.stats().note_halo_stale();
+                    Some(buf.clone())
+                }
+                None => {
+                    comm.stats().note_halo_zero_filled();
+                    None
+                }
+            },
+        },
+        // Deliberately NOT maskable: see `HaloPolicy::Degrade`.
+        HaloRecv::PeerDead => panic!(
+            "halo exchange: rank {}'s {dir:?} neighbor is dead — a lost subdomain is fatal \
+             under every halo policy",
+            comm.rank()
+        ),
+    }
+}
+
 /// Single-network rollout over the whole domain (no decomposition): the
 /// reference used by the Fig.-3 accuracy study and the P = 1 scaling point.
 pub fn single_network_rollout(
@@ -497,7 +724,7 @@ mod tests {
         let r = inf.rollout(data.snapshot(0), 3);
         assert_eq!(r.total_bytes(), 0);
         for t in &r.traffic {
-            assert_eq!(t.0, 0);
+            assert_eq!(t.msgs_sent, 0);
         }
     }
 
@@ -510,12 +737,13 @@ mod tests {
         // sends one x-strip (4·8·2 values) and one y-strip (4·2·12 values).
         let per_rank_per_step = 4 * 8 * 2 + 4 * 2 * 12;
         for (rank, t) in r.traffic.iter().enumerate() {
-            assert_eq!(t.0, 2 * steps as u64, "rank {rank} message count");
+            assert_eq!(t.msgs_sent, 2 * steps as u64, "rank {rank} message count");
             assert_eq!(
-                t.1,
+                t.bytes_sent,
                 (per_rank_per_step * steps * 8) as u64,
                 "rank {rank} bytes"
             );
+            assert!(!t.degraded(), "rank {rank} healthy strict rollout");
         }
     }
 

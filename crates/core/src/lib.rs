@@ -53,10 +53,11 @@ pub mod prelude {
     pub use crate::arch::ArchSpec;
     pub use crate::baseline::{BaselineOutcome, DataParallelTrainer};
     pub use crate::data::SubdomainDataset;
-    pub use crate::infer::{ParallelInference, RolloutResult};
+    pub use crate::infer::{HaloFallback, HaloPolicy, ParallelInference, RolloutResult};
     pub use crate::metrics::FieldErrors;
     pub use crate::norm::ChannelNorm;
     pub use crate::padding::PaddingStrategy;
     pub use crate::train::{ParallelTrainer, SequentialTrainer, TrainConfig, TrainOutcome};
+    pub use pde_commsim::{FaultPlan, TrafficReport};
     pub use pde_domain::GridPartition;
 }

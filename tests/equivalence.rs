@@ -171,7 +171,64 @@ fn windowed_rollout_matches_reference() {
     // Two exchanges per step per axis-neighbor (one per window slot).
     let steps = 3u64;
     for t in &par.traffic {
-        assert_eq!(t.0, 2 * 2 * steps, "per-rank message count with window 2");
+        assert_eq!(
+            t.msgs_sent,
+            2 * 2 * steps,
+            "per-rank message count with window 2"
+        );
+    }
+}
+
+#[test]
+fn strict_and_degrade_rollouts_agree_bitwise_without_faults() {
+    // HaloPolicy::Strict is the exact pre-resilience code path, and with no
+    // fault plan Degrade must be *observationally* identical: same states
+    // bit-for-bit (every strip arrives, so fallbacks never engage), zero
+    // loss/fallback counters, same payload bytes. Only the message count
+    // differs (the synchronized degraded exchange adds barrier traffic).
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome);
+    let initial = data.snapshot(0).clone();
+    let strict = inf.rollout(&initial, 3);
+    let refr = inf.reference_rollout(&initial, 3);
+    for policy in [
+        HaloPolicy::Degrade {
+            timeout: pde_commsim::test_timeout(),
+            fallback: HaloFallback::ZeroFill,
+        },
+        HaloPolicy::Degrade {
+            timeout: pde_commsim::test_timeout(),
+            fallback: HaloFallback::LastKnown,
+        },
+    ] {
+        let inf2 =
+            ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome)
+                .with_halo_policy(policy);
+        let degraded = inf2.rollout(&initial, 3);
+        assert!(!degraded.degraded(), "healthy world: nothing lost");
+        assert_eq!(degraded.total_fallbacks(), 0);
+        for (k, (a, b)) in strict.states.iter().zip(&degraded.states).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "step {k}: healthy Degrade must equal Strict bitwise"
+            );
+        }
+        for (k, (a, b)) in degraded.states.iter().zip(&refr).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "step {k}: … and therefore the reference oracle"
+            );
+        }
+        for (s, d) in strict.traffic.iter().zip(&degraded.traffic) {
+            assert_eq!(s.bytes_sent, d.bytes_sent, "same strip payloads");
+        }
     }
 }
 
