@@ -13,6 +13,26 @@ use pde_perfmodel::scaling::format_scaling_table;
 use pde_perfmodel::{strong_scaling, weak_scaling, CostModel};
 use std::path::{Path, PathBuf};
 
+/// Finishes a `--trace` session: writes the Chrome-trace JSON (openable in
+/// Perfetto / `chrome://tracing`) and prints the per-rank metrics table.
+fn write_trace(
+    trace: &pde_trace::Trace,
+    rows: &[pde_trace::RankMetrics],
+    path: &Path,
+) -> Result<(), String> {
+    std::fs::write(path, trace.chrome_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "trace: {} events over {} rank tracks ({} dropped to ring overflow) -> {}",
+        trace.events.len(),
+        trace.ranks().len(),
+        trace.total_dropped(),
+        path.display()
+    );
+    print!("{}", pde_trace::metrics::format_table(rows));
+    Ok(())
+}
+
 /// `pdeml simulate` — run the linearized-Euler solver and persist the
 /// snapshots.
 pub fn simulate(args: &Args) -> Result<(), String> {
@@ -44,41 +64,72 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 
 /// `pdeml train` — domain-decomposed parallel training, checkpointed to a
 /// model directory.
+///
+/// `--quick` trains the tiny test architecture on a built-in in-memory
+/// dataset (no `--data`/`--out` needed) — a self-contained smoke run, used
+/// by CI together with `--trace`.
 pub fn train(args: &Args) -> Result<(), String> {
-    let data_path = PathBuf::from(args.require("data")?);
-    let out_dir = PathBuf::from(args.require("out")?);
-    let ranks: usize = args.get_or("ranks", 4)?;
-    let epochs: usize = args.get_or("epochs", 20)?;
+    let quick = args.flag("quick");
+    let trace_path = args.get("trace").map(PathBuf::from);
+    let out_dir = if quick {
+        args.get("out").map(PathBuf::from)
+    } else {
+        Some(PathBuf::from(args.require("out")?))
+    };
     let window: usize = args.get_or("window", 1)?;
     let strategy = strategy_from_str(args.get("strategy").unwrap_or("neighbor-pad"))?;
-    let mode = mode_from_str(args.get("mode").unwrap_or("residual"))?;
 
-    let data = DataSet::load(&data_path)
-        .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
+    let (data, arch, mut cfg, source) = if quick {
+        let data = pde_euler::dataset::paper_dataset(16, 8);
+        (
+            data,
+            ArchSpec::tiny(),
+            TrainConfig::quick_test(),
+            "built-in 16x16 paper pulse (--quick)".to_string(),
+        )
+    } else {
+        let data_path = PathBuf::from(args.require("data")?);
+        let data = DataSet::load(&data_path)
+            .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
+        let (c, _, _) = data.shape();
+        let mut arch = ArchSpec::paper();
+        arch.channels[0] = c * window;
+        let mut cfg = TrainConfig::paper();
+        cfg.epochs = 20;
+        (data, arch, cfg, data_path.display().to_string())
+    };
+    let ranks: usize = args.get_or("ranks", 4)?;
+    cfg.epochs = args.get_or("epochs", cfg.epochs)?;
+    cfg.prediction =
+        mode_from_str(
+            args.get("mode")
+                .unwrap_or(if quick { "absolute" } else { "residual" }),
+        )?;
+    cfg.window = window;
+    cfg.seed = args.get_or("seed", 0x5EED_u64)?;
+    cfg.lr = args.get_or("lr", cfg.lr)?;
     let train_pairs: usize = args.get_or("train-pairs", data.pair_count() * 2 / 3)?;
     let (c, h, w) = data.shape();
     println!(
         "training on {} of {} pairs from {} ({c} ch, {h}x{w}) with {ranks} ranks, \
-         {epochs} epochs, {} + {}",
+         {} epochs, {} + {}",
         train_pairs,
         data.pair_count(),
-        data_path.display(),
+        source,
+        cfg.epochs,
         strategy.label(),
-        mode.label()
+        cfg.prediction.label()
     );
 
-    let mut arch = ArchSpec::paper();
-    arch.channels[0] = c * window;
-    let mut cfg = TrainConfig::paper();
-    cfg.epochs = epochs;
-    cfg.prediction = mode;
-    cfg.window = window;
-    cfg.seed = args.get_or("seed", 0x5EED_u64)?;
-    cfg.lr = args.get_or("lr", cfg.lr)?;
-
+    let handle = trace_path.as_ref().map(|_| pde_trace::begin());
     let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg)
         .train_view(&data, train_pairs, ranks)
         .map_err(|e| e.to_string())?;
+    if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
+        let trace = h.finish();
+        let rows = pde_ml_core::observe::train_metrics(&trace, &outcome);
+        write_trace(&trace, &rows, path)?;
+    }
     println!(
         "done in {:.1}s; mean final loss {:.3}; bytes communicated during training: {}",
         outcome.wall_seconds,
@@ -104,6 +155,9 @@ pub fn train(args: &Args) -> Result<(), String> {
         total_flops as f64
     );
 
+    let Some(out_dir) = out_dir else {
+        return Ok(()); // --quick without --out: smoke run, nothing persisted
+    };
     let meta = ModelMeta {
         arch: arch.clone(),
         strategy,
@@ -212,7 +266,14 @@ pub fn infer(args: &Args) -> Result<(), String> {
     let history: Vec<_> = (start + 1 - meta.window..=start)
         .map(|k| data.snapshot(k).clone())
         .collect();
+    let trace_path = args.get("trace").map(PathBuf::from);
+    let handle = trace_path.as_ref().map(|_| pde_trace::begin());
     let rollout = inf.rollout_from_history(&history, steps);
+    if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
+        let trace = h.finish();
+        let rows = pde_ml_core::observe::rollout_metrics(&trace, &rollout);
+        write_trace(&trace, &rows, path)?;
+    }
     println!("boundary bytes exchanged: {}", rollout.total_bytes());
     if rollout.degraded() {
         println!(

@@ -27,11 +27,17 @@ USAGE:
                  [--ranks P] [--epochs E] [--train-pairs N]
                  [--strategy neighbor-pad|zero-pad|inner-crop|deconv]
                  [--mode absolute|residual] [--window W] [--seed S] [--lr LR]
+                 [--quick] [--trace OUT.json]
   pdeml infer    --data FILE --model DIR [--steps K] [--start IDX] [--out CSV]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
+                 [--trace OUT.json]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
+
+`--quick` trains the tiny test net on a built-in dataset (no --data/--out).
+`--trace OUT.json` records a per-rank timeline (Chrome trace format; open in
+Perfetto or chrome://tracing) and prints a per-rank metrics table.
 
 Run `pdeml <command>` with no flags to see that command's defaults.";
 

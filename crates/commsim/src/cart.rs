@@ -287,13 +287,22 @@ impl CartComm {
 
     /// One timed directional receive classified as a [`HaloRecv`].
     fn recv_halo(&mut self, src: usize, tag: Tag, timeout: Duration) -> HaloRecv {
+        use pde_trace::{names, Category};
+        let mut span = pde_trace::span_args(Category::Comm, names::HALO_RECV, src as u64, 0);
         match self.comm.recv_timeout(src, tag, timeout) {
-            Ok(buf) => HaloRecv::Ok(buf),
+            Ok(buf) => {
+                span.set_args(src as u64, buf.len() as u64 * 8);
+                HaloRecv::Ok(buf)
+            }
             Err(RecvError::Timeout) => {
                 self.comm.stats().note_halo_lost();
+                pde_trace::instant(Category::Comm, names::HALO_LOST, src as u64, 0);
                 HaloRecv::Lost
             }
-            Err(RecvError::Disconnected) => HaloRecv::PeerDead,
+            Err(RecvError::Disconnected) => {
+                pde_trace::instant(Category::Comm, names::HALO_PEER_DEAD, src as u64, 0);
+                HaloRecv::PeerDead
+            }
         }
     }
 }

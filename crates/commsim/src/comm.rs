@@ -231,6 +231,14 @@ impl Comm {
         s.msgs_sent.fetch_add(1, Ordering::Relaxed);
         s.values_sent
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        // Traced bytes must mirror `values_sent` exactly (×8): the metrics
+        // registry asserts the two accountings agree per rank.
+        pde_trace::instant(
+            pde_trace::Category::Comm,
+            pde_trace::names::SEND,
+            dest as u64,
+            data.len() as u64 * 8,
+        );
         let action = self
             .fault_fn
             .as_ref()
@@ -299,10 +307,19 @@ impl Comm {
             "recv: src {src} out of range (size {})",
             self.size
         );
+        // Span covers the whole matching wait — its duration IS the comm
+        // stall this receive caused. Bytes are filled in on success.
+        let mut span = pde_trace::span_args(
+            pde_trace::Category::Comm,
+            pde_trace::names::RECV,
+            src as u64,
+            0,
+        );
         if let Some(m) = self.take_pending(src, tag) {
             self.stats[self.rank]
                 .msgs_received
                 .fetch_add(1, Ordering::Relaxed);
+            span.set_args(src as u64, m.data.len() as u64 * 8);
             return Ok(m.data);
         }
         // Drain already-delivered messages non-blockingly BEFORE any
@@ -311,6 +328,7 @@ impl Comm {
         // `Timeout` without polling would turn delivered data into a
         // phantom loss.
         if let Some(data) = self.drain_inbox(src, tag)? {
+            span.set_args(src as u64, data.len() as u64 * 8);
             return Ok(data);
         }
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
@@ -322,6 +340,7 @@ impl Comm {
             // `Disconnected` the truth, not a race.
             if !self.alive[src].load(Ordering::Acquire) {
                 if let Some(data) = self.drain_inbox(src, tag)? {
+                    span.set_args(src as u64, data.len() as u64 * 8);
                     return Ok(data);
                 }
                 return Err(RecvError::Disconnected);
@@ -341,6 +360,7 @@ impl Comm {
                     self.stats[self.rank]
                         .msgs_received
                         .fetch_add(1, Ordering::Relaxed);
+                    span.set_args(src as u64, msg.data.len() as u64 * 8);
                     return Ok(msg.data);
                 }
                 Ok(msg) => self.pending.push(msg),
@@ -405,6 +425,7 @@ impl Comm {
         if n == 1 {
             return;
         }
+        let _span = pde_trace::span(pde_trace::Category::Comm, pde_trace::names::BARRIER);
         let mut round = 1usize;
         let mut round_idx = 0u32;
         while round < n {

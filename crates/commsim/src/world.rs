@@ -243,12 +243,22 @@ impl World {
         drop(senders);
 
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        // Propagate the driving thread's trace session (if any) into each
+        // rank thread, so spans recorded inside `f` land on that rank's
+        // timeline track. `adopt`/`leave` are no-ops when tracing is off.
+        let trace_session = pde_trace::session();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| {
                     let f = &f;
-                    scope.spawn(move |_| f(comm))
+                    let rank = comm.rank() as u32;
+                    scope.spawn(move |_| {
+                        pde_trace::adopt(trace_session, rank);
+                        let out = f(comm);
+                        pde_trace::leave();
+                        out
+                    })
                 })
                 .collect();
             for (rank, h) in handles.into_iter().enumerate() {

@@ -308,6 +308,12 @@ impl ParallelInference {
             let mut produced = Vec::with_capacity(n_steps + 1);
             produced.push(recent.last().expect("history").clone());
             for step in 0..n_steps {
+                let _step_span = pde_trace::span_args(
+                    pde_trace::Category::Infer,
+                    pde_trace::names::STEP,
+                    step as u64,
+                    0,
+                );
                 // Assemble the padded input of every window state; the tag
                 // encodes (step, window slot) so concurrent exchanges of
                 // different slots cannot cross.
@@ -473,6 +479,12 @@ pub fn assemble_halo_input(
         halo <= h && halo <= w,
         "assemble_halo_input: halo {halo} exceeds local {h}x{w}"
     );
+    let _span = pde_trace::span_args(
+        pde_trace::Category::Infer,
+        pde_trace::names::ASSEMBLE,
+        step as u64,
+        0,
+    );
     let mut padded = Tensor3::zeros(c, h + 2 * halo, w + 2 * halo);
     padded.set_window(halo, halo, local);
 
@@ -542,6 +554,12 @@ pub fn assemble_halo_input_degraded(
     assert!(
         halo <= h && halo <= w,
         "assemble_halo_input_degraded: halo {halo} exceeds local {h}x{w}"
+    );
+    let _span = pde_trace::span_args(
+        pde_trace::Category::Infer,
+        pde_trace::names::ASSEMBLE,
+        step as u64,
+        0,
     );
     let mut padded = Tensor3::zeros(c, h + 2 * halo, w + 2 * halo);
     padded.set_window(halo, halo, local);

@@ -18,6 +18,8 @@
 //! * [`baseline`] — the Viviani-style data-parallel weight-averaging
 //!   trainer the paper contrasts against (global allreduce every step);
 //! * [`metrics`] — per-field accuracy reports (MAPE, RMSE, L∞, Pearson);
+//! * [`observe`] — merges collected [`pde_trace`] traces with the runtime's
+//!   perf/traffic counters into per-rank metrics rows;
 //! * [`report`] — tiny CSV emission for the experiment harnesses.
 //!
 //! ## Quickstart
@@ -44,6 +46,7 @@ pub mod data;
 pub mod infer;
 pub mod metrics;
 pub mod norm;
+pub mod observe;
 pub mod padding;
 pub mod report;
 pub mod train;

@@ -1,0 +1,180 @@
+//! Observability glue: merges a collected [`pde_trace::Trace`] with the
+//! counters the runtime already maintains — per-rank [`PerfCounters`] from
+//! training ([`RankResult::perf`]) and [`TrafficReport`]s from a rollout —
+//! into one [`RankMetrics`] row per rank.
+//!
+//! `pde-trace` itself is dependency-free, so it cannot see those structs;
+//! this module is the one place where all three sides are visible. The CLI's
+//! `--trace` flag and the trace-equivalence tests consume these functions.
+//!
+//! The merged rows carry a cross-check the test suite enforces (satellite
+//! invariant): `traced_bytes_sent` — reconstructed purely from `send` events
+//! in the trace — must equal `bytes_sent` from the runtime's own
+//! [`CommStats`](pde_commsim::CommStats) accounting, rank by rank, whenever
+//! no events were dropped to ring overflow.
+
+use crate::infer::RolloutResult;
+use crate::train::TrainOutcome;
+use pde_trace::{RankMetrics, Trace, DRIVER_RANK};
+
+/// Per-rank metrics of a training run: trace-derived span timings merged
+/// with each rank's compute counters and (always-zero) traffic counters.
+///
+/// Ranks that appear in `outcome` but recorded no events still get a row,
+/// so the result always has at least one row per rank (plus a driver row
+/// when the driving thread recorded events).
+pub fn train_metrics(trace: &Trace, outcome: &TrainOutcome) -> Vec<RankMetrics> {
+    let mut rows = trace.summarize();
+    for r in &outcome.rank_results {
+        let rank = r.rank as u32;
+        let m = row_for(&mut rows, rank);
+        m.merge_perf(
+            r.perf.flops,
+            r.perf.gemm_calls,
+            r.perf.bytes_packed,
+            r.perf.allocs,
+        );
+        m.merge_traffic(r.msgs_sent, r.bytes_sent, 0, 0, 0, 0);
+    }
+    sort_rows(&mut rows);
+    rows
+}
+
+/// Per-rank metrics of an inference rollout: trace-derived span timings
+/// merged with each rank's [`TrafficReport`](pde_commsim::TrafficReport).
+pub fn rollout_metrics(trace: &Trace, rollout: &RolloutResult) -> Vec<RankMetrics> {
+    let mut rows = trace.summarize();
+    for (rank, t) in rollout.traffic.iter().enumerate() {
+        let m = row_for(&mut rows, rank as u32);
+        m.merge_traffic(
+            t.msgs_sent,
+            t.bytes_sent,
+            t.msgs_received,
+            t.halos_lost,
+            t.halos_zero_filled,
+            t.halos_stale,
+        );
+    }
+    sort_rows(&mut rows);
+    rows
+}
+
+fn row_for(rows: &mut Vec<RankMetrics>, rank: u32) -> &mut RankMetrics {
+    if let Some(i) = rows.iter().position(|m| m.rank == rank) {
+        return &mut rows[i];
+    }
+    rows.push(RankMetrics {
+        rank,
+        ..RankMetrics::default()
+    });
+    let last = rows.len() - 1;
+    &mut rows[last]
+}
+
+fn sort_rows(rows: &mut [RankMetrics]) {
+    rows.sort_by_key(|m| {
+        if m.rank == DRIVER_RANK {
+            u64::MAX
+        } else {
+            m.rank as u64
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use crate::infer::ParallelInference;
+    use crate::padding::PaddingStrategy;
+    use crate::train::{ParallelTrainer, TrainConfig};
+    use pde_euler::dataset::paper_dataset;
+    use pde_trace::Category;
+
+    #[test]
+    fn traced_training_yields_per_rank_rows_with_perf_merged() {
+        let data = paper_dataset(16, 8);
+        let handle = pde_trace::begin();
+        let outcome = ParallelTrainer::new(
+            ArchSpec::tiny(),
+            PaddingStrategy::NeighborPad,
+            TrainConfig::quick_test(),
+        )
+        .train(&data, 4)
+        .unwrap();
+        let trace = handle.finish();
+        assert_eq!(trace.total_dropped(), 0, "quick run must fit the ring");
+        assert_eq!(trace.ranks(), vec![0, 1, 2, 3]);
+
+        let rows = train_metrics(&trace, &outcome);
+        let rank_rows: Vec<_> = rows
+            .iter()
+            .filter(|m| m.rank != pde_trace::DRIVER_RANK)
+            .collect();
+        assert_eq!(rank_rows.len(), 4);
+        for m in rank_rows {
+            // Spans from the instrumented hot path (2 epochs each).
+            assert!(m.span_us[Category::Train.index()] > 0 || m.events > 0);
+            // Merged compute counters match the outcome's per-rank values.
+            let r = &outcome.rank_results[m.rank as usize];
+            assert_eq!(m.flops, r.perf.flops);
+            assert_eq!(m.gemm_calls, r.perf.gemm_calls);
+            // Training is communication-free on both sides of the merge.
+            assert_eq!(m.bytes_sent, 0);
+            assert_eq!(m.traced_bytes_sent, 0);
+            assert_eq!(m.traced_sends, 0);
+        }
+    }
+
+    #[test]
+    fn traced_rollout_bytes_agree_with_traffic_report() {
+        let data = paper_dataset(16, 8);
+        let arch = ArchSpec::tiny();
+        let outcome = ParallelTrainer::new(
+            arch.clone(),
+            PaddingStrategy::NeighborPad,
+            TrainConfig::quick_test(),
+        )
+        .train_view(&data, 6, 4)
+        .unwrap();
+        let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+
+        let handle = pde_trace::begin();
+        let rollout = inf.rollout(data.snapshot(6), 3);
+        let trace = handle.finish();
+        assert_eq!(trace.total_dropped(), 0);
+
+        let rows = rollout_metrics(&trace, &rollout);
+        for (rank, t) in rollout.traffic.iter().enumerate() {
+            let m = rows.iter().find(|m| m.rank == rank as u32).unwrap();
+            assert_eq!(
+                m.traced_bytes_sent, t.bytes_sent,
+                "rank {rank}: trace and CommStats disagree on bytes sent"
+            );
+            assert_eq!(m.traced_sends, t.msgs_sent, "rank {rank}: send count");
+            assert_eq!(m.bytes_sent, t.bytes_sent);
+            assert!(
+                m.span_us[Category::Infer.index()] > 0,
+                "rank {rank}: no infer spans"
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_run_produces_rows_from_outcome_alone() {
+        let data = paper_dataset(16, 8);
+        let outcome = ParallelTrainer::new(
+            ArchSpec::tiny(),
+            PaddingStrategy::ZeroPad,
+            TrainConfig::quick_test(),
+        )
+        .train(&data, 4)
+        .unwrap();
+        // No session: the trace is empty but the merge still yields a row
+        // per rank with the perf counters filled in.
+        let empty = pde_trace::begin().finish();
+        let rows = train_metrics(&empty, &outcome);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|m| m.events == 0 && m.flops > 0));
+    }
+}

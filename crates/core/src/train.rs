@@ -345,12 +345,16 @@ impl TrainSession {
         cfg: &TrainConfig,
         epoch: usize,
     ) -> f64 {
+        use pde_trace::{names, Category};
+        let mut epoch_span = pde_trace::span_args(Category::Train, names::EPOCH, epoch as u64, 0);
         self.opt.set_learning_rate(cfg.rate(epoch));
         ds.fill_epoch_order(cfg.shuffle, cfg.seed, epoch, &mut self.order);
         let mut sum = 0.0;
         let mut batches = 0usize;
         let mut cursor = ds.batch_cursor(&self.order, cfg.batch_size);
         while cursor.next_into(&mut self.x, &mut self.y) {
+            let _batch_span =
+                pde_trace::span_args(Category::Train, names::BATCH, batches as u64, 0);
             net.zero_grad();
             net.forward_into(&self.x, true, &mut self.pred);
             let l = self
@@ -367,6 +371,7 @@ impl TrainSession {
             sum += l;
             batches += 1;
         }
+        epoch_span.set_args(epoch as u64, batches as u64);
         sum / batches as f64
     }
 }

@@ -110,6 +110,7 @@ mod tests {
     use super::*;
     use crate::activation::{LeakyReLu, Tanh};
     use crate::conv::Conv2d;
+    use crate::deconv::ConvTranspose2d;
     use crate::init::{init_conv, Init};
     use crate::loss::{Huber, Mae, Mape, Mse};
     use crate::sequential::Sequential;
@@ -170,6 +171,107 @@ mod tests {
         let t = Tensor4::full(1, 2, 4, 4, 0.7);
         let r = check_network_gradients(&mut net, &Mse, &x, &t, 1e-5, 3);
         assert!(r.passes(1e-6), "max rel err {}", r.max_rel_err);
+    }
+
+    /// A transpose conv with seeded random weights/bias (the zero default
+    /// would make every gradient trivially zero).
+    fn seeded_deconv(in_c: usize, out_c: usize, k: usize, rng: &mut StdRng) -> ConvTranspose2d {
+        let mut d = ConvTranspose2d::new(in_c, out_c, k);
+        for v in d.weight_mut().as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        for b in d.bias_mut() {
+            *b = rng.gen_range(-0.1..0.1);
+        }
+        d
+    }
+
+    #[test]
+    fn deconv_stack_gradients_pass_for_all_losses() {
+        // End-to-end §III approach-4 shape: unpadded conv shrinks 6→4, the
+        // transpose conv restores 4→6 — so the deconv backward is checked
+        // *through* upstream layers, not just in isolation.
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Mse),
+            Box::new(Mae),
+            Box::new(Mape::default()),
+            Box::new(Huber::new(0.37)),
+        ];
+        for loss in &losses {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut c1 = Conv2d::new(pde_tensor::Conv2dSpec::square(2, 3, 3, 0));
+            init_conv(&mut c1, Init::KaimingUniform { neg_slope: 0.2 }, &mut rng);
+            let mut net = Sequential::new()
+                .push(c1)
+                .push(LeakyReLu::new(0.2))
+                .push(seeded_deconv(3, 2, 3, &mut rng));
+            let mut rng = StdRng::seed_from_u64(22);
+            let x = Tensor4::from_fn(2, 2, 6, 6, |_, _, _, _| rng.gen_range(-1.0..1.0));
+            let t = Tensor4::from_fn(2, 2, 6, 6, |_, _, _, _| rng.gen_range(1.5..2.5));
+            let r = check_network_gradients(&mut net, loss.as_ref(), &x, &t, 1e-5, 13);
+            assert!(
+                r.passes(1e-5),
+                "{} through deconv: max rel err {} at {} (analytic {}, numeric {})",
+                loss.name(),
+                r.max_rel_err,
+                r.worst_index,
+                r.worst_analytic,
+                r.worst_numeric
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_relu_slope_extremes_pass_gradcheck() {
+        // Slope edge cases: 0.0 (exact ReLU — negative branch gradient must
+        // be exactly zero, not a stale epsilon) and 0.99 (nearly linear —
+        // any double-application of the slope would show up here).
+        for slope in [0.0, 0.5, 0.99] {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut c1 = Conv2d::same(2, 3, 3);
+            let mut c2 = Conv2d::same(3, 2, 3);
+            init_conv(&mut c1, Init::KaimingUniform { neg_slope: slope }, &mut rng);
+            init_conv(&mut c2, Init::KaimingUniform { neg_slope: slope }, &mut rng);
+            let mut net = Sequential::new()
+                .push(c1)
+                .push(LeakyReLu::new(slope))
+                .push(c2);
+            let (x, t) = data(32);
+            let r = check_network_gradients(&mut net, &Mse, &x, &t, 1e-5, 11);
+            assert!(
+                r.passes(1e-5),
+                "slope {slope}: max rel err {} (analytic {}, numeric {})",
+                r.max_rel_err,
+                r.worst_analytic,
+                r.worst_numeric
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_relu_strictly_negative_preactivations_pass_gradcheck() {
+        // Forces EVERY preactivation through the negative branch (conv bias
+        // −10 dwarfs the bounded conv output), so the slope path — not the
+        // identity path — carries the whole gradient. A wrong negative-branch
+        // derivative cannot hide behind mostly-positive activations here.
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut c1 = Conv2d::same(2, 3, 3);
+        init_conv(&mut c1, Init::KaimingUniform { neg_slope: 0.3 }, &mut rng);
+        for b in c1.bias_mut() {
+            *b = -10.0;
+        }
+        let mut net = Sequential::new().push(c1).push(LeakyReLu::new(0.3));
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor4::from_fn(1, 2, 5, 5, |_, _, _, _| rng.gen_range(-1.0..1.0));
+        let t = Tensor4::zeros(1, 3, 5, 5);
+        let r = check_network_gradients(&mut net, &Mse, &x, &t, 1e-5, 7);
+        assert!(
+            r.passes(1e-6),
+            "negative branch: max rel err {} (analytic {}, numeric {})",
+            r.max_rel_err,
+            r.worst_analytic,
+            r.worst_numeric
+        );
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use deconv::ConvTranspose2d;
 pub use layer::{Layer, ParamGroup};
 pub use loss::{Huber, Loss, Mae, Mape, Mse};
 pub use lr::LrSchedule;
-pub use optim::{Adam, AdamW, Optimizer, RmsProp, Sgd};
+pub use optim::{Adam, AdamW, Optimizer, OptimizerState, RmsProp, Sgd};
 pub use sequential::Sequential;

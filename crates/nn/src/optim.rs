@@ -39,6 +39,38 @@ pub fn gradient_norm_of(net: &mut dyn Layer) -> f64 {
     sq.sqrt()
 }
 
+/// A portable snapshot of an optimizer's internal state, used by
+/// checkpointing (`serialize::write_checkpoint`) so a resumed run continues
+/// bitwise-identically to an uninterrupted one.
+///
+/// Slots are keyed by a per-optimizer name (e.g. ADAM's `"m"`/`"v"`); each
+/// slot holds one buffer per parameter group, in group order — the same
+/// order [`Optimizer::step`] keys its state by.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Update steps taken so far (drives ADAM's bias correction; 0 for
+    /// optimizers without a step counter).
+    pub steps: u64,
+    /// Named state slots in a fixed per-optimizer order.
+    pub slots: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+/// Pulls `N` named slots out of a state snapshot, insisting on the exact
+/// names and order the optimizer exports.
+fn take_slots<const N: usize>(
+    st: OptimizerState,
+    expect: [&str; N],
+) -> Result<[Vec<Vec<f64>>; N], String> {
+    let got: Vec<&str> = st.slots.iter().map(|(n, _)| n.as_str()).collect();
+    if got != expect {
+        return Err(format!(
+            "optimizer state slots {got:?} do not match expected {expect:?}"
+        ));
+    }
+    let mut iter = st.slots.into_iter().map(|(_, v)| v);
+    Ok(std::array::from_fn(|_| iter.next().unwrap()))
+}
+
 /// A first-order optimizer over flat parameter groups.
 pub trait Optimizer: Send {
     /// Applies one update step using the gradients currently stored in the
@@ -60,6 +92,15 @@ pub trait Optimizer: Send {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Snapshots the internal state (momenta, second moments, step counter)
+    /// so it can be checkpointed alongside the parameters.
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restores a snapshot taken from the same optimizer kind driving an
+    /// identically structured network. Buffer lengths are re-validated
+    /// against the groups on the next step.
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String>;
 }
 
 fn ensure_state(state: &mut Vec<Vec<f64>>, groups: &[ParamGroup<'_>]) {
@@ -186,6 +227,19 @@ impl Optimizer for Sgd {
             "SGD+momentum"
         }
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            steps: 0,
+            slots: vec![("velocity".into(), self.velocity.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        let [velocity] = take_slots(state, ["velocity"])?;
+        self.velocity = velocity;
+        Ok(())
+    }
 }
 
 /// ADAM (Kingma & Ba), exactly the update of the paper's Eqs. (3)–(6) with
@@ -309,6 +363,22 @@ impl Optimizer for Adam {
     fn name(&self) -> &'static str {
         "Adam"
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            steps: self.t,
+            slots: vec![("m".into(), self.m.clone()), ("v".into(), self.v.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        let steps = state.steps;
+        let [m, v] = take_slots(state, ["m", "v"])?;
+        self.t = steps;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
 }
 
 /// AdamW: ADAM with decoupled weight decay.
@@ -362,6 +432,14 @@ impl Optimizer for AdamW {
 
     fn name(&self) -> &'static str {
         "AdamW"
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        self.inner.import_state(state)
     }
 }
 
@@ -429,6 +507,19 @@ impl Optimizer for RmsProp {
 
     fn name(&self) -> &'static str {
         "RMSProp"
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            steps: 0,
+            slots: vec![("sq".into(), self.sq.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) -> Result<(), String> {
+        let [sq] = take_slots(state, ["sq"])?;
+        self.sq = sq;
+        Ok(())
     }
 }
 
@@ -602,6 +693,44 @@ mod tests {
         fn describe(&self) -> String {
             "QuadLayer".into()
         }
+    }
+
+    #[test]
+    fn export_import_state_resumes_bitwise() {
+        // Run N steps, snapshot state, keep stepping the original; a fresh
+        // optimizer fed the snapshot must produce bitwise-identical
+        // parameters — the invariant checkpoint/resume relies on. Catches
+        // any state field missing from export (e.g. ADAM's step counter,
+        // whose bias correction differs at t=6 vs t=1).
+        for (mut orig, mut resumed) in optimizers().into_iter().zip(optimizers()) {
+            let mut q = Quad::new(&[5.0, -3.0, 0.5], &[1.0, 2.0, -1.0]);
+            for _ in 0..5 {
+                q.compute_grad();
+                orig.step(&mut q.groups());
+            }
+            let mut q2 = Quad::new(&q.x, &q.target);
+            resumed.import_state(orig.export_state()).unwrap();
+            for _ in 0..5 {
+                q.compute_grad();
+                orig.step(&mut q.groups());
+                q2.compute_grad();
+                resumed.step(&mut q2.groups());
+            }
+            assert_eq!(q.x, q2.x, "{}: resumed run diverged", orig.name());
+            assert_eq!(
+                orig.export_state(),
+                resumed.export_state(),
+                "{}: states diverged after resume",
+                orig.name()
+            );
+        }
+    }
+
+    #[test]
+    fn import_state_rejects_wrong_slots() {
+        let mut adam = Adam::new(0.1);
+        let sgd_state = Sgd::new(0.1).export_state();
+        assert!(adam.import_state(sgd_state).is_err());
     }
 
     #[test]

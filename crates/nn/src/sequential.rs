@@ -113,6 +113,10 @@ impl Layer for Sequential {
         }
         let (ping, pong) = (&mut self.ws.ping, &mut self.ws.pong);
         for (i, l) in self.layers.iter_mut().enumerate() {
+            // One span per layer; a0 is the layer index (names allocate, and
+            // this path must stay allocation-free).
+            let _span =
+                pde_trace::span_args(pde_trace::Category::Nn, pde_trace::names::FWD, i as u64, 0);
             let src: &Tensor4 = if i == 0 { input } else { ping };
             if i == n - 1 {
                 l.forward_into(src, train, out);
@@ -131,6 +135,12 @@ impl Layer for Sequential {
         }
         let (ping, pong) = (&mut self.ws.ping, &mut self.ws.pong);
         for (i, l) in self.layers.iter_mut().rev().enumerate() {
+            let _span = pde_trace::span_args(
+                pde_trace::Category::Nn,
+                pde_trace::names::BWD,
+                (n - 1 - i) as u64,
+                0,
+            );
             let src: &Tensor4 = if i == 0 { grad_out } else { ping };
             if i == n - 1 {
                 l.backward_into(src, grad_in);

@@ -34,6 +34,14 @@ pub(crate) fn record_gemm(flops: u64, bytes_packed: u64) {
     FLOPS.with(|c| c.set(c.get() + flops));
     GEMM_CALLS.with(|c| c.set(c.get() + 1));
     BYTES_PACKED.with(|c| c.set(c.get() + bytes_packed));
+    // One instant per driver call; when no trace session is active this is
+    // a single thread-local read (see `pde_trace::instant`).
+    pde_trace::instant(
+        pde_trace::Category::Kernel,
+        pde_trace::names::GEMM,
+        flops,
+        bytes_packed,
+    );
 }
 
 /// A point-in-time (or difference of) reading of this thread's counters.

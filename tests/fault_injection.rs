@@ -225,6 +225,73 @@ fn dropped_edge_rollout_records_loss_in_traffic_report() {
 }
 
 #[test]
+fn delay_shorter_than_timeout_is_not_a_loss() {
+    // A slow link is not a lossy link: a `delay:SRC-DST:MS` fault whose
+    // delay is well under the halo timeout must deliver every strip as
+    // `HaloStatus::Ok` — no halos_lost, no fallback substitution, and a
+    // rollout bitwise identical to the fault-free strict protocol.
+    let (data, inf) = trained_fleet(4);
+    let initial = data.snapshot(6).clone();
+    let strict = inf.rollout(&initial, 2);
+
+    let (_, inf2) = trained_fleet(4); // same seed/config → identical fleet
+    let delayed = inf2
+        .with_halo_policy(HaloPolicy::Degrade {
+            timeout: test_timeout(),
+            fallback: HaloFallback::ZeroFill,
+        })
+        .with_fault_plan(FaultPlan::delay_edge(
+            0,
+            1,
+            std::time::Duration::from_millis(20),
+        ))
+        .rollout(&initial, 2);
+
+    for t in &delayed.traffic {
+        assert_eq!(t.halos_lost, 0, "a delayed strip must not read as lost");
+        assert_eq!(t.halos_zero_filled, 0);
+        assert_eq!(t.halos_stale, 0);
+        assert!(!t.degraded());
+    }
+    for (k, (a, b)) in strict.states.iter().zip(&delayed.states).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "step {k}: delayed-but-delivered rollout must equal the strict one bitwise"
+        );
+    }
+}
+
+#[test]
+fn delayed_exchange_strip_arrives_ok_at_the_halo_layer() {
+    // Same invariant one layer down: a 1×2 grid where the 0→1 edge is
+    // delayed 20 ms. With a generous receive timeout the strip classifies
+    // as Ok, carrying the payload intact.
+    let plan = FaultPlan::delay_edge(0, 1, std::time::Duration::from_millis(20));
+    let (out, traffic) = World::new(2).with_fault_plan(plan).run_with_stats(|comm| {
+        let rank = comm.rank();
+        let mut cart = CartComm::new(comm, 1, 2, false);
+        let dir = if rank == 0 {
+            Direction::Right
+        } else {
+            Direction::Left
+        };
+        let mut outgoing: [Option<Vec<f64>>; 4] = [None, None, None, None];
+        outgoing[dir.index()] = Some(vec![rank as f64 + 0.25; 6]);
+        let mut incoming = cart.exchange_timeout(outgoing, 11, test_timeout());
+        let got = incoming[dir.index()].take().unwrap();
+        let status = got.status();
+        let payload = got.into_data();
+        cart.comm_mut().barrier();
+        (status, payload)
+    });
+    assert_eq!(out[1].0, HaloStatus::Ok, "delayed strip is Ok, not Lost");
+    assert_eq!(out[1].1.as_deref(), Some(&[0.25; 6][..]), "payload intact");
+    assert_eq!(out[0].0, HaloStatus::Ok);
+    assert_eq!(traffic[0].halos_lost + traffic[1].halos_lost, 0);
+}
+
+#[test]
 fn healthy_world_with_fault_plan_noise_everywhere_else_is_unaffected() {
     // Dropping an edge that the communication pattern never uses changes
     // nothing.

@@ -193,6 +193,69 @@ fn gradient_clipping_keeps_training_stable_at_high_rate() {
 }
 
 #[test]
+fn trace_and_runtime_byte_accounting_agree_per_rank() {
+    // Satellite invariant: the byte counts reconstructed purely from `send`
+    // events in the trace must equal the runtime's own `CommStats`-derived
+    // accounting (`TrainOutcome::total_bytes_sent`, `TrafficReport`) —
+    // rank by rank, not just in aggregate. A lossless capture is a
+    // precondition (dropped events would silently undercount).
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+
+    // Training: both sides must agree on exactly zero.
+    let handle = pde_trace::begin();
+    let outcome = ParallelTrainer::new(
+        arch.clone(),
+        PaddingStrategy::NeighborPad,
+        TrainConfig::quick_test(),
+    )
+    .train_view(&data, 6, 4)
+    .expect("training");
+    let trace = handle.finish();
+    assert_eq!(trace.total_dropped(), 0, "training trace lost events");
+    let rows = pde_ml_core::observe::train_metrics(&trace, &outcome);
+    for r in &outcome.rank_results {
+        let m = rows
+            .iter()
+            .find(|m| m.rank == r.rank as u32)
+            .expect("a metrics row per rank");
+        assert_eq!(
+            m.traced_bytes_sent, r.bytes_sent,
+            "rank {}: trace vs TrainOutcome bytes during training",
+            r.rank
+        );
+        assert_eq!(m.traced_bytes_sent, 0, "training must stay silent");
+    }
+    assert_eq!(outcome.total_bytes_sent(), 0);
+
+    // Rollout: non-trivial traffic, still equal per rank and in total.
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let handle = pde_trace::begin();
+    let rollout = inf.rollout(data.snapshot(6), 3);
+    let trace = handle.finish();
+    assert_eq!(trace.total_dropped(), 0, "rollout trace lost events");
+    let rows = pde_ml_core::observe::rollout_metrics(&trace, &rollout);
+    let mut traced_total = 0u64;
+    for (rank, t) in rollout.traffic.iter().enumerate() {
+        assert!(t.bytes_sent > 0, "rank {rank} should exchange halos");
+        let m = rows
+            .iter()
+            .find(|m| m.rank == rank as u32)
+            .expect("a metrics row per rank");
+        assert_eq!(
+            m.traced_bytes_sent, t.bytes_sent,
+            "rank {rank}: trace vs TrafficReport bytes during rollout"
+        );
+        assert_eq!(
+            m.traced_sends, t.msgs_sent,
+            "rank {rank}: trace vs TrafficReport message count"
+        );
+        traced_total += m.traced_bytes_sent;
+    }
+    assert_eq!(traced_total, rollout.total_bytes());
+}
+
+#[test]
 fn windowed_training_uses_history() {
     // A window-2 model must differ from a window-1 model on the same data
     // (the extra channels are real inputs, not ignored), and it must train.

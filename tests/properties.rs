@@ -371,3 +371,116 @@ proptest! {
         }
     }
 }
+
+/// Builds a stack of `Conv2d::same` + `LeakyReLu` stages on 2 input
+/// channels, with seeded Kaiming init (so two calls with different seeds
+/// give the same *structure* but different weights).
+fn random_conv_stack(stages: &[(usize, usize)], slope: f64, seed: u64) -> pde_nn::Sequential {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = pde_nn::Sequential::new();
+    let mut in_c = 2usize;
+    for &(out_c, k) in stages {
+        let mut conv = pde_nn::Conv2d::same(in_c, out_c, k);
+        pde_nn::init::init_conv(
+            &mut conv,
+            pde_nn::init::Init::KaimingUniform { neg_slope: slope },
+            &mut rng,
+        );
+        net.push_boxed(Box::new(conv));
+        net.push_boxed(Box::new(pde_nn::LeakyReLu::new(slope)));
+        in_c = out_c;
+    }
+    net
+}
+
+/// One of each stateful-or-stateless optimizer kind, so the checkpoint
+/// property covers empty slots (plain SGD) through two-moment slots (Adam).
+fn make_optimizer(kind: usize) -> Box<dyn pde_nn::Optimizer> {
+    match kind {
+        0 => Box::new(pde_nn::Adam::new(1e-2)),
+        1 => Box::new(pde_nn::AdamW::new(1e-2, 0.01)),
+        2 => Box::new(pde_nn::Sgd::with_momentum(1e-2, 0.9)),
+        3 => Box::new(pde_nn::Sgd::new(1e-2)),
+        _ => Box::new(pde_nn::RmsProp::new(1e-2)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PDECK v1 checkpoints round-trip bitwise for *random* `Sequential`
+    /// architectures and every optimizer kind: parameters and optimizer
+    /// state load back exactly, and — the invariant users care about —
+    /// resumed training takes the identical trajectory.
+    #[test]
+    fn checkpoint_round_trip_is_bitwise_for_random_architectures(
+        stages in prop::collection::vec(
+            (prop::sample::select(vec![1usize, 2, 3, 4]),
+             prop::sample::select(vec![1usize, 3])),
+            1..=3,
+        ),
+        slope in prop::sample::select(vec![0.0f64, 0.01, 0.2]),
+        opt_kind in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        use pde_nn::{Layer, Loss, Mse};
+        use pde_tensor::Tensor4;
+
+        let mut a = random_conv_stack(&stages, slope, seed);
+        let mut opt_a = make_optimizer(opt_kind);
+
+        let out_c = stages.last().unwrap().0;
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        };
+        let x = Tensor4::from_fn(2, 2, 5, 5, |_, _, _, _| next());
+        let target = Tensor4::zeros(2, out_c, 5, 5);
+        let step = |net: &mut pde_nn::Sequential, opt: &mut dyn pde_nn::Optimizer| {
+            net.zero_grad();
+            let y = net.forward(&x, true);
+            let (_, grad) = Mse.value_and_grad(&y, &target);
+            net.backward(&grad);
+            opt.step(&mut net.param_groups());
+        };
+
+        // A few real steps so momentum/second-moment slots are nonzero.
+        for _ in 0..3 {
+            step(&mut a, opt_a.as_mut());
+        }
+
+        let mut buf = Vec::new();
+        pde_nn::serialize::write_checkpoint(&mut a, opt_a.as_ref(), &mut buf).unwrap();
+
+        // Same architecture, deliberately different init + fresh optimizer.
+        let mut b = random_conv_stack(&stages, slope, seed ^ 0xDEAD_BEEF);
+        let mut opt_b = make_optimizer(opt_kind);
+        pde_nn::serialize::read_checkpoint(&mut b, opt_b.as_mut(), &mut buf.as_slice())
+            .unwrap();
+
+        prop_assert_eq!(
+            pde_nn::serialize::snapshot(&mut a),
+            pde_nn::serialize::snapshot(&mut b),
+            "restored parameters differ"
+        );
+        prop_assert_eq!(
+            opt_a.export_state(),
+            opt_b.export_state(),
+            "restored optimizer state differs"
+        );
+
+        // Bitwise-identical resumed trajectory, two further steps deep.
+        for _ in 0..2 {
+            step(&mut a, opt_a.as_mut());
+            step(&mut b, opt_b.as_mut());
+        }
+        prop_assert_eq!(
+            pde_nn::serialize::snapshot(&mut a),
+            pde_nn::serialize::snapshot(&mut b),
+            "resumed training diverged from the checkpointed run"
+        );
+    }
+}
