@@ -36,7 +36,7 @@ fn window_ablation(c: &mut Criterion) {
         let history: Vec<_> = (n_train + 1 - window..=n_train)
             .map(|k| data.snapshot(k).clone())
             .collect();
-        let roll = inf.rollout_from_history(&history, horizon);
+        let roll = inf.rollout_from_history(&history, horizon).unwrap();
         let reference: Vec<_> = (0..=horizon)
             .map(|s| data.snapshot(n_train + s).clone())
             .collect();

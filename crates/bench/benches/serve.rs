@@ -1,0 +1,76 @@
+//! Bench S1 — serving cost: one request through a warm [`InferEngine`]
+//! (persistent world, resident models, reusable scratch) versus a cold
+//! [`ParallelInference`] call that spawns threads and restores weights per
+//! request, plus the batched entry point that amortizes job submission
+//! over K independent initial conditions.
+//!
+//! The committed baseline numbers live in `BENCH_serve.json`, regenerated
+//! with `pdeml serve-bench --quick --out BENCH_serve.json` (release build).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pde_bench::{bench_dataset, BENCH_GRID, BENCH_SNAPSHOTS};
+use pde_ml_core::prelude::*;
+use pde_tensor::Tensor3;
+use std::hint::black_box;
+
+const STEPS: usize = 2;
+
+fn trained_inference() -> (pde_euler::DataSet, ParallelInference) {
+    let data = bench_dataset(BENCH_GRID, BENCH_SNAPSHOTS);
+    let arch = ArchSpec::tiny();
+    let mut cfg = TrainConfig::quick_test();
+    cfg.epochs = 1;
+    let strategy = PaddingStrategy::ZeroPad;
+    let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg)
+        .train(&data, 4)
+        .expect("train");
+    let inf = ParallelInference::from_outcome(arch, strategy, &outcome);
+    (data, inf)
+}
+
+fn warm_vs_cold_request(c: &mut Criterion) {
+    let (data, inf) = trained_inference();
+    let initial = data.snapshot(0).clone();
+
+    let mut group = c.benchmark_group("serve/request");
+    group.sample_size(10);
+    group.bench_function("cold_world", |b| {
+        b.iter(|| black_box(inf.rollout(black_box(&initial), STEPS).unwrap()))
+    });
+
+    let mut engine = InferEngine::new(4);
+    engine.register("serve", inf);
+    // Residency warm-up: first request pays thread-local buffer growth.
+    engine.rollout("serve", &initial, STEPS).unwrap();
+    group.bench_function("warm_engine", |b| {
+        b.iter(|| black_box(engine.rollout("serve", black_box(&initial), STEPS).unwrap()))
+    });
+    group.finish();
+}
+
+fn batched_requests(c: &mut Criterion) {
+    let (data, inf) = trained_inference();
+    let initials: Vec<Tensor3> = (0..8).map(|k| data.snapshot(k).clone()).collect();
+    let histories: Vec<&[Tensor3]> = initials.iter().map(std::slice::from_ref).collect();
+
+    let mut engine = InferEngine::new(4);
+    engine.register("serve", inf);
+    engine.rollout("serve", &initials[0], STEPS).unwrap();
+
+    let mut group = c.benchmark_group("serve/eight_requests");
+    group.sample_size(10);
+    group.bench_function("sequential_warm", |b| {
+        b.iter(|| {
+            for initial in &initials {
+                black_box(engine.rollout("serve", initial, STEPS).unwrap());
+            }
+        })
+    });
+    group.bench_function("one_batch", |b| {
+        b.iter(|| black_box(engine.rollout_batch("serve", &histories, STEPS).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, warm_vs_cold_request, batched_requests);
+criterion_main!(benches);

@@ -268,7 +268,9 @@ pub fn infer(args: &Args) -> Result<(), String> {
         .collect();
     let trace_path = args.get("trace").map(PathBuf::from);
     let handle = trace_path.as_ref().map(|_| pde_trace::begin());
-    let rollout = inf.rollout_from_history(&history, steps);
+    let rollout = inf
+        .rollout_from_history(&history, steps)
+        .map_err(|e| format!("cannot serve this rollout: {e}"))?;
     if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
         let trace = h.finish();
         let rows = pde_ml_core::observe::rollout_metrics(&trace, &rollout);
@@ -325,6 +327,148 @@ pub fn infer(args: &Args) -> Result<(), String> {
         }
     } else {
         println!("(no reference snapshots beyond the start point — skipping error report)");
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ms[idx]
+}
+
+/// `pdeml serve-bench` — the serving case for the persistent engine: drive
+/// N requests through one warm [`InferEngine`] (threads + models resident)
+/// and the same N through cold per-request [`ParallelInference`] worlds,
+/// and print requests/sec with p50/p99 latency for each.
+///
+/// `--quick` trains the tiny test net on the built-in dataset with the
+/// zero-padding strategy — the communication-free configuration, so warm
+/// requests are also steady-state allocation-free (reported per request).
+pub fn serve_bench(args: &Args) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let requests: usize = args.get_or("requests", 32)?;
+    let steps: usize = args.get_or("steps", 2)?;
+    let policy = halo_policy_from_args(args)?;
+    let trace_path = args.get("trace").map(PathBuf::from);
+
+    let (inf, initial, source) = if quick {
+        let data = pde_euler::dataset::paper_dataset(16, 8);
+        let arch = ArchSpec::tiny();
+        let outcome = ParallelTrainer::new(
+            arch.clone(),
+            PaddingStrategy::ZeroPad,
+            TrainConfig::quick_test(),
+        )
+        .train_view(&data, 6, 4)
+        .map_err(|e| e.to_string())?;
+        let inf = ParallelInference::from_outcome(arch, PaddingStrategy::ZeroPad, &outcome);
+        let initial = data.snapshot(0).clone();
+        (
+            inf,
+            initial,
+            "built-in 16x16 paper pulse (--quick)".to_string(),
+        )
+    } else {
+        let data_path = PathBuf::from(args.require("data")?);
+        let model_dir = PathBuf::from(args.require("model")?);
+        let data = DataSet::load(&data_path)
+            .map_err(|e| format!("cannot load {}: {e}", data_path.display()))?;
+        let (meta, inf) = load_fleet(&model_dir)?;
+        if meta.window != 1 {
+            return Err(format!(
+                "serve-bench drives single-state requests but the model was trained with a \
+                 window of {} — retrain with --window 1 (or use --quick)",
+                meta.window
+            ));
+        }
+        let initial = data.snapshot(data.len() - 1).clone();
+        (inf, initial, data_path.display().to_string())
+    };
+    let inf = inf.with_halo_policy(policy);
+    let ranks = inf.partition().rank_count();
+    let (c, h, w) = initial.shape();
+    println!(
+        "serve-bench: {requests} requests x {steps} steps on {source} \
+         ({c} ch, {h}x{w}, {ranks} ranks)"
+    );
+
+    // Warm: one engine, resident model, one unmeasured warm-up request to
+    // pay residency costs (thread spawn, model restore, scratch sizing).
+    let mut engine = InferEngine::new(ranks);
+    engine.register("serve", inf.clone());
+    engine
+        .rollout("serve", &initial, steps)
+        .map_err(|e| format!("cannot serve this rollout: {e}"))?;
+    let handle = trace_path.as_ref().map(|_| pde_trace::begin());
+    let mut warm_ms = Vec::with_capacity(requests);
+    let mut last = None;
+    let warm_t0 = std::time::Instant::now();
+    for _ in 0..requests {
+        let t = std::time::Instant::now();
+        let r = engine
+            .rollout("serve", &initial, steps)
+            .map_err(|e| format!("cannot serve this rollout: {e}"))?;
+        warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    let warm_s = warm_t0.elapsed().as_secs_f64();
+    let last = last.expect("at least one request");
+    let steady_allocs = last.rank_perf.iter().map(|p| p.allocs).max().unwrap_or(0);
+    if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
+        let trace = h.finish();
+        let rows = pde_ml_core::observe::rollout_metrics(&trace, &last);
+        write_trace(&trace, &rows, path)?;
+    }
+
+    // Cold: a fresh world (thread spawn + model restore) per request.
+    let mut cold_ms = Vec::with_capacity(requests);
+    let cold_t0 = std::time::Instant::now();
+    for _ in 0..requests {
+        let t = std::time::Instant::now();
+        inf.rollout(&initial, steps)
+            .map_err(|e| format!("cannot serve this rollout: {e}"))?;
+        cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold_s = cold_t0.elapsed().as_secs_f64();
+
+    warm_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    cold_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let warm_rps = requests as f64 / warm_s;
+    let cold_rps = requests as f64 / cold_s;
+    println!(
+        "warm: {requests} requests in {warm_s:.3} s — {warm_rps:.1} req/s, \
+         p50 {:.2} ms, p99 {:.2} ms, {steady_allocs} steady-state allocs/request",
+        percentile(&warm_ms, 50.0),
+        percentile(&warm_ms, 99.0)
+    );
+    println!(
+        "cold: {requests} requests in {cold_s:.3} s — {cold_rps:.1} req/s, \
+         p50 {:.2} ms, p99 {:.2} ms",
+        percentile(&cold_ms, 50.0),
+        percentile(&cold_ms, 99.0)
+    );
+    println!(
+        "speedup: {:.2}x requests/sec warm over cold",
+        warm_rps / cold_rps
+    );
+
+    if let Some(out) = args.get("out") {
+        let json = format!(
+            "{{\n  \"shape\": {{ \"channels\": {c}, \"grid_h\": {h}, \"grid_w\": {w}, \
+             \"ranks\": {ranks}, \"steps\": {steps}, \"requests\": {requests} }},\n  \
+             \"warm\": {{ \"requests_per_sec\": {warm_rps:.2}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"steady_state_allocs_per_request\": {steady_allocs} }},\n  \
+             \"cold\": {{ \"requests_per_sec\": {cold_rps:.2}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4} }},\n  \"warm_over_cold\": {:.4}\n}}\n",
+            percentile(&warm_ms, 50.0),
+            percentile(&warm_ms, 99.0),
+            percentile(&cold_ms, 50.0),
+            percentile(&cold_ms, 99.0),
+            warm_rps / cold_rps
+        );
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
     }
     Ok(())
 }

@@ -4,6 +4,7 @@
 //! pdeml simulate --grid 64 --snapshots 120 --out run.pdeds
 //! pdeml train    --data run.pdeds --ranks 4 --epochs 20 --out model/
 //! pdeml infer    --data run.pdeds --model model/ --steps 10 --out rollout.csv
+//! pdeml serve-bench --quick --requests 32
 //! pdeml scale    --grid 128
 //! pdeml info
 //! ```
@@ -32,6 +33,9 @@ USAGE:
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
                  [--trace OUT.json]
+  pdeml serve-bench [--quick | --data FILE --model DIR] [--requests N] [--steps K]
+                 [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
+                 [--trace OUT.json] [--out BENCH.json]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "train" => commands::train(&parsed),
         "infer" => commands::infer(&parsed),
+        "serve-bench" => commands::serve_bench(&parsed),
         "scale" => commands::scale(&parsed),
         "info" => commands::info(),
         "--help" | "-h" | "help" => {

@@ -21,6 +21,12 @@ pub struct Message {
     pub src: usize,
     /// Tag it was sent with.
     pub tag: Tag,
+    /// Generation (job epoch) it was sent in. Receives only match messages
+    /// of their own generation, so a message lingering from an earlier job
+    /// on a persistent world — a delayed delivery, or a halo strip that
+    /// arrived after its receive timed out — can never be mistaken for this
+    /// job's traffic, even though jobs reuse the same tag values.
+    pub gen: u32,
     /// Payload.
     pub data: Vec<f64>,
 }
@@ -128,6 +134,19 @@ pub struct TrafficReport {
 }
 
 impl TrafficReport {
+    /// Counter increments since an `earlier` snapshot of the same rank —
+    /// how a persistent world attributes traffic to individual requests.
+    pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
+        TrafficReport {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            msgs_received: self.msgs_received - earlier.msgs_received,
+            halos_lost: self.halos_lost - earlier.halos_lost,
+            halos_zero_filled: self.halos_zero_filled - earlier.halos_zero_filled,
+            halos_stale: self.halos_stale - earlier.halos_stale,
+        }
+    }
+
     /// Total fallback substitutions (zero-filled + stale-reused).
     pub fn fallbacks(&self) -> u64 {
         self.halos_zero_filled + self.halos_stale
@@ -167,6 +186,15 @@ pub struct Comm {
     alive: Arc<Vec<AtomicBool>>,
     /// Decides delivery, loss or delay per message.
     fault_fn: Option<Arc<FaultFn>>,
+    /// Current job generation. Sends stamp it onto every [`Message`];
+    /// receives only match messages of the same generation. A one-shot
+    /// [`crate::World::run`] never moves past generation 0, so this field is
+    /// invisible to existing callers; persistent worlds bump it between jobs
+    /// via [`Comm::set_generation`]. The generation is deliberately NOT part
+    /// of the fault-plan edge `(src, dst, tag)`, so a seeded loss pattern is
+    /// identical whether a job runs on a fresh world or as the N-th job of a
+    /// persistent one.
+    gen: u32,
 }
 
 impl Drop for Comm {
@@ -197,7 +225,33 @@ impl Comm {
             stats,
             alive,
             fault_fn,
+            gen: 0,
         }
+    }
+
+    /// Current job generation (0 on a fresh world).
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// Enters job generation `gen`: subsequent sends are stamped with it and
+    /// receives only match it. Messages parked from generations older than
+    /// `gen` are discarded — they can never match again — while messages
+    /// from future generations (a peer already past its own bump) stay
+    /// parked until this rank catches up.
+    ///
+    /// # Panics
+    /// If `gen` moves backwards: re-entering an old generation would let its
+    /// leftover traffic alias the new job's.
+    pub fn set_generation(&mut self, gen: u32) {
+        assert!(
+            gen >= self.gen,
+            "set_generation: cannot rewind from {} to {gen} (rank {})",
+            self.gen,
+            self.rank
+        );
+        self.gen = gen;
+        self.pending.retain(|m| m.gen >= gen);
     }
 
     /// This rank's id in `0..size`.
@@ -246,6 +300,7 @@ impl Comm {
         let msg = Message {
             src: self.rank,
             tag,
+            gen: self.gen,
             data,
         };
         let sender = self.senders[dest].as_ref().expect("non-self sender");
@@ -272,8 +327,25 @@ impl Comm {
         let idx = self
             .pending
             .iter()
-            .position(|m| m.src == src && m.tag == tag)?;
+            .position(|m| m.src == src && m.tag == tag && m.gen == self.gen)?;
         Some(self.pending.swap_remove(idx))
+    }
+
+    /// True when `msg` matches what this receive is waiting for. Stale
+    /// generations never match; the caller routes non-matching messages
+    /// through [`Comm::park`].
+    fn matches(&self, msg: &Message, src: usize, tag: Tag) -> bool {
+        msg.src == src && msg.tag == tag && msg.gen == self.gen
+    }
+
+    /// Parks a non-matching arrival for a later receive — unless it belongs
+    /// to a past generation, in which case it is dropped on the floor: no
+    /// receive can ever match it again, and keeping it would let leftovers
+    /// of finished jobs accumulate for the lifetime of a persistent world.
+    fn park(&mut self, msg: Message) {
+        if msg.gen >= self.gen {
+            self.pending.push(msg);
+        }
     }
 
     /// Blocking receive matching `(src, tag)`; out-of-order arrivals are
@@ -356,14 +428,14 @@ impl Comm {
                 }
             };
             match self.inbox.recv_timeout(wait) {
-                Ok(msg) if msg.src == src && msg.tag == tag => {
+                Ok(msg) if self.matches(&msg, src, tag) => {
                     self.stats[self.rank]
                         .msgs_received
                         .fetch_add(1, Ordering::Relaxed);
                     span.set_args(src as u64, msg.data.len() as u64 * 8);
                     return Ok(msg.data);
                 }
-                Ok(msg) => self.pending.push(msg),
+                Ok(msg) => self.park(msg),
                 // Slice expired: loop back to re-check aliveness/deadline.
                 Err(RecvTimeoutError::Timeout) => (),
                 Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
@@ -377,13 +449,13 @@ impl Comm {
     fn drain_inbox(&mut self, src: usize, tag: Tag) -> Result<Option<Vec<f64>>, RecvError> {
         loop {
             match self.inbox.try_recv() {
-                Ok(msg) if msg.src == src && msg.tag == tag => {
+                Ok(msg) if self.matches(&msg, src, tag) => {
                     self.stats[self.rank]
                         .msgs_received
                         .fetch_add(1, Ordering::Relaxed);
                     return Ok(Some(msg.data));
                 }
-                Ok(msg) => self.pending.push(msg),
+                Ok(msg) => self.park(msg),
                 Err(TryRecvError::Empty) => return Ok(None),
                 Err(TryRecvError::Disconnected) => return Err(RecvError::Disconnected),
             }
@@ -399,13 +471,13 @@ impl Comm {
             return Some(m.data);
         }
         while let Ok(msg) = self.inbox.try_recv() {
-            if msg.src == src && msg.tag == tag {
+            if self.matches(&msg, src, tag) {
                 self.stats[self.rank]
                     .msgs_received
                     .fetch_add(1, Ordering::Relaxed);
                 return Some(msg.data);
             }
-            self.pending.push(msg);
+            self.park(msg);
         }
         None
     }

@@ -39,7 +39,7 @@ pub mod world;
 
 pub use cart::{CartComm, Direction, HaloRecv, HaloStatus};
 pub use comm::{Comm, CommStats, Message, RecvError, Tag, TrafficReport};
-pub use world::{FaultAction, FaultPlan, World};
+pub use world::{FaultAction, FaultPlan, PersistentWorld, RankContext, World};
 
 use std::time::Duration;
 

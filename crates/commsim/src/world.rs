@@ -1,9 +1,21 @@
 //! World construction: spawn ranks, wire channels, collect results.
+//!
+//! Two execution models share one wiring:
+//!
+//! * [`World::run`] — the classic one-shot SPMD call: spawn a thread per
+//!   rank, run the closure, join, return. Internally this is now a
+//!   single-job [`PersistentWorld`], so both models exercise the same code.
+//! * [`World::spawn_persistent`] — rank threads stay up between jobs, each
+//!   driven by a job mailbox. `Comm`s (and any rank-resident state) survive
+//!   across jobs; cross-job message bleed is prevented by generation
+//!   tagging ([`Comm::set_generation`]).
 
 use crate::comm::{Comm, CommStats, FaultFn, Message, Tag, TrafficReport};
 use crossbeam::channel::{unbounded, Sender};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// What the fault plan does to a message.
@@ -190,11 +202,35 @@ impl World {
 
     /// Runs and additionally returns the per-rank [`TrafficReport`]s
     /// observed during the run.
+    ///
+    /// This is a thin one-job wrapper over [`World::spawn_persistent`]: the
+    /// world is spawned, the closure runs once per rank as the single job
+    /// (each rank's `Comm` is taken out of its slot, so it drops — and its
+    /// aliveness flag clears — the moment `f` returns, exactly like the
+    /// original thread-per-run model), and the world is torn down. All
+    /// fault-injection and tracing machinery rides along unchanged.
     pub fn run_with_stats<T, F>(&self, f: F) -> (Vec<T>, Vec<TrafficReport>)
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
+        let mut pw = Self {
+            size: self.size,
+            fault_plan: self.fault_plan.clone(),
+        }
+        .spawn_persistent();
+        let out = pw.run(|mut ctx| {
+            let comm = ctx.take_comm().expect("fresh world has a resident comm");
+            f(comm)
+        });
+        let traffic = pw.traffic();
+        (out, traffic)
+    }
+
+    /// Builds the per-rank communicators (channel mesh, stats, aliveness
+    /// flags, fault filter) without running anything — the wiring shared by
+    /// the one-shot and persistent execution models.
+    fn build_comms(&self) -> (Vec<Comm>, Arc<Vec<CommStats>>) {
         let n = self.size;
         let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
         let fault_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(|p| {
@@ -241,42 +277,284 @@ impl World {
             .collect();
         // Drop the original senders so channels close when all ranks finish.
         drop(senders);
+        (comms, stats)
+    }
 
-        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        // Propagate the driving thread's trace session (if any) into each
-        // rank thread, so spans recorded inside `f` land on that rank's
-        // timeline track. `adopt`/`leave` are no-ops when tracing is off.
-        let trace_session = pde_trace::session();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|comm| {
-                    let f = &f;
-                    let rank = comm.rank() as u32;
-                    scope.spawn(move |_| {
-                        pde_trace::adopt(trace_session, rank);
-                        let out = f(comm);
-                        pde_trace::leave();
-                        out
-                    })
+    /// Spawns the world's rank threads once and keeps them alive: each rank
+    /// worker owns its `Comm` in a [`RankSlot`] and executes jobs from a
+    /// mailbox until the [`PersistentWorld`] is dropped. Use this when the
+    /// same world serves many requests — per-rank state (networks, caches,
+    /// scratch buffers) survives between jobs instead of being rebuilt.
+    pub fn spawn_persistent(self) -> PersistentWorld {
+        let (comms, stats) = self.build_comms();
+        let mut mailboxes = Vec::with_capacity(self.size);
+        let mut workers = Vec::with_capacity(self.size);
+        for comm in comms {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let rank = comm.rank();
+            let size = comm.size();
+            let mut slot = RankSlot {
+                rank,
+                size,
+                comm: Some(comm),
+                state: None,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("pdeml-rank-{rank}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job(&mut slot);
+                    }
+                    // Mailbox disconnected: shutdown. Dropping the slot
+                    // drops the resident Comm (and any user state holding
+                    // one), clearing this rank's aliveness flag and closing
+                    // its share of the channel mesh.
                 })
-                .collect();
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(v) => results[rank] = Some(v),
-                    Err(e) => std::panic::resume_unwind(e),
+                .expect("spawn persistent rank worker");
+            mailboxes.push(tx);
+            workers.push(handle);
+        }
+        PersistentWorld {
+            size: self.size,
+            mailboxes,
+            workers,
+            stats,
+            next_gen: 0,
+            poisoned: false,
+        }
+    }
+}
+
+/// A job shipped to one rank worker. Lifetime-erased: see the safety
+/// argument in [`PersistentWorld::run_at`].
+type Job = Box<dyn FnOnce(&mut RankSlot) + Send + 'static>;
+
+/// One rank worker's residency: its communicator (until a job takes it —
+/// e.g. to move it into a `CartComm` kept in `state`) and an arbitrary
+/// user-owned state that survives across jobs.
+pub(crate) struct RankSlot {
+    rank: usize,
+    size: usize,
+    comm: Option<Comm>,
+    state: Option<Box<dyn Any + Send>>,
+}
+
+/// A job's view of its rank worker, passed to every closure run through
+/// [`PersistentWorld::run`].
+pub struct RankContext<'a> {
+    slot: &'a mut RankSlot,
+    gen: u32,
+}
+
+impl RankContext<'_> {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.slot.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.slot.size
+    }
+
+    /// The generation this job runs at. When a job owns its communicator
+    /// inside [`RankContext::state`] (so the automatic per-job bump cannot
+    /// reach it), it must forward this value via [`Comm::set_generation`]
+    /// before communicating.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// The slot-resident communicator.
+    ///
+    /// # Panics
+    /// If a previous job moved the comm out with [`RankContext::take_comm`]
+    /// and never put it back.
+    pub fn comm(&mut self) -> &mut Comm {
+        self.slot
+            .comm
+            .as_mut()
+            .expect("comm was taken out of the rank slot")
+    }
+
+    /// Moves the communicator out of the slot — to consume it by value
+    /// (one-shot jobs) or embed it in a structure kept in
+    /// [`RankContext::state`]. Once taken, the job owns generation
+    /// management for it.
+    pub fn take_comm(&mut self) -> Option<Comm> {
+        self.slot.comm.take()
+    }
+
+    /// Returns a previously taken communicator to the slot.
+    pub fn put_comm(&mut self, comm: Comm) {
+        self.slot.comm = Some(comm);
+    }
+
+    /// Rank-resident user state: survives across jobs, dropped on worker
+    /// shutdown (or when a job on this rank panics).
+    pub fn state(&mut self) -> &mut Option<Box<dyn Any + Send>> {
+        &mut self.slot.state
+    }
+}
+
+/// A world whose rank threads outlive individual jobs.
+///
+/// Created by [`World::spawn_persistent`]. Each [`PersistentWorld::run`]
+/// submits one closure invocation per rank and blocks until every rank has
+/// reported back; ranks keep their `Comm`s and any [`RankContext::state`]
+/// between jobs. Jobs are generation-tagged so a message left over from job
+/// N (a delayed delivery, a halo strip that outlived its receive timeout)
+/// can never be matched by job N+1 even though both use the same tags.
+pub struct PersistentWorld {
+    size: usize,
+    mailboxes: Vec<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<Vec<CommStats>>,
+    next_gen: u32,
+    poisoned: bool,
+}
+
+impl PersistentWorld {
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Reserves `n` consecutive job generations and returns the first.
+    /// [`PersistentWorld::run`] reserves its own; reserve extra only when a
+    /// single job internally serves several requests (e.g. a batched
+    /// rollout) and needs one generation per request.
+    pub fn alloc_generations(&mut self, n: u32) -> u32 {
+        let first = self.next_gen;
+        self.next_gen = self
+            .next_gen
+            .checked_add(n)
+            .expect("generation counter overflow");
+        first
+    }
+
+    /// Runs `f` once per rank as one job at a freshly reserved generation;
+    /// blocks until every rank finishes and returns the per-rank results
+    /// ordered by rank. Panics in any rank propagate (after all ranks have
+    /// reported), and a panicked job kills its rank — comm and state are
+    /// dropped so peers observe `Disconnected` — leaving the world unusable
+    /// (subsequent runs panic).
+    pub fn run<T, F>(&mut self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankContext<'_>) -> T + Send + Sync,
+    {
+        let gen = self.alloc_generations(1);
+        self.run_at(gen, f)
+    }
+
+    /// Like [`PersistentWorld::run`] but at an explicitly reserved
+    /// generation (from [`PersistentWorld::alloc_generations`]) — the entry
+    /// point for jobs that manage a range of generations internally.
+    pub fn run_at<T, F>(&mut self, gen: u32, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankContext<'_>) -> T + Send + Sync,
+    {
+        assert!(
+            !self.poisoned,
+            "PersistentWorld: a previous job panicked; the world is dead"
+        );
+        assert!(
+            gen < self.next_gen,
+            "run_at: generation {gen} was never reserved (next is {})",
+            self.next_gen
+        );
+        // Propagate the submitting thread's trace session (if any) into
+        // each rank worker for the duration of the job, so spans land on
+        // that rank's timeline track. No-ops when tracing is off.
+        let session = pde_trace::session();
+        let (done_tx, done_rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let f = &f;
+            for (rank, mailbox) in self.mailboxes.iter().enumerate() {
+                let done = done_tx.clone();
+                let job: Box<dyn FnOnce(&mut RankSlot) + Send + '_> =
+                    Box::new(move |slot: &mut RankSlot| {
+                        // Enter this job's generation. If a previous job
+                        // moved the comm into `state`, the job itself must
+                        // forward `RankContext::generation` instead.
+                        if let Some(c) = slot.comm.as_mut() {
+                            c.set_generation(gen);
+                        }
+                        pde_trace::adopt(session, rank as u32);
+                        let out = catch_unwind(AssertUnwindSafe(|| f(RankContext { slot, gen })));
+                        pde_trace::leave();
+                        if out.is_err() {
+                            // A panicked job means a dead rank: dropping the
+                            // comm AND the state (which may hold a comm of
+                            // its own, e.g. inside a CartComm) clears the
+                            // aliveness flag so blocked peers observe
+                            // `Disconnected` instead of hanging.
+                            slot.comm = None;
+                            slot.state = None;
+                        }
+                        let _ = done.send((rank, out));
+                    });
+                // SAFETY: the job borrows `f` (and `done_tx` clones), which
+                // live on this stack frame, yet is shipped to a 'static
+                // worker thread. This is sound because the loop below blocks
+                // until every rank has sent its completion message — a send
+                // that each job performs unconditionally, on success and on
+                // caught panic alike — so no job (and hence no borrow of
+                // `f`) can outlive this call. The transmute only erases the
+                // closure's lifetime bound; the fat-pointer layout of
+                // `Box<dyn FnOnce>` is unchanged.
+                let job: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce(&mut RankSlot) + Send + '_>, Job>(job)
+                };
+                mailbox
+                    .send(job)
+                    .expect("persistent rank worker is running");
+            }
+        }
+        drop(done_tx);
+        let mut results: Vec<Option<std::thread::Result<T>>> =
+            (0..self.size).map(|_| None).collect();
+        for _ in 0..self.size {
+            let (rank, out) = done_rx
+                .recv()
+                .expect("every submitted job reports completion");
+            results[rank] = Some(out);
+        }
+        // From here on no job references `f` anymore.
+        let mut out = Vec::with_capacity(self.size);
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for r in results {
+            match r.expect("all ranks reported") {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    self.poisoned = true;
+                    first_panic.get_or_insert(e);
                 }
             }
-        })
-        .expect("World::run: a rank panicked");
-        let traffic = stats.iter().map(|s| s.report()).collect();
-        (
-            results
-                .into_iter()
-                .map(|r| r.expect("rank produced no result"))
-                .collect(),
-            traffic,
-        )
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Cumulative per-rank traffic snapshots since the world was spawned.
+    /// Per-job deltas are the difference of two snapshots.
+    pub fn traffic(&self) -> Vec<TrafficReport> {
+        self.stats.iter().map(|s| s.report()).collect()
+    }
+}
+
+impl Drop for PersistentWorld {
+    fn drop(&mut self) {
+        // Disconnect the mailboxes: workers fall out of their receive
+        // loops, drop their slots (comm + state) and exit.
+        self.mailboxes.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
 
@@ -438,5 +716,169 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn persistent_world_reuses_comms_across_jobs() {
+        let mut pw = World::new(3).spawn_persistent();
+        for round in 0..4u32 {
+            let out = pw.run(move |mut ctx| {
+                let n = ctx.size();
+                let next = (ctx.rank() + 1) % n;
+                let prev = (ctx.rank() + n - 1) % n;
+                let payload = (ctx.rank() as f64) + 100.0 * round as f64;
+                let comm = ctx.comm();
+                comm.send(next, 7, vec![payload]);
+                comm.recv(prev, 7)[0]
+            });
+            for (rank, got) in out.iter().enumerate() {
+                let prev = (rank + 2) % 3;
+                assert_eq!(*got, prev as f64 + 100.0 * round as f64, "round {round}");
+            }
+        }
+        // Traffic accumulated over all four jobs.
+        let traffic = pw.traffic();
+        assert!(traffic.iter().all(|t| t.msgs_sent >= 4));
+    }
+
+    #[test]
+    fn persistent_state_survives_between_jobs() {
+        let mut pw = World::new(2).spawn_persistent();
+        for expected in 1..=3u64 {
+            let out = pw.run(move |mut ctx| {
+                let state = ctx.state();
+                let counter = match state.as_mut().and_then(|s| s.downcast_mut::<u64>()) {
+                    Some(c) => c,
+                    None => {
+                        *state = Some(Box::new(0u64));
+                        state.as_mut().unwrap().downcast_mut::<u64>().unwrap()
+                    }
+                };
+                *counter += 1;
+                *counter
+            });
+            assert_eq!(out, vec![expected; 2]);
+        }
+    }
+
+    #[test]
+    fn generations_prevent_cross_job_message_bleed() {
+        // Job 1 sends on tag 7 but rank 1 never receives it: the message
+        // lingers in rank 1's inbox. Job 2 reuses the SAME tag — without
+        // generation tagging, rank 1 would match job 1's stale payload.
+        let mut pw = World::new(2).spawn_persistent();
+        pw.run(|mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm().send(1, 7, vec![1.0]);
+            }
+            // Barrier so the send is complete before the job ends (and so
+            // rank 0's worker does not race ahead into job 2).
+            ctx.comm().barrier();
+        });
+        let out = pw.run(|mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm().send(1, 7, vec![2.0]);
+                ctx.comm().barrier();
+                0.0
+            } else {
+                let got = ctx.comm().recv(0, 7)[0];
+                ctx.comm().barrier();
+                got
+            }
+        });
+        assert_eq!(out[1], 2.0, "job 2 must see its own payload, not job 1's");
+    }
+
+    #[test]
+    fn stale_generation_pending_is_purged() {
+        // A stale message parked in `pending` (because a same-job receive on
+        // another tag drained it first) must not match after the bump.
+        let mut pw = World::new(2).spawn_persistent();
+        pw.run(|mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm().send(1, 7, vec![1.0]);
+                ctx.comm().send(1, 8, vec![8.0]);
+                ctx.comm().barrier();
+            } else {
+                // Receiving tag 8 parks tag 7 in the pending queue.
+                assert_eq!(ctx.comm().recv(0, 8), vec![8.0]);
+                ctx.comm().barrier();
+            }
+        });
+        let out = pw.run(|mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.comm().barrier();
+                true
+            } else {
+                let stale = ctx
+                    .comm()
+                    .recv_timeout(0, 7, Duration::from_millis(30))
+                    .is_err();
+                ctx.comm().barrier();
+                stale
+            }
+        });
+        assert!(out[1], "job 1's parked tag-7 message must not match job 2");
+    }
+
+    #[test]
+    fn run_at_serves_multiple_generations_in_one_job() {
+        // A batched job: K requests back-to-back inside one submission,
+        // each at its own generation (the engine's batching pattern).
+        let k = 3u32;
+        let mut pw = World::new(2).spawn_persistent();
+        let base = pw.alloc_generations(k);
+        let out = pw.run_at(base, move |mut ctx| {
+            let mut sum = 0.0;
+            for i in 0..k {
+                ctx.comm().set_generation(base + i);
+                if ctx.rank() == 0 {
+                    ctx.comm().send(1, 5, vec![i as f64]);
+                    ctx.comm().barrier();
+                } else {
+                    sum += ctx.comm().recv(0, 5)[0];
+                    ctx.comm().barrier();
+                }
+            }
+            sum
+        });
+        assert_eq!(out[1], 3.0); // 0 + 1 + 2
+    }
+
+    #[test]
+    fn persistent_rank_panic_propagates_and_poisons() {
+        let mut pw = World::new(2).spawn_persistent();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pw.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "rank panic must propagate to the driver");
+        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pw.run(|_ctx| ());
+        }));
+        assert!(again.is_err(), "a poisoned world must refuse further jobs");
+    }
+
+    #[test]
+    fn fault_plan_applies_to_persistent_jobs() {
+        let mut pw = World::new(2)
+            .with_fault_plan(FaultPlan::drop_edge(0, 1))
+            .spawn_persistent();
+        for _ in 0..2 {
+            let out = pw.run(|mut ctx| {
+                if ctx.rank() == 0 {
+                    ctx.comm().send(1, 5, vec![1.0]);
+                    true
+                } else {
+                    ctx.comm()
+                        .recv_timeout(0, 5, Duration::from_millis(30))
+                        .is_err()
+                }
+            });
+            assert!(out[1], "dropped message should time out in every job");
+        }
     }
 }

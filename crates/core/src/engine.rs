@@ -1,0 +1,512 @@
+//! The persistent serving engine: one long-lived world, resident models,
+//! repeated rollouts.
+//!
+//! [`crate::infer::ParallelInference::rollout`] is a *cold* path: every call
+//! spawns rank threads, rebuilds and re-restores every rank's network,
+//! re-allocates scratch, rolls out, and tears it all down. That is the right
+//! shape for a one-shot experiment and the wrong shape for serving, where
+//! the same trained model answers many requests.
+//!
+//! [`InferEngine`] keeps the expensive parts alive between requests:
+//!
+//! * a [`PersistentWorld`] whose rank threads (and their [`CartComm`]s)
+//!   outlive any single request;
+//! * a per-rank model registry — each registered model's
+//!   [`crate::infer::RankRolloutState`] (restored network, window ring,
+//!   halo caches, scratch tensors) is built **once** on its rank thread and
+//!   then only `reset` between requests;
+//! * generation-tagged request isolation: every request runs under a fresh
+//!   [`pde_commsim::Comm`] generation, so a strip still in flight from
+//!   request *k* can never satisfy a receive in request *k+1* (see
+//!   DESIGN.md §4f).
+//!
+//! Warm rollouts are bitwise-identical to cold ones — same tags, same
+//! seeded fault decisions (generations are deliberately invisible to
+//! [`FaultPlan`] edge functions), same arithmetic — which the equivalence
+//! suite enforces under both halo policies.
+
+use crate::arch::ArchSpec;
+use crate::infer::{HaloPolicy, InferError, ParallelInference, RolloutResult};
+use crate::padding::PaddingStrategy;
+use crate::train::TrainOutcome;
+use pde_commsim::{CartComm, FaultPlan, PersistentWorld, RankContext, TrafficReport, World};
+use pde_tensor::{perf, PerfCounters, Tensor3};
+use std::collections::BTreeMap;
+
+/// How to build an [`InferEngine`]: rank count plus an optional fault plan
+/// for the engine's world (the plan applies to *every* request, exactly as
+/// [`crate::infer::ParallelInference::with_fault_plan`] applies to every
+/// cold rollout).
+#[derive(Clone, Default)]
+pub struct EngineConfig {
+    /// Ranks the persistent world spawns; every registered model's
+    /// partition must have exactly this many.
+    pub n_ranks: usize,
+    /// Optional message-fault injection for the engine's transport.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl EngineConfig {
+    /// A fault-free engine over `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        EngineConfig {
+            n_ranks,
+            fault_plan: None,
+        }
+    }
+
+    /// Injects `plan` into every request served by the engine.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// What lives in each rank slot of the engine's world: the rank's Cartesian
+/// communicator (moved out of the slot on first registration, so it
+/// survives across jobs) and one resident rollout machine per registered
+/// model.
+struct EngineRankState {
+    cart: CartComm,
+    models: BTreeMap<String, crate::infer::RankRolloutState>,
+    /// Resident trajectory buffer the request loop records into, regrown
+    /// only when the served model's local shape or the step count changes.
+    /// Steps copy into it and the outgoing result is cloned from it *after*
+    /// the perf window closes, which is what keeps a warm request's
+    /// measured [`PerfCounters::allocs`] at zero steady-state (for a
+    /// communication-free model; sends inherently allocate payloads).
+    trajectory: Vec<Tensor3>,
+}
+
+/// Borrows the rank-resident state out of a job context. Panics only on
+/// engine bugs — the driver never submits a request before registration.
+fn resident<'a>(ctx: &'a mut RankContext<'_>) -> &'a mut EngineRankState {
+    ctx.state()
+        .as_mut()
+        .expect("engine job ran before any model was registered")
+        .downcast_mut::<EngineRankState>()
+        .expect("engine rank slot holds EngineRankState")
+}
+
+/// A long-lived inference server: a [`PersistentWorld`] plus a registry of
+/// resident models, serving repeated [`InferEngine::rollout`] /
+/// [`InferEngine::rollout_from_history`] / [`InferEngine::rollout_batch`]
+/// requests without re-spawning threads or re-loading weights.
+///
+/// ```
+/// use pde_ml_core::prelude::*;
+///
+/// let data = pde_euler::dataset::paper_dataset(16, 6);
+/// let arch = ArchSpec::tiny();
+/// let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::ZeroPad,
+///                                    TrainConfig::quick_test())
+///     .train(&data, 4)
+///     .unwrap();
+/// let mut engine = InferEngine::new(4);
+/// engine.register_outcome("pulse", arch, PaddingStrategy::ZeroPad, &outcome);
+/// let warm = engine.rollout("pulse", data.snapshot(0), 3).unwrap();
+/// assert_eq!(warm.states.len(), 4);
+/// ```
+pub struct InferEngine {
+    world: PersistentWorld,
+    /// Driver-side blueprints: validation, scatter/stitch geometry and
+    /// normalization per model name. The rank-side twins (restored nets +
+    /// scratch) live on the worker threads.
+    models: BTreeMap<String, ParallelInference>,
+    /// The `(py, px)` Cartesian layout fixed by the first registration —
+    /// the resident `CartComm`s are built for it, so every later model
+    /// must decompose the same way.
+    layout: Option<(usize, usize)>,
+}
+
+impl InferEngine {
+    /// Spawns a fault-free persistent world of `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        Self::with_config(EngineConfig::new(n_ranks))
+    }
+
+    /// Spawns the engine's world per `cfg` (rank count + fault plan).
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        let mut world = World::new(cfg.n_ranks);
+        if let Some(plan) = cfg.fault_plan {
+            world = world.with_fault_plan(plan);
+        }
+        InferEngine {
+            world: world.spawn_persistent(),
+            models: BTreeMap::new(),
+            layout: None,
+        }
+    }
+
+    /// Ranks in the engine's world.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// Registered model names, sorted.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Registers `inf` under `name`, loading each rank's network **on its
+    /// rank thread, once**. Later requests only `reset` the resident state.
+    /// Re-registering a name replaces the model on every rank.
+    ///
+    /// Panics when the model's partition does not match the engine (rank
+    /// count, or the `(py, px)` layout fixed by the first registration) —
+    /// a configuration error, like the panics in
+    /// [`ParallelInference::new`].
+    ///
+    /// The blueprint's own fault plan is ignored here: the engine's
+    /// transport was configured once via [`EngineConfig::with_fault_plan`].
+    pub fn register(&mut self, name: &str, inf: ParallelInference) {
+        let part = inf.partition();
+        assert_eq!(
+            part.rank_count(),
+            self.world.size(),
+            "register('{name}'): model is partitioned over {} ranks but the engine world has {}",
+            part.rank_count(),
+            self.world.size()
+        );
+        let (py, px) = (part.py(), part.px());
+        match self.layout {
+            Some(fixed) => assert_eq!(
+                (py, px),
+                fixed,
+                "register('{name}'): model decomposes as {py}x{px} but the engine's resident \
+                 topology was fixed at {}x{} by the first registration",
+                fixed.0,
+                fixed.1
+            ),
+            None => self.layout = Some((py, px)),
+        }
+        self.world.run(|mut ctx| {
+            if ctx.state().is_none() {
+                let comm = ctx
+                    .take_comm()
+                    .expect("a freshly spawned world has a resident comm");
+                let cart = CartComm::new(comm, py, px, false);
+                *ctx.state() = Some(Box::new(EngineRankState {
+                    cart,
+                    models: BTreeMap::new(),
+                    trajectory: Vec::new(),
+                }));
+            }
+            let rank = ctx.rank();
+            let ers = resident(&mut ctx);
+            ers.models.insert(name.to_string(), inf.rank_state(rank));
+        });
+        self.models.insert(name.to_string(), inf);
+    }
+
+    /// Convenience: build the blueprint from a training outcome (weights,
+    /// partition, normalization, prediction mode, window) and register it.
+    pub fn register_outcome(
+        &mut self,
+        name: &str,
+        arch: ArchSpec,
+        strategy: PaddingStrategy,
+        outcome: &TrainOutcome,
+    ) {
+        self.register(
+            name,
+            ParallelInference::from_outcome(arch, strategy, outcome),
+        );
+    }
+
+    /// Serves one rollout request against the resident model `name`
+    /// (window-1 models; windowed models use
+    /// [`InferEngine::rollout_from_history`]).
+    pub fn rollout(
+        &mut self,
+        name: &str,
+        initial: &Tensor3,
+        n_steps: usize,
+    ) -> Result<RolloutResult, InferError> {
+        let inf = self
+            .models
+            .get(name)
+            .ok_or_else(|| InferError::UnknownModel {
+                name: name.to_string(),
+            })?;
+        if inf.window() != 1 {
+            return Err(InferError::WindowMismatch {
+                expected: inf.window(),
+                got: 1,
+            });
+        }
+        self.rollout_from_history(name, std::slice::from_ref(initial), n_steps)
+    }
+
+    /// Serves one windowed rollout request against the resident model
+    /// `name`. Bitwise-identical to a cold
+    /// [`ParallelInference::rollout_from_history`] on the same
+    /// configuration.
+    pub fn rollout_from_history(
+        &mut self,
+        name: &str,
+        history: &[Tensor3],
+        n_steps: usize,
+    ) -> Result<RolloutResult, InferError> {
+        let mut results = self.rollout_batch(name, &[history], n_steps)?;
+        Ok(results.pop().expect("one request in, one result out"))
+    }
+
+    /// Serves `histories.len()` independent rollout requests in a single
+    /// round of jobs: each rank thread processes the requests in order,
+    /// switching its comm to a freshly allocated generation per request so
+    /// in-flight strips from one request can never bleed into the next.
+    ///
+    /// Returns one [`RolloutResult`] per request, in order, each with its
+    /// own per-rank [`TrafficReport`]s and [`PerfCounters`] (counter deltas
+    /// taken around that request alone).
+    pub fn rollout_batch(
+        &mut self,
+        name: &str,
+        histories: &[&[Tensor3]],
+        n_steps: usize,
+    ) -> Result<Vec<RolloutResult>, InferError> {
+        let inf = self
+            .models
+            .get(name)
+            .ok_or_else(|| InferError::UnknownModel {
+                name: name.to_string(),
+            })?;
+        for h in histories {
+            inf.validate_history(h)?;
+        }
+        if histories.is_empty() {
+            return Ok(Vec::new());
+        }
+        // [request][rank][slot] normalized local windows.
+        let scattered: Vec<Vec<Vec<Tensor3>>> =
+            histories.iter().map(|h| inf.scatter_history(h)).collect();
+        let window = inf.window();
+        let quiesce =
+            matches!(inf.halo_policy(), HaloPolicy::Degrade { .. }) && inf.input_halo() > 0;
+        let base = self.world.alloc_generations(histories.len() as u32);
+        let outs = self.world.run_at(base, |mut ctx| {
+            let rank = ctx.rank();
+            let EngineRankState {
+                cart,
+                models,
+                trajectory,
+            } = resident(&mut ctx);
+            let st = models
+                .get_mut(name)
+                .expect("driver checked the registry before submitting");
+            let mut per_request = Vec::with_capacity(scattered.len());
+            for (i, request) in scattered.iter().enumerate() {
+                cart.comm_mut().set_generation(base + i as u32);
+                st.reset(&request[rank]);
+                let (c, h, w) = st.latest().shape();
+                if trajectory.len() != n_steps + 1
+                    || trajectory.first().map(Tensor3::shape) != Some((c, h, w))
+                {
+                    *trajectory = (0..=n_steps).map(|_| Tensor3::zeros(c, h, w)).collect();
+                }
+                let traffic0 = cart.comm().stats().report();
+                let perf0 = perf::snapshot();
+                trajectory[0]
+                    .as_mut_slice()
+                    .copy_from_slice(st.latest().as_slice());
+                for step in 0..n_steps {
+                    let next = st.step(cart, (step * window) as u32);
+                    trajectory[step + 1]
+                        .as_mut_slice()
+                        .copy_from_slice(next.as_slice());
+                }
+                // Same quiesce rule as the cold path: under Degrade a rank
+                // can finish steps ahead of a timed-out neighbor, and here
+                // it would otherwise race ahead into the *next* request.
+                // The barrier (fault-exempt) holds it back. Not needed
+                // under Strict, where every receive blocks until matched.
+                if quiesce {
+                    cart.comm_mut().barrier();
+                }
+                let spent = perf::snapshot().since(&perf0);
+                let moved = cart.comm().stats().report().since(&traffic0);
+                per_request.push((trajectory.clone(), spent, moved));
+            }
+            per_request
+        });
+
+        // Transpose [rank][request] → one RolloutResult per request.
+        let mut per_rank: Vec<_> = outs.into_iter().map(Vec::into_iter).collect();
+        let mut results = Vec::with_capacity(histories.len());
+        for history in histories {
+            let mut rank_histories = Vec::with_capacity(per_rank.len());
+            let mut traffic: Vec<TrafficReport> = Vec::with_capacity(per_rank.len());
+            let mut rank_perf: Vec<PerfCounters> = Vec::with_capacity(per_rank.len());
+            for it in &mut per_rank {
+                let (produced, perf, report) =
+                    it.next().expect("every rank returns one entry per request");
+                rank_histories.push(produced);
+                rank_perf.push(perf);
+                traffic.push(report);
+            }
+            let initial = history.last().expect("window >= 1");
+            results.push(RolloutResult {
+                states: inf.stitch_states(initial, &rank_histories, n_steps),
+                traffic,
+                rank_perf,
+            });
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::HaloFallback;
+    use crate::train::{ParallelTrainer, TrainConfig};
+    use pde_euler::dataset::paper_dataset;
+
+    fn trained(
+        strategy: PaddingStrategy,
+        n_ranks: usize,
+    ) -> (pde_euler::DataSet, ParallelInference) {
+        let data = paper_dataset(16, 8);
+        let arch = ArchSpec::tiny();
+        let outcome = ParallelTrainer::new(arch.clone(), strategy, TrainConfig::quick_test())
+            .train_view(&data, 6, n_ranks)
+            .unwrap();
+        (
+            data,
+            ParallelInference::from_outcome(arch, strategy, &outcome),
+        )
+    }
+
+    #[test]
+    fn warm_rollouts_match_cold_bitwise_across_requests() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let cold_a = inf.rollout(data.snapshot(0), 3).unwrap();
+        let cold_b = inf.rollout(data.snapshot(4), 3).unwrap();
+        let mut engine = InferEngine::new(4);
+        engine.register("m", inf);
+        // Repeated warm requests from the same resident state.
+        let warm_a = engine.rollout("m", data.snapshot(0), 3).unwrap();
+        let warm_b = engine.rollout("m", data.snapshot(4), 3).unwrap();
+        let warm_a2 = engine.rollout("m", data.snapshot(0), 3).unwrap();
+        assert_eq!(warm_a.states, cold_a.states, "first warm request");
+        assert_eq!(warm_b.states, cold_b.states, "different initial condition");
+        assert_eq!(warm_a2.states, cold_a.states, "request after a reset");
+        // Per-request traffic attribution matches a cold world's counters.
+        for (w, c) in warm_b.traffic.iter().zip(&cold_b.traffic) {
+            assert_eq!(w.msgs_sent, c.msgs_sent);
+            assert_eq!(w.bytes_sent, c.bytes_sent);
+        }
+    }
+
+    #[test]
+    fn batch_matches_independent_cold_rollouts() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let colds: Vec<_> = (0..3)
+            .map(|k| inf.rollout(data.snapshot(k), 2).unwrap())
+            .collect();
+        let mut engine = InferEngine::new(4);
+        engine.register("m", inf);
+        let h: Vec<&[Tensor3]> = (0..3)
+            .map(|k| std::slice::from_ref(data.snapshot(k)))
+            .collect();
+        let batch = engine.rollout_batch("m", &h, 2).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (k, (warm, cold)) in batch.iter().zip(&colds).enumerate() {
+            assert_eq!(warm.states, cold.states, "request {k}");
+            for (w, c) in warm.traffic.iter().zip(&cold.traffic) {
+                assert_eq!(w.msgs_sent, c.msgs_sent, "request {k} traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_serves_multiple_registered_models() {
+        let (data, inf_np) = trained(PaddingStrategy::NeighborPad, 4);
+        let (_, inf_zp) = trained(PaddingStrategy::ZeroPad, 4);
+        let cold_np = inf_np.rollout(data.snapshot(1), 2).unwrap();
+        let cold_zp = inf_zp.rollout(data.snapshot(1), 2).unwrap();
+        let mut engine = InferEngine::new(4);
+        engine.register("neighbor", inf_np);
+        engine.register("zero", inf_zp);
+        assert_eq!(engine.model_names(), vec!["neighbor", "zero"]);
+        let warm_zp = engine.rollout("zero", data.snapshot(1), 2).unwrap();
+        let warm_np = engine.rollout("neighbor", data.snapshot(1), 2).unwrap();
+        assert_eq!(warm_np.states, cold_np.states);
+        assert_eq!(warm_zp.states, cold_zp.states);
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error_not_a_crash() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let mut engine = InferEngine::new(4);
+        engine.register("only", inf);
+        let err = engine.rollout("missing", data.snapshot(0), 1).unwrap_err();
+        assert_eq!(
+            err,
+            InferError::UnknownModel {
+                name: "missing".into()
+            }
+        );
+        assert!(err.to_string().contains("missing"));
+        // The engine survives the refused request.
+        assert!(engine.rollout("only", data.snapshot(0), 1).is_ok());
+    }
+
+    #[test]
+    fn bad_request_is_refused_without_poisoning_the_engine() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let mut engine = InferEngine::new(4);
+        engine.register("m", inf);
+        let wrong = Tensor3::zeros(4, 8, 8);
+        let err = engine.rollout("m", &wrong, 2).unwrap_err();
+        assert_eq!(
+            err,
+            InferError::ShapeMismatch {
+                expected: (16, 16),
+                got: (8, 8)
+            }
+        );
+        assert!(engine.rollout("m", data.snapshot(0), 2).is_ok());
+    }
+
+    #[test]
+    fn degraded_warm_rollouts_match_cold_under_seeded_loss() {
+        let plan = FaultPlan::loss_rate(0.3, 0xFA_117);
+        let policy = HaloPolicy::Degrade {
+            timeout: pde_commsim::test_timeout(),
+            fallback: HaloFallback::LastKnown,
+        };
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let inf = inf.with_halo_policy(policy);
+        let cold = inf
+            .clone()
+            .with_fault_plan(plan.clone())
+            .rollout(data.snapshot(2), 3)
+            .unwrap();
+        let mut engine = InferEngine::with_config(EngineConfig::new(4).with_fault_plan(plan));
+        engine.register("m", inf);
+        let warm1 = engine.rollout("m", data.snapshot(2), 3).unwrap();
+        let warm2 = engine.rollout("m", data.snapshot(2), 3).unwrap();
+        assert_eq!(warm1.states, cold.states, "warm request 1 vs cold");
+        assert_eq!(warm2.states, cold.states, "warm request 2 vs cold");
+        assert_eq!(
+            warm1.traffic.iter().map(|t| t.halos_lost).sum::<u64>(),
+            cold.traffic.iter().map(|t| t.halos_lost).sum::<u64>(),
+            "seeded loss pattern is generation-independent"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "engine world has")]
+    fn registering_a_mismatched_partition_panics() {
+        let (_, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let mut engine = InferEngine::new(2);
+        engine.register("m", inf);
+    }
+}

@@ -22,8 +22,75 @@ use pde_domain::halo::{pack_cols, pack_rows, place_rows};
 use pde_domain::{gather, scatter, GridPartition};
 use pde_nn::serialize::restore;
 use pde_nn::{Layer, Sequential};
-use pde_tensor::{Tensor3, Tensor4};
+use pde_tensor::{perf, PerfCounters, Tensor3, Tensor4};
 use std::time::Duration;
+
+/// Why a rollout request was rejected before any rank ran. Returned (not
+/// panicked) so a serving layer can refuse one bad request without tearing
+/// down the engine — and so the CLI can print a hint instead of a
+/// backtrace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InferError {
+    /// A history state's spatial shape does not match the trained
+    /// partition.
+    ShapeMismatch {
+        /// `(h, w)` the partition was built for.
+        expected: (usize, usize),
+        /// `(h, w)` of the offending state.
+        got: (usize, usize),
+    },
+    /// A history state's channel count does not match the trained
+    /// normalization.
+    ChannelMismatch {
+        /// Channels the model was trained on.
+        expected: usize,
+        /// Channels of the offending state.
+        got: usize,
+    },
+    /// The number of history states does not match the training window.
+    WindowMismatch {
+        /// The model's time-window width.
+        expected: usize,
+        /// States supplied.
+        got: usize,
+    },
+    /// The request named a model the engine has never been given.
+    UnknownModel {
+        /// The name the request asked for.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::ShapeMismatch { expected, got } => write!(
+                f,
+                "state is {}x{} but the model was trained on a {}x{} grid — \
+                 pass a state from the same simulation resolution (or retrain)",
+                got.0, got.1, expected.0, expected.1
+            ),
+            InferError::ChannelMismatch { expected, got } => write!(
+                f,
+                "state has {got} channels but the model expects {expected} — \
+                 the dataset and model disagree on the field set"
+            ),
+            InferError::WindowMismatch { expected, got } => write!(
+                f,
+                "model was trained with a time window of {expected} state(s) but {got} were \
+                 supplied — pass exactly {expected} consecutive states (oldest first) to \
+                 rollout_from_history"
+            ),
+            InferError::UnknownModel { name } => write!(
+                f,
+                "no model named '{name}' is registered with the engine — \
+                 call InferEngine::register (or register_outcome) first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
 
 /// What replaces a halo strip whose message was lost (under
 /// [`HaloPolicy::Degrade`]). A *dead peer* is never replaced — see
@@ -72,6 +139,11 @@ pub struct RolloutResult {
     pub states: Vec<Tensor3>,
     /// Per-rank traffic and halo-resilience counters during the rollout.
     pub traffic: Vec<TrafficReport>,
+    /// Per-rank compute counters (FLOPs, GEMM calls, heap allocations)
+    /// measured on each rank thread over the rollout loop — reset/steps
+    /// only, excluding model construction. `allocs` is how the zero-alloc
+    /// suite observes that a warm engine request stays off the heap.
+    pub rank_perf: Vec<PerfCounters>,
 }
 
 impl RolloutResult {
@@ -103,6 +175,7 @@ impl RolloutResult {
 }
 
 /// Trained per-subdomain networks ready for parallel inference.
+#[derive(Clone)]
 pub struct ParallelInference {
     arch: ArchSpec,
     strategy: PaddingStrategy,
@@ -205,6 +278,16 @@ impl ParallelInference {
         self.halo_policy
     }
 
+    /// The time-window width the model was trained with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The input halo width rollouts exchange (0 = communication-free).
+    pub(crate) fn input_halo(&self) -> usize {
+        self.strategy.input_halo(self.arch.halo())
+    }
+
     /// Builds from a [`TrainOutcome`] (same arch/strategy as training).
     pub fn from_outcome(arch: ArchSpec, strategy: PaddingStrategy, outcome: &TrainOutcome) -> Self {
         let weights = outcome
@@ -228,139 +311,136 @@ impl ParallelInference {
         &self.part
     }
 
+    /// Checks one request's history against the trained configuration —
+    /// the single validation path shared by [`ParallelInference::rollout`],
+    /// [`ParallelInference::rollout_from_history`] and the serving engine.
+    pub fn validate_history(&self, history: &[Tensor3]) -> Result<(), InferError> {
+        if history.len() != self.window {
+            return Err(InferError::WindowMismatch {
+                expected: self.window,
+                got: history.len(),
+            });
+        }
+        for state in history {
+            if (state.h(), state.w()) != (self.part.global_h(), self.part.global_w()) {
+                return Err(InferError::ShapeMismatch {
+                    expected: (self.part.global_h(), self.part.global_w()),
+                    got: (state.h(), state.w()),
+                });
+            }
+            if state.c() != self.norm.channels() {
+                return Err(InferError::ChannelMismatch {
+                    expected: self.norm.channels(),
+                    got: state.c(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatters a (validated) global history into per-rank normalized local
+    /// histories, oldest first — the networks operate in normalized space.
+    pub(crate) fn scatter_history(&self, history: &[Tensor3]) -> Vec<Vec<Tensor3>> {
+        let mut acc: Vec<Vec<Tensor3>> = vec![Vec::new(); self.part.rank_count()];
+        for g in history {
+            for (r, local) in scatter(&self.norm.normalize3(g), &self.part)
+                .into_iter()
+                .enumerate()
+            {
+                acc[r].push(local);
+            }
+        }
+        acc
+    }
+
+    /// Builds rank `rank`'s resident rollout machine: the restored network
+    /// plus history ring, halo caches and scratch tensors sized for that
+    /// rank's block. The serving engine keeps these alive across requests;
+    /// the one-shot rollout below builds one per call.
+    pub fn rank_state(&self, rank: usize) -> RankRolloutState {
+        let mut net = self.arch.build_for(self.strategy, 0);
+        restore(&mut net, &self.weights[rank]);
+        let block = self.part.block_of_rank(rank);
+        RankRolloutState::new(
+            net,
+            self.window,
+            self.strategy.input_halo(self.arch.halo()),
+            self.halo_policy,
+            self.prediction,
+            self.norm.channels(),
+            block.h,
+            block.w,
+        )
+    }
+
+    /// Stitches per-rank normalized step outputs back into global physical
+    /// states: `states[0]` is the caller's own initial state, `states[k]`
+    /// the gathered, denormalized prediction after `k` steps.
+    pub(crate) fn stitch_states(
+        &self,
+        initial: &Tensor3,
+        histories: &[Vec<Tensor3>],
+        n_steps: usize,
+    ) -> Vec<Tensor3> {
+        let mut states = Vec::with_capacity(n_steps + 1);
+        states.push(initial.clone());
+        for k in 1..=n_steps {
+            let step_locals: Vec<Tensor3> = histories.iter().map(|h| h[k].clone()).collect();
+            states.push(self.norm.denormalize3(&gather(&step_locals, &self.part)));
+        }
+        states
+    }
+
     /// Runs an `n_steps` autonomous rollout from `initial` with one thread
     /// per rank and p2p halo exchange.
     ///
-    /// # Panics
-    /// If the model was trained with a time window > 1 — those models need
-    /// [`ParallelInference::rollout_from_history`].
-    pub fn rollout(&self, initial: &Tensor3, n_steps: usize) -> RolloutResult {
-        assert_eq!(
-            self.window, 1,
-            "rollout: windowed model needs rollout_from_history with {} states",
-            self.window
-        );
+    /// Fails with [`InferError`] when `initial` does not match the trained
+    /// configuration — including models trained with a time window > 1,
+    /// which need [`ParallelInference::rollout_from_history`].
+    pub fn rollout(&self, initial: &Tensor3, n_steps: usize) -> Result<RolloutResult, InferError> {
+        if self.window != 1 {
+            return Err(InferError::WindowMismatch {
+                expected: self.window,
+                got: 1,
+            });
+        }
         self.rollout_from_history(std::slice::from_ref(initial), n_steps)
     }
 
     /// Windowed rollout: `history` holds the last `window` global states,
     /// oldest first; the model then predicts `n_steps` further states.
     ///
-    /// Returns states `[history.last(), pred_1, …, pred_n]`.
-    pub fn rollout_from_history(&self, history: &[Tensor3], n_steps: usize) -> RolloutResult {
-        assert_eq!(
-            history.len(),
-            self.window,
-            "rollout_from_history: need exactly {} states, got {}",
-            self.window,
-            history.len()
-        );
-        let initial = history.last().expect("non-empty history");
+    /// Returns states `[history.last(), pred_1, …, pred_n]`, or an
+    /// [`InferError`] when the history does not match the trained
+    /// configuration.
+    pub fn rollout_from_history(
+        &self,
+        history: &[Tensor3],
+        n_steps: usize,
+    ) -> Result<RolloutResult, InferError> {
+        self.validate_history(history)?;
+        let initial = history.last().expect("window >= 1");
         let part = self.part;
-        assert_eq!(
-            (initial.h(), initial.w()),
-            (part.global_h(), part.global_w()),
-            "rollout: initial state does not match the partition"
-        );
-        assert_eq!(
-            initial.c(),
-            self.norm.channels(),
-            "rollout: channel mismatch"
-        );
-        // The networks operate in normalized space; states are mapped back
-        // before being returned. Each rank keeps the last `window` local
-        // states (oldest first).
-        let per_rank_history: Vec<Vec<Tensor3>> = {
-            let mut acc: Vec<Vec<Tensor3>> = vec![Vec::new(); part.rank_count()];
-            for g in history {
-                for (r, local) in scatter(&self.norm.normalize3(g), &part)
-                    .into_iter()
-                    .enumerate()
-                {
-                    acc[r].push(local);
-                }
-            }
-            acc
-        };
+        let per_rank_history = self.scatter_history(history);
         let halo = self.strategy.input_halo(self.arch.halo());
-        let arch = &self.arch;
-        let strategy = self.strategy;
-        let weights = &self.weights;
-        let prediction = self.prediction;
         let window = self.window;
         let policy = self.halo_policy;
-        let n_ranks = part.rank_count();
 
-        let mut world = World::new(n_ranks);
+        let mut world = World::new(part.rank_count());
         if let Some(plan) = &self.fault_plan {
             world = world.with_fault_plan(plan.clone());
         }
-        let (histories, traffic) = world.run_with_stats(|comm| {
+        let (outs, traffic) = world.run_with_stats(|comm| {
             let rank = comm.rank();
-            let mut net = arch.build_for(strategy, 0);
-            restore(&mut net, &weights[rank]);
             let mut cart = CartComm::new(comm, part.py(), part.px(), false);
-            let mut recent: Vec<Tensor3> = per_rank_history[rank].clone();
-            // One last-known-strip cache per window slot (the slots cycle
-            // through `recent` positions, so slot s at step k holds the
-            // same physical field as slot s at step k−1 did one step ago).
-            let mut caches: Vec<HaloCache> = vec![HaloCache::default(); window];
+            let mut st = self.rank_state(rank);
+            st.reset(&per_rank_history[rank]);
+            let perf0 = perf::snapshot();
             let mut produced = Vec::with_capacity(n_steps + 1);
-            produced.push(recent.last().expect("history").clone());
+            produced.push(st.latest().clone());
             for step in 0..n_steps {
-                let _step_span = pde_trace::span_args(
-                    pde_trace::Category::Infer,
-                    pde_trace::names::STEP,
-                    step as u64,
-                    0,
-                );
-                // Assemble the padded input of every window state; the tag
-                // encodes (step, window slot) so concurrent exchanges of
-                // different slots cannot cross.
-                let padded: Vec<Tensor3> = recent
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, state)| {
-                        if halo == 0 {
-                            state.clone()
-                        } else {
-                            let tag = (step * window + slot) as u32;
-                            match policy {
-                                HaloPolicy::Strict => {
-                                    assemble_halo_input(&mut cart, state, halo, tag)
-                                }
-                                HaloPolicy::Degrade { timeout, fallback } => {
-                                    assemble_halo_input_degraded(
-                                        &mut cart,
-                                        state,
-                                        halo,
-                                        tag,
-                                        timeout,
-                                        fallback,
-                                        &mut caches[slot],
-                                    )
-                                }
-                            }
-                        }
-                    })
-                    .collect();
-                let refs: Vec<&Tensor3> = padded.iter().collect();
-                let input = Tensor3::concat_channels(&refs);
-                let y = net
-                    .forward(&Tensor4::from_sample(&input), false)
-                    .sample_tensor(0);
-                let last = recent.last().expect("history");
-                let next = match prediction {
-                    PredictionMode::Absolute => y,
-                    PredictionMode::Residual => {
-                        let mut n = last.clone();
-                        n.axpy(1.0, &y);
-                        n
-                    }
-                };
-                recent.remove(0);
-                recent.push(next.clone());
-                produced.push(next);
+                let next = st.step(&mut cart, (step * window) as u32);
+                produced.push(next.clone());
             }
             // Quiesce under Degrade: a healthy rank can run several steps
             // ahead of a neighbor that is waiting out timeouts; exiting
@@ -370,18 +450,16 @@ impl ParallelInference {
             if matches!(policy, HaloPolicy::Degrade { .. }) && halo > 0 {
                 cart.comm_mut().barrier();
             }
-            produced
+            (produced, perf::snapshot().since(&perf0))
         });
+        let (histories, rank_perf): (Vec<Vec<Tensor3>>, Vec<PerfCounters>) =
+            outs.into_iter().unzip();
 
-        // Stitch per-step global states on the driving thread and map back
-        // to physical space. Step 0 is the caller's own initial state.
-        let mut states = Vec::with_capacity(n_steps + 1);
-        states.push(initial.clone());
-        for k in 1..=n_steps {
-            let step_locals: Vec<Tensor3> = histories.iter().map(|h| h[k].clone()).collect();
-            states.push(self.norm.denormalize3(&gather(&step_locals, &part)));
-        }
-        RolloutResult { states, traffic }
+        Ok(RolloutResult {
+            states: self.stitch_states(initial, &histories, n_steps),
+            traffic,
+            rank_perf,
+        })
     }
 
     /// Thread-free reference rollout: at every step the *global* state is
@@ -457,6 +535,177 @@ impl ParallelInference {
             recent.push(next);
         }
         states
+    }
+}
+
+/// One rank's resident rollout machine — the old ~150-line rollout closure
+/// made into a value you can keep, test, and reuse.
+///
+/// Owns the rank's restored [`Sequential`], its window history ring, the
+/// per-slot last-known [`HaloCache`]s, and resident input/output scratch
+/// tensors. [`RankRolloutState::reset`] rewinds it to a new initial
+/// history; each [`RankRolloutState::step`] advances one prediction step
+/// (halo exchange → forward pass → ring rotation). Communication goes
+/// through the [`CartComm`] the *caller* owns, so one communicator can
+/// serve several resident models on the same rank.
+///
+/// The step path is engineered to stay off the heap once warm: the input
+/// is assembled straight into a resident `Tensor4`, the forward pass uses
+/// the network's ping-pong workspace, and the prediction overwrites the
+/// ring's oldest buffer in place. With a communication-free strategy
+/// (`halo == 0`, e.g. zero-padding) a warm step performs **zero**
+/// allocations; with halo exchange the transported strips still allocate
+/// (payloads travel through channels by value).
+pub struct RankRolloutState {
+    net: Sequential,
+    window: usize,
+    halo: usize,
+    policy: HaloPolicy,
+    prediction: PredictionMode,
+    /// Last `window` local states in normalized space, oldest first. Ring
+    /// storage: `step` rotates it and overwrites the freed buffer.
+    recent: Vec<Tensor3>,
+    /// One last-known-strip cache per window slot (the slots cycle through
+    /// `recent` positions, so slot s at step k holds the same physical
+    /// field as slot s at step k−1 did one step ago).
+    caches: Vec<HaloCache>,
+    /// Resident network input: the window states' padded channels
+    /// concatenated, batch dimension 1.
+    input: Tensor4,
+    /// Resident network output.
+    output: Tensor4,
+}
+
+impl RankRolloutState {
+    /// Builds the machine for a `c × h × w` local block. `net` must already
+    /// hold the rank's weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: Sequential,
+        window: usize,
+        halo: usize,
+        policy: HaloPolicy,
+        prediction: PredictionMode,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Self {
+        assert!(window >= 1, "RankRolloutState: window must be >= 1");
+        Self {
+            net,
+            window,
+            halo,
+            policy,
+            prediction,
+            recent: (0..window).map(|_| Tensor3::zeros(c, h, w)).collect(),
+            caches: vec![HaloCache::default(); window],
+            input: Tensor4::zeros(1, window * c, h + 2 * halo, w + 2 * halo),
+            output: Tensor4::zeros(0, 0, 0, 0),
+        }
+    }
+
+    /// The model's time-window width.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The newest local state (normalized space) — after `reset`, the
+    /// initial condition; after `step`, the latest prediction.
+    pub fn latest(&self) -> &Tensor3 {
+        self.recent.last().expect("window >= 1")
+    }
+
+    /// Rewinds to a new request: copies the `window` local history states
+    /// (normalized, oldest first) into the ring and forgets all last-known
+    /// halo strips. Allocation-free: the ring buffers are reused.
+    ///
+    /// # Panics
+    /// If the history length or any state's shape does not match — the
+    /// driver validates requests before they reach rank state, so a
+    /// mismatch here is a bug, not bad user input.
+    pub fn reset(&mut self, history: &[Tensor3]) {
+        assert_eq!(
+            history.len(),
+            self.window,
+            "RankRolloutState::reset: history length"
+        );
+        for (slot, state) in history.iter().enumerate() {
+            assert_eq!(
+                state.shape(),
+                self.recent[slot].shape(),
+                "RankRolloutState::reset: slot {slot} shape"
+            );
+            self.recent[slot]
+                .as_mut_slice()
+                .copy_from_slice(state.as_slice());
+        }
+        for cache in &mut self.caches {
+            *cache = HaloCache::default();
+        }
+    }
+
+    /// One prediction step: assembles the (halo-exchanged) padded input of
+    /// every window slot, runs the forward pass, applies the prediction
+    /// mode and rotates the ring. Returns the new latest state.
+    ///
+    /// `tag_base` namespaces this step's exchanges: slot `s` uses tag
+    /// `tag_base + s`, so concurrent exchanges of different slots cannot
+    /// cross. Callers advance it by `window` per step (and rely on
+    /// generation tagging, not tags, for isolation *between* requests on a
+    /// persistent world).
+    pub fn step(&mut self, cart: &mut CartComm, tag_base: u32) -> &Tensor3 {
+        let _step_span = pde_trace::span_args(
+            pde_trace::Category::Infer,
+            pde_trace::names::STEP,
+            tag_base as u64,
+            0,
+        );
+        let (c, h, w) = self.recent[0].shape();
+        let plane = c * (h + 2 * self.halo) * (w + 2 * self.halo);
+        for slot in 0..self.window {
+            let state = &self.recent[slot];
+            let dst = &mut self.input.sample_mut(0)[slot * plane..(slot + 1) * plane];
+            if self.halo == 0 {
+                dst.copy_from_slice(state.as_slice());
+            } else {
+                let tag = tag_base + slot as u32;
+                let padded = match self.policy {
+                    HaloPolicy::Strict => assemble_halo_input(cart, state, self.halo, tag),
+                    HaloPolicy::Degrade { timeout, fallback } => assemble_halo_input_degraded(
+                        cart,
+                        state,
+                        self.halo,
+                        tag,
+                        timeout,
+                        fallback,
+                        &mut self.caches[slot],
+                    ),
+                };
+                dst.copy_from_slice(padded.as_slice());
+            }
+        }
+        self.net.forward_into(&self.input, false, &mut self.output);
+        // Rotate the ring: the oldest state's buffer becomes the slot the
+        // new prediction is written into.
+        self.recent.rotate_left(1);
+        let (older, newest) = self.recent.split_at_mut(self.window - 1);
+        let dst = &mut newest[0];
+        let y = self.output.sample(0);
+        match self.prediction {
+            PredictionMode::Absolute => dst.as_mut_slice().copy_from_slice(y),
+            PredictionMode::Residual => {
+                // next = last + y. After the rotation the previous state
+                // sits at the end of `older` — except at window 1, where
+                // `dst` itself still holds it.
+                if let Some(last) = older.last() {
+                    dst.as_mut_slice().copy_from_slice(last.as_slice());
+                }
+                for (d, dy) in dst.as_mut_slice().iter_mut().zip(y) {
+                    *d += *dy;
+                }
+            }
+        }
+        self.latest()
     }
 }
 
@@ -711,7 +960,7 @@ mod tests {
     fn parallel_rollout_matches_reference_neighbor_pad() {
         let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
         let initial = data.snapshot(6).clone();
-        let par = inf.rollout(&initial, 3);
+        let par = inf.rollout(&initial, 3).unwrap();
         let refr = inf.reference_rollout(&initial, 3);
         assert_eq!(par.states.len(), 4);
         for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
@@ -729,7 +978,7 @@ mod tests {
     fn parallel_rollout_matches_reference_zero_pad() {
         let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
         let initial = data.snapshot(6).clone();
-        let par = inf.rollout(&initial, 2);
+        let par = inf.rollout(&initial, 2).unwrap();
         let refr = inf.reference_rollout(&initial, 2);
         for (a, b) in par.states.iter().zip(&refr) {
             assert_eq!(a, b);
@@ -739,7 +988,7 @@ mod tests {
     #[test]
     fn zero_pad_rollout_is_communication_free() {
         let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
-        let r = inf.rollout(data.snapshot(0), 3);
+        let r = inf.rollout(data.snapshot(0), 3).unwrap();
         assert_eq!(r.total_bytes(), 0);
         for t in &r.traffic {
             assert_eq!(t.msgs_sent, 0);
@@ -750,7 +999,7 @@ mod tests {
     fn neighbor_pad_traffic_is_boundary_sized() {
         let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
         let steps = 3;
-        let r = inf.rollout(data.snapshot(0), steps);
+        let r = inf.rollout(data.snapshot(0), steps).unwrap();
         // 2×2 grid, halo 2, 16×16 global → 8×8 blocks. Per step each rank
         // sends one x-strip (4·8·2 values) and one y-strip (4·2·12 values).
         let per_rank_per_step = 4 * 8 * 2 + 4 * 2 * 12;
@@ -769,7 +1018,7 @@ mod tests {
     fn rollout_includes_initial_state() {
         let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
         let initial = data.snapshot(2).clone();
-        let r = inf.rollout(&initial, 1);
+        let r = inf.rollout(&initial, 1).unwrap();
         assert_eq!(&r.states[0], &initial);
         assert_eq!(r.n_steps(), 1);
     }
@@ -780,7 +1029,7 @@ mod tests {
         // monolithic network.
         let (data, inf) = trained(PaddingStrategy::NeighborPad, 1);
         let initial = data.snapshot(0).clone();
-        let par = inf.rollout(&initial, 2);
+        let par = inf.rollout(&initial, 2).unwrap();
         let mut net = inf.arch.build(false, 0);
         restore(&mut net, &inf.weights[0]);
         let single = single_network_rollout(
@@ -814,10 +1063,81 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match the partition")]
-    fn rollout_rejects_wrong_initial_shape() {
+    fn rollout_rejects_wrong_initial_shape_with_typed_error() {
         let (_, inf) = trained(PaddingStrategy::ZeroPad, 4);
         let bad = Tensor3::zeros(4, 8, 8);
-        let _ = inf.rollout(&bad, 1);
+        let err = inf.rollout(&bad, 1).unwrap_err();
+        assert_eq!(
+            err,
+            InferError::ShapeMismatch {
+                expected: (16, 16),
+                got: (8, 8),
+            }
+        );
+        // The Display form carries the hint the CLI prints.
+        assert!(err.to_string().contains("trained on a 16x16 grid"));
+    }
+
+    #[test]
+    fn rollout_rejects_wrong_channel_count_with_typed_error() {
+        let (_, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let bad = Tensor3::zeros(1, 16, 16);
+        assert_eq!(
+            inf.rollout(&bad, 1).unwrap_err(),
+            InferError::ChannelMismatch {
+                expected: 4,
+                got: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn rollout_from_history_rejects_wrong_window_with_typed_error() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let history = vec![data.snapshot(0).clone(), data.snapshot(1).clone()];
+        assert_eq!(
+            inf.rollout_from_history(&history, 1).unwrap_err(),
+            InferError::WindowMismatch {
+                expected: 1,
+                got: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn rollout_reports_per_rank_perf_counters() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
+        let r = inf.rollout(data.snapshot(0), 2).unwrap();
+        assert_eq!(r.rank_perf.len(), 4);
+        for (rank, p) in r.rank_perf.iter().enumerate() {
+            assert!(p.flops > 0, "rank {rank} reported no FLOPs");
+            assert!(p.gemm_calls > 0, "rank {rank} reported no GEMM calls");
+        }
+    }
+
+    #[test]
+    fn rank_state_step_matches_one_shot_rollout() {
+        // Drive RankRolloutState directly (single rank, no communication)
+        // and compare against the rollout driver — the refactor contract:
+        // the extracted machine IS the rollout loop.
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 1);
+        let initial = data.snapshot(3).clone();
+        let expect = inf.rollout(&initial, 3).unwrap();
+        let normalized = inf.norm.normalize3(&initial);
+        let out = pde_commsim::World::new(1).run(|comm| {
+            let mut cart = CartComm::new(comm, 1, 1, false);
+            let mut st = inf.rank_state(0);
+            st.reset(std::slice::from_ref(&normalized));
+            (0..3)
+                .map(|step| st.step(&mut cart, step as u32).clone())
+                .collect::<Vec<_>>()
+        });
+        for (k, local) in out[0].iter().enumerate() {
+            assert_eq!(
+                &inf.norm.denormalize3(local),
+                &expect.states[k + 1],
+                "step {k}"
+            );
+        }
     }
 }

@@ -43,6 +43,7 @@
 pub mod arch;
 pub mod baseline;
 pub mod data;
+pub mod engine;
 pub mod infer;
 pub mod metrics;
 pub mod norm;
@@ -56,7 +57,10 @@ pub mod prelude {
     pub use crate::arch::ArchSpec;
     pub use crate::baseline::{BaselineOutcome, DataParallelTrainer};
     pub use crate::data::SubdomainDataset;
-    pub use crate::infer::{HaloFallback, HaloPolicy, ParallelInference, RolloutResult};
+    pub use crate::engine::{EngineConfig, InferEngine};
+    pub use crate::infer::{
+        HaloFallback, HaloPolicy, InferError, ParallelInference, RankRolloutState, RolloutResult,
+    };
     pub use crate::metrics::FieldErrors;
     pub use crate::norm::ChannelNorm;
     pub use crate::padding::PaddingStrategy;

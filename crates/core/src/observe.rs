@@ -140,7 +140,7 @@ mod tests {
         let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
 
         let handle = pde_trace::begin();
-        let rollout = inf.rollout(data.snapshot(6), 3);
+        let rollout = inf.rollout(data.snapshot(6), 3).unwrap();
         let trace = handle.finish();
         assert_eq!(trace.total_dropped(), 0);
 

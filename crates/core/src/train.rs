@@ -211,9 +211,10 @@ impl TrainConfig {
         self.schedule.as_ref().map_or(self.lr, |s| s.rate(epoch))
     }
 
-    /// Sanity checks.
+    /// Sanity checks. 0 epochs is legal — a smoke run that returns the
+    /// initial weights and an empty loss history (its
+    /// [`TrainOutcome::mean_final_loss`] is NaN).
     pub fn validate(&self) {
-        assert!(self.epochs >= 1, "TrainConfig: epochs must be >= 1");
         assert!(self.batch_size >= 1, "TrainConfig: batch_size must be >= 1");
         assert!(self.lr > 0.0, "TrainConfig: lr must be > 0");
         assert!(self.window >= 1, "TrainConfig: window must be >= 1");
@@ -281,14 +282,18 @@ pub struct TrainOutcome {
 }
 
 impl TrainOutcome {
-    /// Mean final-epoch loss across ranks.
+    /// Mean final-epoch loss across ranks, or NaN when no epochs ran (a
+    /// 0-epoch config is a legal smoke configuration, not a panic).
     pub fn mean_final_loss(&self) -> f64 {
-        let s: f64 = self
+        let finals: Vec<f64> = self
             .rank_results
             .iter()
-            .map(|r| *r.epoch_losses.last().unwrap())
-            .sum();
-        s / self.rank_results.len() as f64
+            .filter_map(|r| r.epoch_losses.last().copied())
+            .collect();
+        if finals.len() != self.rank_results.len() {
+            return f64::NAN;
+        }
+        finals.iter().sum::<f64>() / finals.len() as f64
     }
 
     /// Total bytes sent by all ranks during training.
@@ -772,6 +777,21 @@ mod tests {
         assert!(check_geometry(&part, &ArchSpec::tiny(), PaddingStrategy::NeighborPad).is_ok());
         // Paper arch (halo 8) cannot fit 2×2 blocks under NeighborPad.
         assert!(check_geometry(&part, &ArchSpec::paper(), PaddingStrategy::NeighborPad).is_err());
+    }
+
+    #[test]
+    fn zero_epoch_outcome_reports_nan_mean_loss_without_panicking() {
+        let d = data();
+        let mut cfg = TrainConfig::quick_test();
+        cfg.epochs = 0;
+        let out = ParallelTrainer::new(ArchSpec::tiny(), PaddingStrategy::ZeroPad, cfg)
+            .train(&d, 4)
+            .unwrap();
+        assert!(out.rank_results.iter().all(|r| r.epoch_losses.is_empty()));
+        assert!(
+            out.mean_final_loss().is_nan(),
+            "0-epoch run must report NaN, not panic or fabricate a loss"
+        );
     }
 
     #[test]

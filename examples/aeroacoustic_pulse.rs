@@ -63,7 +63,7 @@ fn main() {
     // --- 3a. In-distribution single step (validation regime). ------------
     let (_, val) = centered.chronological_split(train_pairs);
     let (x, y) = val.pair(val.len() / 2);
-    let one = inference.rollout(x, 1);
+    let one = inference.rollout(x, 1).unwrap();
     println!("in-distribution single-step prediction:");
     print!(
         "{}",
@@ -72,14 +72,14 @@ fn main() {
 
     // --- 3b. In-distribution rollout (the accumulative-error regime). ----
     let (start, _) = val.pair(0);
-    let roll = inference.rollout(start, horizon);
+    let roll = inference.rollout(start, horizon).unwrap();
     let reference: Vec<_> = (0..=horizon)
         .map(|s| centered.snapshot(val.global_index(0) + s).clone())
         .collect();
     let curve_in = rollout_error_curve(&roll.states, &reference);
 
     // --- 3c. Out-of-distribution: double pulse. ---------------------------
-    let roll_ood = inference.rollout(double.snapshot(0), horizon);
+    let roll_ood = inference.rollout(double.snapshot(0), horizon).unwrap();
     let reference_ood: Vec<_> = (0..=horizon).map(|s| double.snapshot(s).clone()).collect();
     let curve_ood = rollout_error_curve(&roll_ood.states, &reference_ood);
 

@@ -57,7 +57,7 @@ fn main() {
         let mut err = 0.0;
         for k in 0..val.len() {
             let (x, y) = val.pair(k);
-            let r = scheme_infer.rollout(x, 1);
+            let r = scheme_infer.rollout(x, 1).unwrap();
             err += mean_rmse(&r.states[1], y);
         }
         err / val.len() as f64

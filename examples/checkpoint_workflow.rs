@@ -52,7 +52,7 @@ fn main() {
 
     let reference_rollout = {
         let inf = ParallelInference::from_outcome(arch.clone(), strategy, &outcome);
-        inf.rollout(data.snapshot(30), 4)
+        inf.rollout(data.snapshot(30), 4).unwrap()
     };
 
     // --- Phase 2: a "fresh process" reloads everything from disk. --------
@@ -79,7 +79,7 @@ fn main() {
         norm,
         prediction,
     );
-    let replayed = inf.rollout(data.snapshot(30), 4);
+    let replayed = inf.rollout(data.snapshot(30), 4).unwrap();
 
     // --- Verify bit-identical replay. -------------------------------------
     let mut identical = true;

@@ -70,7 +70,8 @@ fn main() {
 
     let strict =
         ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome)
-            .rollout(&initial, steps);
+            .rollout(&initial, steps)
+            .unwrap();
     let (strict_mean, strict_last) = score(&strict.states);
     println!(
         "{:<10} {:>6} {:>8} {:>8} {:>6} {:>12} {:>12}",
@@ -113,7 +114,7 @@ fn main() {
             )
             .with_halo_policy(HaloPolicy::Degrade { timeout, fallback })
             .with_fault_plan(FaultPlan::loss_rate(rate, seed));
-            let rollout = inf.rollout(&initial, steps);
+            let rollout = inf.rollout(&initial, steps).unwrap();
             let lost: u64 = rollout.traffic.iter().map(|t| t.halos_lost).sum();
             let zeroed: u64 = rollout.traffic.iter().map(|t| t.halos_zero_filled).sum();
             let stale: u64 = rollout.traffic.iter().map(|t| t.halos_stale).sum();

@@ -99,7 +99,7 @@ fn main() {
 
         // Single-step prediction on the chosen validation snapshot.
         let inference = ParallelInference::from_outcome(arch.clone(), strategy, &outcome);
-        let one = inference.rollout(input, 1);
+        let one = inference.rollout(input, 1).unwrap();
         let pred = &one.states[1];
         println!(
             "validation pair {k} (global snapshot {}):",
@@ -127,7 +127,7 @@ fn main() {
         }
 
         // Multi-step rollout: the accumulative-error effect (§IV-B).
-        let rollout = inference.rollout(start, horizon);
+        let rollout = inference.rollout(start, horizon).unwrap();
         let curve = rollout_error_curve(&rollout.states, &reference);
         println!("rollout error growth (mean RMSE per step):");
         for (s, e) in curve.iter().enumerate() {

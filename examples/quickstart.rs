@@ -56,7 +56,7 @@ fn main() {
     // --- 3. Parallel inference with halo exchange. -----------------------
     let inference = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let initial = data.snapshot(n_train).clone(); // first validation state
-    let rollout = inference.rollout(&initial, 1);
+    let rollout = inference.rollout(&initial, 1).unwrap();
     println!(
         "1-step parallel rollout exchanged {} bytes of boundary data",
         rollout.total_bytes()

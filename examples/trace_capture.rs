@@ -57,7 +57,7 @@ fn main() {
         .with_fault_plan(FaultPlan::loss_rate(loss_pct as f64 / 100.0, seed));
 
     let handle = pde_trace::begin();
-    let rollout = inf.rollout(data.snapshot(train_pairs), steps);
+    let rollout = inf.rollout(data.snapshot(train_pairs), steps).unwrap();
     let trace = handle.finish();
 
     let rows = observe::rollout_metrics(&trace, &rollout);

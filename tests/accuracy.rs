@@ -34,7 +34,7 @@ fn single_step_prediction_agrees_with_solver() {
     let n_eval = 5.min(val.len());
     for k in 0..n_eval {
         let (x, y) = val.pair(k);
-        let pred = inf.rollout(x, 1);
+        let pred = inf.rollout(x, 1).unwrap();
         let errs = field_errors(&pred.states[1], y, 1e-3);
         pearson_p += errs[0].pearson;
         nrmse_p += errs[0].nrmse();
@@ -61,7 +61,7 @@ fn rollout_error_accumulates_as_paper_reports() {
     let val = data.view(n_train, data.pair_count() - n_train);
     let horizon = 8.min(val.len());
     let (start, _) = val.pair(0);
-    let rollout = inf.rollout(start, horizon);
+    let rollout = inf.rollout(start, horizon).unwrap();
     let reference: Vec<_> = (0..=horizon)
         .map(|s| data.snapshot(n_train + s).clone())
         .collect();
@@ -111,7 +111,7 @@ fn velocity_fields_are_hardest_as_paper_observes() {
     let n_eval = 5.min(val.len());
     for k in 0..n_eval {
         let (x, y) = val.pair(k);
-        let pred = inf.rollout(x, 1);
+        let pred = inf.rollout(x, 1).unwrap();
         for (c, e) in field_errors(&pred.states[1], y, 1e-3).iter().enumerate() {
             nrmse[c] += e.nrmse() / n_eval as f64;
         }
@@ -156,7 +156,7 @@ fn rollout_amplifies_single_step_error_in_both_modes() {
         let inf =
             ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome);
         let (start, _) = data.view(n_train, data.pair_count() - n_train).pair(0);
-        let roll = inf.rollout(start, horizon);
+        let roll = inf.rollout(start, horizon).unwrap();
         let reference: Vec<_> = (0..=horizon)
             .map(|s| data.snapshot(n_train + s).clone())
             .collect();

@@ -62,7 +62,7 @@ fn halo_exchange_rollout_equals_global_window_rollout() {
     assert_eq!(outcome.partition.py(), 3);
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let initial = data.snapshot(0).clone();
-    let par = inf.rollout(&initial, 4);
+    let par = inf.rollout(&initial, 4).unwrap();
     let refr = inf.reference_rollout(&initial, 4);
     for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
         assert_slice_close(
@@ -128,8 +128,8 @@ fn weights_survive_serialization_round_trip() {
         outcome.prediction,
     );
     let initial = data.snapshot(0).clone();
-    let a = inf_orig.rollout(&initial, 2);
-    let b = inf_reloaded.rollout(&initial, 2);
+    let a = inf_orig.rollout(&initial, 2).unwrap();
+    let b = inf_reloaded.rollout(&initial, 2).unwrap();
     for (x, y) in a.states.iter().zip(&b.states) {
         assert_eq!(x, y);
     }
@@ -156,7 +156,7 @@ fn windowed_rollout_matches_reference() {
     );
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let history = [data.snapshot(5).clone(), data.snapshot(6).clone()];
-    let par = inf.rollout_from_history(&history, 3);
+    let par = inf.rollout_from_history(&history, 3).unwrap();
     let refr = inf.reference_rollout_from_history(&history, 3);
     assert_eq!(par.states.len(), 4);
     for (k, (a, b)) in par.states.iter().zip(&refr).enumerate() {
@@ -194,7 +194,7 @@ fn strict_and_degrade_rollouts_agree_bitwise_without_faults() {
         .expect("training");
     let inf = ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome);
     let initial = data.snapshot(0).clone();
-    let strict = inf.rollout(&initial, 3);
+    let strict = inf.rollout(&initial, 3).unwrap();
     let refr = inf.reference_rollout(&initial, 3);
     for policy in [
         HaloPolicy::Degrade {
@@ -209,7 +209,7 @@ fn strict_and_degrade_rollouts_agree_bitwise_without_faults() {
         let inf2 =
             ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome)
                 .with_halo_policy(policy);
-        let degraded = inf2.rollout(&initial, 3);
+        let degraded = inf2.rollout(&initial, 3).unwrap();
         assert!(!degraded.degraded(), "healthy world: nothing lost");
         assert_eq!(degraded.total_fallbacks(), 0);
         for (k, (a, b)) in strict.states.iter().zip(&degraded.states).enumerate() {
@@ -233,6 +233,95 @@ fn strict_and_degrade_rollouts_agree_bitwise_without_faults() {
 }
 
 #[test]
+fn warm_engine_rollouts_equal_cold_rollouts_bitwise_strict() {
+    // A warm InferEngine request reuses threads, comms, the restored
+    // networks and every scratch tensor — and must still be
+    // indistinguishable, bit for bit, from a cold ParallelInference call
+    // that builds all of that from nothing. 3×3 ranks exercises interior,
+    // edge and corner halo paths through the resident CartComms.
+    let data = paper_dataset(18, 10);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 9)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let mut engine = InferEngine::new(9);
+    engine.register("m", inf.clone());
+    for (request, start) in [0usize, 3, 0].into_iter().enumerate() {
+        let initial = data.snapshot(start).clone();
+        let cold = inf.rollout(&initial, 3).unwrap();
+        let warm = engine.rollout("m", &initial, 3).unwrap();
+        for (k, (a, b)) in warm.states.iter().zip(&cold.states).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "request {request} step {k}: warm engine must equal cold world bitwise"
+            );
+        }
+        for (rank, (w, c)) in warm.traffic.iter().zip(&cold.traffic).enumerate() {
+            assert_eq!(w.msgs_sent, c.msgs_sent, "request {request} rank {rank}");
+            assert_eq!(w.bytes_sent, c.bytes_sent, "request {request} rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn warm_engine_rollouts_equal_cold_rollouts_under_seeded_loss() {
+    // Under a seeded per-message loss plan each fault decision is a pure
+    // hash of (seed, src, dst, tag) — NOT of the comm generation — so a
+    // warm engine request must lose exactly the same
+    // strips as a cold world under the same plan, and degrade to exactly
+    // the same states. This is the property generation-tagging was designed
+    // to preserve (DESIGN.md §4f).
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let plan = FaultPlan::loss_rate(0.25, 0xD1CE);
+    for fallback in [HaloFallback::ZeroFill, HaloFallback::LastKnown] {
+        let policy = HaloPolicy::Degrade {
+            timeout: pde_commsim::test_timeout(),
+            fallback,
+        };
+        let inf =
+            ParallelInference::from_outcome(arch.clone(), PaddingStrategy::NeighborPad, &outcome)
+                .with_halo_policy(policy);
+        let cold = inf
+            .clone()
+            .with_fault_plan(plan.clone())
+            .rollout(data.snapshot(1), 3)
+            .unwrap();
+        let mut engine =
+            InferEngine::with_config(EngineConfig::new(4).with_fault_plan(plan.clone()));
+        engine.register("m", inf);
+        for request in 0..2 {
+            let warm = engine.rollout("m", data.snapshot(1), 3).unwrap();
+            for (k, (a, b)) in warm.states.iter().zip(&cold.states).enumerate() {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "{fallback:?} request {request} step {k}"
+                );
+            }
+            for (rank, (w, c)) in warm.traffic.iter().zip(&cold.traffic).enumerate() {
+                assert_eq!(
+                    w.halos_lost, c.halos_lost,
+                    "{fallback:?} request {request} rank {rank}: loss pattern"
+                );
+                assert_eq!(
+                    w.fallbacks(),
+                    c.fallbacks(),
+                    "{fallback:?} request {request} rank {rank}: substitutions"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn window_one_windowed_api_matches_plain_rollout() {
     let data = paper_dataset(16, 8);
     let arch = ArchSpec::tiny();
@@ -242,8 +331,10 @@ fn window_one_windowed_api_matches_plain_rollout() {
         .expect("training");
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let initial = data.snapshot(0).clone();
-    let a = inf.rollout(&initial, 2);
-    let b = inf.rollout_from_history(std::slice::from_ref(&initial), 2);
+    let a = inf.rollout(&initial, 2).unwrap();
+    let b = inf
+        .rollout_from_history(std::slice::from_ref(&initial), 2)
+        .unwrap();
     for (x, y) in a.states.iter().zip(&b.states) {
         assert_eq!(x, y);
     }

@@ -174,8 +174,8 @@ fn degrade_rollout_completes_under_seeded_loss_and_is_deterministic() {
         })
         .with_fault_plan(FaultPlan::loss_rate(0.1, 0xFA57));
     let initial = data.snapshot(6).clone();
-    let a = inf.rollout(&initial, 3);
-    let b = inf.rollout(&initial, 3);
+    let a = inf.rollout(&initial, 3).unwrap();
+    let b = inf.rollout(&initial, 3).unwrap();
     assert_eq!(a.states.len(), 4, "rollout completed");
     assert!(
         a.total_halos_lost() > 0,
@@ -207,7 +207,7 @@ fn dropped_edge_rollout_records_loss_in_traffic_report() {
             fallback: HaloFallback::ZeroFill,
         })
         .with_fault_plan(FaultPlan::drop_edge(0, 1));
-    let r = inf.rollout(data.snapshot(0), steps);
+    let r = inf.rollout(data.snapshot(0), steps).unwrap();
     assert_eq!(r.n_steps(), steps);
     assert!(r
         .states
@@ -232,7 +232,7 @@ fn delay_shorter_than_timeout_is_not_a_loss() {
     // rollout bitwise identical to the fault-free strict protocol.
     let (data, inf) = trained_fleet(4);
     let initial = data.snapshot(6).clone();
-    let strict = inf.rollout(&initial, 2);
+    let strict = inf.rollout(&initial, 2).unwrap();
 
     let (_, inf2) = trained_fleet(4); // same seed/config → identical fleet
     let delayed = inf2
@@ -245,7 +245,8 @@ fn delay_shorter_than_timeout_is_not_a_loss() {
             1,
             std::time::Duration::from_millis(20),
         ))
-        .rollout(&initial, 2);
+        .rollout(&initial, 2)
+        .unwrap();
 
     for t in &delayed.traffic {
         assert_eq!(t.halos_lost, 0, "a delayed strip must not read as lost");

@@ -48,7 +48,7 @@ fn full_pipeline_neighbor_pad() {
     let inf =
         ParallelInference::from_outcome(ArchSpec::tiny(), PaddingStrategy::NeighborPad, &outcome);
     let (x, y) = data.view(n_train, data.pair_count() - n_train).pair(0);
-    let pred = inf.rollout(x, 1);
+    let pred = inf.rollout(x, 1).unwrap();
     let model = field_errors(&pred.states[1], y, 1e-3);
     let persistence = field_errors(x, y, 1e-3);
     assert!(
@@ -79,7 +79,7 @@ fn full_pipeline_zero_pad_is_fully_communication_free() {
     assert_eq!(outcome.total_bytes_sent(), 0);
     let inf = ParallelInference::from_outcome(ArchSpec::tiny(), PaddingStrategy::ZeroPad, &outcome);
     let (x, _) = data.view(n_train, data.pair_count() - n_train).pair(0);
-    let r = inf.rollout(x, 5);
+    let r = inf.rollout(x, 5).unwrap();
     // Zero-pad needs no halo exchange at inference either.
     assert_eq!(r.total_bytes(), 0);
     assert_eq!(r.states.len(), 6);
@@ -144,7 +144,7 @@ fn deconv_strategy_trains_and_rolls_out_comm_free() {
     }
     let inf = ParallelInference::from_outcome(ArchSpec::tiny(), PaddingStrategy::Deconv, &outcome);
     let (x, y) = data.view(n_train, data.pair_count() - n_train).pair(0);
-    let r = inf.rollout(x, 3);
+    let r = inf.rollout(x, 3).unwrap();
     assert_eq!(
         r.total_bytes(),
         0,
@@ -231,7 +231,7 @@ fn trace_and_runtime_byte_accounting_agree_per_rank() {
     // Rollout: non-trivial traffic, still equal per rank and in total.
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let handle = pde_trace::begin();
-    let rollout = inf.rollout(data.snapshot(6), 3);
+    let rollout = inf.rollout(data.snapshot(6), 3).unwrap();
     let trace = handle.finish();
     assert_eq!(trace.total_dropped(), 0, "rollout trace lost events");
     let rows = pde_ml_core::observe::rollout_metrics(&trace, &rollout);

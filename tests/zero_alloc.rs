@@ -16,6 +16,7 @@ use pde_ml_core::arch::ArchSpec;
 use pde_ml_core::data::SubdomainDataset;
 use pde_ml_core::norm::ChannelNorm;
 use pde_ml_core::padding::PaddingStrategy;
+use pde_ml_core::prelude::{InferEngine, ParallelInference, ParallelTrainer};
 use pde_ml_core::train::{TrainConfig, TrainSession};
 use pde_tensor::perf;
 
@@ -89,4 +90,48 @@ fn many_epochs_stay_allocation_free() {
         "epochs 1..5 performed {} heap allocations",
         spent.allocs
     );
+}
+
+/// The serving analogue: once a warm-up request has grown every resident
+/// buffer (the engine's per-rank networks, window rings, input/output
+/// scratch and trajectory buffers), a further warm engine request performs
+/// zero heap allocations on every rank thread. Measured through
+/// `RolloutResult::rank_perf`, whose counters are the same thread-local
+/// probe the training assertions use — the window covers the whole request
+/// loop (reset, input assembly, forward passes, ring rotation), with only
+/// the result hand-off to the driver outside it. Zero-padding is the
+/// communication-free configuration, so no send buffers muddy the claim.
+#[test]
+fn second_warm_engine_request_allocates_nothing_on_rank_threads() {
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let outcome = ParallelTrainer::new(
+        arch.clone(),
+        PaddingStrategy::ZeroPad,
+        TrainConfig::quick_test(),
+    )
+    .train(&data, 4)
+    .unwrap();
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::ZeroPad, &outcome);
+    let mut engine = InferEngine::new(4);
+    engine.register("m", inf);
+
+    // Warm-up: grows every rank-resident buffer.
+    let warm_up = engine.rollout("m", data.snapshot(0), 3).unwrap();
+    assert!(
+        warm_up.rank_perf.iter().all(|p| p.gemm_calls > 0),
+        "the request should have exercised the GEMM kernels"
+    );
+
+    for request in 1..4 {
+        let r = engine.rollout("m", data.snapshot(0), 3).unwrap();
+        for (rank, p) in r.rank_perf.iter().enumerate() {
+            assert!(p.gemm_calls > 0, "request {request} rank {rank} did work");
+            assert_eq!(
+                p.allocs, 0,
+                "request {request} rank {rank} performed {} heap allocations steady-state",
+                p.allocs
+            );
+        }
+    }
 }
