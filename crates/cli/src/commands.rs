@@ -337,20 +337,84 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
+/// Sleeps out `--hold-ms` (so a scraper can catch the endpoint after the
+/// run) and then stops the exporter thread.
+fn hold_and_stop_exporter(exporter: &mut Option<pde_telemetry::exporter::Exporter>, hold_ms: u64) {
+    if hold_ms > 0 && exporter.is_some() {
+        println!("holding metrics endpoint for {hold_ms} ms…");
+        std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+    }
+    if let Some(e) = exporter.as_mut() {
+        e.shutdown();
+    }
+}
+
 /// `pdeml serve-bench` — the serving case for the persistent engine: drive
 /// N requests through one warm [`InferEngine`] (threads + models resident)
 /// and the same N through cold per-request [`ParallelInference`] worlds,
-/// and print requests/sec with p50/p99 latency for each.
+/// and print requests/sec with p50/p99/p99.9 latency for each.
 ///
 /// `--quick` trains the tiny test net on the built-in dataset with the
 /// zero-padding strategy — the communication-free configuration, so warm
 /// requests are also steady-state allocation-free (reported per request).
+///
+/// `--metrics-addr` brings up the std-only telemetry exporter for the run
+/// (live `/metrics`, `/healthz`, `/readyz`); `--flight-dir` arms the flight
+/// recorder, which dumps a Chrome-trace + metrics snapshot whenever a
+/// request breaks `--slo-ms` or a rank panics.
 pub fn serve_bench(args: &Args) -> Result<(), String> {
+    use pde_telemetry::health::{CheckStatus, HealthModel};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
     let quick = args.flag("quick");
     let requests: usize = args.get_or("requests", 32)?;
     let steps: usize = args.get_or("steps", 2)?;
     let policy = halo_policy_from_args(args)?;
     let trace_path = args.get("trace").map(PathBuf::from);
+    let flight_dir = args.get("flight-dir").map(PathBuf::from);
+    if trace_path.is_some() && flight_dir.is_some() {
+        return Err(
+            "--trace and --flight-dir are mutually exclusive (both own the global trace session)"
+                .into(),
+        );
+    }
+    let slo_ms: f64 = args.get_or("slo-ms", 0.0)?;
+    let hold_ms: u64 = args.get_or("hold-ms", 0)?;
+    let fault_plan = match args.get("fault") {
+        Some(spec) => {
+            if policy == HaloPolicy::Strict {
+                return Err(
+                    "--fault with --halo-policy strict would hang on the first lost halo; \
+                     pick zero-fill or last-known"
+                        .into(),
+                );
+            }
+            Some(FaultPlan::parse(spec)?)
+        }
+        None => None,
+    };
+
+    // Exporter and health model come up before any training/loading so a
+    // scraper pointed at --metrics-addr sees /healthz from the start.
+    let health = Arc::new(HealthModel::new());
+    pde_telemetry::collect_counter(
+        "pdeml_trace_dropped_spans_total",
+        "Trace spans dropped to per-thread ring overflow",
+        pde_trace::dropped_spans_total,
+    );
+    let mut exporter = match args.get("metrics-addr") {
+        Some(addr) => {
+            let e = pde_telemetry::exporter::serve(addr, health.clone())
+                .map_err(|err| format!("cannot serve metrics on {addr}: {err}"))?;
+            println!(
+                "metrics: http://{}/metrics (also /healthz, /readyz)",
+                e.local_addr()
+            );
+            Some(e)
+        }
+        None => None,
+    };
 
     let (inf, initial, source) = if quick {
         let data = pde_euler::dataset::paper_dataset(16, 8);
@@ -385,7 +449,10 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         let initial = data.snapshot(data.len() - 1).clone();
         (inf, initial, data_path.display().to_string())
     };
-    let inf = inf.with_halo_policy(policy);
+    let mut inf = inf.with_halo_policy(policy);
+    if let Some(plan) = &fault_plan {
+        inf = inf.with_fault_plan(plan.clone());
+    }
     let ranks = inf.partition().rank_count();
     let (c, h, w) = initial.shape();
     println!(
@@ -394,25 +461,130 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     );
 
     // Warm: one engine, resident model, one unmeasured warm-up request to
-    // pay residency costs (thread spawn, model restore, scratch sizing).
-    let mut engine = InferEngine::new(ranks);
+    // pay residency costs (thread spawn, model restore, scratch sizing) —
+    // which also registers every live telemetry series before the measured
+    // loop, keeping the hot path allocation-free.
+    let mut engine_cfg = EngineConfig::new(ranks);
+    if let Some(plan) = &fault_plan {
+        engine_cfg = engine_cfg.with_fault_plan(plan.clone());
+    }
+    let mut engine = InferEngine::with_config(engine_cfg);
     engine.register("serve", inf.clone());
     engine
         .rollout("serve", &initial, steps)
         .map_err(|e| format!("cannot serve this rollout: {e}"))?;
+
+    // Health checks read state the engine already maintains; they stay live
+    // through the run and the --hold-ms window.
+    {
+        let poisoned = engine.poisoned_flag();
+        health.register("world_poisoned", move || {
+            if poisoned.load(Ordering::Acquire) {
+                CheckStatus::Failed("a rank panicked; the world is poisoned".into())
+            } else {
+                CheckStatus::Ok
+            }
+        });
+        let alive = engine.alive_flags();
+        health.register("ranks_alive", move || {
+            let dead: Vec<String> = alive
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.load(Ordering::Acquire))
+                .map(|(r, _)| r.to_string())
+                .collect();
+            if dead.is_empty() {
+                CheckStatus::Ok
+            } else {
+                CheckStatus::Failed(format!("dead ranks: {}", dead.join(",")))
+            }
+        });
+        // The same registry entries core::infer/commsim record into — the
+        // lookup is idempotent by name.
+        let attempts = pde_telemetry::counter(
+            "pdeml_halo_recv_attempts_total",
+            "Timed halo receives attempted, per rank",
+        );
+        let zero = pde_telemetry::counter(
+            "pdeml_halos_zero_filled_total",
+            "Lost halos replaced with zeros, per rank",
+        );
+        let stale = pde_telemetry::counter(
+            "pdeml_halos_stale_total",
+            "Lost halos replaced with the previous step's strip, per rank",
+        );
+        health.register("halo_fallback_rate", move || {
+            let total = attempts.total();
+            let fell_back = zero.total() + stale.total();
+            if total > 0 && fell_back * 2 > total {
+                CheckStatus::Degraded(format!(
+                    "{fell_back}/{total} halo receives fell back to zero-fill/stale"
+                ))
+            } else {
+                CheckStatus::Ok
+            }
+        });
+    }
+
+    let mut flight = match &flight_dir {
+        Some(dir) => Some(
+            FlightRecorder::new(dir)
+                .map_err(|e| format!("cannot arm flight recorder in {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
     let handle = trace_path.as_ref().map(|_| pde_trace::begin());
+    let lost_before: u64 = engine.traffic().iter().map(|t| t.halos_lost).sum();
     let mut warm_ms = Vec::with_capacity(requests);
     let mut last = None;
     let warm_t0 = std::time::Instant::now();
     for _ in 0..requests {
         let t = std::time::Instant::now();
-        let r = engine
-            .rollout("serve", &initial, steps)
-            .map_err(|e| format!("cannot serve this rollout: {e}"))?;
-        warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        last = Some(r);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.rollout("serve", &initial, steps)
+        }));
+        match outcome {
+            Ok(Ok(r)) => {
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                if slo_ms > 0.0 && ms > slo_ms {
+                    if let Some(f) = flight.as_mut() {
+                        let dump = f
+                            .trip("slo-exceeded")
+                            .map_err(|e| format!("flight dump failed: {e}"))?;
+                        println!(
+                            "flight: request took {ms:.2} ms (SLO {slo_ms} ms) — \
+                             {} events -> {}",
+                            dump.events,
+                            dump.trace_path.display()
+                        );
+                    }
+                }
+                warm_ms.push(ms);
+                last = Some(r);
+            }
+            Ok(Err(e)) => return Err(format!("cannot serve this rollout: {e}")),
+            Err(payload) => {
+                // A rank died mid-request. Dump the flight ring, report the
+                // (now failing) health model and bail — the bench numbers
+                // would be meaningless.
+                let reason = pde_ml_core::flight::classify_panic(payload.as_ref());
+                if let Some(f) = flight.as_mut() {
+                    if let Ok(dump) = f.trip(reason) {
+                        println!("flight: {reason} — dump at {}", dump.trace_path.display());
+                    }
+                }
+                print!("{}", health.report().describe());
+                hold_and_stop_exporter(&mut exporter, hold_ms);
+                return Err(format!(
+                    "warm loop aborted after {} requests: rank panic classified as '{reason}'",
+                    warm_ms.len()
+                ));
+            }
+        }
     }
     let warm_s = warm_t0.elapsed().as_secs_f64();
+    let lost_after: u64 = engine.traffic().iter().map(|t| t.halos_lost).sum();
+    let halo_lost_per_request = (lost_after - lost_before) as f64 / requests.max(1) as f64;
     let last = last.expect("at least one request");
     let steady_allocs = last.rank_perf.iter().map(|p| p.allocs).max().unwrap_or(0);
     if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
@@ -438,38 +610,61 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let cold_rps = requests as f64 / cold_s;
     println!(
         "warm: {requests} requests in {warm_s:.3} s — {warm_rps:.1} req/s, \
-         p50 {:.2} ms, p99 {:.2} ms, {steady_allocs} steady-state allocs/request",
+         p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms, {steady_allocs} steady-state allocs/request",
         percentile(&warm_ms, 50.0),
-        percentile(&warm_ms, 99.0)
+        percentile(&warm_ms, 99.0),
+        percentile(&warm_ms, 99.9)
     );
     println!(
         "cold: {requests} requests in {cold_s:.3} s — {cold_rps:.1} req/s, \
-         p50 {:.2} ms, p99 {:.2} ms",
+         p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms",
         percentile(&cold_ms, 50.0),
-        percentile(&cold_ms, 99.0)
+        percentile(&cold_ms, 99.0),
+        percentile(&cold_ms, 99.9)
     );
     println!(
         "speedup: {:.2}x requests/sec warm over cold",
         warm_rps / cold_rps
     );
+    let final_health = health.report();
+    println!(
+        "health: {} ({:.4} halos lost per warm request)",
+        final_health.overall.as_str(),
+        halo_lost_per_request
+    );
+    if let Some(f) = &flight {
+        println!(
+            "flight recorder: {} dump(s) in {}",
+            f.trips(),
+            f.dir().display()
+        );
+    }
 
     if let Some(out) = args.get("out") {
         let json = format!(
             "{{\n  \"shape\": {{ \"channels\": {c}, \"grid_h\": {h}, \"grid_w\": {w}, \
              \"ranks\": {ranks}, \"steps\": {steps}, \"requests\": {requests} }},\n  \
              \"warm\": {{ \"requests_per_sec\": {warm_rps:.2}, \"p50_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"steady_state_allocs_per_request\": {steady_allocs} }},\n  \
+             \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \
+             \"steady_state_allocs_per_request\": {steady_allocs} }},\n  \
              \"cold\": {{ \"requests_per_sec\": {cold_rps:.2}, \"p50_ms\": {:.4}, \
-             \"p99_ms\": {:.4} }},\n  \"warm_over_cold\": {:.4}\n}}\n",
+             \"p99_ms\": {:.4}, \"p999_ms\": {:.4} }},\n  \
+             \"warm_over_cold\": {:.4},\n  \
+             \"halo_lost_per_request\": {halo_lost_per_request:.4},\n  \
+             \"final_health\": \"{}\"\n}}\n",
             percentile(&warm_ms, 50.0),
             percentile(&warm_ms, 99.0),
+            percentile(&warm_ms, 99.9),
             percentile(&cold_ms, 50.0),
             percentile(&cold_ms, 99.0),
-            warm_rps / cold_rps
+            percentile(&cold_ms, 99.9),
+            warm_rps / cold_rps,
+            final_health.overall.as_str()
         );
         std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("wrote {out}");
     }
+    hold_and_stop_exporter(&mut exporter, hold_ms);
     Ok(())
 }
 

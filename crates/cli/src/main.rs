@@ -35,13 +35,20 @@ USAGE:
                  [--trace OUT.json]
   pdeml serve-bench [--quick | --data FILE --model DIR] [--requests N] [--steps K]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
-                 [--trace OUT.json] [--out BENCH.json]
+                 [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
+                 [--metrics-addr HOST:PORT] [--slo-ms N] [--flight-dir DIR]
+                 [--hold-ms N] [--trace OUT.json] [--out BENCH.json]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 
 `--quick` trains the tiny test net on a built-in dataset (no --data/--out).
 `--trace OUT.json` records a per-rank timeline (Chrome trace format; open in
 Perfetto or chrome://tracing) and prints a per-rank metrics table.
+`--metrics-addr` serves live Prometheus metrics plus /healthz and /readyz
+while serve-bench runs; `--hold-ms` keeps the endpoint up after the run so a
+scraper can catch it. `--flight-dir` arms the flight recorder: on a request
+over `--slo-ms` (or a rank panic) a Chrome-trace + metrics dump is written
+there. `--flight-dir` and `--trace` are mutually exclusive.
 
 Run `pdeml <command>` with no flags to see that command's defaults.";
 

@@ -288,6 +288,7 @@ impl CartComm {
     /// One timed directional receive classified as a [`HaloRecv`].
     fn recv_halo(&mut self, src: usize, tag: Tag, timeout: Duration) -> HaloRecv {
         use pde_trace::{names, Category};
+        crate::live::halo_recv_attempts().inc(self.comm.rank());
         let mut span = pde_trace::span_args(Category::Comm, names::HALO_RECV, src as u64, 0);
         match self.comm.recv_timeout(src, tag, timeout) {
             Ok(buf) => {
@@ -296,6 +297,7 @@ impl CartComm {
             }
             Err(RecvError::Timeout) => {
                 self.comm.stats().note_halo_lost();
+                crate::live::halos_lost().inc(self.comm.rank());
                 pde_trace::instant(Category::Comm, names::HALO_LOST, src as u64, 0);
                 HaloRecv::Lost
             }

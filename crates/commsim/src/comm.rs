@@ -285,6 +285,8 @@ impl Comm {
         s.msgs_sent.fetch_add(1, Ordering::Relaxed);
         s.values_sent
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        crate::live::sends().inc(self.rank);
+        crate::live::send_bytes().add(self.rank, data.len() as u64 * 8);
         // Traced bytes must mirror `values_sent` exactly (×8): the metrics
         // registry asserts the two accountings agree per rank.
         pde_trace::instant(
@@ -321,6 +323,16 @@ impl Comm {
                 });
             }
         }
+    }
+
+    /// Counts one matched receive on both the per-rank [`CommStats`] and
+    /// the live telemetry series.
+    #[inline]
+    fn note_received(&self) {
+        self.stats[self.rank]
+            .msgs_received
+            .fetch_add(1, Ordering::Relaxed);
+        crate::live::recvs().inc(self.rank);
     }
 
     fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Message> {
@@ -388,9 +400,7 @@ impl Comm {
             0,
         );
         if let Some(m) = self.take_pending(src, tag) {
-            self.stats[self.rank]
-                .msgs_received
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_received();
             span.set_args(src as u64, m.data.len() as u64 * 8);
             return Ok(m.data);
         }
@@ -429,9 +439,7 @@ impl Comm {
             };
             match self.inbox.recv_timeout(wait) {
                 Ok(msg) if self.matches(&msg, src, tag) => {
-                    self.stats[self.rank]
-                        .msgs_received
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.note_received();
                     span.set_args(src as u64, msg.data.len() as u64 * 8);
                     return Ok(msg.data);
                 }
@@ -450,9 +458,7 @@ impl Comm {
         loop {
             match self.inbox.try_recv() {
                 Ok(msg) if self.matches(&msg, src, tag) => {
-                    self.stats[self.rank]
-                        .msgs_received
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.note_received();
                     return Ok(Some(msg.data));
                 }
                 Ok(msg) => self.park(msg),
@@ -465,16 +471,12 @@ impl Comm {
     /// Non-blocking probe-and-receive.
     pub fn try_recv(&mut self, src: usize, tag: Tag) -> Option<Vec<f64>> {
         if let Some(m) = self.take_pending(src, tag) {
-            self.stats[self.rank]
-                .msgs_received
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_received();
             return Some(m.data);
         }
         while let Ok(msg) = self.inbox.try_recv() {
             if self.matches(&msg, src, tag) {
-                self.stats[self.rank]
-                    .msgs_received
-                    .fetch_add(1, Ordering::Relaxed);
+                self.note_received();
                 return Some(msg.data);
             }
             self.park(msg);
@@ -497,6 +499,7 @@ impl Comm {
         if n == 1 {
             return;
         }
+        crate::live::barriers().inc(self.rank);
         let _span = pde_trace::span(pde_trace::Category::Comm, pde_trace::names::BARRIER);
         let mut round = 1usize;
         let mut round_idx = 0u32;

@@ -35,6 +35,7 @@
 
 pub mod cart;
 pub mod comm;
+mod live;
 pub mod world;
 
 pub use cart::{CartComm, Direction, HaloRecv, HaloStatus};

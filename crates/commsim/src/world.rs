@@ -14,7 +14,7 @@ use crate::comm::{Comm, CommStats, FaultFn, Message, Tag, TrafficReport};
 use crossbeam::channel::{unbounded, Sender};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -230,7 +230,7 @@ impl World {
     /// Builds the per-rank communicators (channel mesh, stats, aliveness
     /// flags, fault filter) without running anything — the wiring shared by
     /// the one-shot and persistent execution models.
-    fn build_comms(&self) -> (Vec<Comm>, Arc<Vec<CommStats>>) {
+    fn build_comms(&self) -> (Vec<Comm>, Arc<Vec<CommStats>>, Arc<Vec<AtomicBool>>) {
         let n = self.size;
         let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
         let fault_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(|p| {
@@ -277,7 +277,7 @@ impl World {
             .collect();
         // Drop the original senders so channels close when all ranks finish.
         drop(senders);
-        (comms, stats)
+        (comms, stats, alive)
     }
 
     /// Spawns the world's rank threads once and keeps them alive: each rank
@@ -286,7 +286,7 @@ impl World {
     /// same world serves many requests — per-rank state (networks, caches,
     /// scratch buffers) survives between jobs instead of being rebuilt.
     pub fn spawn_persistent(self) -> PersistentWorld {
-        let (comms, stats) = self.build_comms();
+        let (comms, stats, alive) = self.build_comms();
         let mut mailboxes = Vec::with_capacity(self.size);
         let mut workers = Vec::with_capacity(self.size);
         for comm in comms {
@@ -319,8 +319,9 @@ impl World {
             mailboxes,
             workers,
             stats,
+            alive,
             next_gen: 0,
-            poisoned: false,
+            poisoned: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -410,8 +411,11 @@ pub struct PersistentWorld {
     mailboxes: Vec<mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<Vec<CommStats>>,
+    alive: Arc<Vec<AtomicBool>>,
     next_gen: u32,
-    poisoned: bool,
+    /// Shared so health checks can watch the world die from another thread
+    /// (e.g. the metrics exporter) without borrowing the world itself.
+    poisoned: Arc<AtomicBool>,
 }
 
 impl PersistentWorld {
@@ -430,7 +434,25 @@ impl PersistentWorld {
             .next_gen
             .checked_add(n)
             .expect("generation counter overflow");
+        crate::live::generations().add(pde_telemetry::DRIVER, n as u64);
         first
+    }
+
+    /// True once any job has panicked (the world refuses further jobs).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// A shared handle on the poisoned flag, for health checks that outlive
+    /// borrows of the world (e.g. a metrics exporter thread).
+    pub fn poisoned_flag(&self) -> Arc<AtomicBool> {
+        self.poisoned.clone()
+    }
+
+    /// The per-rank aliveness flags (cleared when a rank's `Comm` drops —
+    /// worker shutdown or job panic alike), shared for health checks.
+    pub fn alive_flags(&self) -> Arc<Vec<AtomicBool>> {
+        self.alive.clone()
     }
 
     /// Runs `f` once per rank as one job at a freshly reserved generation;
@@ -457,7 +479,7 @@ impl PersistentWorld {
         F: Fn(RankContext<'_>) -> T + Send + Sync,
     {
         assert!(
-            !self.poisoned,
+            !self.is_poisoned(),
             "PersistentWorld: a previous job panicked; the world is dead"
         );
         assert!(
@@ -491,9 +513,11 @@ impl PersistentWorld {
                             // its own, e.g. inside a CartComm) clears the
                             // aliveness flag so blocked peers observe
                             // `Disconnected` instead of hanging.
+                            crate::live::rank_panics().inc(rank);
                             slot.comm = None;
                             slot.state = None;
                         }
+                        crate::live::mailbox_depth().add(rank, -1);
                         let _ = done.send((rank, out));
                     });
                 // SAFETY: the job borrows `f` (and `done_tx` clones), which
@@ -508,6 +532,7 @@ impl PersistentWorld {
                 let job: Job = unsafe {
                     std::mem::transmute::<Box<dyn FnOnce(&mut RankSlot) + Send + '_>, Job>(job)
                 };
+                crate::live::mailbox_depth().add(rank, 1);
                 mailbox
                     .send(job)
                     .expect("persistent rank worker is running");
@@ -529,7 +554,7 @@ impl PersistentWorld {
             match r.expect("all ranks reported") {
                 Ok(v) => out.push(v),
                 Err(e) => {
-                    self.poisoned = true;
+                    self.poisoned.store(true, Ordering::Release);
                     first_panic.get_or_insert(e);
                 }
             }

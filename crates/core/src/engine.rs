@@ -143,6 +143,29 @@ impl InferEngine {
         self.world.size()
     }
 
+    /// True once any request panicked a rank (the world refuses further
+    /// jobs).
+    pub fn is_poisoned(&self) -> bool {
+        self.world.is_poisoned()
+    }
+
+    /// Shared handle on the world-poisoned flag, for health checks running
+    /// on other threads (e.g. a metrics exporter).
+    pub fn poisoned_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        self.world.poisoned_flag()
+    }
+
+    /// Per-rank aliveness flags of the engine's world (cleared when a rank
+    /// dies), shared for health checks.
+    pub fn alive_flags(&self) -> std::sync::Arc<Vec<std::sync::atomic::AtomicBool>> {
+        self.world.alive_flags()
+    }
+
+    /// Cumulative per-rank traffic snapshots of the engine's world.
+    pub fn traffic(&self) -> Vec<TrafficReport> {
+        self.world.traffic()
+    }
+
     /// Registered model names, sorted.
     pub fn model_names(&self) -> Vec<&str> {
         self.models.keys().map(String::as_str).collect()
@@ -283,6 +306,7 @@ impl InferEngine {
         if histories.is_empty() {
             return Ok(Vec::new());
         }
+        let request_clock = std::time::Instant::now();
         // [request][rank][slot] normalized local windows.
         let scattered: Vec<Vec<Vec<Tensor3>>> =
             histories.iter().map(|h| inf.scatter_history(h)).collect();
@@ -356,6 +380,14 @@ impl InferEngine {
                 traffic,
                 rank_perf,
             });
+        }
+        // One latency sample per request: the batch's wall time split
+        // evenly (requests in a batch complete together, so each "saw" the
+        // whole batch's latency divided by the batch's throughput).
+        let per_request_us = (request_clock.elapsed().as_micros() / histories.len() as u128) as u64;
+        for _ in histories {
+            crate::live::request_latency_us().record(per_request_us);
+            crate::live::requests().inc(pde_telemetry::DRIVER);
         }
         Ok(results)
     }

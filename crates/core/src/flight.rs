@@ -1,0 +1,154 @@
+//! Anomaly-triggered flight recorder for serve mode.
+//!
+//! In serve mode the [`pde_trace`] ring stays continuously armed: spans
+//! from every request land in the per-thread drop-oldest rings at the usual
+//! near-zero cost, and nothing is written anywhere — until an anomaly trips
+//! the recorder (a request over the latency SLO, a dead peer, a rank
+//! panic). On a trip the armed session is finished and dumped as
+//!
+//! * `flight-{unix_ms}-{seq}-{reason}.trace.json` — the Chrome-trace view
+//!   of the last ~ring-capacity spans leading up to the anomaly, and
+//! * `flight-{unix_ms}-{seq}-{reason}.metrics.prom` — the full metrics
+//!   registry rendered at the moment of the trip,
+//!
+//! then a fresh session is armed immediately, so consecutive anomalies each
+//! get their own dump. Trigger rules and the trade-offs are in DESIGN.md
+//! §4g.
+//!
+//! Arming uses the same global trace-session slot as `--trace`; the most
+//! recent `begin` wins, so a serve process uses either the flight recorder
+//! or a whole-run trace file, not both.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Ring capacity the recorder arms with: large enough to hold several
+/// 4-rank requests' spans, small enough that an armed idle engine costs
+/// a few MB.
+pub const FLIGHT_RING_CAPACITY: usize = 1 << 15;
+
+/// A continuously armed trace session plus a dump directory.
+pub struct FlightRecorder {
+    dir: PathBuf,
+    armed: Option<pde_trace::TraceHandle>,
+    seq: u64,
+}
+
+/// Where one trip's artifacts landed.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// The Chrome-trace JSON file.
+    pub trace_path: PathBuf,
+    /// The Prometheus-text metrics snapshot.
+    pub metrics_path: PathBuf,
+    /// Events captured in the dumped session.
+    pub events: usize,
+}
+
+impl FlightRecorder {
+    /// Creates `dir` and arms the first session.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<FlightRecorder> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FlightRecorder {
+            dir,
+            armed: Some(pde_trace::begin_with_capacity(FLIGHT_RING_CAPACITY)),
+            seq: 0,
+        })
+    }
+
+    /// The dump directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Dumps the armed session under `reason` (a short slug like
+    /// `"slo-exceeded"`, `"peer-dead"`, `"rank-panic"`) and re-arms.
+    pub fn trip(&mut self, reason: &str) -> io::Result<FlightDump> {
+        let handle = self
+            .armed
+            .take()
+            .expect("flight recorder is always re-armed after a trip");
+        let trace = handle.finish();
+        // Re-arm FIRST: even if the dump write fails, serving continues
+        // with a live ring.
+        self.armed = Some(pde_trace::begin_with_capacity(FLIGHT_RING_CAPACITY));
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        self.seq += 1;
+        let stem = format!("flight-{unix_ms}-{}-{reason}", self.seq);
+        let trace_path = self.dir.join(format!("{stem}.trace.json"));
+        let metrics_path = self.dir.join(format!("{stem}.metrics.prom"));
+        std::fs::write(&trace_path, trace.chrome_json())?;
+        std::fs::write(&metrics_path, pde_telemetry::render_prometheus())?;
+        Ok(FlightDump {
+            trace_path,
+            metrics_path,
+            events: trace.events.len(),
+        })
+    }
+
+    /// Number of trips so far.
+    pub fn trips(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Maps a caught rank-panic payload to a dump-reason slug: panics whose
+/// message mentions a dead/disconnected peer (the fatal `PeerDead` path in
+/// `core::infer::resolve_halo` and commsim's `Disconnected`) file as
+/// `peer-dead`; everything else as `rank-panic`.
+pub fn classify_panic(payload: &(dyn std::any::Any + Send)) -> &'static str {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    if msg.contains("dead") || msg.contains("disconnected") || msg.contains("Disconnected") {
+        "peer-dead"
+    } else {
+        "rank-panic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_flight_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pdeml_flight_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn trip_writes_both_artifacts_and_rearms() {
+        let dir = temp_flight_dir("basic");
+        let mut fr = FlightRecorder::new(&dir).unwrap();
+        pde_trace::instant(pde_trace::Category::Comm, pde_trace::names::SEND, 1, 8);
+        let dump = fr.trip("slo-exceeded").unwrap();
+        assert!(dump.trace_path.exists(), "{:?}", dump.trace_path);
+        assert!(dump.metrics_path.exists());
+        let json = std::fs::read_to_string(&dump.trace_path).unwrap();
+        assert!(json.contains("traceEvents"), "valid chrome-trace envelope");
+        let name = dump.trace_path.file_name().unwrap().to_string_lossy();
+        assert!(name.starts_with("flight-") && name.contains("slo-exceeded"));
+        // Re-armed: a second trip writes a distinct pair of files.
+        let dump2 = fr.trip("rank-panic").unwrap();
+        assert_ne!(dump.trace_path, dump2.trace_path);
+        assert_eq!(fr.trips(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_payloads_classify_by_message() {
+        let dead: Box<dyn std::any::Any + Send> =
+            Box::new("rank 1's Left neighbor is dead — a lost subdomain is fatal".to_string());
+        assert_eq!(classify_panic(dead.as_ref()), "peer-dead");
+        let other: Box<dyn std::any::Any + Send> = Box::new("index out of bounds".to_string());
+        assert_eq!(classify_panic(other.as_ref()), "rank-panic");
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(classify_panic(opaque.as_ref()), "rank-panic");
+    }
+}

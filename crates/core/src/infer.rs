@@ -738,12 +738,15 @@ pub fn assemble_halo_input(
     padded.set_window(halo, halo, local);
 
     use pde_commsim::Direction::*;
+    let rank = cart.comm().rank();
     // Phase 1: x-axis (column strips from the raw interior).
     let to_left = cart.neighbor(Left).map(|_| pack_cols(local, 0, halo));
     let to_right = cart
         .neighbor(Right)
         .map(|_| pack_cols(local, w - halo, halo));
+    crate::live::halo_bytes_out().add(rank, strip_bytes(&to_left) + strip_bytes(&to_right));
     let (from_left, from_right) = cart.exchange_x(to_left, to_right, step * 2);
+    crate::live::halo_bytes_in().add(rank, strip_bytes(&from_left) + strip_bytes(&from_right));
     if let Some(buf) = from_left {
         let strip = Tensor3::from_vec(c, h, halo, buf);
         padded.set_window(halo, 0, &strip);
@@ -757,7 +760,9 @@ pub fn assemble_halo_input(
     // carry the freshly received x-halos, which become the corners).
     let to_down = cart.neighbor(Down).map(|_| pack_rows(&padded, halo, halo));
     let to_up = cart.neighbor(Up).map(|_| pack_rows(&padded, h, halo));
+    crate::live::halo_bytes_out().add(rank, strip_bytes(&to_down) + strip_bytes(&to_up));
     let (from_down, from_up) = cart.exchange_y(to_down, to_up, step * 2 + 1);
+    crate::live::halo_bytes_in().add(rank, strip_bytes(&from_down) + strip_bytes(&from_up));
     if let Some(buf) = from_down {
         place_rows(&mut padded, 0, halo, &buf);
     }
@@ -765,6 +770,11 @@ pub fn assemble_halo_input(
         place_rows(&mut padded, h + halo, halo, &buf);
     }
     padded
+}
+
+/// Payload bytes of an optional halo strip (8 per f64 value).
+fn strip_bytes(strip: &Option<Vec<f64>>) -> u64 {
+    strip.as_ref().map_or(0, |v| v.len() as u64 * 8)
 }
 
 /// Last strip successfully received from each of the four neighbors (the
@@ -819,6 +829,10 @@ pub fn assemble_halo_input_degraded(
     let to_right = cart
         .neighbor(Right)
         .map(|_| pack_cols(local, w - halo, halo));
+    crate::live::halo_bytes_out().add(
+        cart.comm().rank(),
+        strip_bytes(&to_left) + strip_bytes(&to_right),
+    );
     cart.post_x_sends(to_left, to_right, step * 2);
     cart.comm_mut().barrier(); // delivered x strips are now all inboxed
     for dir in [Left, Right] {
@@ -837,6 +851,10 @@ pub fn assemble_halo_input_degraded(
     // feeds, exactly as if that corner were a physical boundary).
     let to_down = cart.neighbor(Down).map(|_| pack_rows(&padded, halo, halo));
     let to_up = cart.neighbor(Up).map(|_| pack_rows(&padded, h, halo));
+    crate::live::halo_bytes_out().add(
+        cart.comm().rank(),
+        strip_bytes(&to_down) + strip_bytes(&to_up),
+    );
     cart.post_y_sends(to_down, to_up, step * 2 + 1);
     cart.comm_mut().barrier(); // delivered y strips are now all inboxed
     for dir in [Down, Up] {
@@ -862,6 +880,7 @@ fn resolve_halo(
 ) -> Option<Vec<f64>> {
     match recv {
         HaloRecv::Ok(buf) => {
+            crate::live::halo_bytes_in().add(comm.rank(), buf.len() as u64 * 8);
             if fallback == HaloFallback::LastKnown {
                 cache.strips[dir.index()] = Some(buf.clone());
             }
@@ -870,15 +889,18 @@ fn resolve_halo(
         HaloRecv::Lost => match fallback {
             HaloFallback::ZeroFill => {
                 comm.stats().note_halo_zero_filled();
+                crate::live::halos_zero_filled().inc(comm.rank());
                 None
             }
             HaloFallback::LastKnown => match &cache.strips[dir.index()] {
                 Some(buf) => {
                     comm.stats().note_halo_stale();
+                    crate::live::halos_stale().inc(comm.rank());
                     Some(buf.clone())
                 }
                 None => {
                     comm.stats().note_halo_zero_filled();
+                    crate::live::halos_zero_filled().inc(comm.rank());
                     None
                 }
             },

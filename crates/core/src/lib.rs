@@ -44,7 +44,9 @@ pub mod arch;
 pub mod baseline;
 pub mod data;
 pub mod engine;
+pub mod flight;
 pub mod infer;
+mod live;
 pub mod metrics;
 pub mod norm;
 pub mod observe;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::baseline::{BaselineOutcome, DataParallelTrainer};
     pub use crate::data::SubdomainDataset;
     pub use crate::engine::{EngineConfig, InferEngine};
+    pub use crate::flight::{FlightDump, FlightRecorder};
     pub use crate::infer::{
         HaloFallback, HaloPolicy, InferError, ParallelInference, RankRolloutState, RolloutResult,
     };

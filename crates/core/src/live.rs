@@ -1,0 +1,61 @@
+//! Live-metric handles for the training/inference layer.
+//!
+//! Same pattern as commsim's: each accessor registers once (lock +
+//! allocation) and caches the `&'static` handle, so the hot path — halo
+//! assembly inside a rollout step, the per-request latency recording — is
+//! relaxed atomics only and stays on the zero-alloc request path.
+
+use pde_telemetry::{Counter, Histogram};
+use std::sync::OnceLock;
+
+macro_rules! live_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static C: OnceLock<&'static Counter> = OnceLock::new();
+            C.get_or_init(|| pde_telemetry::counter($metric, $help))
+        }
+    };
+}
+
+live_counter!(
+    halo_bytes_out,
+    "pdeml_halo_bytes_out_total",
+    "Halo strip bytes posted to neighbors, per rank"
+);
+live_counter!(
+    halo_bytes_in,
+    "pdeml_halo_bytes_in_total",
+    "Halo strip bytes received from neighbors, per rank"
+);
+live_counter!(
+    halos_zero_filled,
+    "pdeml_halos_zero_filled_total",
+    "Lost halos replaced with zeros, per rank"
+);
+live_counter!(
+    halos_stale,
+    "pdeml_halos_stale_total",
+    "Lost halos replaced with the previous step's strip, per rank"
+);
+live_counter!(
+    requests,
+    "pdeml_requests_total",
+    "Rollout requests served by the warm engine"
+);
+live_counter!(
+    train_epochs,
+    "pdeml_train_epochs_total",
+    "Training epochs completed"
+);
+
+/// Warm-engine per-request latency in microseconds. Driver-recorded, so a
+/// single shared bucket array (not rank shards) is the right shape.
+pub(crate) fn request_latency_us() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        pde_telemetry::histogram(
+            "pdeml_request_latency_us",
+            "Warm rollout request latency in microseconds",
+        )
+    })
+}

@@ -7,7 +7,24 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// The artifact directory every example, bench and flight-recorder dump
+/// writes under: `$PDEML_RESULTS_DIR`, or `results/` (relative to the
+/// working directory) when unset. One env knob, so CI runs and sandboxed
+/// runs never collide on a hard-coded path. The directory is created.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = std::env::var_os("PDEML_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// A path for the artifact `name` inside [`results_dir`].
+pub fn results_path(name: &str) -> io::Result<PathBuf> {
+    Ok(results_dir()?.join(name))
+}
 
 /// An in-memory CSV table with a fixed header.
 #[derive(Clone, Debug)]

@@ -1,0 +1,186 @@
+//! Minimal std-only HTTP exporter: `/metrics`, `/healthz`, `/readyz`.
+//!
+//! Hand-rolled over `std::net::TcpListener` so the telemetry crate stays
+//! dependency-free — the exporter is the tool you reach for when things are
+//! broken, so it must not share failure modes with the stack it observes.
+//! One accept-loop thread, one request per connection, no keep-alive: a
+//! scrape every few seconds from one or two collectors is the design load.
+
+use crate::health::HealthModel;
+use crate::render_prometheus;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running exporter. Dropping it stops the accept loop and joins the
+/// serving thread.
+pub struct Exporter {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// The bound address — useful when serving on port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals the accept loop to exit and joins it.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // The loop is parked in accept(); poke it awake.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and serves
+/// the global registry plus `health` on a named background thread.
+pub fn serve(addr: &str, health: Arc<HealthModel>) -> std::io::Result<Exporter> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("pdeml-metrics".into())
+        .spawn(move || accept_loop(listener, stop2, health))
+        .expect("spawn metrics exporter thread");
+    Ok(Exporter {
+        local_addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, health: Arc<HealthModel>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // One slow or wedged client must not hold the loop forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = handle_conn(stream, &health);
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, health: &HealthModel) -> std::io::Result<()> {
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(),
+        ),
+        "/healthz" => {
+            let report = health.report();
+            let status = if report.overall == crate::health::Health::Unhealthy {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, "text/plain; charset=utf-8", report.describe())
+        }
+        "/readyz" => {
+            let report = health.report();
+            let status = if report.overall == crate::health::Health::Healthy {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "text/plain; charset=utf-8", report.describe())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics /healthz /readyz\n".to_string(),
+        ),
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::CheckStatus;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        let status = body.lines().next().unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let c = crate::counter("pdeml_test_exporter_total", "exporter test");
+        c.inc(crate::DRIVER);
+        let health = Arc::new(HealthModel::new());
+        health.register("always_ok", || CheckStatus::Ok);
+        let mut exporter = serve("127.0.0.1:0", health).unwrap();
+        let addr = exporter.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE pdeml_test_exporter_total counter"));
+        assert!(body.contains("pdeml_test_exporter_total 1"));
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"));
+        assert!(body.contains("overall: healthy"));
+
+        let (status, _) = get(addr, "/readyz");
+        assert!(status.contains("200"));
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"));
+
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn degraded_fails_readyz_only() {
+        let health = Arc::new(HealthModel::new());
+        health.register("degraded", || CheckStatus::Degraded("test".into()));
+        let exporter = serve("127.0.0.1:0", health).unwrap();
+        let addr = exporter.local_addr();
+        let (status, _) = get(addr, "/healthz");
+        assert!(status.contains("200"));
+        let (status, body) = get(addr, "/readyz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("overall: degraded"));
+    }
+}

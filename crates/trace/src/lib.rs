@@ -131,6 +131,16 @@ pub struct TraceEvent {
 static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
 /// Ring capacity for rings created after the most recent [`begin`].
 static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+/// Process-lifetime total of ring-overflow drops across all sessions — the
+/// live counterpart of the per-session `dropped_by_rank` accounting, so a
+/// metrics scrape can watch drops accumulate while a trace is still armed.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Spans dropped to ring overflow since process start (all sessions).
+/// Monotonic; exported as the `pdeml_trace_dropped_spans_total` metric.
+pub fn dropped_spans_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
 /// Shared time origin so all threads report on one comparable axis.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
@@ -172,6 +182,7 @@ impl Ring {
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.cap;
             self.dropped += 1;
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
         }
     }
 

@@ -12,13 +12,13 @@
 //!    vs. out-of-distribution).
 //!
 //! Run with: `cargo run --release --example aeroacoustic_pulse`
-//! Writes `results/aeroacoustic_pulse.csv`.
+//! Writes `aeroacoustic_pulse.csv` to the results dir
+//! (`$PDEML_RESULTS_DIR`, default `results/`).
 
 use pde_euler::{dataset::SnapshotRecorder, Boundary, InitialCondition, SolverConfig};
 use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
-use std::path::Path;
+use pde_ml_core::report::{results_path, Csv};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -94,8 +94,8 @@ fn main() {
         csv.row_f64(&[s as f64, curve_in[s], curve_ood[s]]);
     }
 
-    let out = Path::new("results/aeroacoustic_pulse.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("aeroacoustic_pulse.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!(
         "\nwrote {} — note the error growth with horizon (paper §IV-B); compare the \
          two columns relative to each run's own field scale (the double pulse is \

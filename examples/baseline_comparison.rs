@@ -11,17 +11,17 @@
 //! Environment overrides: `GRID`, `SNAPSHOTS`, `EPOCHS`, `RANKS`.
 //!
 //! Run with: `cargo run --release --example baseline_comparison`
-//! Writes `results/baseline_comparison.csv`.
+//! Writes `baseline_comparison.csv` to the results dir
+//! (`$PDEML_RESULTS_DIR`, default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_ml_core::baseline::DataParallelTrainer;
 use pde_ml_core::metrics::mean_rmse;
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
+use pde_ml_core::report::{results_path, Csv};
 use pde_nn::serialize::restore;
 use pde_nn::Layer;
 use pde_tensor::Tensor4;
-use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -119,7 +119,7 @@ fn main() {
         format!("{:.5}", baseline.epoch_losses.last().unwrap()),
         format!("{baseline_val:.6e}"),
     ]);
-    let out = Path::new("results/baseline_comparison.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("baseline_comparison.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 }

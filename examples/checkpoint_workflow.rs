@@ -14,7 +14,6 @@ use pde_ml_core::norm::ChannelNorm;
 use pde_ml_core::prelude::*;
 use pde_nn::serialize::{load_params, save_params, snapshot};
 use std::fs;
-use std::path::PathBuf;
 
 fn main() {
     let grid = 32;
@@ -30,7 +29,9 @@ fn main() {
     let outcome = ParallelTrainer::new(arch.clone(), strategy, cfg)
         .train_view(&data, 30, 4)
         .expect("training");
-    let dir = PathBuf::from("results/checkpoints");
+    let dir = pde_ml_core::report::results_dir()
+        .expect("results dir")
+        .join("checkpoints");
     fs::create_dir_all(&dir).expect("mkdir");
     for r in &outcome.rank_results {
         let mut net = arch.build_for(strategy, 0);

@@ -12,13 +12,13 @@
 //! `STEPS`, `HALO_TIMEOUT_MS`.
 //!
 //! Run with: `cargo run --release --example fault_resilience`
-//! Writes `results/halo_loss_sweep.csv`.
+//! Writes `halo_loss_sweep.csv` to the results dir (`$PDEML_RESULTS_DIR`,
+//! default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_ml_core::metrics::mean_rmse;
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
-use std::path::Path;
+use pde_ml_core::report::{results_path, Csv};
 use std::time::Duration;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -141,7 +141,7 @@ fn main() {
         }
     }
 
-    let out = Path::new("results/halo_loss_sweep.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("halo_loss_sweep.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 }

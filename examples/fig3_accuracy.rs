@@ -14,18 +14,18 @@
 //! `RANKS`, `SEED`.
 //!
 //! Run with: `cargo run --release --example fig3_accuracy`
-//! Writes `results/fig3_fields.csv` (target/prediction/error maps) and
-//! `results/fig3_rollout.csv` (error growth over prediction steps).
+//! Writes `fig3_fields.csv` (target/prediction/error maps) and
+//! `fig3_rollout.csv` (error growth over prediction steps) to the results
+//! dir (`$PDEML_RESULTS_DIR`, default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_euler::state::FIELD_NAMES;
 use pde_ml_core::metrics::{field_errors, format_error_table, rollout_error_curve};
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
+use pde_ml_core::report::{results_path, Csv};
 use pde_ml_core::train::PredictionMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -140,10 +140,13 @@ fn main() {
         );
     }
 
-    fields
-        .write_to(Path::new("results/fig3_fields.csv"))
-        .expect("write fields CSV");
-    roll.write_to(Path::new("results/fig3_rollout.csv"))
-        .expect("write rollout CSV");
-    println!("\nwrote results/fig3_fields.csv and results/fig3_rollout.csv");
+    let fields_out = results_path("fig3_fields.csv").expect("results dir");
+    let roll_out = results_path("fig3_rollout.csv").expect("results dir");
+    fields.write_to(&fields_out).expect("write fields CSV");
+    roll.write_to(&roll_out).expect("write rollout CSV");
+    println!(
+        "\nwrote {} and {}",
+        fields_out.display(),
+        roll_out.display()
+    );
 }

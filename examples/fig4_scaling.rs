@@ -18,16 +18,16 @@
 //! `SNAPSHOTS` (default 12).
 //!
 //! Run with: `cargo run --release --example fig4_scaling`
-//! Writes `results/fig4_scaling.csv`.
+//! Writes `fig4_scaling.csv` to the results dir (`$PDEML_RESULTS_DIR`,
+//! default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
+use pde_ml_core::report::{results_path, Csv};
 use pde_perfmodel::scaling::format_scaling_table;
 use pde_perfmodel::{
     strong_scaling, strong_scaling_baseline, weak_scaling, CostModel, NetworkModel,
 };
-use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -194,7 +194,7 @@ fn main() {
         ]);
     }
 
-    let out = Path::new("results/fig4_scaling.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("fig4_scaling.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 }

@@ -10,17 +10,17 @@
 //! Environment overrides: `GRID`, `SNAPSHOTS`, `EPOCHS`, `RANKS`.
 //!
 //! Run with: `cargo run --release --example padding_ablation`
-//! Writes `results/padding_ablation.csv`.
+//! Writes `padding_ablation.csv` to the results dir (`$PDEML_RESULTS_DIR`,
+//! default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_ml_core::data::{extract_input, extract_target};
 use pde_ml_core::metrics::field_errors;
 use pde_ml_core::prelude::*;
-use pde_ml_core::report::Csv;
+use pde_ml_core::report::{results_path, Csv};
 use pde_nn::serialize::restore;
 use pde_nn::Layer;
 use pde_tensor::Tensor4;
-use std::path::Path;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -125,7 +125,7 @@ fn main() {
         ]);
     }
 
-    let out = Path::new("results/padding_ablation.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("padding_ablation.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 }

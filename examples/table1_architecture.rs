@@ -4,13 +4,13 @@
 //! motivation: knowing what each layer contributes).
 //!
 //! Run with: `cargo run --release --example table1_architecture`
-//! Writes `results/table1_architecture.csv`.
+//! Writes `table1_architecture.csv` to the results dir
+//! (`$PDEML_RESULTS_DIR`, default `results/`).
 
 use pde_ml_core::arch::ArchSpec;
-use pde_ml_core::report::Csv;
+use pde_ml_core::report::{results_path, Csv};
 use pde_nn::{Conv2d, Layer};
 use pde_tensor::Tensor4;
-use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -77,7 +77,7 @@ fn main() {
         ]);
     }
 
-    let out = Path::new("results/table1_architecture.csv");
-    csv.write_to(out).expect("write CSV");
+    let out = results_path("table1_architecture.csv").expect("results dir");
+    csv.write_to(&out).expect("write CSV");
     println!("\nwrote {}", out.display());
 }

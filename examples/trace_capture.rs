@@ -12,7 +12,8 @@
 //! `STEPS`, `LOSS_RATE` (percent), `HALO_TIMEOUT_MS`.
 //!
 //! Run with: `cargo run --release --example trace_capture`
-//! Writes `results/trace_degraded_rollout.json`.
+//! Writes `trace_degraded_rollout.json` to the results dir
+//! (`$PDEML_RESULTS_DIR`, default `results/`).
 
 use pde_euler::dataset::paper_dataset;
 use pde_ml_core::observe;
@@ -61,9 +62,9 @@ fn main() {
     let trace = handle.finish();
 
     let rows = observe::rollout_metrics(&trace, &rollout);
-    std::fs::create_dir_all("results").expect("mkdir results");
-    let path = "results/trace_degraded_rollout.json";
-    std::fs::write(path, trace.chrome_json()).expect("write trace");
+    let path =
+        pde_ml_core::report::results_path("trace_degraded_rollout.json").expect("results dir");
+    std::fs::write(&path, trace.chrome_json()).expect("write trace");
 
     println!(
         "rollout degraded: {} halos lost, {} fallbacks over {} steps",
@@ -72,7 +73,8 @@ fn main() {
         rollout.n_steps()
     );
     println!(
-        "wrote {path}: {} events over {} rank tracks ({} dropped)\n",
+        "wrote {}: {} events over {} rank tracks ({} dropped)\n",
+        path.display(),
         trace.events.len(),
         trace.ranks().len(),
         trace.total_dropped()

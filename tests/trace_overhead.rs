@@ -93,6 +93,40 @@ fn enabled_tracing_allocates_only_the_ring_not_per_event() {
 }
 
 #[test]
+fn telemetry_hot_path_is_allocation_free_and_cheap() {
+    // Same bar as the tracing fast path, for the live-metrics layer:
+    // registration is the only allocating step; after it, a counter `inc`
+    // and a histogram `record` are a handful of relaxed fetch_adds. 1M
+    // mixed operations must allocate nothing and finish well inside the
+    // generous wall-clock bound.
+    let c = pde_telemetry::counter("pdeml_test_hot_path_total", "hot-path overhead test");
+    let h = pde_telemetry::histogram("pdeml_test_hot_path_us", "hot-path overhead test");
+    c.inc(0);
+    h.record(1);
+
+    let before = perf::snapshot();
+    let t0 = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        c.inc((i % 4) as usize);
+        h.record(i & 0xFFFF);
+    }
+    let spent = perf::snapshot().since(&before);
+    let elapsed = t0.elapsed();
+
+    assert_eq!(
+        spent.allocs, 0,
+        "1M metric updates performed {} allocations",
+        spent.allocs
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "1M metric updates took {elapsed:?} — the hot path is no longer trivial"
+    );
+    assert_eq!(c.total(), 1_000_001);
+    assert_eq!(h.count(), 1_000_001);
+}
+
+#[test]
 fn disabled_span_cost_is_bounded() {
     // A generous wall-clock bound on the disabled fast path: 1M disarmed
     // span constructions (one thread-local read each, no clock read) must
