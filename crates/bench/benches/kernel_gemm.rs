@@ -1,9 +1,13 @@
 //! GEMM kernel throughput on the Table-I layer shapes.
 //!
-//! Benchmarks the packed register-tiled kernel in `pde-tensor` against the
-//! repo's previous cache-blocked kernel (reproduced below verbatim as
-//! `seed_gemm`), so the speedup is measured in the same run with identical
-//! codegen flags. Shapes are the `(out_c × col_rows × col_cols)` GEMMs the
+//! Benchmarks the kernel layer in `pde-tensor` against the repo's previous
+//! cache-blocked kernel (reproduced below verbatim as `seed_gemm`), so the
+//! speedup is measured in the same run with identical codegen flags. Each
+//! shape gets one row per configuration — `scalar-1t` (portable floor),
+//! `simd-1t` / `tn-simd-1t` / `nt-simd-1t` (the three transpose variants on
+//! the best SIMD path, one thread) and `simd-nt` (SIMD × all cores) — so
+//! the two acceleration levels are separable in `BENCH_kernels.json`.
+//! Shapes are the `(out_c × col_rows × col_cols)` GEMMs the
 //! paper's CNN lowers to on a 64×64 subdomain: layer 1 maps 4 input channels
 //! through 5×5 kernels to 6 channels (6×100×4096), layer 2 maps 6 to 16
 //! (16×150×4096), layer 3 maps 16 back to 4 (4×400×4096).
@@ -12,7 +16,7 @@
 //! with mean seconds/iter and derived GFLOP/s per benchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pde_tensor::gemm;
+use pde_tensor::{force_kernel_path, gemm, kernel_path, pool, KernelPath};
 
 /// The pre-packing seed kernel: cache-blocked triple loop with a zero-skip
 /// branch, copied unchanged so the comparison is honest.
@@ -63,23 +67,59 @@ const SHAPES: &[(&str, usize, usize, usize)] = &[
     ("layer3-4x400x4096", 4, 400, 4096),
 ];
 
+/// The SIMD flavor for the `simd-*` rows: the detected default, which is
+/// the best supported path unless `PDEML_KERNEL` overrides it — so
+/// `PDEML_KERNEL=avx2 cargo bench` measures the AVX2 rows on an AVX-512
+/// machine.
+fn best_simd() -> KernelPath {
+    kernel_path()
+}
+
 fn bench_gemm(c: &mut Criterion) {
+    let simd = best_simd();
+    let cores = pool::available_cores();
+    println!(
+        "kernel paths: scalar + {} (detected default {}), {} core(s) for the -nt rows",
+        simd.label(),
+        kernel_path().label(),
+        cores
+    );
     let mut group = c.benchmark_group("gemm");
     for &(label, m, k, n) in SHAPES {
         let a = det_fill(m * k, 42);
         let b = det_fill(k * n, 7);
+        let bt = det_fill(n * k, 7); // B stored n × k for the *Bᵀ path
         let mut out = vec![0.0; m * n];
         group.throughput(Throughput::Elements((2 * m * k * n) as u64));
         group.bench_with_input(BenchmarkId::new("seed", label), &(), |bencher, _| {
             bencher.iter(|| seed_gemm(m, k, n, &a, &b, &mut out));
         });
-        group.bench_with_input(BenchmarkId::new("packed", label), &(), |bencher, _| {
+        // Single-threaded scalar: the portable floor every machine shares,
+        // and the baseline the CI bench-smoke holds the SIMD rows against.
+        pool::set_thread_budget(1);
+        force_kernel_path(Some(KernelPath::Scalar));
+        group.bench_with_input(BenchmarkId::new("scalar-1t", label), &(), |bencher, _| {
             bencher.iter(|| gemm::gemm(m, k, n, &a, &b, &mut out));
         });
-        group.bench_with_input(BenchmarkId::new("packed_tn", label), &(), |bencher, _| {
+        // Single-threaded SIMD: isolates the micro-kernel speedup.
+        force_kernel_path(Some(simd));
+        group.bench_with_input(BenchmarkId::new("simd-1t", label), &(), |bencher, _| {
+            bencher.iter(|| gemm::gemm(m, k, n, &a, &b, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("tn-simd-1t", label), &(), |bencher, _| {
             // A stored k × m for the transposed-A path.
             bencher.iter(|| gemm::gemm_tn(m, k, n, &a, &b, &mut out));
         });
+        group.bench_with_input(BenchmarkId::new("nt-simd-1t", label), &(), |bencher, _| {
+            bencher.iter(|| gemm::gemm_nt(m, k, n, &a, &bt, &mut out));
+        });
+        // SIMD with the full machine: the two levels composed.
+        pool::set_thread_budget(cores);
+        group.bench_with_input(BenchmarkId::new("simd-nt", label), &(), |bencher, _| {
+            bencher.iter(|| gemm::gemm(m, k, n, &a, &b, &mut out));
+        });
+        pool::set_thread_budget(1);
+        force_kernel_path(None);
     }
     group.finish();
 }

@@ -108,6 +108,20 @@ pub fn train(args: &Args) -> Result<(), String> {
     cfg.window = window;
     cfg.seed = args.get_or("seed", 0x5EED_u64)?;
     cfg.lr = args.get_or("lr", cfg.lr)?;
+    if let Some(t) = args.get("threads-per-rank") {
+        let t: usize = t
+            .parse()
+            .map_err(|_| format!("--threads-per-rank: not a number: {t}"))?;
+        let cores = pde_tensor::pool::available_cores();
+        if t == 0 || t > cores {
+            return Err(format!(
+                "--threads-per-rank {t} is invalid: pick 1..={cores} \
+                 (this machine has {cores} core(s); omit the flag to \
+                 auto-size as cores / ranks)"
+            ));
+        }
+        cfg.threads_per_rank = Some(t);
+    }
     let train_pairs: usize = args.get_or("train-pairs", data.pair_count() * 2 / 3)?;
     let (c, h, w) = data.shape();
     println!(
@@ -119,6 +133,11 @@ pub fn train(args: &Args) -> Result<(), String> {
         cfg.epochs,
         strategy.label(),
         cfg.prediction.label()
+    );
+    println!(
+        "kernel path {}, {} kernel thread(s) per rank",
+        pde_tensor::kernel_path().label(),
+        pde_tensor::pool::resolve_budget(cfg.threads_per_rank, ranks)
     );
 
     let handle = trace_path.as_ref().map(|_| pde_trace::begin());
@@ -454,10 +473,32 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         inf = inf.with_fault_plan(plan.clone());
     }
     let ranks = inf.partition().rank_count();
+    let threads_per_rank = match args.get("threads-per-rank") {
+        Some(t) => {
+            let t: usize = t
+                .parse()
+                .map_err(|_| format!("--threads-per-rank: not a number: {t}"))?;
+            let cores = pde_tensor::pool::available_cores();
+            if t == 0 || t > cores {
+                return Err(format!(
+                    "--threads-per-rank {t} is invalid: pick 1..={cores} \
+                     (this machine has {cores} core(s); omit the flag to \
+                     auto-size as cores / ranks)"
+                ));
+            }
+            Some(t)
+        }
+        None => None,
+    };
     let (c, h, w) = initial.shape();
     println!(
         "serve-bench: {requests} requests x {steps} steps on {source} \
          ({c} ch, {h}x{w}, {ranks} ranks)"
+    );
+    println!(
+        "kernel path {}, {} kernel thread(s) per rank",
+        pde_tensor::kernel_path().label(),
+        pde_tensor::pool::resolve_budget(threads_per_rank, ranks)
     );
 
     // Warm: one engine, resident model, one unmeasured warm-up request to
@@ -465,6 +506,7 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     // which also registers every live telemetry series before the measured
     // loop, keeping the hot path allocation-free.
     let mut engine_cfg = EngineConfig::new(ranks);
+    engine_cfg.threads_per_rank = threads_per_rank;
     if let Some(plan) = &fault_plan {
         engine_cfg = engine_cfg.with_fault_plan(plan.clone());
     }

@@ -28,7 +28,7 @@ USAGE:
                  [--ranks P] [--epochs E] [--train-pairs N]
                  [--strategy neighbor-pad|zero-pad|inner-crop|deconv]
                  [--mode absolute|residual] [--window W] [--seed S] [--lr LR]
-                 [--quick] [--trace OUT.json]
+                 [--threads-per-rank T] [--quick] [--trace OUT.json]
   pdeml infer    --data FILE --model DIR [--steps K] [--start IDX] [--out CSV]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
@@ -37,7 +37,8 @@ USAGE:
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
                  [--metrics-addr HOST:PORT] [--slo-ms N] [--flight-dir DIR]
-                 [--hold-ms N] [--trace OUT.json] [--out BENCH.json]
+                 [--hold-ms N] [--threads-per-rank T] [--trace OUT.json]
+                 [--out BENCH.json]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 
@@ -48,7 +49,9 @@ Perfetto or chrome://tracing) and prints a per-rank metrics table.
 while serve-bench runs; `--hold-ms` keeps the endpoint up after the run so a
 scraper can catch it. `--flight-dir` arms the flight recorder: on a request
 over `--slo-ms` (or a rank panic) a Chrome-trace + metrics dump is written
-there. `--flight-dir` and `--trace` are mutually exclusive.
+there. `--flight-dir` and `--trace` are mutually exclusive. `--threads-per-rank`
+caps each rank's kernel worker pool (default: cores / ranks; see also the
+PDEML_THREADS_PER_RANK and PDEML_KERNEL=scalar|simd environment variables).
 
 Run `pdeml <command>` with no flags to see that command's defaults.";
 

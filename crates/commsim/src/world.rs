@@ -302,6 +302,9 @@ impl World {
             let handle = std::thread::Builder::new()
                 .name(format!("pdeml-rank-{rank}"))
                 .spawn(move || {
+                    // Tag the thread so live telemetry (kernel gauges)
+                    // shards per rank even when no trace session is active.
+                    pde_trace::set_thread_rank(rank as u32);
                     while let Ok(job) = rx.recv() {
                         job(&mut slot);
                     }
@@ -507,6 +510,10 @@ impl PersistentWorld {
                         pde_trace::adopt(session, rank as u32);
                         let out = catch_unwind(AssertUnwindSafe(|| f(RankContext { slot, gen })));
                         pde_trace::leave();
+                        // `leave` resets the thread's rank tag to the driver;
+                        // restore it so live telemetry between jobs (and in
+                        // sessions without tracing) stays rank-attributed.
+                        pde_trace::set_thread_rank(rank as u32);
                         if out.is_err() {
                             // A panicked job means a dead rank: dropping the
                             // comm AND the state (which may hold a comm of

@@ -44,6 +44,9 @@ pub struct EngineConfig {
     pub n_ranks: usize,
     /// Optional message-fault injection for the engine's transport.
     pub fault_plan: Option<FaultPlan>,
+    /// Intra-rank kernel thread budget for the engine's resident ranks
+    /// (None = `PDEML_THREADS_PER_RANK` env, else `max(1, cores / ranks)`).
+    pub threads_per_rank: Option<usize>,
 }
 
 impl EngineConfig {
@@ -52,6 +55,7 @@ impl EngineConfig {
         EngineConfig {
             n_ranks,
             fault_plan: None,
+            threads_per_rank: None,
         }
     }
 
@@ -125,14 +129,35 @@ impl InferEngine {
         Self::with_config(EngineConfig::new(n_ranks))
     }
 
-    /// Spawns the engine's world per `cfg` (rank count + fault plan).
+    /// Spawns the engine's world per `cfg` (rank count + fault plan) and
+    /// installs each resident rank's kernel thread budget (explicit
+    /// `cfg.threads_per_rank` > `PDEML_THREADS_PER_RANK` > cores / ranks).
     pub fn with_config(cfg: EngineConfig) -> Self {
+        if let Some(t) = cfg.threads_per_rank {
+            let cores = pde_tensor::pool::available_cores();
+            assert!(
+                t >= 1,
+                "EngineConfig: threads_per_rank must be >= 1 (use None to \
+                 auto-size as cores / ranks)"
+            );
+            assert!(
+                t <= cores,
+                "EngineConfig: threads_per_rank = {t} exceeds the {cores} \
+                 available core(s); oversubscription must be explicit via \
+                 PDEML_THREADS_PER_RANK, not the config"
+            );
+        }
+        let budget = pde_tensor::pool::resolve_budget(cfg.threads_per_rank, cfg.n_ranks);
         let mut world = World::new(cfg.n_ranks);
         if let Some(plan) = cfg.fault_plan {
             world = world.with_fault_plan(plan);
         }
+        let mut world = world.spawn_persistent();
+        // One throwaway job pins the budget on every resident rank thread
+        // before the first model registers.
+        world.run(|_ctx| pde_tensor::pool::set_thread_budget(budget));
         InferEngine {
-            world: world.spawn_persistent(),
+            world,
             models: BTreeMap::new(),
             layout: None,
         }

@@ -163,6 +163,11 @@ pub struct TrainConfig {
     pub window: usize,
     /// Master seed: rank `r` derives its init/shuffle seed as `seed + r`.
     pub seed: u64,
+    /// Intra-rank kernel thread budget (None = `PDEML_THREADS_PER_RANK`
+    /// env, else `max(1, cores / n_ranks)`). Validated against the
+    /// machine's core count — oversubscription must be explicit via the
+    /// env var, never silent.
+    pub threads_per_rank: Option<usize>,
 }
 
 impl TrainConfig {
@@ -184,6 +189,7 @@ impl TrainConfig {
             grad_clip: None,
             window: 1,
             seed: 0x5EED,
+            threads_per_rank: None,
         }
     }
 
@@ -218,6 +224,20 @@ impl TrainConfig {
         assert!(self.batch_size >= 1, "TrainConfig: batch_size must be >= 1");
         assert!(self.lr > 0.0, "TrainConfig: lr must be > 0");
         assert!(self.window >= 1, "TrainConfig: window must be >= 1");
+        if let Some(t) = self.threads_per_rank {
+            assert!(
+                t >= 1,
+                "TrainConfig: threads_per_rank must be >= 1 (use None to \
+                 auto-size as cores / ranks)"
+            );
+            let cores = pde_tensor::pool::available_cores();
+            assert!(
+                t <= cores,
+                "TrainConfig: threads_per_rank = {t} exceeds the {cores} \
+                 available core(s); oversubscription must be explicit via \
+                 PDEML_THREADS_PER_RANK, not the config"
+            );
+        }
     }
 }
 
@@ -545,6 +565,12 @@ impl ParallelTrainer {
         let norm_ref = &norm;
         let results = world.run(|comm| {
             let rank = comm.rank();
+            // Install this rank's kernel thread budget before any GEMM/conv
+            // runs: explicit config > PDEML_THREADS_PER_RANK > cores/ranks.
+            pde_tensor::pool::set_thread_budget(pde_tensor::pool::resolve_budget(
+                cfg.threads_per_rank,
+                n_ranks,
+            ));
             let rank_t0 = Instant::now();
             let perf0 = perf::snapshot();
             // Build the rank's shard straight from (shared) memory — the

@@ -46,7 +46,7 @@ impl GridPartition {
         assert!(n_ranks >= 1, "GridPartition: need at least one rank");
         let mut py = (n_ranks as f64).sqrt() as usize;
         while py >= 1 {
-            if n_ranks % py == 0 {
+            if n_ranks.is_multiple_of(py) {
                 return Self::new(h, w, py, n_ranks / py);
             }
             py -= 1;

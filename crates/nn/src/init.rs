@@ -99,7 +99,10 @@ pub fn init_sequential_convs(net: &mut Sequential, scheme: Init, seed: u64) {
         if groups[i].name == "weight" && i + 1 < groups.len() && groups[i + 1].name == "bias" {
             let out_c = groups[i + 1].param.len();
             let w_len = groups[i].param.len();
-            assert!(w_len % out_c == 0, "init: inconsistent conv group lengths");
+            assert!(
+                w_len.is_multiple_of(out_c),
+                "init: inconsistent conv group lengths"
+            );
             let fan_in = w_len / out_c;
             // The kernel area is not recoverable from group lengths, so the
             // Xavier fan_out is approximated by fan_in here. Kaiming (the

@@ -7,6 +7,7 @@
 
 use crate::gemm::{gemm_batch, gemm_nt_batch, gemm_tn_batch};
 use crate::im2col::{col2im, im2col, ConvGeom};
+use crate::pool::{self, SendPtr};
 use crate::Tensor4;
 
 /// Static description of a convolution layer's arithmetic.
@@ -215,13 +216,7 @@ pub fn conv2d_im2col_into(
     out.resize(n, spec.out_c, oh, ow);
 
     let cols = scratch.cols_for_batch(&g, n);
-    for s in 0..n {
-        im2col(
-            input.sample(s),
-            &g,
-            &mut cols[s * rows * n_cols..(s + 1) * rows * n_cols],
-        );
-    }
+    im2col_batch(input, &g, cols, rows * n_cols);
     let y = out.as_mut_slice();
     if bias.is_empty() {
         y.fill(0.0);
@@ -289,13 +284,35 @@ pub fn conv2d_backward_input_into(
         grad_out.as_slice(),
         cols,
     );
-    for s in 0..n {
-        col2im(
-            &cols[s * rows * n_cols..(s + 1) * rows * n_cols],
-            &g,
-            grad_in.sample_mut(s),
-        );
-    }
+    // Per-sample scatters write disjoint samples of grad_in — one pool
+    // chunk each, same per-sample operation order as the sequential loop.
+    let sample_len = spec.in_c * in_h * in_w;
+    let stride_len = rows * n_cols;
+    let cols: &[f64] = cols;
+    let gi = SendPtr(grad_in.as_mut_slice().as_mut_ptr());
+    pool::run(n, &|s| {
+        // Whole-value rebind keeps the `Send + Sync` SendPtr in the capture.
+        #[allow(clippy::redundant_locals)]
+        let gi = gi;
+        // SAFETY: chunk `s` owns sample `s`'s disjoint grad_in region.
+        let out = unsafe { std::slice::from_raw_parts_mut(gi.0.add(s * sample_len), sample_len) };
+        col2im(&cols[s * stride_len..][..stride_len], &g, out);
+    });
+}
+
+/// Lowers every sample of `input` into its slot of the batch-wide column
+/// buffer, one pool chunk per sample (disjoint `stride_len`-sized slots).
+fn im2col_batch(input: &Tensor4, g: &ConvGeom, cols: &mut [f64], stride_len: usize) {
+    let n = input.n();
+    let dst = SendPtr(cols.as_mut_ptr());
+    pool::run(n, &|s| {
+        // Whole-value rebind keeps the `Send + Sync` SendPtr in the capture.
+        #[allow(clippy::redundant_locals)]
+        let dst = dst;
+        // SAFETY: chunk `s` owns cols slot `s` exclusively.
+        let slot = unsafe { std::slice::from_raw_parts_mut(dst.0.add(s * stride_len), stride_len) };
+        im2col(input.sample(s), g, slot);
+    });
 }
 
 /// Gradient of the loss w.r.t. the convolution *weights* and *bias*.
@@ -334,13 +351,7 @@ pub fn conv2d_backward_weight(
     let (rows, n_cols) = (g.col_rows(), g.col_cols());
 
     let cols = scratch.cols_for_batch(&g, n);
-    for s in 0..n {
-        im2col(
-            input.sample(s),
-            &g,
-            &mut cols[s * rows * n_cols..(s + 1) * rows * n_cols],
-        );
-    }
+    im2col_batch(input, &g, cols, rows * n_cols);
     // grad_W (out_c × rows) += Σ_s grad_out_s (out_c × n_cols) · cols_sᵀ.
     gemm_nt_batch(
         n,

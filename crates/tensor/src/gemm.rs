@@ -1,50 +1,198 @@
-//! Packed, register-tiled general matrix–matrix multiply.
+//! Packed, register-tiled general matrix–matrix multiply with runtime-
+//! selected SIMD micro-kernels and intra-rank threading.
 //!
 //! The kernels here are the single hot spot of the whole training pipeline:
 //! every convolution forward/backward pass lowers to one of them (see
-//! [`crate::im2col`]). The design is the classic panel-packing scheme: the
-//! shared dimension is blocked by [`KC`], and within each block A is packed
-//! into [`MR`]-interleaved row panels and B into [`NR`]-interleaved column
-//! panels. The micro-kernel then streams both panels contiguously, keeping a
-//! full `MR × NR` accumulator tile in locals and advancing with
-//! [`f64::mul_add`] — which the repo-level `.cargo/config.toml` lowers to FMA
-//! instructions.
+//! [`crate::im2col`]). The architecture is two-level (ISSUE 6):
 //!
-//! Transposed variants ([`gemm_tn`], [`gemm_nt`]) reuse the exact same
-//! micro-kernel: the transposition happens for free during packing, so all
-//! operand layouts produce bit-identical results for identical logical
-//! inputs. Pack buffers live in thread-local storage and are reused across
-//! calls, so steady-state GEMM performs no heap allocation.
+//! * **Instruction level** — a [`KernelPath`] chosen once per process
+//!   ([`kernel_path`]): explicit AVX-512 or AVX2+FMA micro-kernels from
+//!   [`crate::simd`], or the portable scalar micro-kernel in this module
+//!   (whose `f64::mul_add` chains the repo-level `.cargo/config.toml`
+//!   lowers to FMA). `PDEML_KERNEL=scalar|simd` selects for A/B runs;
+//!   [`force_kernel_path`] overrides for benches.
+//! * **Thread level** — the driver's macro-loops fan out over
+//!   [`crate::pool`]: batched calls chunk per sample, single-sample calls
+//!   chunk per [`NC`]-column block. Each C element is written by exactly
+//!   one chunk with a fixed operation order, so results are bit-for-bit
+//!   identical at every thread budget.
 //!
-//! Every driver call records FLOPs, call counts and packing traffic in
+//! Operand handling depends on the layout: row-major B (`Trans::N`) is read
+//! **in place** by the SIMD paths and by the dedicated small-`m` scalar edge
+//! kernel (packing B costs as much as the FMA work at our shapes), while
+//! `Trans::T` operands keep the classic packed-strip scheme — the
+//! transposition happens for free during packing. A is always packed into
+//! `mr`-interleaved row panels ([`KC`]-blocked, L2-resident).
+//!
+//! **Accumulation-order contract:** every path computes each C element as a
+//! `p`-ascending fused-multiply-add chain from 0.0 within a KC block, added
+//! into C once per block. Tile shape, packing, threading and vector width
+//! all preserve that per-element chain, so *all* paths agree bitwise —
+//! asserted by `tests/kernel_paths.rs`. (The documented fallback, a ≤1e-12
+//! relative tolerance, is retained in the test helper for future kernels
+//! that reassociate; today nothing needs it.)
+//!
+//! Pack buffers live in thread-local storage and are reused across calls,
+//! so steady-state GEMM performs no heap allocation — including on pool
+//! workers, each of which owns its own pack buffers. Every driver call
+//! records FLOPs, call counts, kernel nanoseconds and packing traffic in
 //! [`crate::perf`].
 
-use crate::{perf, Matrix};
+use crate::{perf, pool, Matrix};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
-/// Micro-tile rows: how many rows of C each micro-kernel invocation owns.
+/// Scalar micro-tile rows: how many rows of C the scalar micro-kernel owns.
 const MR: usize = 4;
-/// Micro-tile columns. `MR × NR` f64 accumulators fill 8 AVX2 (or 4 AVX-512)
-/// vector registers, leaving room for the broadcast and B loads.
+/// Micro-tile columns; also the packed B strip width for every path.
 const NR: usize = 8;
-/// Shared-dimension block: one packed A panel (`KC × MR`) is 8 KiB and one B
-/// panel (`KC × NR`) is 16 KiB, so the working set of a micro-kernel call
-/// stays resident in L1.
+/// Shared-dimension block: one packed A panel (`KC × mr`) stays L1/L2
+/// resident. Identical across kernel paths — KC blocking is part of the
+/// accumulation-order contract.
 const KC: usize = 256;
-/// Column block: B is packed `NC` columns at a time so each source row
-/// contributes a long contiguous run (`NC` doubles) — sequential enough for
-/// the hardware prefetcher — while the packed chunk (`KC × NC`, ≤512 KiB)
-/// stays L2-resident for reuse by every A panel.
+/// Column block: unit of B packing *and* of intra-rank column chunking
+/// (`KC × NC` ≤ 512 KiB stays L2-resident; 256 is a multiple of every
+/// tile width, so chunk boundaries never split a tile).
 const NC: usize = 256;
 
-struct PackBufs {
-    a: Vec<f64>,
-    b: Vec<f64>,
+thread_local! {
+    /// Packed-A scratch, owned by the driver thread for the whole call.
+    static A_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Packed-B scratch, borrowed per column chunk on whichever thread
+    /// (caller or pool worker) runs the chunk.
+    static B_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
-thread_local! {
-    static PACK_BUFS: RefCell<PackBufs> =
-        const { RefCell::new(PackBufs { a: Vec::new(), b: Vec::new() }) };
+// ---------------------------------------------------------------------------
+// Kernel-path selection
+// ---------------------------------------------------------------------------
+
+/// Which micro-kernel family the driver dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable Rust micro-kernel (auto-vectorized under `-C
+    /// target-cpu=native`, plain f64 otherwise).
+    Scalar,
+    /// Explicit AVX2+FMA intrinsics (4-row tiles).
+    Avx2,
+    /// Explicit AVX-512F intrinsics (8-row tiles, masked edges).
+    Avx512,
+}
+
+impl KernelPath {
+    /// Stable lowercase label, as printed in CLI headers and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether the running CPU can execute this path.
+    pub fn supported(self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            match self {
+                KernelPath::Scalar => true,
+                KernelPath::Avx2 => {
+                    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+                }
+                KernelPath::Avx512 => is_x86_feature_detected!("avx512f"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self == KernelPath::Scalar
+        }
+    }
+}
+
+/// Best path the running CPU supports.
+fn best_supported() -> KernelPath {
+    if KernelPath::Avx512.supported() {
+        KernelPath::Avx512
+    } else if KernelPath::Avx2.supported() {
+        KernelPath::Avx2
+    } else {
+        KernelPath::Scalar
+    }
+}
+
+/// Parses `PDEML_KERNEL` (+ runtime feature detection), once per process.
+fn detect() -> KernelPath {
+    match std::env::var("PDEML_KERNEL").as_deref() {
+        Err(_) | Ok("simd") => best_supported(),
+        Ok("scalar") => KernelPath::Scalar,
+        Ok(explicit @ ("avx2" | "avx512")) => {
+            let path = if explicit == "avx2" {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Avx512
+            };
+            assert!(
+                path.supported(),
+                "PDEML_KERNEL={explicit} requested but this CPU does not support it; \
+                 use PDEML_KERNEL=simd to auto-select the best available path"
+            );
+            path
+        }
+        Ok(other) => panic!(
+            "PDEML_KERNEL={other:?} is not a kernel path; \
+             valid values: scalar, simd (auto), avx2, avx512"
+        ),
+    }
+}
+
+/// Bench/test override: 0 = none, else `KernelPath as u8 + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the kernel path process-wide (benches and the path-equivalence
+/// tests use this to compare paths inside one process, where the
+/// `PDEML_KERNEL` choice is already frozen). `None` restores the detected
+/// path. Safe at any time: all paths produce bit-identical results, so
+/// switching mid-run only changes speed.
+///
+/// # Panics
+/// If the CPU does not support the requested path.
+pub fn force_kernel_path(path: Option<KernelPath>) {
+    let code = match path {
+        None => 0,
+        Some(p) => {
+            assert!(
+                p.supported(),
+                "force_kernel_path({p:?}): not supported by this CPU"
+            );
+            p as u8 + 1
+        }
+    };
+    FORCED.store(code, Ordering::Release);
+}
+
+/// The kernel path in effect: a [`force_kernel_path`] override if set, else
+/// the cached `PDEML_KERNEL` / feature-detection choice.
+pub fn kernel_path() -> KernelPath {
+    match FORCED.load(Ordering::Acquire) {
+        1 => KernelPath::Scalar,
+        2 => KernelPath::Avx2,
+        3 => KernelPath::Avx512,
+        _ => *{
+            static DETECTED: OnceLock<KernelPath> = OnceLock::new();
+            DETECTED.get_or_init(detect)
+        },
+    }
+}
+
+/// Packed A panel height for this path/shape: AVX-512 widens to 8 rows
+/// (16 zmm accumulators) except for `m ≤ 4`, where a 4-row panel keeps the
+/// register file on live data (the layer-3 edge case).
+fn panel_rows(path: KernelPath, m: usize) -> usize {
+    match path {
+        KernelPath::Avx512 if m > MR => 8,
+        _ => MR,
+    }
 }
 
 /// Operand layout: `N` means the slice stores the logical matrix row-major,
@@ -55,34 +203,57 @@ enum Trans {
     T,
 }
 
-/// Packs every `MR`-row panel of the logical `m × k` matrix A for the
+/// Packs every `mr`-row panel of the logical `m × k` matrix A for the
 /// shared-dimension block `p0 .. p0+kc` into `buf`, zero-padding the last
-/// panel. Layout: panel `ip` at `buf[ip*kc*MR..]`, element `(p, r)` at
-/// `p*MR + r`.
-fn pack_a_block(op: Trans, a: &[f64], m: usize, k: usize, p0: usize, kc: usize, buf: &mut [f64]) {
-    let m_panels = m.div_ceil(MR);
+/// panel. Layout: panel `ip` at `buf[ip*kc*mr..]`, element `(p, r)` at
+/// `p*mr + r`. Full 8-row `Trans::N` panels on the AVX-512 path transpose
+/// in registers ([`crate::simd::pack_a8_n_512`]); packing is pure data
+/// movement either way, so the layout (and every downstream result) is
+/// identical.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    path: KernelPath,
+    op: Trans,
+    a: &[f64],
+    m: usize,
+    k: usize,
+    p0: usize,
+    kc: usize,
+    mr: usize,
+    buf: &mut [f64],
+) {
+    let m_panels = m.div_ceil(mr);
     for ip in 0..m_panels {
-        let i0 = ip * MR;
-        let mr_eff = MR.min(m - i0);
-        let panel = &mut buf[ip * kc * MR..][..kc * MR];
+        let i0 = ip * mr;
+        let mr_eff = mr.min(m - i0);
+        let panel = &mut buf[ip * kc * mr..][..kc * mr];
         match op {
             Trans::N => {
-                // a[(i0+r)*k + p0+p] → panel[p*MR + r]
-                if mr_eff < MR {
+                #[cfg(target_arch = "x86_64")]
+                if path == KernelPath::Avx512 && mr == 8 && mr_eff == 8 {
+                    // SAFETY: AVX-512 is the selected (detected) path and
+                    // the panel is full, so all 8 source rows exist.
+                    unsafe { crate::simd::pack_a8_n_512(a, k, i0, p0, kc, panel) };
+                    continue;
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                let _ = path;
+                // a[(i0+r)*k + p0+p] → panel[p*mr + r]
+                if mr_eff < mr {
                     panel.fill(0.0);
                 }
                 for r in 0..mr_eff {
                     let row = &a[(i0 + r) * k + p0..][..kc];
                     for (p, &v) in row.iter().enumerate() {
-                        panel[p * MR + r] = v;
+                        panel[p * mr + r] = v;
                     }
                 }
             }
             Trans::T => {
-                // a stored k × m: a[(p0+p)*m + i0+r] → panel[p*MR + r]
+                // a stored k × m: a[(p0+p)*m + i0+r] → panel[p*mr + r]
                 for p in 0..kc {
                     let src = &a[(p0 + p) * m + i0..][..mr_eff];
-                    let dst = &mut panel[p * MR..][..MR];
+                    let dst = &mut panel[p * mr..][..mr];
                     dst[..mr_eff].copy_from_slice(src);
                     dst[mr_eff..].fill(0.0);
                 }
@@ -97,8 +268,9 @@ fn pack_a_block(op: Trans, a: &[f64], m: usize, k: usize, p0: usize, kc: usize, 
 /// padding the last strip.
 ///
 /// For `Trans::N` (`k × n` slice) each source row contributes one contiguous
-/// `nc_eff`-wide run, scattered across the strips; for `Trans::T` (`n × k`
-/// slice) the transposition happens here, walking contiguous columns.
+/// `nc_eff`-wide run (`copy_from_slice`, i.e. vector moves), scattered
+/// across the strips; for `Trans::T` (`n × k` slice) the transposition
+/// happens here, walking contiguous columns.
 #[allow(clippy::too_many_arguments)]
 fn pack_b_chunk(
     op: Trans,
@@ -147,36 +319,45 @@ fn pack_b_chunk(
 }
 
 /// Accumulator write-back: adds the live `mr_eff × nr_eff` corner of the
-/// register tile into C.
+/// register tile into C (base pointer + row stride, so concurrent chunks
+/// can write disjoint column ranges without materializing overlapping
+/// `&mut` slices).
+///
+/// # Safety
+/// `c` must be valid for the rows/columns addressed, and no other thread
+/// may concurrently touch those elements.
 #[inline(always)]
-fn write_back(
+unsafe fn write_back(
     acc: &[[f64; NR]; MR],
-    c: &mut [f64],
+    c: *mut f64,
     i0: usize,
     j0: usize,
     mr_eff: usize,
     nr_eff: usize,
     ldc: usize,
 ) {
-    for r in 0..mr_eff {
-        let c_row = &mut c[(i0 + r) * ldc + j0..][..nr_eff];
-        for (dst, &v) in c_row.iter_mut().zip(&acc[r][..nr_eff]) {
+    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        let row = unsafe { std::slice::from_raw_parts_mut(c.add((i0 + r) * ldc + j0), nr_eff) };
+        for (dst, &v) in row.iter_mut().zip(&acc_row[..nr_eff]) {
             *dst += v;
         }
     }
 }
 
-/// The register-tiled core: `C[i0.., j0..] += Ap · Bp` for one packed A
-/// panel (`kc × MR`) against one packed B strip (`kc × NR`). The accumulator
-/// tile lives entirely in locals (it compiles to 8 packed-FMA chains, enough
-/// to saturate both FMA ports); edge tiles compute the full micro-tile on
+/// The scalar register-tiled core: `C[i0.., j0..] += Ap · Bp` for one packed
+/// A panel (`kc × MR`) against one packed B strip (`kc × NR`). The
+/// accumulator tile lives entirely in locals (it compiles to 8 packed-FMA
+/// chains under native codegen); edge tiles compute the full micro-tile on
 /// the zero padding and clip only the write-back.
+///
+/// # Safety
+/// See [`write_back`].
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn micro_kernel(
+unsafe fn micro_kernel(
     ap: &[f64],
     bp: &[f64],
-    c: &mut [f64],
+    c: *mut f64,
     i0: usize,
     j0: usize,
     mr_eff: usize,
@@ -199,34 +380,198 @@ fn micro_kernel(
             }
         }
     }
-    write_back(&acc, c, i0, j0, mr_eff, nr_eff, ldc);
+    unsafe { write_back(&acc, c, i0, j0, mr_eff, nr_eff, ldc) };
 }
 
-/// Column-segment width of the small-m kernel: 4 KiB per C row, so the
-/// whole `m × SEG` C working set plus one B segment stays L1-resident.
-const SEG: usize = 512;
-
-/// Fast path for `m ≤ MR` against row-major B: with a single A panel there
-/// is no packing to amortize, so B is read in place, sequentially, exactly
-/// once. C is walked in [`SEG`]-wide column segments held in L1 across the
-/// shared-dimension loop; each B row segment is loaded once and reused by
-/// all `m` output rows.
-fn small_m_kernel(m: usize, n: usize, ap: &[f64], kc: usize, b: &[f64], p0: usize, c: &mut [f64]) {
-    for jc in (0..n).step_by(SEG) {
-        let seg = SEG.min(n - jc);
-        for p in 0..kc {
-            let a_col = &ap[p * MR..][..MR];
-            let b_row = &b[(p0 + p) * n + jc..][..seg];
-            for r in 0..m {
-                let av = a_col[r];
-                let c_row = &mut c[r * n + jc..][..seg];
-                for (dst, &bv) in c_row.iter_mut().zip(b_row) {
-                    *dst = av.mul_add(bv, *dst);
+/// Dedicated scalar edge kernel for `m ≤ MR` against row-major B (the
+/// layer-3 shape): B is read in place — with a single A panel there is no
+/// packing to amortize — and the C tile is held in *registers* across the
+/// whole KC block, unlike the old `small_m_kernel`, which streamed C
+/// through L1 once per shared-dimension step and capped layer 3 at ~6
+/// GFLOP/s. The accumulation chain is identical to [`micro_kernel`]'s.
+///
+/// # Safety
+/// See [`write_back`]; `b` must hold the sample's `k × n` matrix.
+#[allow(clippy::too_many_arguments)]
+unsafe fn scalar_edge_block(
+    m: usize,
+    n: usize,
+    ap: &[f64],
+    kc: usize,
+    b: &[f64],
+    p0: usize,
+    c: *mut f64,
+    j_lo: usize,
+    j_hi: usize,
+) {
+    let mut j0 = j_lo;
+    while j0 < j_hi {
+        let nr_eff = NR.min(j_hi - j0);
+        let mut acc = [[0.0f64; NR]; MR];
+        if nr_eff == NR {
+            for (p, a_col) in ap.chunks_exact(MR).take(kc).enumerate() {
+                let a_col: &[f64; MR] = a_col.try_into().unwrap();
+                let b_row: &[f64; NR] = b[(p0 + p) * n + j0..][..NR].try_into().unwrap();
+                for r in 0..MR {
+                    let av = a_col[r];
+                    for j in 0..NR {
+                        acc[r][j] = av.mul_add(b_row[j], acc[r][j]);
+                    }
+                }
+            }
+        } else {
+            for (p, a_col) in ap.chunks_exact(MR).take(kc).enumerate() {
+                let b_row = &b[(p0 + p) * n + j0..][..nr_eff];
+                for r in 0..MR {
+                    let av = a_col[r];
+                    for (j, &bv) in b_row.iter().enumerate() {
+                        acc[r][j] = av.mul_add(bv, acc[r][j]);
+                    }
                 }
             }
         }
+        unsafe { write_back(&acc, c, 0, j0, m, nr_eff, n) };
+        j0 += NR;
     }
 }
+
+/// Packed-strip sweep of C columns `j_lo .. j_hi` for one sample and one KC
+/// block: B chunks are packed [`NC`] columns at a time into *this thread's*
+/// pack buffer (caller or pool worker alike), then swept strip by strip by
+/// every A panel while cache-hot.
+///
+/// # Safety
+/// See [`write_back`]; `abuf` must hold `ceil(m/mr)` packed panels.
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_block(
+    path: KernelPath,
+    op_b: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    abuf: &[f64],
+    mr: usize,
+    kc: usize,
+    p0: usize,
+    b: &[f64],
+    c: *mut f64,
+    j_lo: usize,
+    j_hi: usize,
+) {
+    let m_panels = m.div_ceil(mr);
+    B_BUF.with(|bb| {
+        let mut bbuf = bb.borrow_mut();
+        let need = (NC / NR) * kc * NR;
+        if bbuf.len() < need {
+            bbuf.resize(need, 0.0);
+        }
+        for jc in (j_lo..j_hi).step_by(NC) {
+            let nc_eff = NC.min(j_hi - jc);
+            pack_b_chunk(op_b, b, k, n, p0, kc, jc, nc_eff, &mut bbuf);
+            for js in 0..nc_eff.div_ceil(NR) {
+                let strip = &bbuf[js * kc * NR..][..kc * NR];
+                let j0 = jc + js * NR;
+                let nr_eff = NR.min(j_hi - j0);
+                for ip in 0..m_panels {
+                    let ap = &abuf[ip * kc * mr..][..kc * mr];
+                    let (i0, mr_eff) = (ip * mr, mr.min(m - ip * mr));
+                    match path {
+                        // SAFETY (all arms): disjoint C tiles, panels sized
+                        // by the driver, SIMD paths feature-checked at
+                        // selection time.
+                        KernelPath::Scalar => unsafe {
+                            micro_kernel(ap, strip, c, i0, j0, mr_eff, nr_eff, n)
+                        },
+                        #[cfg(target_arch = "x86_64")]
+                        KernelPath::Avx2 => unsafe {
+                            crate::simd::packed_strip_avx2(
+                                ap, strip, kc, c, i0, j0, mr_eff, nr_eff, n,
+                            )
+                        },
+                        #[cfg(target_arch = "x86_64")]
+                        KernelPath::Avx512 => unsafe {
+                            crate::simd::packed_strip_512(
+                                ap, mr, strip, kc, c, i0, j0, mr_eff, nr_eff, n,
+                            )
+                        },
+                        #[cfg(not(target_arch = "x86_64"))]
+                        _ => unreachable!("SIMD kernel paths are x86_64-only"),
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// One sample × one KC block × one column range, dispatched to the selected
+/// kernel family. This is the unit of work a pool chunk executes.
+///
+/// # Safety
+/// `c` must point at the sample's `m × n` output and no other thread may
+/// write columns `j_lo .. j_hi` of it; `abuf` must be packed with `mr`-row
+/// panels for this block; SIMD paths require their CPU features (guaranteed
+/// by [`kernel_path`]).
+#[allow(clippy::too_many_arguments)]
+unsafe fn sample_block(
+    path: KernelPath,
+    op_b: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    abuf: &[f64],
+    mr: usize,
+    kc: usize,
+    p0: usize,
+    b: &[f64],
+    c: *mut f64,
+    j_lo: usize,
+    j_hi: usize,
+) {
+    match op_b {
+        Trans::N => match path {
+            KernelPath::Scalar if m <= MR => unsafe {
+                scalar_edge_block(m, n, abuf, kc, b, p0, c, j_lo, j_hi)
+            },
+            KernelPath::Scalar => unsafe {
+                packed_block(path, op_b, m, k, n, abuf, mr, kc, p0, b, c, j_lo, j_hi)
+            },
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx2 => unsafe {
+                crate::simd::direct_block_avx2(
+                    abuf,
+                    m,
+                    kc,
+                    b.as_ptr().add(p0 * n),
+                    n,
+                    c,
+                    j_lo,
+                    j_hi,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx512 => unsafe {
+                crate::simd::direct_block_512(
+                    abuf,
+                    mr,
+                    m,
+                    kc,
+                    b.as_ptr().add(p0 * n),
+                    n,
+                    c,
+                    j_lo,
+                    j_hi,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("SIMD kernel paths are x86_64-only"),
+        },
+        Trans::T => unsafe {
+            packed_block(path, op_b, m, k, n, abuf, mr, kc, p0, b, c, j_lo, j_hi)
+        },
+    }
+}
+
+use crate::pool::SendPtr;
 
 /// Shared driver behind every public entry point.
 ///
@@ -237,11 +582,11 @@ fn small_m_kernel(m: usize, n: usize, ap: &[f64], kc: usize, b: &[f64], p0: usiz
 /// `samples == 1`.
 ///
 /// Loop order: the shared dimension is blocked by [`KC`] and A packed once
-/// per block (L2-resident, `m × kc` doubles). Inside, B is packed [`NC`]
-/// columns at a time into a single reused `kc × NC` chunk and swept strip by
-/// strip by every A panel while cache-hot — B is streamed from memory
-/// exactly once per sample, and no operand-sized pack buffer is ever
-/// materialized.
+/// per block. Inside the block the work fans out over [`crate::pool`]:
+/// batched calls run one chunk per sample, single-sample calls one chunk
+/// per [`NC`]-column range — both partitions write disjoint C regions, and
+/// the per-element operation order is independent of the partition, so
+/// every thread budget produces identical bits.
 #[allow(clippy::too_many_arguments)]
 fn gemm_driver(
     op_a: Trans,
@@ -257,46 +602,75 @@ fn gemm_driver(
     if samples == 0 || m == 0 || n == 0 {
         return;
     }
-    let m_panels = m.div_ceil(MR);
-    let n_panels = n.div_ceil(NR);
-    PACK_BUFS.with(|bufs| {
-        let mut bufs = bufs.borrow_mut();
-        let PackBufs { a: abuf, b: bbuf } = &mut *bufs;
+    let t0 = Instant::now();
+    let path = kernel_path();
+    let mr = panel_rows(path, m);
+    let m_panels = m.div_ceil(mr);
+    A_BUF.with(|ab| {
+        let mut abuf = ab.borrow_mut();
         for p0 in (0..k).step_by(KC) {
             let kc = KC.min(k - p0);
-            abuf.resize(m_panels * kc * MR, 0.0);
-            bbuf.resize((NC / NR) * kc * NR, 0.0);
-            pack_a_block(op_a, a, m, k, p0, kc, abuf);
-            for s in 0..samples {
-                let b = &b_all[s * k * n..][..k * n];
-                let c = &mut c_all[s * m * n..][..m * n];
-                if m <= MR && op_b == Trans::N {
-                    small_m_kernel(m, n, abuf, kc, b, p0, c);
-                    continue;
-                }
-                for jc in (0..n).step_by(NC) {
-                    let nc_eff = NC.min(n - jc);
-                    pack_b_chunk(op_b, b, k, n, p0, kc, jc, nc_eff, bbuf);
-                    for js in 0..nc_eff.div_ceil(NR) {
-                        let strip = &bbuf[js * kc * NR..][..kc * NR];
-                        let j0 = jc + js * NR;
-                        let nr_eff = NR.min(n - j0);
-                        for ip in 0..m_panels {
-                            let ap = &abuf[ip * kc * MR..][..kc * MR];
-                            let i0 = ip * MR;
-                            micro_kernel(ap, strip, c, i0, j0, MR.min(m - i0), nr_eff, n);
-                        }
-                    }
-                }
+            if abuf.len() < m_panels * kc * mr {
+                abuf.resize(m_panels * kc * mr, 0.0);
+            }
+            pack_a_block(path, op_a, a, m, k, p0, kc, mr, &mut abuf);
+            let abuf: &[f64] = &abuf[..m_panels * kc * mr];
+            let c_base = SendPtr(c_all.as_mut_ptr());
+            if samples > 1 {
+                pool::run(samples, &|s| {
+                    // Bind the wrapper whole so closure capture keeps the
+                    // `Send + Sync` `SendPtr`, not its raw-pointer field.
+                    #[allow(clippy::redundant_locals)]
+                    let c_base = c_base;
+                    let b = &b_all[s * k * n..][..k * n];
+                    // SAFETY: chunk `s` owns sample `s`'s C region.
+                    unsafe {
+                        sample_block(
+                            path,
+                            op_b,
+                            m,
+                            k,
+                            n,
+                            abuf,
+                            mr,
+                            kc,
+                            p0,
+                            b,
+                            c_base.0.add(s * m * n),
+                            0,
+                            n,
+                        )
+                    };
+                });
+            } else {
+                pool::run(n.div_ceil(NC), &|ci| {
+                    // Whole-value rebind for disjoint capture (see above).
+                    #[allow(clippy::redundant_locals)]
+                    let c_base = c_base;
+                    let j_lo = ci * NC;
+                    let j_hi = (j_lo + NC).min(n);
+                    // SAFETY: chunk `ci` owns columns `j_lo..j_hi` alone.
+                    unsafe {
+                        sample_block(
+                            path, op_b, m, k, n, abuf, mr, kc, p0, b_all, c_base.0, j_lo, j_hi,
+                        )
+                    };
+                });
             }
         }
     });
     let flops = 2 * (samples as u64) * (m as u64) * (k as u64) * (n as u64);
-    let mut packed_elems = (m_panels * MR * k) as u64;
-    if !(m <= MR && op_b == Trans::N) {
-        packed_elems += (samples as u64) * (n_panels * NR * k) as u64;
+    let mut packed_elems = (m_panels * mr * k) as u64;
+    let packs_b = op_b == Trans::T || (path == KernelPath::Scalar && m > MR);
+    if packs_b {
+        packed_elems += (samples as u64) * (n.div_ceil(NR) * NR * k) as u64;
     }
-    perf::record_gemm(flops, packed_elems * std::mem::size_of::<f64>() as u64);
+    perf::record_gemm(
+        flops,
+        packed_elems * std::mem::size_of::<f64>() as u64,
+        t0.elapsed().as_nanos() as u64,
+        path != KernelPath::Scalar,
+    );
 }
 
 /// `C += A * B` on flat row-major buffers.
@@ -469,6 +843,10 @@ mod tests {
             (5, 256, 9),
             (7, 300, 17),
             (1, 513, 1),
+            // Tile-width edges of the SIMD paths (16-col tiles, 8-row panels).
+            (8, 64, 16),
+            (9, 300, 33),
+            (16, 150, 47),
         ] {
             let a = det_fill(m * k, 42);
             let b = det_fill(k * n, 7);
@@ -594,6 +972,17 @@ mod tests {
         assert_eq!(spent.gemm_calls, 1);
         assert_eq!(spent.flops, 2 * (m * k * n) as u64);
         assert!(spent.bytes_packed > 0);
+        if kernel_path() != KernelPath::Scalar {
+            assert_eq!(spent.simd_calls, 1);
+        }
+    }
+
+    #[test]
+    fn default_kernel_path_is_supported() {
+        // Whatever detection picked must actually run here, and the scalar
+        // fallback must always be available.
+        assert!(kernel_path().supported());
+        assert!(KernelPath::Scalar.supported());
     }
 
     #[test]

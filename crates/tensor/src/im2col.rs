@@ -84,6 +84,31 @@ pub fn im2col(input: &[f64], g: &ConvGeom, cols: &mut [f64]) {
             for kj in 0..g.kw {
                 let row = (c * g.kh + ki) * g.kw + kj;
                 let out_row = &mut cols[row * n_cols..(row + 1) * n_cols];
+                if g.stride == 1 {
+                    // Stride 1 (every conv layer in the paper's network): for
+                    // a fixed tap, valid output columns form one contiguous
+                    // run `oj_lo..oj_hi` (`jj = oj + kj - pad ∈ [0, w)`), so
+                    // each output row is zeros / one bulk copy / zeros —
+                    // vector moves instead of a branch per element. Pure
+                    // data movement: bit-identical to the general path.
+                    let oj_lo = g.pad.saturating_sub(kj).min(ow);
+                    let oj_hi = (g.w + g.pad).saturating_sub(kj).min(ow).max(oj_lo);
+                    let jj0 = (oj_lo + kj).saturating_sub(g.pad).min(g.w);
+                    for oi in 0..oh {
+                        let ii = (oi + ki) as isize - g.pad as isize;
+                        let base = oi * ow;
+                        if ii < 0 || ii >= g.h as isize {
+                            out_row[base..base + ow].fill(0.0);
+                            continue;
+                        }
+                        let src_row = &plane[ii as usize * g.w..(ii as usize + 1) * g.w];
+                        out_row[base..base + oj_lo].fill(0.0);
+                        out_row[base + oj_lo..base + oj_hi]
+                            .copy_from_slice(&src_row[jj0..jj0 + (oj_hi - oj_lo)]);
+                        out_row[base + oj_hi..base + ow].fill(0.0);
+                    }
+                    continue;
+                }
                 for oi in 0..oh {
                     let ii = (oi * g.stride + ki) as isize - g.pad as isize;
                     let base = oi * ow;
@@ -126,6 +151,29 @@ pub fn col2im(cols: &[f64], g: &ConvGeom, output: &mut [f64]) {
             for kj in 0..g.kw {
                 let row = (c * g.kh + ki) * g.kw + kj;
                 let in_row = &cols[row * n_cols..(row + 1) * n_cols];
+                if g.stride == 1 {
+                    // Same contiguous-run structure as the im2col fast path:
+                    // the scatter becomes one dense `+=` sweep per row. The
+                    // accumulation order over (ki, kj, oi, oj) is unchanged,
+                    // so results stay bit-identical to the general path.
+                    let oj_lo = g.pad.saturating_sub(kj).min(ow);
+                    let oj_hi = (g.w + g.pad).saturating_sub(kj).min(ow).max(oj_lo);
+                    let jj0 = (oj_lo + kj).saturating_sub(g.pad).min(g.w);
+                    for oi in 0..oh {
+                        let ii = (oi + ki) as isize - g.pad as isize;
+                        if ii < 0 || ii >= g.h as isize {
+                            continue;
+                        }
+                        let dst_row = &mut plane[ii as usize * g.w..(ii as usize + 1) * g.w];
+                        let base = oi * ow;
+                        let dst = &mut dst_row[jj0..jj0 + (oj_hi - oj_lo)];
+                        let src = &in_row[base + oj_lo..base + oj_hi];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    continue;
+                }
                 for oi in 0..oh {
                     let ii = (oi * g.stride + ki) as isize - g.pad as isize;
                     if ii < 0 || ii >= g.h as isize {

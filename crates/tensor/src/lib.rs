@@ -18,20 +18,32 @@
 //! Convolution support lives in [`conv`] (direct and im2col-based forward,
 //! plus the input/weight backward passes used by `pde-nn`), padding/cropping
 //! in [`pad`].
+//!
+//! The kernel layer is two-level: a runtime-selected [`KernelPath`]
+//! (explicit AVX-512 / AVX2+FMA intrinsics or the portable scalar tile —
+//! `PDEML_KERNEL` selects, see [`gemm`]) times an intra-rank thread budget
+//! ([`pool`], `PDEML_THREADS_PER_RANK`). All combinations produce
+//! bit-identical results; only throughput changes.
 
 pub mod conv;
 pub mod gemm;
 pub mod grid;
 pub mod im2col;
+mod live;
 pub mod matrix;
 pub mod pad;
 pub mod perf;
+pub mod pool;
+mod simd;
 pub mod stats;
 pub mod tensor3;
 pub mod tensor4;
 
 pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_im2col, Conv2dSpec};
-pub use gemm::{gemm, gemm_batch, gemm_nt, gemm_nt_batch, gemm_tn, gemm_tn_batch};
+pub use gemm::{
+    force_kernel_path, gemm, gemm_batch, gemm_nt, gemm_nt_batch, gemm_tn, gemm_tn_batch,
+    kernel_path, KernelPath,
+};
 pub use grid::Grid2;
 pub use matrix::Matrix;
 pub use pad::PadMode;

@@ -25,15 +25,24 @@ thread_local! {
     static FLOPS: Cell<u64> = const { Cell::new(0) };
     static GEMM_CALLS: Cell<u64> = const { Cell::new(0) };
     static BYTES_PACKED: Cell<u64> = const { Cell::new(0) };
+    static KERNEL_NS: Cell<u64> = const { Cell::new(0) };
+    static SIMD_CALLS: Cell<u64> = const { Cell::new(0) };
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Records one GEMM driver invocation.
+/// Records one GEMM driver invocation: its FLOP count, packed-panel
+/// traffic, wall-clock nanoseconds inside the driver, and whether an
+/// explicit-SIMD kernel path ran.
 #[inline]
-pub(crate) fn record_gemm(flops: u64, bytes_packed: u64) {
+pub(crate) fn record_gemm(flops: u64, bytes_packed: u64, ns: u64, simd: bool) {
     FLOPS.with(|c| c.set(c.get() + flops));
     GEMM_CALLS.with(|c| c.set(c.get() + 1));
     BYTES_PACKED.with(|c| c.set(c.get() + bytes_packed));
+    KERNEL_NS.with(|c| c.set(c.get() + ns));
+    if simd {
+        SIMD_CALLS.with(|c| c.set(c.get() + 1));
+    }
+    crate::live::record_kernel(flops, ns);
     // One instant per driver call; when no trace session is active this is
     // a single thread-local read (see `pde_trace::instant`).
     pde_trace::instant(
@@ -53,6 +62,12 @@ pub struct PerfCounters {
     pub gemm_calls: u64,
     /// Bytes copied into packed panels by the GEMM drivers.
     pub bytes_packed: u64,
+    /// Wall-clock nanoseconds spent inside the GEMM driver (packing +
+    /// micro-kernels, including time on pool worker threads it fanned out
+    /// to — the driver blocks until every chunk completes).
+    pub kernel_ns: u64,
+    /// GEMM driver calls that ran an explicit-SIMD kernel path.
+    pub simd_calls: u64,
     /// Heap allocations observed on this thread (alloc + realloc +
     /// alloc_zeroed), counted by [`CountingAlloc`].
     pub allocs: u64,
@@ -65,6 +80,8 @@ impl PerfCounters {
             flops: self.flops - earlier.flops,
             gemm_calls: self.gemm_calls - earlier.gemm_calls,
             bytes_packed: self.bytes_packed - earlier.bytes_packed,
+            kernel_ns: self.kernel_ns - earlier.kernel_ns,
+            simd_calls: self.simd_calls - earlier.simd_calls,
             allocs: self.allocs - earlier.allocs,
         }
     }
@@ -77,6 +94,16 @@ impl PerfCounters {
             0.0
         }
     }
+
+    /// GFLOP/s over the nanoseconds actually spent inside the GEMM driver
+    /// (excludes everything the caller did between kernel calls).
+    pub fn kernel_gflops(&self) -> f64 {
+        if self.kernel_ns > 0 {
+            self.flops as f64 / self.kernel_ns as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Reads this thread's counters.
@@ -85,6 +112,8 @@ pub fn snapshot() -> PerfCounters {
         flops: FLOPS.with(Cell::get),
         gemm_calls: GEMM_CALLS.with(Cell::get),
         bytes_packed: BYTES_PACKED.with(Cell::get),
+        kernel_ns: KERNEL_NS.with(Cell::get),
+        simd_calls: SIMD_CALLS.with(Cell::get),
         allocs: ALLOCS.with(Cell::get),
     }
 }
@@ -94,6 +123,8 @@ pub fn reset() {
     FLOPS.with(|c| c.set(0));
     GEMM_CALLS.with(|c| c.set(0));
     BYTES_PACKED.with(|c| c.set(0));
+    KERNEL_NS.with(|c| c.set(0));
+    SIMD_CALLS.with(|c| c.set(0));
     ALLOCS.with(|c| c.set(0));
 }
 
@@ -160,12 +191,16 @@ mod tests {
             flops: 10,
             gemm_calls: 2,
             bytes_packed: 100,
+            kernel_ns: 50,
+            simd_calls: 1,
             allocs: 5,
         };
         let b = PerfCounters {
             flops: 25,
             gemm_calls: 3,
             bytes_packed: 140,
+            kernel_ns: 80,
+            simd_calls: 3,
             allocs: 9,
         };
         let d = b.since(&a);
@@ -175,9 +210,22 @@ mod tests {
                 flops: 15,
                 gemm_calls: 1,
                 bytes_packed: 40,
+                kernel_ns: 30,
+                simd_calls: 2,
                 allocs: 4
             }
         );
+    }
+
+    #[test]
+    fn kernel_gflops_uses_driver_time() {
+        let c = PerfCounters {
+            flops: 3_000_000_000,
+            kernel_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        assert!((c.kernel_gflops() - 3.0).abs() < 1e-12);
+        assert_eq!(PerfCounters::default().kernel_gflops(), 0.0);
     }
 
     #[test]
@@ -193,7 +241,7 @@ mod tests {
     #[test]
     fn counters_are_thread_local() {
         reset();
-        record_gemm(100, 8);
+        record_gemm(100, 8, 10, true);
         let main_thread = snapshot();
         let other = std::thread::spawn(|| snapshot().flops).join().unwrap();
         assert_eq!(main_thread.flops, 100);

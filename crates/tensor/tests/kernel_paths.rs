@@ -1,0 +1,206 @@
+//! Scalar-vs-SIMD equivalence for the GEMM kernel layer.
+//!
+//! The contract (see `DESIGN.md` §4c) is *bitwise*: every kernel path
+//! accumulates each C element from 0.0 per KC block in ascending-p order
+//! with one fused multiply-add chain, so scalar, AVX2 and AVX-512 produce
+//! identical bit patterns — not merely close ones. These tests force each
+//! path in turn over odd sizes and edge tiles and compare with `==`.
+//!
+//! `force_kernel_path` is process-global, so every test that touches it
+//! holds [`PATH_LOCK`] and restores the default before releasing it.
+
+use pde_tensor::{force_kernel_path, gemm, gemm_nt, gemm_tn, kernel_path, KernelPath};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static PATH_LOCK: Mutex<()> = Mutex::new(());
+
+/// `gemm` / `gemm_tn` / `gemm_nt` all share this signature.
+type GemmFn = fn(usize, usize, usize, &[f64], &[f64], &mut [f64]);
+
+/// Deterministic fill in [-1, 1) — same generator as the unit suite.
+fn det_fill(buf: &mut [f64], seed: u64) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    for v in buf.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+    }
+}
+
+/// The best non-scalar path this machine supports, if any.
+fn simd_path() -> Option<KernelPath> {
+    [KernelPath::Avx512, KernelPath::Avx2]
+        .into_iter()
+        .find(|p| p.supported())
+}
+
+/// Runs `op` under the forced `path` and returns the C it produced.
+fn run_forced(
+    path: KernelPath,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    op: GemmFn,
+) -> Vec<f64> {
+    let mut c = vec![0.0; m * n];
+    det_fill(&mut c, 0xC0FFEE); // accumulate into a non-zero C
+    force_kernel_path(Some(path));
+    op(m, k, n, a, b, &mut c);
+    c
+}
+
+/// Asserts scalar and SIMD paths agree bitwise on one (m, k, n) shape for
+/// all three transpose variants. No-op on machines without SIMD support.
+fn check_shape(m: usize, k: usize, n: usize) {
+    let Some(simd) = simd_path() else { return };
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let variants: [(&str, GemmFn, usize, usize); 3] = [
+        ("gemm", gemm, m * k, k * n),
+        ("gemm_tn", gemm_tn, k * m, k * n),
+        ("gemm_nt", gemm_nt, m * k, n * k),
+    ];
+    for (name, op, a_len, b_len) in variants {
+        let mut a = vec![0.0; a_len];
+        let mut b = vec![0.0; b_len];
+        det_fill(&mut a, 1 + (m * 31 + k * 7 + n) as u64);
+        det_fill(&mut b, 2 + (m * 17 + k * 3 + n) as u64);
+        let c_scalar = run_forced(KernelPath::Scalar, m, k, n, &a, &b, op);
+        let c_simd = run_forced(simd, m, k, n, &a, &b, op);
+        force_kernel_path(None);
+        // Escape hatch for a future target whose FMA contraction genuinely
+        // differs: PDEML_KERNEL_TEST_TOLERANCE=rel1e-12 relaxes the bitwise
+        // check to a 1e-12 relative tolerance. Never set in this repo's CI.
+        if std::env::var("PDEML_KERNEL_TEST_TOLERANCE").as_deref() == Ok("rel1e-12") {
+            for (i, (x, y)) in c_scalar.iter().zip(&c_simd).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!(
+                    (x - y).abs() <= 1e-12 * scale,
+                    "{name} {m}x{k}x{n}: element {i} differs beyond 1e-12 rel \
+                     ({x} vs {y})"
+                );
+            }
+            continue;
+        }
+        let mismatches = c_scalar
+            .iter()
+            .zip(&c_simd)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(
+            mismatches,
+            0,
+            "{name} {m}x{k}x{n}: scalar and {} paths disagree bitwise \
+             at {mismatches} of {} elements",
+            simd.label(),
+            m * n
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random odd sizes, biased small so edge tiles (m % MR, n % NR/TILE,
+    /// the m <= 4 panel path) dominate the sweep.
+    #[test]
+    fn scalar_vs_simd_bitwise_on_random_shapes(
+        m in 1usize..=21,
+        k in 1usize..=70,
+        n in 1usize..=50,
+    ) {
+        check_shape(m, k, n);
+    }
+}
+
+/// Hand-picked shapes: every micro-tile remainder class, the m <= 4 edge
+/// path, KC-crossing depths and NC-crossing widths.
+#[test]
+fn scalar_vs_simd_bitwise_on_edge_tiles() {
+    for &(m, k, n) in &[
+        (1, 1, 1),      // degenerate
+        (1, 300, 17),   // single row, k crosses KC = 256
+        (3, 64, 16),    // m < MR
+        (4, 100, 4096), // layer-3-like small-m wide-n
+        (5, 33, 9),     // m = MR + 1 (partial second panel)
+        (8, 64, 16),    // exact AVX-512 tile rows
+        (9, 300, 33),   // partial 8-row panel + KC crossing + masked n
+        (12, 50, 15),   // n < TILE_512, masked both halves
+        (16, 150, 47),  // layer-2-like with ragged n
+        (17, 257, 31),  // everything ragged, KC + 1
+        (6, 40, 300),   // n crosses NC = 256 (column-chunk path)
+    ] {
+        check_shape(m, k, n);
+    }
+}
+
+/// Batched entry points agree with per-sample calls under the SIMD path
+/// (the unit suite pins this for the default path; here we force SIMD).
+#[test]
+fn batched_simd_matches_per_sample() {
+    let Some(simd) = simd_path() else { return };
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (s, m, k, n) = (3, 9, 70, 33);
+    let mut a = vec![0.0; m * k];
+    let mut b_all = vec![0.0; s * k * n];
+    det_fill(&mut a, 11);
+    det_fill(&mut b_all, 12);
+    force_kernel_path(Some(simd));
+    let mut c_batch = vec![0.0; s * m * n];
+    pde_tensor::gemm_batch(s, m, k, n, &a, &b_all, &mut c_batch);
+    let mut c_loop = vec![0.0; s * m * n];
+    for i in 0..s {
+        gemm(
+            m,
+            k,
+            n,
+            &a,
+            &b_all[i * k * n..][..k * n],
+            &mut c_loop[i * m * n..][..m * n],
+        );
+    }
+    force_kernel_path(None);
+    assert!(
+        c_batch
+            .iter()
+            .zip(&c_loop)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "gemm_batch disagrees with per-sample gemm under {}",
+        simd.label()
+    );
+}
+
+/// A thread budget > 1 must be bit-for-bit identical to budget 1: chunks
+/// only partition the (sample, column) space, they never change any
+/// element's accumulation order. The budget is thread-local, so this test
+/// needs no cross-test serialization beyond the kernel-path lock.
+#[test]
+fn threaded_matches_unthreaded_bitwise() {
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    force_kernel_path(None);
+    // samples > 1 exercises per-sample chunks; n > NC = 256 exercises
+    // column chunks within one sample.
+    for &(s, m, k, n) in &[(5usize, 9usize, 70usize, 33usize), (1, 16, 150, 600)] {
+        let mut a = vec![0.0; m * k];
+        let mut b_all = vec![0.0; s * k * n];
+        det_fill(&mut a, 21);
+        det_fill(&mut b_all, 22);
+        pde_tensor::pool::set_thread_budget(1);
+        let mut c_1t = vec![0.0; s * m * n];
+        pde_tensor::gemm_batch(s, m, k, n, &a, &b_all, &mut c_1t);
+        pde_tensor::pool::set_thread_budget(4);
+        let mut c_4t = vec![0.0; s * m * n];
+        pde_tensor::gemm_batch(s, m, k, n, &a, &b_all, &mut c_4t);
+        pde_tensor::pool::set_thread_budget(1);
+        assert!(
+            c_1t.iter()
+                .zip(&c_4t)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "budget 4 disagrees with budget 1 on {s}x{m}x{k}x{n} under {}",
+            kernel_path().label()
+        );
+    }
+}

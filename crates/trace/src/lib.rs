@@ -363,6 +363,19 @@ pub fn leave() {
     RANK.with(|r| r.set(DRIVER_RANK));
 }
 
+/// Tags the current thread with a rank, independent of any trace session.
+/// Live telemetry ([`pde-telemetry`]-backed gauges) shards per rank even
+/// when tracing is off, so rank worker threads call this once at spawn.
+/// [`adopt`] also sets the tag; [`leave`] resets it to [`DRIVER_RANK`].
+pub fn set_thread_rank(rank: u32) {
+    RANK.with(|r| r.set(rank));
+}
+
+/// The rank tag of the current thread ([`DRIVER_RANK`] when untagged).
+pub fn thread_rank() -> u32 {
+    RANK.with(|r| r.get())
+}
+
 /// Delivers the current thread's buffered events to the collector without
 /// leaving the session.
 pub fn flush_current_thread() {

@@ -40,6 +40,7 @@ fn main() {
         grad_clip: None,
         window: 1,
         seed: 7,
+        threads_per_rank: None,
     };
     let trainer = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, config);
     let outcome = trainer.train_view(&data, n_train, 4).expect("training");

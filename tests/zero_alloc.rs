@@ -92,6 +92,44 @@ fn many_epochs_stay_allocation_free() {
     );
 }
 
+/// The threaded kernel path stays allocation-free on the submitting thread
+/// once warm: publishing a job to the worker pool is a pointer store plus a
+/// condvar signal, chunk claiming is an atomic fetch-add, and the packed-B
+/// scratch each executing thread uses is thread-local and grown during
+/// warm-up. The allocation counters are thread-local, so this measures the
+/// driver thread exactly; worker-side scratch is covered by the warm-up
+/// pass touching every worker once (chunks outnumber threads).
+#[test]
+fn threaded_gemm_steady_state_allocates_nothing_on_driver() {
+    let (s, m, k, n) = (8, 16, 150, 320); // n > NC: column chunks too
+    let a = vec![0.5; m * k];
+    let b_all = vec![0.25; s * k * n];
+    let mut c_all = vec![0.0; s * m * n];
+
+    pde_tensor::pool::set_thread_budget(3);
+    // Warm-up: spawns the pool, grows packed-A/B scratch on every thread
+    // (8 sample chunks over 3 threads → each worker packs at least once).
+    for _ in 0..2 {
+        pde_tensor::gemm_batch(s, m, k, n, &a, &b_all, &mut c_all);
+    }
+
+    let before = perf::snapshot();
+    for _ in 0..3 {
+        pde_tensor::gemm_batch(s, m, k, n, &a, &b_all, &mut c_all);
+        // Single-sample wide-n form: the intra-sample column-chunk path.
+        pde_tensor::gemm(m, k, n, &a, &b_all[..k * n], &mut c_all[..m * n]);
+    }
+    let spent = perf::snapshot().since(&before);
+    pde_tensor::pool::set_thread_budget(1);
+
+    assert!(spent.gemm_calls >= 6, "the loop should have hit the driver");
+    assert_eq!(
+        spent.allocs, 0,
+        "threaded steady-state GEMM performed {} driver-side heap allocations",
+        spent.allocs
+    );
+}
+
 /// The serving analogue: once a warm-up request has grown every resident
 /// buffer (the engine's per-rank networks, window rings, input/output
 /// scratch and trajectory buffers), a further warm engine request performs
