@@ -228,7 +228,7 @@ fn load_fleet(dir: &Path) -> Result<(ModelMeta, ParallelInference), String> {
 }
 
 /// Parses `--halo-policy` / `--halo-timeout-ms` into a [`HaloPolicy`].
-fn halo_policy_from_args(args: &Args) -> Result<HaloPolicy, String> {
+pub(crate) fn halo_policy_from_args(args: &Args) -> Result<HaloPolicy, String> {
     let timeout_ms: u64 = args.get_or("halo-timeout-ms", 250)?;
     let timeout = std::time::Duration::from_millis(timeout_ms);
     match args.get("halo-policy").unwrap_or("strict") {
@@ -350,15 +350,37 @@ pub fn infer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Nearest-rank percentile of an ascending-sorted latency list.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted latency list, or `None`
+/// when the list is empty — a `--requests 0` run must report "n/a"/`null`,
+/// not panic on the `len() - 1` underflow or smuggle NaN into `--out` JSON.
+pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> Option<f64> {
+    if sorted_ms.is_empty() {
+        return None;
+    }
     let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted_ms[idx]
+    Some(sorted_ms[idx.min(sorted_ms.len() - 1)])
+}
+
+/// Console rendering of an optional latency: `12.34` or `n/a`.
+pub(crate) fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".into(), |v| format!("{v:.2}"))
+}
+
+/// JSON rendering of an optional metric: a finite number or `null` (JSON
+/// has no NaN/inf, and a 0-request run has no latencies to report).
+pub(crate) fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "null".into(),
+    }
 }
 
 /// Sleeps out `--hold-ms` (so a scraper can catch the endpoint after the
 /// run) and then stops the exporter thread.
-fn hold_and_stop_exporter(exporter: &mut Option<pde_telemetry::exporter::Exporter>, hold_ms: u64) {
+pub(crate) fn hold_and_stop_exporter(
+    exporter: &mut Option<pde_telemetry::exporter::Exporter>,
+    hold_ms: u64,
+) {
     if hold_ms > 0 && exporter.is_some() {
         println!("holding metrics endpoint for {hold_ms} ms…");
         std::thread::sleep(std::time::Duration::from_millis(hold_ms));
@@ -390,6 +412,10 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let requests: usize = args.get_or("requests", 32)?;
     let steps: usize = args.get_or("steps", 2)?;
     let policy = halo_policy_from_args(args)?;
+    let transport = match args.get("transport") {
+        Some(spec) => pde_commsim::TransportKind::parse(spec)?,
+        None => pde_commsim::TransportKind::default(),
+    };
     let trace_path = args.get("trace").map(PathBuf::from);
     let flight_dir = args.get("flight-dir").map(PathBuf::from);
     if trace_path.is_some() && flight_dir.is_some() {
@@ -468,7 +494,7 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         let initial = data.snapshot(data.len() - 1).clone();
         (inf, initial, data_path.display().to_string())
     };
-    let mut inf = inf.with_halo_policy(policy);
+    let mut inf = inf.with_halo_policy(policy).with_transport(transport);
     if let Some(plan) = &fault_plan {
         inf = inf.with_fault_plan(plan.clone());
     }
@@ -493,7 +519,8 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let (c, h, w) = initial.shape();
     println!(
         "serve-bench: {requests} requests x {steps} steps on {source} \
-         ({c} ch, {h}x{w}, {ranks} ranks)"
+         ({c} ch, {h}x{w}, {ranks} ranks, {} transport)",
+        transport.label()
     );
     println!(
         "kernel path {}, {} kernel thread(s) per rank",
@@ -505,7 +532,7 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     // pay residency costs (thread spawn, model restore, scratch sizing) —
     // which also registers every live telemetry series before the measured
     // loop, keeping the hot path allocation-free.
-    let mut engine_cfg = EngineConfig::new(ranks);
+    let mut engine_cfg = EngineConfig::new(ranks).with_transport(transport);
     engine_cfg.threads_per_rank = threads_per_rank;
     if let Some(plan) = &fault_plan {
         engine_cfg = engine_cfg.with_fault_plan(plan.clone());
@@ -627,12 +654,20 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let warm_s = warm_t0.elapsed().as_secs_f64();
     let lost_after: u64 = engine.traffic().iter().map(|t| t.halos_lost).sum();
     let halo_lost_per_request = (lost_after - lost_before) as f64 / requests.max(1) as f64;
-    let last = last.expect("at least one request");
-    let steady_allocs = last.rank_perf.iter().map(|p| p.allocs).max().unwrap_or(0);
+    // `last` is None on a 0-request run — every per-request statistic below
+    // degrades to "n/a"/`null` instead of panicking.
+    let steady_allocs: Option<u64> = last
+        .as_ref()
+        .map(|r| r.rank_perf.iter().map(|p| p.allocs).max().unwrap_or(0));
     if let (Some(h), Some(path)) = (handle, trace_path.as_ref()) {
         let trace = h.finish();
-        let rows = pde_ml_core::observe::rollout_metrics(&trace, &last);
-        write_trace(&trace, &rows, path)?;
+        match &last {
+            Some(last) => {
+                let rows = pde_ml_core::observe::rollout_metrics(&trace, last);
+                write_trace(&trace, &rows, path)?;
+            }
+            None => println!("(no requests ran — skipping trace {})", path.display()),
+        }
     }
 
     // Cold: a fresh world (thread spawn + model restore) per request.
@@ -650,24 +685,23 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     cold_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let warm_rps = requests as f64 / warm_s;
     let cold_rps = requests as f64 / cold_s;
+    let speedup = (cold_rps > 0.0).then(|| warm_rps / cold_rps);
     println!(
         "warm: {requests} requests in {warm_s:.3} s — {warm_rps:.1} req/s, \
-         p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms, {steady_allocs} steady-state allocs/request",
-        percentile(&warm_ms, 50.0),
-        percentile(&warm_ms, 99.0),
-        percentile(&warm_ms, 99.9)
+         p50 {} ms, p99 {} ms, p99.9 {} ms, {} steady-state allocs/request",
+        fmt_ms(percentile(&warm_ms, 50.0)),
+        fmt_ms(percentile(&warm_ms, 99.0)),
+        fmt_ms(percentile(&warm_ms, 99.9)),
+        steady_allocs.map_or_else(|| "n/a".into(), |a| a.to_string())
     );
     println!(
         "cold: {requests} requests in {cold_s:.3} s — {cold_rps:.1} req/s, \
-         p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms",
-        percentile(&cold_ms, 50.0),
-        percentile(&cold_ms, 99.0),
-        percentile(&cold_ms, 99.9)
+         p50 {} ms, p99 {} ms, p99.9 {} ms",
+        fmt_ms(percentile(&cold_ms, 50.0)),
+        fmt_ms(percentile(&cold_ms, 99.0)),
+        fmt_ms(percentile(&cold_ms, 99.9))
     );
-    println!(
-        "speedup: {:.2}x requests/sec warm over cold",
-        warm_rps / cold_rps
-    );
+    println!("speedup: {}x requests/sec warm over cold", fmt_ms(speedup));
     let final_health = health.report();
     println!(
         "health: {} ({:.4} halos lost per warm request)",
@@ -685,22 +719,25 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     if let Some(out) = args.get("out") {
         let json = format!(
             "{{\n  \"shape\": {{ \"channels\": {c}, \"grid_h\": {h}, \"grid_w\": {w}, \
-             \"ranks\": {ranks}, \"steps\": {steps}, \"requests\": {requests} }},\n  \
-             \"warm\": {{ \"requests_per_sec\": {warm_rps:.2}, \"p50_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \
-             \"steady_state_allocs_per_request\": {steady_allocs} }},\n  \
-             \"cold\": {{ \"requests_per_sec\": {cold_rps:.2}, \"p50_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"p999_ms\": {:.4} }},\n  \
-             \"warm_over_cold\": {:.4},\n  \
+             \"ranks\": {ranks}, \"steps\": {steps}, \"requests\": {requests}, \
+             \"transport\": \"{}\" }},\n  \
+             \"warm\": {{ \"requests_per_sec\": {warm_rps:.2}, \"p50_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {}, \
+             \"steady_state_allocs_per_request\": {} }},\n  \
+             \"cold\": {{ \"requests_per_sec\": {cold_rps:.2}, \"p50_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {} }},\n  \
+             \"warm_over_cold\": {},\n  \
              \"halo_lost_per_request\": {halo_lost_per_request:.4},\n  \
              \"final_health\": \"{}\"\n}}\n",
-            percentile(&warm_ms, 50.0),
-            percentile(&warm_ms, 99.0),
-            percentile(&warm_ms, 99.9),
-            percentile(&cold_ms, 50.0),
-            percentile(&cold_ms, 99.0),
-            percentile(&cold_ms, 99.9),
-            warm_rps / cold_rps,
+            transport.label(),
+            json_num(percentile(&warm_ms, 50.0)),
+            json_num(percentile(&warm_ms, 99.0)),
+            json_num(percentile(&warm_ms, 99.9)),
+            steady_allocs.map_or_else(|| "null".into(), |a| a.to_string()),
+            json_num(percentile(&cold_ms, 50.0)),
+            json_num(percentile(&cold_ms, 99.0)),
+            json_num(percentile(&cold_ms, 99.9)),
+            json_num(speedup),
             final_health.overall.as_str()
         );
         std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -771,4 +808,38 @@ pub fn info() -> Result<(), String> {
     println!("\npadding strategies: zero-pad | neighbor-pad | inner-crop | deconv");
     println!("prediction modes:   absolute | residual");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_empty_list_is_none_not_a_panic() {
+        // Regression: `(len - 1)` underflowed on an empty list, so a
+        // `--requests 0` serve-bench panicked before reporting anything.
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 99.9), None);
+    }
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let ms = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&ms, 0.0), Some(1.0));
+        assert_eq!(percentile(&ms, 50.0), Some(3.0));
+        assert_eq!(percentile(&ms, 100.0), Some(4.0));
+        assert_eq!(percentile(&[7.5], 99.9), Some(7.5));
+    }
+
+    #[test]
+    fn missing_metrics_render_as_na_and_json_null() {
+        // NaN and infinity must never reach the --out JSON: it has no
+        // representation for them, and a NaN row poisons downstream tooling.
+        assert_eq!(fmt_ms(None), "n/a");
+        assert_eq!(fmt_ms(Some(12.345)), "12.35");
+        assert_eq!(json_num(None), "null");
+        assert_eq!(json_num(Some(f64::NAN)), "null");
+        assert_eq!(json_num(Some(f64::INFINITY)), "null");
+        assert_eq!(json_num(Some(1.0)), "1.0000");
+    }
 }

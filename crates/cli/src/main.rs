@@ -15,6 +15,7 @@
 mod args;
 mod commands;
 mod meta;
+mod node;
 
 use std::process::ExitCode;
 
@@ -34,15 +35,28 @@ USAGE:
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
                  [--trace OUT.json]
   pdeml serve-bench [--quick | --data FILE --model DIR] [--requests N] [--steps K]
+                 [--transport channel|tcp]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
                  [--metrics-addr HOST:PORT] [--slo-ms N] [--flight-dir DIR]
                  [--hold-ms N] [--threads-per-rank T] [--trace OUT.json]
                  [--out BENCH.json]
+  pdeml world-node --launch [--ranks N] [--requests N] [--steps K]
+                 [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
+                 [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
+                 [--metrics-addr HOST:PORT] [--hold-ms N] [--out BENCH.json]
+                 [--connect-timeout-ms N]
+  pdeml world-node --rank R --peers HOST:PORT,HOST:PORT,…
+                 [--requests N] [--steps K] [--halo-policy …] [--fault …]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 
 `--quick` trains the tiny test net on a built-in dataset (no --data/--out).
+`world-node --launch` runs an N-rank world as N OS processes over localhost
+TCP (rank 0 stays in the driver process), verifies the rollouts bitwise
+against the in-process channel transport, and reports channel-vs-TCP serve
+latency next to the perfmodel projection. `serve-bench --transport tcp`
+keeps every rank in-process but moves all messages over loopback sockets.
 `--trace OUT.json` records a per-rank timeline (Chrome trace format; open in
 Perfetto or chrome://tracing) and prints a per-rank metrics table.
 `--metrics-addr` serves live Prometheus metrics plus /healthz and /readyz
@@ -73,6 +87,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&parsed),
         "infer" => commands::infer(&parsed),
         "serve-bench" => commands::serve_bench(&parsed),
+        "world-node" => node::world_node(&parsed),
         "scale" => commands::scale(&parsed),
         "info" => commands::info(),
         "--help" | "-h" | "help" => {

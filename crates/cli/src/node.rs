@@ -1,0 +1,582 @@
+//! `pdeml world-node` — one rank of a multi-process TCP world, plus the
+//! `--launch` orchestrator that spawns a whole world on localhost.
+//!
+//! The paper's scheme needs no weight movement: training is deterministic
+//! and communication-free, so every process of a world trains the SAME
+//! quick fleet from the same seed and ends up with bitwise-identical
+//! weights — the only wire traffic is the inference-time halo exchange,
+//! now over real sockets ([`pde_commsim::connect_tcp_world`]).
+//!
+//! Worker mode (`--rank R --peers a0,a1,…`) joins the rendezvous as rank
+//! `R`, serves the lockstep request batch, and gathers its request-0
+//! trajectory + traffic counters to rank 0. Rank 0 stitches the gathered
+//! trajectories and verifies them **bitwise** against an in-process
+//! channel-transport rollout of the identical fleet — the cross-process
+//! equivalence check behind DESIGN.md §4h.
+//!
+//! `--launch` is the driver: it picks N loopback ports, spawns ranks 1..N
+//! as child processes of the current executable, runs rank 0 in-process
+//! (so `--metrics-addr` scrapes the driver), then re-measures the
+//! channel-vs-TCP serve latency and the perfmodel projection for
+//! EXPERIMENTS.md.
+
+use crate::args::Args;
+use crate::commands::{
+    fmt_ms, halo_policy_from_args, hold_and_stop_exporter, json_num, percentile,
+};
+use pde_commsim::{connect_tcp_world, CartComm, TrafficReport};
+use pde_ml_core::prelude::*;
+use pde_tensor::Tensor3;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Dispatches `pdeml world-node`: `--launch` drives a whole world, rank
+/// mode (`--rank`/`--peers`) serves one member of it.
+pub fn world_node(args: &Args) -> Result<(), String> {
+    if args.flag("launch") {
+        launch(args)
+    } else {
+        worker(args)
+    }
+}
+
+/// Deterministically trains the built-in quick fleet every process of the
+/// world builds identically: paper dataset, tiny arch, neighbor-pad (so
+/// rollouts actually exchange halos), fixed seed. Same binary + same
+/// inputs ⇒ bitwise-identical weights in every process, no broadcast.
+fn quick_fleet(
+    n_ranks: usize,
+    policy: HaloPolicy,
+    fault: Option<&FaultPlan>,
+) -> Result<(Tensor3, ParallelInference), String> {
+    let data = pde_euler::dataset::paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let outcome = ParallelTrainer::new(
+        arch.clone(),
+        PaddingStrategy::NeighborPad,
+        TrainConfig::quick_test(),
+    )
+    .train_view(&data, 6, n_ranks)
+    .map_err(|e| e.to_string())?;
+    let mut inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome)
+        .with_halo_policy(policy);
+    if let Some(plan) = fault {
+        inf = inf.with_fault_plan(plan.clone());
+    }
+    Ok((data.snapshot(0).clone(), inf))
+}
+
+/// What rank 0 learns about one lockstep world run.
+struct WorldRun {
+    /// Stitched global states of request 0: `[initial, pred_1, …, pred_K]`.
+    states: Vec<Tensor3>,
+    /// Per-rank traffic deltas of request 0 (the snapshot window matches
+    /// [`ParallelInference::rollout_from_history`]'s: reset + steps +
+    /// quiesce, alignment barriers excluded).
+    traffic: Vec<TrafficReport>,
+    /// Per-request wall latency at rank 0 — the loop is lockstep, so rank
+    /// 0's request time is the world's.
+    latencies_ms: Vec<f64>,
+}
+
+fn traffic_to_f64(t: &TrafficReport) -> [f64; 6] {
+    [
+        t.msgs_sent as f64,
+        t.bytes_sent as f64,
+        t.msgs_received as f64,
+        t.halos_lost as f64,
+        t.halos_zero_filled as f64,
+        t.halos_stale as f64,
+    ]
+}
+
+fn traffic_from_f64(v: &[f64]) -> TrafficReport {
+    TrafficReport {
+        msgs_sent: v[0] as u64,
+        bytes_sent: v[1] as u64,
+        msgs_received: v[2] as u64,
+        halos_lost: v[3] as u64,
+        halos_zero_filled: v[4] as u64,
+        halos_stale: v[5] as u64,
+    }
+}
+
+fn parse_peers(spec: &str) -> Result<Vec<SocketAddr>, String> {
+    let peers: Vec<SocketAddr> = spec
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse()
+                .map_err(|_| format!("--peers: '{a}' is not HOST:PORT"))
+        })
+        .collect::<Result<_, String>>()?;
+    if peers.len() < 2 {
+        return Err("--peers needs at least two comma-separated addresses".into());
+    }
+    Ok(peers)
+}
+
+/// `--fault` with the strict-policy guard shared by serve-bench.
+fn fault_from_args(args: &Args, policy: HaloPolicy) -> Result<Option<FaultPlan>, String> {
+    match args.get("fault") {
+        Some(spec) => {
+            if policy == HaloPolicy::Strict {
+                return Err(
+                    "--fault with --halo-policy strict would hang on the first lost halo; \
+                     pick zero-fill or last-known"
+                        .into(),
+                );
+            }
+            Ok(Some(FaultPlan::parse(spec)?))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Joins the TCP world as `rank` and serves `requests` lockstep rollout
+/// requests of `steps` steps each. Returns the gathered [`WorldRun`] on
+/// rank 0, `None` elsewhere.
+///
+/// The request protocol mirrors the warm engine's: an alignment barrier,
+/// a fresh monotonic generation, reset + steps, and (under a degrade
+/// policy) a quiesce barrier — with the traffic snapshot window starting
+/// *after* the alignment barrier so the per-request counters are
+/// comparable 1:1 with an in-process rollout's.
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    rank: usize,
+    peers: &[SocketAddr],
+    inf: &ParallelInference,
+    initial: &Tensor3,
+    requests: usize,
+    steps: usize,
+    fault: Option<&FaultPlan>,
+    connect_timeout: Duration,
+    record_live: bool,
+) -> Result<Option<WorldRun>, String> {
+    let n = peers.len();
+    if rank >= n {
+        return Err(format!("--rank {rank} out of range for {n} peers"));
+    }
+    let part = *inf.partition();
+    if part.rank_count() != n {
+        return Err(format!(
+            "fleet is partitioned over {} ranks but {n} peers were given",
+            part.rank_count()
+        ));
+    }
+    let window = inf.window();
+    let history = [initial.clone()];
+    inf.validate_history(&history).map_err(|e| e.to_string())?;
+    let locals = inf.scatter_history(&history);
+    let degrade = matches!(inf.halo_policy(), HaloPolicy::Degrade { .. }) && inf.input_halo() > 0;
+
+    let comm = connect_tcp_world(rank, peers, connect_timeout, fault)
+        .map_err(|e| format!("rank {rank}: TCP rendezvous failed: {e}"))?;
+    let mut cart = CartComm::new(comm, part.py(), part.px(), false);
+    let mut st = inf.rank_state(rank);
+
+    // Pre-registered so the hot loop is lock-free (registration takes the
+    // registry lock once per process).
+    let live_requests = record_live.then(|| {
+        (
+            pde_telemetry::counter(
+                "pdeml_requests_total",
+                "Rollout requests served by the warm engine",
+            ),
+            pde_telemetry::histogram(
+                "pdeml_request_latency_us",
+                "Warm rollout request latency in microseconds",
+            ),
+        )
+    });
+
+    let mut latencies_ms = Vec::with_capacity(requests);
+    let mut req0_delta = TrafficReport::default();
+    let mut req0_traj: Vec<Tensor3> = Vec::new();
+    for req in 0..requests {
+        cart.comm_mut().barrier(); // alignment — outside the traffic window
+        let before = cart.comm().stats().report();
+        cart.comm_mut().set_generation(req as u32 + 1);
+        st.reset(&locals[rank]);
+        let t0 = Instant::now();
+        let mut produced = vec![st.latest().clone()];
+        for step in 0..steps {
+            produced.push(st.step(&mut cart, (step * window) as u32).clone());
+        }
+        if degrade {
+            cart.comm_mut().barrier(); // quiesce, same as the in-process rollout
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        latencies_ms.push(ms);
+        if let Some((reqs, lat)) = live_requests {
+            reqs.inc(pde_telemetry::DRIVER);
+            lat.record((ms * 1e3) as u64);
+        }
+        if req == 0 {
+            req0_delta = cart.comm().stats().report().since(&before);
+            req0_traj = produced;
+        }
+    }
+
+    // Gather request-0 evidence at rank 0: flattened normalized trajectory
+    // plus the traffic delta. Collectives are fault-exempt, so this works
+    // under any injected plan.
+    let flat: Vec<f64> = req0_traj
+        .iter()
+        .flat_map(|t| t.as_slice().iter().copied())
+        .collect();
+    let gathered_traj = cart.comm_mut().gather(0, &flat);
+    let gathered_traffic = cart.comm_mut().gather(0, &traffic_to_f64(&req0_delta));
+    let Some(trajs) = gathered_traj else {
+        return Ok(None); // worker ranks are done; Drop sends the FIN
+    };
+    let reports = gathered_traffic.expect("root sees both gathers");
+
+    let (c, _, _) = initial.shape();
+    let mut histories: Vec<Vec<Tensor3>> = Vec::with_capacity(n);
+    for (r, flat) in trajs.iter().enumerate() {
+        let b = part.block_of_rank(r);
+        let plane = c * b.h * b.w;
+        if flat.len() != plane * (steps + 1) {
+            return Err(format!(
+                "rank {r} gathered {} values, expected {} ({} states of {c}x{}x{})",
+                flat.len(),
+                plane * (steps + 1),
+                steps + 1,
+                b.h,
+                b.w
+            ));
+        }
+        histories.push(
+            (0..=steps)
+                .map(|k| Tensor3::from_vec(c, b.h, b.w, flat[k * plane..(k + 1) * plane].to_vec()))
+                .collect(),
+        );
+    }
+    Ok(Some(WorldRun {
+        states: inf.stitch_states(initial, &histories, steps),
+        traffic: reports.iter().map(|v| traffic_from_f64(v)).collect(),
+        latencies_ms,
+    }))
+}
+
+/// Verifies a TCP world run against the in-process channel transport: the
+/// same fleet rolled out over crossbeam channels must produce bitwise-
+/// identical states AND identical per-rank traffic counters.
+fn verify_against_channel(
+    inf: &ParallelInference,
+    initial: &Tensor3,
+    steps: usize,
+    run: &WorldRun,
+) -> Result<(), String> {
+    let reference = inf
+        .rollout_from_history(std::slice::from_ref(initial), steps)
+        .map_err(|e| e.to_string())?;
+    if run.states.len() != reference.states.len() {
+        return Err(format!(
+            "TCP world produced {} states, channel reference {}",
+            run.states.len(),
+            reference.states.len()
+        ));
+    }
+    for (k, (a, b)) in run.states.iter().zip(&reference.states).enumerate() {
+        let identical = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        if !identical {
+            return Err(format!(
+                "step {k}: TCP world states diverge bitwise from the channel reference"
+            ));
+        }
+    }
+    if run.traffic != reference.traffic {
+        return Err(format!(
+            "per-rank traffic counters diverge:\n  tcp:     {:?}\n  channel: {:?}",
+            run.traffic, reference.traffic
+        ));
+    }
+    Ok(())
+}
+
+/// One member process of a world (`--rank R --peers …`).
+fn worker(args: &Args) -> Result<(), String> {
+    let rank: usize = args
+        .require("rank")?
+        .parse()
+        .map_err(|_| "--rank: not a rank index".to_string())?;
+    let peers = parse_peers(args.require("peers")?)?;
+    let requests: usize = args.get_or("requests", 8)?;
+    let steps: usize = args.get_or("steps", 2)?;
+    let policy = halo_policy_from_args(args)?;
+    let fault_plan = fault_from_args(args, policy)?;
+    let connect_ms: u64 = args.get_or("connect-timeout-ms", 30_000)?;
+
+    let (initial, inf) = quick_fleet(peers.len(), policy, fault_plan.as_ref())?;
+    let run = run_rank(
+        rank,
+        &peers,
+        &inf,
+        &initial,
+        requests,
+        steps,
+        fault_plan.as_ref(),
+        Duration::from_millis(connect_ms),
+        false,
+    )?;
+    match run {
+        None => {
+            println!("world-node rank {rank}: served {requests} lockstep requests x {steps} steps");
+            Ok(())
+        }
+        Some(run) => {
+            verify_against_channel(&inf, &initial, steps, &run)?;
+            println!(
+                "world-node rank 0: {} ranks over TCP — rollouts bitwise-equal to the channel \
+                 transport, per-rank traffic counters identical",
+                peers.len()
+            );
+            Ok(())
+        }
+    }
+}
+
+/// The orchestrator: N-rank world as N OS processes on localhost.
+fn launch(args: &Args) -> Result<(), String> {
+    use pde_telemetry::health::HealthModel;
+    use std::sync::Arc;
+
+    let n: usize = args.get_or("ranks", 4)?;
+    if n < 2 {
+        return Err("--launch needs --ranks >= 2 (one process per rank)".into());
+    }
+    let requests: usize = args.get_or("requests", 8)?;
+    let steps: usize = args.get_or("steps", 2)?;
+    let policy = halo_policy_from_args(args)?;
+    let fault_plan = fault_from_args(args, policy)?;
+    let connect_ms: u64 = args.get_or("connect-timeout-ms", 30_000)?;
+    let hold_ms: u64 = args.get_or("hold-ms", 0)?;
+
+    // The smoke-scrape contract: both series exist (at zero) from the
+    // moment the exporter is up, even before the first request lands.
+    let panic_counter = pde_telemetry::counter(
+        "pdeml_rank_panics_total",
+        "Rank jobs that panicked (world poisons), per rank",
+    );
+    pde_telemetry::counter(
+        "pdeml_requests_total",
+        "Rollout requests served by the warm engine",
+    );
+    let health = Arc::new(HealthModel::new());
+    let mut exporter = match args.get("metrics-addr") {
+        Some(addr) => {
+            let e = pde_telemetry::exporter::serve(addr, health.clone())
+                .map_err(|err| format!("cannot serve metrics on {addr}: {err}"))?;
+            println!(
+                "metrics: http://{}/metrics (also /healthz, /readyz)",
+                e.local_addr()
+            );
+            Some(e)
+        }
+        None => None,
+    };
+
+    // Pick N free loopback ports by binding ephemeral listeners, recording
+    // the assigned addresses and releasing them — the usual pre-fork
+    // rendezvous trick (the reuse race window is negligible on localhost).
+    let addrs: Vec<SocketAddr> = (0..n)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .and_then(|l| l.local_addr())
+                .map_err(|e| format!("cannot reserve a loopback port: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let peers: String = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the pdeml binary: {e}"))?;
+    let mut children = Vec::with_capacity(n - 1);
+    for rank in 1..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("world-node")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--peers")
+            .arg(&peers)
+            .arg("--requests")
+            .arg(requests.to_string())
+            .arg("--steps")
+            .arg(steps.to_string())
+            .arg("--connect-timeout-ms")
+            .arg(connect_ms.to_string());
+        for flag in ["halo-policy", "halo-timeout-ms", "fault"] {
+            if let Some(v) = args.get(flag) {
+                cmd.arg(format!("--{flag}")).arg(v);
+            }
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn rank {rank}: {e}"))?;
+        children.push((rank, child));
+    }
+    println!(
+        "world-node: ranks 1..{n} launched as OS processes, rank 0 in-process; \
+         {requests} requests x {steps} steps over localhost TCP"
+    );
+
+    let (initial, inf) = quick_fleet(n, policy, fault_plan.as_ref())?;
+    let run = run_rank(
+        0,
+        &addrs,
+        &inf,
+        &initial,
+        requests,
+        steps,
+        fault_plan.as_ref(),
+        Duration::from_millis(connect_ms),
+        true,
+    );
+    // Reap the children before judging the run: their exit codes are part
+    // of the verdict, and a failed rendezvous must not leave orphans.
+    let mut child_failures = Vec::new();
+    for (rank, mut child) in children {
+        if run.is_err() {
+            let _ = child.kill();
+        }
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => child_failures.push(format!("rank {rank} exited with {status}")),
+            Err(e) => child_failures.push(format!("rank {rank}: wait failed: {e}")),
+        }
+    }
+    let run = run?.expect("rank 0 gathers the world run");
+    if !child_failures.is_empty() {
+        panic_counter.inc(pde_telemetry::DRIVER);
+        hold_and_stop_exporter(&mut exporter, hold_ms);
+        return Err(format!(
+            "world-node children failed: {}",
+            child_failures.join("; ")
+        ));
+    }
+    verify_against_channel(&inf, &initial, steps, &run)?;
+    println!(
+        "verify: rollouts bitwise-equal to the channel transport, per-rank traffic \
+         counters identical"
+    );
+
+    // Channel comparison: the same fleet behind the warm in-process engine,
+    // one unmeasured warm-up to pay residency costs.
+    let mut engine_cfg = EngineConfig::new(n);
+    if let Some(plan) = fault_plan.clone() {
+        engine_cfg = engine_cfg.with_fault_plan(plan);
+    }
+    let mut engine = InferEngine::with_config(engine_cfg);
+    engine.register("serve", inf.clone());
+    engine
+        .rollout("serve", &initial, steps)
+        .map_err(|e| format!("channel warm-up failed: {e}"))?;
+    let mut channel_ms = Vec::with_capacity(requests);
+    let channel_t0 = Instant::now();
+    for _ in 0..requests {
+        let t = Instant::now();
+        engine
+            .rollout("serve", &initial, steps)
+            .map_err(|e| format!("channel request failed: {e}"))?;
+        channel_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let channel_s = channel_t0.elapsed().as_secs_f64();
+
+    // Perfmodel projection: per-step halo exchange on the modeled cluster
+    // network (x strips are h×halo×c values each way, y strips span the
+    // padded width), times `steps` exchanges per request.
+    let part = *inf.partition();
+    let halo = inf.input_halo();
+    let block = part.block_of_rank(0);
+    let (c, _, _) = initial.shape();
+    let x_bytes = c * block.h * halo * 8;
+    let y_bytes = c * (block.w + 2 * halo) * halo * 8;
+    let projected_ms = pde_perfmodel::NetworkModel::cluster_default()
+        .halo_exchange(x_bytes, y_bytes)
+        * steps as f64
+        * 1e3;
+
+    let mut tcp_ms = run.latencies_ms.clone();
+    tcp_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    channel_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let tcp_s: f64 = run.latencies_ms.iter().sum::<f64>() / 1e3;
+    let tcp_rps = requests as f64 / tcp_s.max(1e-12);
+    let channel_rps = requests as f64 / channel_s.max(1e-12);
+    println!(
+        "tcp ({n} processes): {tcp_rps:.1} req/s, p50 {} ms, p99 {} ms",
+        fmt_ms(percentile(&tcp_ms, 50.0)),
+        fmt_ms(percentile(&tcp_ms, 99.0)),
+    );
+    println!(
+        "channel (warm engine, in-process): {channel_rps:.1} req/s, p50 {} ms, p99 {} ms",
+        fmt_ms(percentile(&channel_ms, 50.0)),
+        fmt_ms(percentile(&channel_ms, 99.0)),
+    );
+    println!(
+        "perfmodel: projected halo traffic {projected_ms:.4} ms/request on the modeled \
+         cluster network ({steps} exchanges)"
+    );
+
+    if let Some(out) = args.get("out") {
+        let json = format!(
+            "{{\n  \"world\": {{ \"ranks\": {n}, \"requests\": {requests}, \"steps\": {steps}, \
+             \"grid_h\": {}, \"grid_w\": {} }},\n  \
+             \"bitwise_match_vs_channel\": true,\n  \
+             \"traffic_counters_equal\": true,\n  \
+             \"tcp_multiprocess\": {{ \"requests_per_sec\": {tcp_rps:.2}, \"p50_ms\": {}, \
+             \"p99_ms\": {} }},\n  \
+             \"channel_warm\": {{ \"requests_per_sec\": {channel_rps:.2}, \"p50_ms\": {}, \
+             \"p99_ms\": {} }},\n  \
+             \"perfmodel_projected_comm_ms_per_request\": {projected_ms:.4}\n}}\n",
+            part.global_h(),
+            part.global_w(),
+            json_num(percentile(&tcp_ms, 50.0)),
+            json_num(percentile(&tcp_ms, 99.0)),
+            json_num(percentile(&channel_ms, 50.0)),
+            json_num(percentile(&channel_ms, 99.0)),
+        );
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    hold_and_stop_exporter(&mut exporter, hold_ms);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peers_parse_and_reject_garbage() {
+        let peers = parse_peers("127.0.0.1:4000, 127.0.0.1:4001").unwrap();
+        assert_eq!(peers.len(), 2);
+        assert!(
+            parse_peers("127.0.0.1:4000").is_err(),
+            "one peer is no world"
+        );
+        assert!(parse_peers("localhost:nope,127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn traffic_report_round_trips_through_f64() {
+        let t = TrafficReport {
+            msgs_sent: 12,
+            bytes_sent: 4096,
+            msgs_received: 11,
+            halos_lost: 3,
+            halos_zero_filled: 2,
+            halos_stale: 1,
+        };
+        assert_eq!(traffic_from_f64(&traffic_to_f64(&t)), t);
+    }
+}

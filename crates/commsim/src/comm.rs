@@ -1,8 +1,14 @@
 //! The per-rank communicator handle: point-to-point + collectives.
+//!
+//! `Comm` is pure protocol: tag/generation matching, the pending queue,
+//! fault injection, traffic counters and collectives. The mechanism that
+//! actually moves bytes lives below the [`Transport`] trait
+//! ([`crate::ChannelTransport`] in-process, [`crate::TcpTransport`] across
+//! processes) — every implementation inherits this entire layer untouched.
 
+use crate::transport::{Poll, Transport};
 use crate::world::FaultAction;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -169,21 +175,13 @@ pub(crate) type FaultFn = dyn Fn(usize, usize, Tag) -> FaultAction + Send + Sync
 pub struct Comm {
     rank: usize,
     size: usize,
-    /// One sender per peer rank; `None` at this rank's own index, so a
-    /// rank's inbox disconnects once every *peer* has dropped its handle —
-    /// that is what makes [`RecvError::Disconnected`] (a dead peer)
-    /// observable and distinct from [`RecvError::Timeout`] (a lost
-    /// message).
-    senders: Vec<Option<Sender<Message>>>,
-    inbox: Receiver<Message>,
+    /// The mechanism moving messages: in-process channels or TCP sockets.
+    /// Its `peer_alive` view is what distinguishes
+    /// [`RecvError::Disconnected`] (a dead peer) from
+    /// [`RecvError::Timeout`] (a lost message).
+    transport: Box<dyn Transport>,
     pending: Vec<Message>,
     stats: Arc<Vec<CommStats>>,
-    /// One flag per rank, cleared when that rank's `Comm` is dropped —
-    /// whether the thread finished normally or unwound from a panic. From a
-    /// receiver's point of view both are the same event: that peer will
-    /// never send again, so a pending receive from it can be classified as
-    /// [`RecvError::Disconnected`] instead of waiting out a full timeout.
-    alive: Arc<Vec<AtomicBool>>,
     /// Decides delivery, loss or delay per message.
     fault_fn: Option<Arc<FaultFn>>,
     /// Current job generation. Sends stamp it onto every [`Message`];
@@ -199,10 +197,11 @@ pub struct Comm {
 
 impl Drop for Comm {
     fn drop(&mut self) {
-        // `Release` pairs with the `Acquire` load in `recv_impl`: every send
-        // this rank made is visible (enqueued) before peers can observe the
-        // flag as false, so a post-observation drain misses nothing.
-        self.alive[self.rank].store(false, Ordering::Release);
+        // Announce this rank's death: after shutdown, peers may observe
+        // `peer_alive == false` and are guaranteed (by the transport
+        // contract) that every send this rank made is already drainable —
+        // so a post-observation drain misses nothing.
+        self.transport.shutdown();
     }
 }
 
@@ -210,23 +209,41 @@ impl Comm {
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        senders: Vec<Option<Sender<Message>>>,
-        inbox: Receiver<Message>,
+        transport: Box<dyn Transport>,
         stats: Arc<Vec<CommStats>>,
-        alive: Arc<Vec<AtomicBool>>,
         fault_fn: Option<Arc<FaultFn>>,
     ) -> Self {
         Self {
             rank,
             size,
-            senders,
-            inbox,
+            transport,
             pending: Vec::new(),
             stats,
-            alive,
             fault_fn,
             gen: 0,
         }
+    }
+
+    /// Wraps an externally built transport (e.g. a
+    /// [`crate::TcpTransport`] rendezvoused across processes) in a full
+    /// protocol handle with its own stats block and optional fault plan.
+    /// Collective-internal tags are fault-exempt, exactly as in
+    /// [`crate::World`]-built comms.
+    pub fn over_transport(
+        rank: usize,
+        size: usize,
+        transport: Box<dyn Transport>,
+        fault_plan: Option<&crate::world::FaultPlan>,
+    ) -> Self {
+        let stats: Arc<Vec<CommStats>> =
+            Arc::new((0..size).map(|_| CommStats::default()).collect());
+        Self::new(
+            rank,
+            size,
+            transport,
+            stats,
+            fault_plan.map(crate::world::collective_exempt),
+        )
     }
 
     /// Current job generation (0 on a fresh world).
@@ -305,23 +322,15 @@ impl Comm {
             gen: self.gen,
             data,
         };
-        let sender = self.senders[dest].as_ref().expect("non-self sender");
         match action {
             FaultAction::Drop => (), // silently dropped by the fault plan
-            // Sending to a rank whose thread already exited is a no-op: the
-            // peer can never read the message anyway, and the death is
-            // surfaced on the *receive* side as `RecvError::Disconnected`
-            // (which resilient protocols must treat as fatal).
-            FaultAction::Deliver => {
-                let _ = sender.send(msg);
-            }
-            FaultAction::Delay(delay) => {
-                let tx = sender.clone();
-                std::thread::spawn(move || {
-                    std::thread::sleep(delay);
-                    let _ = tx.send(msg);
-                });
-            }
+            // Delivering to a rank that already died is a no-op inside the
+            // transport: the peer can never read the message anyway, and
+            // the death is surfaced on the *receive* side as
+            // `RecvError::Disconnected` (which resilient protocols must
+            // treat as fatal).
+            FaultAction::Deliver => self.transport.deliver(dest, msg),
+            FaultAction::Delay(delay) => self.transport.deliver_delayed(dest, msg, delay),
         }
     }
 
@@ -340,7 +349,12 @@ impl Comm {
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag && m.gen == self.gen)?;
-        Some(self.pending.swap_remove(idx))
+        // Order-preserving removal, NOT `swap_remove`: the queue must stay in
+        // arrival order, or two same-(src, tag) messages parked behind an
+        // earlier removal would swap — a FIFO violation that (for example)
+        // crossed the payloads of two back-to-back gathers. The queue is
+        // small and transient, so O(n) removal is irrelevant.
+        Some(self.pending.remove(idx))
     }
 
     /// True when `msg` matches what this receive is waiting for. Stale
@@ -413,14 +427,18 @@ impl Comm {
             span.set_args(src as u64, data.len() as u64 * 8);
             return Ok(data);
         }
+        // A single `Instant` deadline computed ONCE: every retry iteration
+        // below waits only the *remaining* budget, so a receive can never
+        // wait multiples of the configured timeout no matter how many
+        // aliveness slices or non-matching arrivals it cycles through.
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
         loop {
-            // A dead peer can never send again. The flag flips (Release)
-            // only after every send that rank ever made was enqueued, so
-            // one more drain after observing it false (Acquire) is
-            // guaranteed to see any matching message — only then is
-            // `Disconnected` the truth, not a race.
-            if !self.alive[src].load(Ordering::Acquire) {
+            // A dead peer can never send again. The transport guarantees
+            // every send that rank ever made is drainable before
+            // `peer_alive` reads false, so one more drain after observing
+            // death is guaranteed to see any matching message — only then
+            // is `Disconnected` the truth, not a race.
+            if !self.transport.peer_alive(src) {
                 if let Some(data) = self.drain_inbox(src, tag)? {
                     span.set_args(src as u64, data.len() as u64 * 8);
                     return Ok(data);
@@ -437,16 +455,16 @@ impl Comm {
                     (d - now).min(ALIVENESS_SLICE)
                 }
             };
-            match self.inbox.recv_timeout(wait) {
-                Ok(msg) if self.matches(&msg, src, tag) => {
+            match self.transport.recv_timeout(wait) {
+                Poll::Msg(msg) if self.matches(&msg, src, tag) => {
                     self.note_received();
                     span.set_args(src as u64, msg.data.len() as u64 * 8);
                     return Ok(msg.data);
                 }
-                Ok(msg) => self.park(msg),
+                Poll::Msg(msg) => self.park(msg),
                 // Slice expired: loop back to re-check aliveness/deadline.
-                Err(RecvTimeoutError::Timeout) => (),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+                Poll::Empty => (),
+                Poll::Closed => return Err(RecvError::Disconnected),
             }
         }
     }
@@ -456,14 +474,14 @@ impl Comm {
     /// queue. `Err(Disconnected)` only when every peer's handle is gone.
     fn drain_inbox(&mut self, src: usize, tag: Tag) -> Result<Option<Vec<f64>>, RecvError> {
         loop {
-            match self.inbox.try_recv() {
-                Ok(msg) if self.matches(&msg, src, tag) => {
+            match self.transport.try_recv() {
+                Poll::Msg(msg) if self.matches(&msg, src, tag) => {
                     self.note_received();
                     return Ok(Some(msg.data));
                 }
-                Ok(msg) => self.park(msg),
-                Err(TryRecvError::Empty) => return Ok(None),
-                Err(TryRecvError::Disconnected) => return Err(RecvError::Disconnected),
+                Poll::Msg(msg) => self.park(msg),
+                Poll::Empty => return Ok(None),
+                Poll::Closed => return Err(RecvError::Disconnected),
             }
         }
     }
@@ -474,7 +492,7 @@ impl Comm {
             self.note_received();
             return Some(m.data);
         }
-        while let Ok(msg) = self.inbox.try_recv() {
+        while let Poll::Msg(msg) = self.transport.try_recv() {
             if self.matches(&msg, src, tag) {
                 self.note_received();
                 return Some(msg.data);
@@ -712,6 +730,41 @@ mod tests {
         let root = out[0].as_ref().unwrap();
         assert_eq!(root, &vec![vec![0.0], vec![2.0], vec![4.0]]);
         assert!(out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn parked_messages_keep_per_edge_fifo_across_tag_matches() {
+        // Regression: `take_pending` used `swap_remove`, which moved the
+        // LAST parked message into the removed slot — so taking an earlier
+        // entry swapped two same-(src, tag) messages parked behind it, and
+        // back-to-back gathers could cross payloads. The receive order here
+        // forces exactly that shape: recv(tag 8) parks [9, 7a, 7b] in
+        // arrival order, recv(tag 9) removes index 0, and the two tag-7
+        // receives must still come back in send order on every transport.
+        for kind in [crate::TransportKind::Channel, crate::TransportKind::Tcp] {
+            let out = World::new(2).with_transport(kind).run(|mut comm| {
+                if comm.rank() == 1 {
+                    comm.send(0, 9, vec![9.0]);
+                    comm.send(0, 7, vec![1.0]);
+                    comm.send(0, 7, vec![2.0]);
+                    comm.send(0, 8, vec![8.0]);
+                    comm.barrier();
+                    Vec::new()
+                } else {
+                    assert_eq!(comm.recv(1, 8), vec![8.0]);
+                    assert_eq!(comm.recv(1, 9), vec![9.0]);
+                    let first = comm.recv(1, 7);
+                    let second = comm.recv(1, 7);
+                    comm.barrier();
+                    vec![first[0], second[0]]
+                }
+            });
+            assert_eq!(
+                out[0],
+                vec![1.0, 2.0],
+                "{kind:?}: same-(src, tag) messages must stay FIFO"
+            );
+        }
     }
 
     #[test]

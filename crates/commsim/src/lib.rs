@@ -33,14 +33,26 @@
 //! distinct: an inbox only disconnects when every peer has dropped its
 //! handle, and buffered messages are still drained first.
 
+//!
+//! The mechanism moving messages is pluggable: everything above the
+//! [`transport::Transport`] trait (tag/generation matching, fault
+//! injection, counters, collectives, halos) is shared by the in-process
+//! [`transport::ChannelTransport`] (default) and the socket-backed
+//! [`tcp::TcpTransport`], which lets a world's ranks run as separate OS
+//! processes ([`World::with_transport`], [`tcp::connect_tcp_world`]).
+
 pub mod cart;
 pub mod comm;
 mod live;
+pub mod tcp;
+pub mod transport;
 pub mod world;
 
 pub use cart::{CartComm, Direction, HaloRecv, HaloStatus};
 pub use comm::{Comm, CommStats, Message, RecvError, Tag, TrafficReport};
-pub use world::{FaultAction, FaultPlan, PersistentWorld, RankContext, World};
+pub use tcp::{connect_tcp_world, TcpTransport};
+pub use transport::{ChannelTransport, Transport};
+pub use world::{FaultAction, FaultPlan, PersistentWorld, RankContext, TransportKind, World};
 
 use std::time::Duration;
 

@@ -1,0 +1,724 @@
+//! Length-prefixed TCP transport: a world's ranks as OS processes.
+//!
+//! `std::net` only — no async runtime, no serialization crates. One duplex
+//! socket per rank pair, established by a deterministic rendezvous:
+//!
+//! * **Dial down, accept up.** Rank `r` dials every rank `s < r` and
+//!   accepts connections from every rank `s > r`. The dependency chain
+//!   points strictly downward (rank 0 only accepts, the last rank only
+//!   dials), so the rendezvous cannot deadlock; dial retries absorb the
+//!   window where a lower rank's process has not bound its listener yet.
+//! * **Handshake.** Each side sends a 24-byte hello — magic `"PDML"`,
+//!   protocol version, world size, its own rank, and the starting
+//!   generation — and validates the peer's. A rank joining the wrong
+//!   world, a stale binary, or a generation mismatch fails loudly here
+//!   instead of corrupting frames later.
+//! * **Frames.** After the handshake the socket carries only 12-byte
+//!   headers (`tag`, `gen`, payload f64 count; little-endian u32) followed
+//!   by the payload as little-endian f64 bytes. The source rank is implied
+//!   by the connection. Bit patterns are preserved exactly, so rollouts
+//!   over TCP are bitwise-identical to channel rollouts.
+//!
+//! Liveness mirrors the channel mesh: one reader thread per peer feeds a
+//! shared inbox; on EOF/error it first finishes enqueuing everything the
+//! peer sent, *then* clears that peer's aliveness flag and drops its inbox
+//! sender — so `peer_alive == false` still guarantees a final drain sees
+//! every message (the flush-before-death contract), and the inbox closes
+//! exactly when all peers are gone. Shutdown closes only the write side
+//! (`Shutdown::Write`): the FIN flushes in-flight frames, while the read
+//! side keeps draining so a slower peer's writes never block.
+
+use crate::comm::{Comm, Message};
+use crate::transport::{Poll, Transport};
+use crate::world::FaultPlan;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handshake magic: `"PDML"`.
+const MAGIC: [u8; 4] = *b"PDML";
+/// Wire protocol version; bump on any frame/handshake layout change.
+const VERSION: u32 = 1;
+/// Handshake size in bytes (magic + version + world + rank + gen + reserved).
+const HELLO_LEN: usize = 24;
+/// Frame header size in bytes (tag + gen + payload count).
+const HEADER_LEN: usize = 12;
+/// Sanity cap on one frame's payload (f64 count): a corrupt or hostile
+/// header must not make a reader allocate unbounded memory. 2^27 values is
+/// a 1 GiB strip — far beyond any halo this code moves.
+const MAX_FRAME_VALUES: u32 = 1 << 27;
+/// How long a dialer sleeps between connection-refused retries.
+const DIAL_BACKOFF: Duration = Duration::from_millis(5);
+/// How long an acceptor sleeps between non-blocking accept polls.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(2);
+/// Rendezvous budget for in-process loopback meshes (generous: loopback
+/// connects are immediate; this only bounds pathological stalls).
+const LOOPBACK_RENDEZVOUS: Duration = Duration::from_secs(30);
+
+/// Encodes the 24-byte hello.
+fn encode_hello(world: u32, rank: u32, gen: u32) -> [u8; HELLO_LEN] {
+    let mut b = [0u8; HELLO_LEN];
+    b[0..4].copy_from_slice(&MAGIC);
+    b[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    b[8..12].copy_from_slice(&world.to_le_bytes());
+    b[12..16].copy_from_slice(&rank.to_le_bytes());
+    b[16..20].copy_from_slice(&gen.to_le_bytes());
+    // b[20..24] reserved, zero.
+    b
+}
+
+/// Decodes and validates a hello against this side's `(world, gen)`.
+/// Returns the peer's rank.
+fn decode_hello(b: &[u8; HELLO_LEN], world: u32, gen: u32) -> std::io::Result<u32> {
+    let err = |msg: String| std::io::Error::new(ErrorKind::InvalidData, msg);
+    if b[0..4] != MAGIC {
+        return Err(err(format!("handshake: bad magic {:02x?}", &b[0..4])));
+    }
+    let u = |off: usize| u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"));
+    if u(4) != VERSION {
+        return Err(err(format!(
+            "handshake: protocol version {} != {VERSION}",
+            u(4)
+        )));
+    }
+    if u(8) != world {
+        return Err(err(format!(
+            "handshake: peer believes the world has {} ranks, not {world}",
+            u(8)
+        )));
+    }
+    if u(16) != gen {
+        return Err(err(format!(
+            "handshake: peer starts at generation {}, not {gen}",
+            u(16)
+        )));
+    }
+    let rank = u(12);
+    if rank >= world {
+        return Err(err(format!("handshake: peer rank {rank} out of range")));
+    }
+    Ok(rank)
+}
+
+/// Encodes one message as a single contiguous frame (header + payload), so
+/// the write is one `write_all` under the writer lock — frames from the
+/// delayed-delivery threads can never interleave mid-frame.
+fn encode_frame(tag: u32, gen: u32, data: &[f64]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(HEADER_LEN + data.len() * 8);
+    b.extend_from_slice(&tag.to_le_bytes());
+    b.extend_from_slice(&gen.to_le_bytes());
+    b.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    for v in data {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary (the
+/// peer's write-side FIN), `Err` on a torn frame or connection error.
+fn read_frame(stream: &mut TcpStream, src: usize) -> std::io::Result<Option<Message>> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_exact_or_eof(stream, &mut header)? {
+        return Ok(None); // EOF before any header byte
+    }
+    let u = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().expect("4 bytes"));
+    let (tag, gen, count) = (u(0), u(4), u(8));
+    if count > MAX_FRAME_VALUES {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame from rank {src}: implausible payload count {count}"),
+        ));
+    }
+    let mut payload = vec![0u8; count as usize * 8];
+    stream.read_exact(&mut payload)?;
+    let data = payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok(Some(Message {
+        src,
+        tag,
+        gen,
+        data,
+    }))
+}
+
+/// `read_exact`, except a clean EOF *before the first byte* returns
+/// `Ok(false)` instead of an error — EOF mid-buffer is still a torn-frame
+/// error.
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => (),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// `read_exact` bounded by an absolute `deadline`: the remaining budget is
+/// recomputed from the single deadline on every partial read, so a
+/// request trickling in byte-by-byte consumes the *one* configured timeout
+/// in total — never a fresh timeout per segment.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> std::io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "handshake read deadline exceeded",
+            ));
+        }
+        stream.set_read_timeout(Some(deadline - now))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed during handshake",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Loop: the deadline check at the top decides expiry.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Dials `addr` until it accepts or `deadline` passes. Connection-refused
+/// (the peer's process has not bound its listener yet) and reset retries
+/// are expected during a multi-process launch; anything else propagates.
+fn dial(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                format!("rendezvous: {addr} did not accept in time"),
+            ));
+        }
+        match TcpStream::connect_timeout(&addr, deadline - now) {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionRefused
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::TimedOut
+                        | ErrorKind::WouldBlock
+                ) =>
+            {
+                std::thread::sleep(DIAL_BACKOFF);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The socket transport: one duplex `TcpStream` per peer, per-peer reader
+/// threads feeding one inbox, writes serialized per peer by a mutex.
+pub struct TcpTransport {
+    rank: usize,
+    /// One writer per peer (`None` at this rank's own index). The mutex
+    /// serializes whole frames; delayed-delivery threads hold clones.
+    writers: Vec<Option<Arc<Mutex<TcpStream>>>>,
+    inbox: Receiver<Message>,
+    /// This rank's *local* view of peer liveness, written by its reader
+    /// threads. Deliberately not shared between ranks of an in-process TCP
+    /// world: a flag may only flip after *this* rank's reader drained the
+    /// peer's final frames into *this* inbox, and that moment differs per
+    /// observer.
+    alive: Arc<Vec<AtomicBool>>,
+    /// World-level health flags (one per rank, shared with the driver);
+    /// this rank's entry is cleared on shutdown. `None` for standalone
+    /// multi-process transports.
+    world_alive: Option<Arc<Vec<AtomicBool>>>,
+    shut: bool,
+}
+
+impl TcpTransport {
+    /// Multi-process entry: binds this rank's listener at `addrs[rank]`
+    /// and rendezvouses with every peer. Blocks until the full mesh is
+    /// connected or `timeout` expires.
+    pub fn connect(
+        rank: usize,
+        addrs: &[SocketAddr],
+        gen: u32,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let listener = if rank + 1 < addrs.len() {
+            Some(TcpListener::bind(addrs[rank])?)
+        } else {
+            None // the highest rank only dials
+        };
+        Self::rendezvous(rank, addrs, listener, gen, timeout, None)
+    }
+
+    /// In-process entry: like [`TcpTransport::connect`] but over a
+    /// pre-bound listener (so `127.0.0.1:0` worlds can publish their real
+    /// port before any rank dials) and wired to the world's health flags.
+    fn rendezvous(
+        rank: usize,
+        addrs: &[SocketAddr],
+        listener: Option<TcpListener>,
+        gen: u32,
+        timeout: Duration,
+        world_alive: Option<Arc<Vec<AtomicBool>>>,
+    ) -> std::io::Result<Self> {
+        let n = addrs.len();
+        assert!(rank < n, "TcpTransport: rank {rank} outside world of {n}");
+        let deadline = Instant::now() + timeout;
+        let hello = encode_hello(n as u32, rank as u32, gen);
+        let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial every lower rank; each dial sends our hello and waits for
+        // the peer's (which doubles as the accept acknowledgement).
+        for s in 0..rank {
+            let mut stream = dial(addrs[s], deadline)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&hello)?;
+            let mut reply = [0u8; HELLO_LEN];
+            read_exact_deadline(&mut stream, &mut reply, deadline)?;
+            let peer = decode_hello(&reply, n as u32, gen)? as usize;
+            if peer != s {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "rendezvous: dialed rank {s} at {} but rank {peer} answered",
+                        addrs[s]
+                    ),
+                ));
+            }
+            peers[s] = Some(stream);
+        }
+
+        // Accept every higher rank (they identify themselves in the
+        // handshake — acceptance order does not matter).
+        if let Some(listener) = &listener {
+            listener.set_nonblocking(true)?;
+            let mut missing = n - rank - 1;
+            while missing > 0 {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        stream.set_nodelay(true)?;
+                        let mut their = [0u8; HELLO_LEN];
+                        read_exact_deadline(&mut stream, &mut their, deadline)?;
+                        let peer = decode_hello(&their, n as u32, gen)? as usize;
+                        if peer <= rank || peers[peer].is_some() {
+                            return Err(std::io::Error::new(
+                                ErrorKind::InvalidData,
+                                format!("rendezvous: unexpected connection from rank {peer}"),
+                            ));
+                        }
+                        stream.write_all(&hello)?;
+                        peers[peer] = Some(stream);
+                        missing -= 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(std::io::Error::new(
+                                ErrorKind::TimedOut,
+                                format!("rendezvous: rank {rank} still missing {missing} peer(s)"),
+                            ));
+                        }
+                        std::thread::sleep(ACCEPT_BACKOFF);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Mesh complete: split each stream into a locked writer and a
+        // reader thread feeding the shared inbox.
+        let (tx, rx) = unbounded::<Message>();
+        let alive: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(true)).collect());
+        let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
+        for (peer, stream) in peers.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            stream.set_read_timeout(None)?; // readers block indefinitely
+            let reader = stream.try_clone()?;
+            writers[peer] = Some(Arc::new(Mutex::new(stream)));
+            let tx = tx.clone();
+            let alive = alive.clone();
+            std::thread::Builder::new()
+                .name(format!("pdeml-tcp-r{rank}p{peer}"))
+                .spawn(move || reader_loop(reader, peer, tx, alive))
+                .expect("spawn tcp reader thread");
+        }
+        drop(tx); // the inbox closes when the last reader exits
+        Ok(Self {
+            rank,
+            writers,
+            inbox: rx,
+            alive,
+            world_alive,
+            shut: false,
+        })
+    }
+}
+
+/// Pulls frames off one peer connection into the shared inbox until EOF or
+/// a connection error, then — and only then — flips the peer's death flag
+/// and drops its inbox sender. Keeps reading in discard mode after the
+/// local `Comm` is gone so the peer's writes never block on a full socket
+/// buffer.
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: usize,
+    tx: Sender<Message>,
+    alive: Arc<Vec<AtomicBool>>,
+) {
+    let mut tx = Some(tx);
+    // A torn frame / reset ends the loop exactly like a clean EOF — both
+    // are indistinguishable from (and treated as) peer death.
+    while let Ok(Some(msg)) = read_frame(&mut stream, peer) {
+        if let Some(t) = &tx {
+            if t.send(msg).is_err() {
+                tx = None; // local side gone: drain and discard
+            }
+        }
+    }
+    // Everything the peer ever sent is enqueued; the `Release` store pairs
+    // with the `Acquire` in `peer_alive` so a post-observation drain
+    // misses nothing (the flush-before-death contract).
+    alive[peer].store(false, Ordering::Release);
+}
+
+impl Transport for TcpTransport {
+    fn deliver(&self, dest: usize, msg: Message) {
+        let writer = self.writers[dest].as_ref().expect("non-self writer");
+        let frame = encode_frame(msg.tag, msg.gen, &msg.data);
+        let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+        // Write errors (peer process died, socket reset) are deliberately
+        // swallowed: delivering to the dead is a no-op, and the death is
+        // surfaced on the receive side — exactly the channel semantics.
+        let _ = stream.write_all(&frame);
+    }
+
+    fn deliver_delayed(&self, dest: usize, msg: Message, delay: Duration) {
+        let writer = self.writers[dest]
+            .as_ref()
+            .expect("non-self writer")
+            .clone();
+        let frame = encode_frame(msg.tag, msg.gen, &msg.data);
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = stream.write_all(&frame);
+        });
+    }
+
+    fn try_recv(&mut self) -> Poll {
+        match self.inbox.try_recv() {
+            Ok(msg) => Poll::Msg(msg),
+            Err(TryRecvError::Empty) => Poll::Empty,
+            Err(TryRecvError::Disconnected) => Poll::Closed,
+        }
+    }
+
+    fn recv_timeout(&mut self, wait: Duration) -> Poll {
+        match self.inbox.recv_timeout(wait) {
+            Ok(msg) => Poll::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => Poll::Empty,
+            Err(RecvTimeoutError::Disconnected) => Poll::Closed,
+        }
+    }
+
+    fn peer_alive(&self, rank: usize) -> bool {
+        self.alive[rank].load(Ordering::Acquire)
+    }
+
+    fn shutdown(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        self.alive[self.rank].store(false, Ordering::Release);
+        if let Some(world) = &self.world_alive {
+            world[self.rank].store(false, Ordering::Release);
+        }
+        for writer in self.writers.iter().flatten() {
+            let stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+            // Write-side FIN only: in-flight frames flush, and our readers
+            // keep draining the peer's remaining traffic. A full close
+            // here could turn unread inbound data into an RST, destroying
+            // messages a peer legitimately delivered.
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds the full loopback transport mesh for an in-process TCP world:
+/// binds one `127.0.0.1:0` listener per rank, then runs all rendezvous in
+/// parallel (they block on each other by design).
+///
+/// # Panics
+/// On any socket error — an in-process loopback failure is an environment
+/// problem, not a recoverable protocol state.
+pub(crate) fn loopback_mesh(n: usize, world_alive: &Arc<Vec<AtomicBool>>) -> Vec<TcpTransport> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("listener local addr"))
+        .collect();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let addrs = &addrs;
+                let world_alive = world_alive.clone();
+                s.spawn(move |_| {
+                    TcpTransport::rendezvous(
+                        rank,
+                        addrs,
+                        Some(listener),
+                        0,
+                        LOOPBACK_RENDEZVOUS,
+                        Some(world_alive),
+                    )
+                    .unwrap_or_else(|e| panic!("loopback rendezvous failed on rank {rank}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rendezvous thread"))
+            .collect()
+    })
+    .expect("loopback rendezvous scope")
+}
+
+/// Joins a multi-process TCP world as rank `rank` and returns a fully
+/// wired [`Comm`]: transport rendezvous at `addrs` (this rank's own entry
+/// is its listen address), fresh per-rank stats, and the optional fault
+/// plan applied with the usual collective exemption. The building block of
+/// `pdeml world-node`.
+pub fn connect_tcp_world(
+    rank: usize,
+    addrs: &[SocketAddr],
+    timeout: Duration,
+    fault_plan: Option<&FaultPlan>,
+) -> std::io::Result<Comm> {
+    let transport = TcpTransport::connect(rank, addrs, 0, timeout)?;
+    Ok(Comm::over_transport(
+        rank,
+        addrs.len(),
+        Box::new(transport),
+        fault_plan,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let alive = Arc::new(vec![AtomicBool::new(true), AtomicBool::new(true)]);
+        let mut mesh = loopback_mesh(2, &alive).into_iter();
+        let a = mesh.next().unwrap();
+        let b = mesh.next().unwrap();
+        (a, b)
+    }
+
+    fn msg(src: usize, tag: u32, gen: u32, data: Vec<f64>) -> Message {
+        Message {
+            src,
+            tag,
+            gen,
+            data,
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_validates() {
+        let b = encode_hello(4, 2, 7);
+        assert_eq!(decode_hello(&b, 4, 7).unwrap(), 2);
+        // Wrong world size, generation, version and magic all fail loudly.
+        assert!(decode_hello(&b, 5, 7).is_err());
+        assert!(decode_hello(&b, 4, 8).is_err());
+        let mut bad = b;
+        bad[0] = b'X';
+        assert!(decode_hello(&bad, 4, 7).is_err());
+        let mut old = b;
+        old[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(decode_hello(&old, 4, 7).is_err());
+        let mut oob = b;
+        oob[12..16].copy_from_slice(&4u32.to_le_bytes());
+        assert!(decode_hello(&oob, 4, 7).is_err());
+    }
+
+    #[test]
+    fn frames_preserve_f64_bits_exactly() {
+        // NaN payloads, negative zero, subnormals: the frame must carry
+        // bit patterns, not values.
+        let data = vec![
+            f64::NAN,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0,
+            f64::INFINITY,
+            1.0 + f64::EPSILON,
+        ];
+        let (a, mut b) = pair();
+        a.deliver(1, msg(0, 0xABCD, 3, data.clone()));
+        let got = match b.recv_timeout(crate::test_timeout()) {
+            Poll::Msg(m) => m,
+            other => panic!("expected a frame, got {other:?}"),
+        };
+        assert_eq!(got.src, 0);
+        assert_eq!(got.tag, 0xABCD);
+        assert_eq!(got.gen, 3);
+        assert_eq!(got.data.len(), data.len());
+        for (x, y) in got.data.iter().zip(&data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_work() {
+        // Barrier messages are empty; the frame layer must not choke.
+        let (a, mut b) = pair();
+        a.deliver(1, msg(0, 7, 0, Vec::new()));
+        match b.recv_timeout(crate::test_timeout()) {
+            Poll::Msg(m) => assert!(m.data.is_empty()),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_flushes_in_flight_frames_then_reads_as_death() {
+        // Write-then-die: the frames sent before shutdown must all arrive
+        // (FIN, not RST), after which the peer reads as dead and the inbox
+        // closes.
+        let (mut a, mut b) = pair();
+        for k in 0..10 {
+            a.deliver(1, msg(0, k, 0, vec![k as f64; 100]));
+        }
+        a.shutdown();
+        let deadline = Instant::now() + crate::test_timeout();
+        let mut got = 0;
+        while got < 10 {
+            match b.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Poll::Msg(m) => {
+                    assert_eq!(m.data, vec![m.tag as f64; 100]);
+                    got += 1;
+                }
+                other => panic!("lost frames after shutdown: {got}/10, got {other:?}"),
+            }
+        }
+        // Flush-before-death: once the flag reads false, nothing remains.
+        while b.peer_alive(0) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(matches!(b.try_recv(), Poll::Empty | Poll::Closed));
+    }
+
+    #[test]
+    fn inbox_closes_when_all_peers_shut_down() {
+        let (mut a, mut b) = pair();
+        a.shutdown();
+        let deadline = Instant::now() + crate::test_timeout();
+        loop {
+            match b.recv_timeout(Duration::from_millis(10)) {
+                Poll::Closed => break,
+                Poll::Empty if Instant::now() < deadline => (),
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        }
+        assert!(!b.peer_alive(0));
+    }
+
+    #[test]
+    fn read_exact_deadline_is_single_budget_not_per_segment() {
+        // A peer that trickles bytes must not reset the clock per segment:
+        // the total wait is bounded by ONE deadline. The writer sends the
+        // first half of a hello slowly and never finishes; the reader must
+        // give up within its single budget (plus scheduling slack), not
+        // 24 × per-byte timeouts.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            for _ in 0..6 {
+                let _ = s.write_all(&[0u8]);
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            // Keep the socket open so the reader sees a stall, not EOF.
+            std::thread::sleep(Duration::from_millis(600));
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let budget = Duration::from_millis(150);
+        let start = Instant::now();
+        let mut buf = [0u8; HELLO_LEN];
+        let err = read_exact_deadline(&mut conn, &mut buf, start + budget).unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        assert!(
+            elapsed < budget * 3,
+            "deadline re-armed per segment: waited {elapsed:?} on a {budget:?} budget"
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn rendezvous_times_out_when_a_peer_never_shows() {
+        // Rank 1 of a 3-rank world dials rank 0 (present) but rank 2 never
+        // connects: the rendezvous must fail with TimedOut, within its own
+        // budget.
+        let l0 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let l1 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a0 = l0.local_addr().unwrap();
+        let a1 = l1.local_addr().unwrap();
+        // Reserve a port for the absent rank 2, then close it.
+        let ghost = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let a2 = ghost.local_addr().unwrap();
+        drop(ghost);
+        let addrs = vec![a0, a1, a2];
+        let addrs0 = addrs.clone();
+        let rank0 = std::thread::spawn(move || {
+            TcpTransport::rendezvous(0, &addrs0, Some(l0), 0, Duration::from_millis(400), None)
+                .err()
+                .expect("rank 0 must time out")
+        });
+        let e1 = TcpTransport::rendezvous(1, &addrs, Some(l1), 0, Duration::from_millis(400), None)
+            .err()
+            .expect("rank 1 must time out");
+        assert_eq!(e1.kind(), ErrorKind::TimedOut);
+        assert_eq!(rank0.join().unwrap().kind(), ErrorKind::TimedOut);
+    }
+}

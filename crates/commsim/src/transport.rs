@@ -1,0 +1,155 @@
+//! The transport boundary: how framed [`Message`]s move between ranks.
+//!
+//! Everything *protocol* — tag matching, generation purging, fault
+//! injection, traffic counters, halo policies — lives above this trait in
+//! [`crate::Comm`] and is shared verbatim by every implementation.
+//! Everything *mechanism* — channels, sockets, liveness signaling — lives
+//! below it:
+//!
+//! * [`ChannelTransport`] — the original in-process channel mesh (default;
+//!   bitwise-unchanged behavior).
+//! * [`crate::TcpTransport`] — length-prefixed frames over `std::net`
+//!   sockets, so ranks can live in separate OS processes (or machines).
+//!
+//! The contract mirrors what the channel mesh always guaranteed, because
+//! the dead-peer/lost-message distinction depends on it:
+//!
+//! 1. **Flush-before-death.** Once [`Transport::peer_alive`] returns
+//!    `false` for a rank, every message that rank ever sent is already
+//!    observable through [`Transport::try_recv`] — so one non-blocking
+//!    drain after observing death is guaranteed to find any matching
+//!    message, and only then is `Disconnected` the truth.
+//! 2. **Closed = all peers gone.** [`Poll::Closed`] means no peer can ever
+//!    deliver again (every channel sender dropped / every socket at EOF).
+//! 3. **Send to the dead is a no-op.** Delivering to a rank that already
+//!    shut down silently discards the message; death is surfaced on the
+//!    *receive* side.
+
+use crate::comm::Message;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one receive attempt against a transport's inbox.
+#[derive(Debug)]
+pub enum Poll {
+    /// A message arrived (any source/tag — the protocol layer matches it).
+    Msg(Message),
+    /// Nothing available within the wait.
+    Empty,
+    /// Every peer is gone; nothing can ever arrive again.
+    Closed,
+}
+
+/// Moves framed [`Message`]s between this rank and its peers.
+///
+/// One instance per rank, owned by its [`crate::Comm`]. Implementations
+/// must uphold the flush-before-death contract documented on the module.
+pub trait Transport: Send {
+    /// Enqueues `msg` for rank `dest` (eager, non-blocking; a dead or
+    /// unreachable destination discards silently).
+    fn deliver(&self, dest: usize, msg: Message);
+
+    /// Enqueues `msg` for `dest` after sitting in flight for `delay` — the
+    /// fault plan's slow-link action. Must not block the caller.
+    fn deliver_delayed(&self, dest: usize, msg: Message, delay: Duration);
+
+    /// Non-blocking poll of this rank's inbox.
+    fn try_recv(&mut self) -> Poll;
+
+    /// Blocking poll bounded by `wait` (returns [`Poll::Empty`] on expiry).
+    fn recv_timeout(&mut self, wait: Duration) -> Poll;
+
+    /// False once `rank` can never send again (its communicator shut down).
+    /// `peer_alive(self_rank)` stays true until this side's own shutdown.
+    fn peer_alive(&self, rank: usize) -> bool;
+
+    /// Announces this rank's death to peers: after it returns, peers may
+    /// observe `peer_alive == false` and must already be able to drain
+    /// every message this rank sent. Called once, from [`crate::Comm`]'s
+    /// `Drop`; must be idempotent.
+    fn shutdown(&mut self);
+}
+
+/// The in-process transport: one unbounded channel per rank, every rank
+/// holding a sender clone to every *other* rank's inbox.
+///
+/// This is the original hard-wired `Comm` mechanism moved below the trait
+/// unchanged: same channel topology, same aliveness flags, same memory
+/// orderings — existing worlds behave bitwise-identically.
+pub struct ChannelTransport {
+    rank: usize,
+    /// `None` at this rank's own index: the gap is what lets an inbox
+    /// disconnect once all *peers* dropped their handles, making a dead
+    /// peer distinguishable from a lost message.
+    senders: Vec<Option<Sender<Message>>>,
+    inbox: Receiver<Message>,
+    /// One flag per rank, shared across the world; cleared by that rank's
+    /// shutdown (normal completion and panic-unwind alike).
+    alive: Arc<Vec<AtomicBool>>,
+}
+
+impl ChannelTransport {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Option<Sender<Message>>>,
+        inbox: Receiver<Message>,
+        alive: Arc<Vec<AtomicBool>>,
+    ) -> Self {
+        Self {
+            rank,
+            senders,
+            inbox,
+            alive,
+        }
+    }
+
+    fn sender(&self, dest: usize) -> &Sender<Message> {
+        self.senders[dest].as_ref().expect("non-self sender")
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn deliver(&self, dest: usize, msg: Message) {
+        // Sending to a rank whose thread already exited is a no-op: the
+        // peer can never read the message anyway, and the death is
+        // surfaced on the *receive* side as `Disconnected`.
+        let _ = self.sender(dest).send(msg);
+    }
+
+    fn deliver_delayed(&self, dest: usize, msg: Message, delay: Duration) {
+        let tx = self.sender(dest).clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let _ = tx.send(msg);
+        });
+    }
+
+    fn try_recv(&mut self) -> Poll {
+        match self.inbox.try_recv() {
+            Ok(msg) => Poll::Msg(msg),
+            Err(TryRecvError::Empty) => Poll::Empty,
+            Err(TryRecvError::Disconnected) => Poll::Closed,
+        }
+    }
+
+    fn recv_timeout(&mut self, wait: Duration) -> Poll {
+        match self.inbox.recv_timeout(wait) {
+            Ok(msg) => Poll::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => Poll::Empty,
+            Err(RecvTimeoutError::Disconnected) => Poll::Closed,
+        }
+    }
+
+    fn peer_alive(&self, rank: usize) -> bool {
+        // `Acquire` pairs with the `Release` store in `shutdown`: every
+        // send the peer made is visible (enqueued) before the flag reads
+        // false, so a post-observation drain misses nothing.
+        self.alive[rank].load(Ordering::Acquire)
+    }
+
+    fn shutdown(&mut self) {
+        self.alive[self.rank].store(false, Ordering::Release);
+    }
+}

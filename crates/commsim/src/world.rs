@@ -11,6 +11,7 @@
 //!   tagging ([`Comm::set_generation`]).
 
 use crate::comm::{Comm, CommStats, FaultFn, Message, Tag, TrafficReport};
+use crate::transport::ChannelTransport;
 use crossbeam::channel::{unbounded, Sender};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -142,6 +143,20 @@ impl FaultPlan {
     }
 }
 
+/// Wraps a plan's edge function with the collective exemption (tags
+/// `0xFFFF_0000` and above always deliver) — the filter every world-built
+/// and every standalone [`Comm`] applies identically.
+pub(crate) fn collective_exempt(plan: &FaultPlan) -> Arc<FaultFn> {
+    let pf = plan.f.clone();
+    Arc::new(move |s: usize, d: usize, t: Tag| {
+        if t >= 0xFFFF_0000 {
+            FaultAction::Deliver // collectives are exempt
+        } else {
+            pf(s, d, t)
+        }
+    }) as Arc<FaultFn>
+}
+
 /// One round of the splitmix64 finalizer.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -159,10 +174,43 @@ fn edge_uniform(seed: u64, src: usize, dst: usize, tag: Tag) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Which mechanism a world's ranks use to move messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channel mesh (the original, default mechanism).
+    #[default]
+    Channel,
+    /// Loopback TCP sockets: each rank gets a real `TcpTransport`
+    /// rendezvoused over `127.0.0.1`, exercising the exact framing,
+    /// handshake and liveness machinery a multi-process world uses —
+    /// while still running every rank in this process.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses the CLI grammar: `channel` | `tcp`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "channel" => Ok(Self::Channel),
+            "tcp" => Ok(Self::Tcp),
+            other => Err(format!("unknown transport '{other}' (channel or tcp)")),
+        }
+    }
+
+    /// The CLI-grammar name (inverse of [`TransportKind::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Channel => "channel",
+            Self::Tcp => "tcp",
+        }
+    }
+}
+
 /// A fixed-size collection of ranks executing one SPMD closure.
 pub struct World {
     size: usize,
     fault_plan: Option<FaultPlan>,
+    transport: TransportKind,
 }
 
 impl World {
@@ -175,12 +223,19 @@ impl World {
         Self {
             size,
             fault_plan: None,
+            transport: TransportKind::Channel,
         }
     }
 
     /// Attaches a fault-injection plan (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Selects the transport mechanism (builder style; default channel).
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 
@@ -217,6 +272,7 @@ impl World {
         let mut pw = Self {
             size: self.size,
             fault_plan: self.fault_plan.clone(),
+            transport: self.transport,
         }
         .spawn_persistent();
         let out = pw.run(|mut ctx| {
@@ -233,50 +289,62 @@ impl World {
     fn build_comms(&self) -> (Vec<Comm>, Arc<Vec<CommStats>>, Arc<Vec<AtomicBool>>) {
         let n = self.size;
         let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
-        let fault_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(|p| {
-            let pf = p.f.clone();
-            Arc::new(move |s: usize, d: usize, t: Tag| {
-                if t >= 0xFFFF_0000 {
-                    FaultAction::Deliver // collectives are exempt
-                } else {
-                    pf(s, d, t)
-                }
-            }) as Arc<FaultFn>
-        });
-
-        // One inbox per rank; every rank holds a sender clone to every
-        // OTHER inbox (no self-sender — self-sends are forbidden, and the
-        // gap is what lets an inbox disconnect once all peers are gone, so
-        // a dead peer is distinguishable from a lost message).
-        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
+        let fault_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(collective_exempt);
         // One aliveness flag per rank, cleared when its Comm drops (normal
         // completion or panic-unwind alike): "this rank will never send
-        // again", the signal receivers use to classify a wait as
-        // `Disconnected` in worlds of any size.
+        // again". The channel transport doubles it as the receive-side
+        // death signal; the TCP transport keeps its own per-connection
+        // view and only clears this world-level flag (for health checks)
+        // on its own shutdown.
         let alive: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(true)).collect());
-
-        let comms: Vec<Comm> = inboxes
-            .into_iter()
-            .enumerate()
-            .map(|(rank, inbox)| {
-                let peer_senders: Vec<Option<Sender<Message>>> = senders
-                    .iter()
+        let comms = match self.transport {
+            TransportKind::Channel => {
+                // One inbox per rank; every rank holds a sender clone to
+                // every OTHER inbox (no self-sender — self-sends are
+                // forbidden, and the gap is what lets an inbox disconnect
+                // once all peers are gone, so a dead peer is
+                // distinguishable from a lost message).
+                let (senders, inboxes): (Vec<_>, Vec<_>) =
+                    (0..n).map(|_| unbounded::<Message>()).unzip();
+                let comms: Vec<Comm> = inboxes
+                    .into_iter()
                     .enumerate()
-                    .map(|(r, s)| if r == rank { None } else { Some(s.clone()) })
+                    .map(|(rank, inbox)| {
+                        let peer_senders: Vec<Option<Sender<Message>>> = senders
+                            .iter()
+                            .enumerate()
+                            .map(|(r, s)| if r == rank { None } else { Some(s.clone()) })
+                            .collect();
+                        let transport =
+                            ChannelTransport::new(rank, peer_senders, inbox, alive.clone());
+                        Comm::new(
+                            rank,
+                            n,
+                            Box::new(transport),
+                            stats.clone(),
+                            fault_fn.clone(),
+                        )
+                    })
                     .collect();
-                Comm::new(
-                    rank,
-                    n,
-                    peer_senders,
-                    inbox,
-                    stats.clone(),
-                    alive.clone(),
-                    fault_fn.clone(),
-                )
-            })
-            .collect();
-        // Drop the original senders so channels close when all ranks finish.
-        drop(senders);
+                // Drop the original senders so channels close when all
+                // ranks finish.
+                drop(senders);
+                comms
+            }
+            TransportKind::Tcp => crate::tcp::loopback_mesh(n, &alive)
+                .into_iter()
+                .enumerate()
+                .map(|(rank, transport)| {
+                    Comm::new(
+                        rank,
+                        n,
+                        Box::new(transport),
+                        stats.clone(),
+                        fault_fn.clone(),
+                    )
+                })
+                .collect(),
+        };
         (comms, stats, alive)
     }
 
@@ -892,6 +960,87 @@ mod tests {
             pw.run(|_ctx| ());
         }));
         assert!(again.is_err(), "a poisoned world must refuse further jobs");
+    }
+
+    #[test]
+    fn tcp_world_runs_p2p_and_collectives() {
+        let n = 4;
+        let out = World::new(n)
+            .with_transport(TransportKind::Tcp)
+            .run(move |mut comm| {
+                let next = (comm.rank() + 1) % n;
+                let prev = (comm.rank() + n - 1) % n;
+                comm.send(next, 7, vec![comm.rank() as f64 + 0.5]);
+                let got = comm.recv(prev, 7)[0];
+                comm.barrier();
+                let sum = comm.allreduce_sum(&[got]);
+                (got, sum[0])
+            });
+        for (rank, (got, sum)) in out.iter().enumerate() {
+            assert_eq!(*got, ((rank + n - 1) % n) as f64 + 0.5);
+            assert_eq!(*sum, 0.5 + 1.5 + 2.5 + 3.5);
+        }
+    }
+
+    #[test]
+    fn tcp_world_seeded_loss_counters_match_channel() {
+        // The same seeded plan over both transports must drop exactly the
+        // same messages: fault decisions are made above the transport.
+        let run = |kind: TransportKind| {
+            let plan = FaultPlan::loss_rate(0.5, 0xBEEF);
+            World::new(2)
+                .with_transport(kind)
+                .with_fault_plan(plan)
+                .run_with_stats(|mut c| {
+                    if c.rank() == 0 {
+                        for tag in 0..16 {
+                            c.send(1, tag, vec![tag as f64; 3]);
+                        }
+                        c.barrier();
+                        Vec::new()
+                    } else {
+                        let survivors: Vec<u32> = (0..16)
+                            .filter(|&tag| {
+                                c.recv_timeout(0, tag, Duration::from_millis(200)).is_ok()
+                            })
+                            .collect();
+                        c.barrier();
+                        survivors
+                    }
+                })
+        };
+        let (out_ch, traffic_ch) = run(TransportKind::Channel);
+        let (out_tcp, traffic_tcp) = run(TransportKind::Tcp);
+        assert_eq!(out_ch[1], out_tcp[1], "identical seeded loss pattern");
+        assert_eq!(traffic_ch, traffic_tcp, "identical traffic counters");
+    }
+
+    #[test]
+    fn tcp_world_dead_peer_reads_as_disconnected() {
+        use crate::comm::RecvError;
+        World::new(2)
+            .with_transport(TransportKind::Tcp)
+            .run(|mut comm| {
+                if comm.rank() == 1 {
+                    let r = comm.recv_timeout(0, 3, Duration::from_secs(30));
+                    assert_eq!(r, Err(RecvError::Disconnected));
+                }
+            });
+    }
+
+    #[test]
+    fn tcp_world_message_sent_before_death_is_received() {
+        // The write-side FIN must flush the in-flight frame: buffered
+        // messages outlive their sender over sockets too.
+        World::new(2)
+            .with_transport(TransportKind::Tcp)
+            .run(|mut comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 4, vec![7.0]);
+                } else {
+                    assert_eq!(comm.recv(0, 4), vec![7.0]);
+                }
+            });
     }
 
     #[test]

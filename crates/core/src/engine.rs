@@ -29,7 +29,9 @@ use crate::arch::ArchSpec;
 use crate::infer::{HaloPolicy, InferError, ParallelInference, RolloutResult};
 use crate::padding::PaddingStrategy;
 use crate::train::TrainOutcome;
-use pde_commsim::{CartComm, FaultPlan, PersistentWorld, RankContext, TrafficReport, World};
+use pde_commsim::{
+    CartComm, FaultPlan, PersistentWorld, RankContext, TrafficReport, TransportKind, World,
+};
 use pde_tensor::{perf, PerfCounters, Tensor3};
 use std::collections::BTreeMap;
 
@@ -47,6 +49,10 @@ pub struct EngineConfig {
     /// Intra-rank kernel thread budget for the engine's resident ranks
     /// (None = `PDEML_THREADS_PER_RANK` env, else `max(1, cores / ranks)`).
     pub threads_per_rank: Option<usize>,
+    /// Transport the persistent world's ranks talk over
+    /// ([`TransportKind::Channel`] by default; [`TransportKind::Tcp`] routes
+    /// every message through localhost sockets).
+    pub transport: TransportKind,
 }
 
 impl EngineConfig {
@@ -56,12 +62,19 @@ impl EngineConfig {
             n_ranks,
             fault_plan: None,
             threads_per_rank: None,
+            transport: TransportKind::default(),
         }
     }
 
     /// Injects `plan` into every request served by the engine.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Selects the transport the engine's persistent world runs over.
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 }
@@ -148,7 +161,7 @@ impl InferEngine {
             );
         }
         let budget = pde_tensor::pool::resolve_budget(cfg.threads_per_rank, cfg.n_ranks);
-        let mut world = World::new(cfg.n_ranks);
+        let mut world = World::new(cfg.n_ranks).with_transport(cfg.transport);
         if let Some(plan) = cfg.fault_plan {
             world = world.with_fault_plan(plan);
         }

@@ -17,13 +17,15 @@ use crate::arch::ArchSpec;
 use crate::norm::ChannelNorm;
 use crate::padding::PaddingStrategy;
 use crate::train::{PredictionMode, TrainOutcome};
-use pde_commsim::{CartComm, Comm, Direction, FaultPlan, HaloRecv, TrafficReport, World};
+use pde_commsim::{
+    CartComm, Comm, Direction, FaultPlan, HaloRecv, TrafficReport, TransportKind, World,
+};
 use pde_domain::halo::{pack_cols, pack_rows, place_rows};
 use pde_domain::{gather, scatter, GridPartition};
 use pde_nn::serialize::restore;
 use pde_nn::{Layer, Sequential};
 use pde_tensor::{perf, PerfCounters, Tensor3, Tensor4};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a rollout request was rejected before any rank ran. Returned (not
 /// panicked) so a serving layer can refuse one bad request without tearing
@@ -116,15 +118,19 @@ pub enum HaloPolicy {
     /// assumes a reliable transport.
     #[default]
     Strict,
-    /// Give each directional receive `timeout` to produce the strip, then
-    /// substitute `fallback` and keep rolling. Lost and substituted strips
+    /// Give each exchange phase (x, then y) a single `timeout` budget shared
+    /// by its timed receives — armed once per phase, so a step is bounded by
+    /// `2 × timeout` no matter how many strips are lost — then substitute
+    /// `fallback` for whatever never arrived and keep rolling. Lost and
+    /// substituted strips
     /// are counted per rank in the [`TrafficReport`]. A dead *peer* is
     /// still fatal: its entire subdomain is gone, and silently zero-filling
     /// a missing quarter of the domain would corrupt the result without a
     /// trace — that distinction (loss vs. death) is the reason
     /// [`pde_commsim::HaloStatus`] exists.
     Degrade {
-        /// How long each directional receive waits before declaring loss.
+        /// The budget one exchange phase's receives share before the
+        /// stragglers are declared lost.
         timeout: Duration,
         /// What fills the hole a lost strip leaves.
         fallback: HaloFallback,
@@ -186,6 +192,7 @@ pub struct ParallelInference {
     window: usize,
     halo_policy: HaloPolicy,
     fault_plan: Option<FaultPlan>,
+    transport: TransportKind,
 }
 
 impl ParallelInference {
@@ -255,6 +262,7 @@ impl ParallelInference {
             window,
             halo_policy: HaloPolicy::default(),
             fault_plan: None,
+            transport: TransportKind::default(),
         }
     }
 
@@ -273,6 +281,15 @@ impl ParallelInference {
         self
     }
 
+    /// Selects the transport the in-process rollout world runs over
+    /// (builder style). The default [`TransportKind::Channel`] is the
+    /// original channel mesh; [`TransportKind::Tcp`] moves every halo
+    /// message over localhost sockets — same protocol, real network stack.
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     /// The halo-failure policy rollouts will use.
     pub fn halo_policy(&self) -> HaloPolicy {
         self.halo_policy
@@ -284,7 +301,7 @@ impl ParallelInference {
     }
 
     /// The input halo width rollouts exchange (0 = communication-free).
-    pub(crate) fn input_halo(&self) -> usize {
+    pub fn input_halo(&self) -> usize {
         self.strategy.input_halo(self.arch.halo())
     }
 
@@ -340,7 +357,9 @@ impl ParallelInference {
 
     /// Scatters a (validated) global history into per-rank normalized local
     /// histories, oldest first — the networks operate in normalized space.
-    pub(crate) fn scatter_history(&self, history: &[Tensor3]) -> Vec<Vec<Tensor3>> {
+    /// Public so a multi-process world node can cut its own rank's slice
+    /// from a shared global history.
+    pub fn scatter_history(&self, history: &[Tensor3]) -> Vec<Vec<Tensor3>> {
         let mut acc: Vec<Vec<Tensor3>> = vec![Vec::new(); self.part.rank_count()];
         for g in history {
             for (r, local) in scatter(&self.norm.normalize3(g), &self.part)
@@ -375,8 +394,9 @@ impl ParallelInference {
 
     /// Stitches per-rank normalized step outputs back into global physical
     /// states: `states[0]` is the caller's own initial state, `states[k]`
-    /// the gathered, denormalized prediction after `k` steps.
-    pub(crate) fn stitch_states(
+    /// the gathered, denormalized prediction after `k` steps. Public so a
+    /// multi-process driver can reassemble gathered rank trajectories.
+    pub fn stitch_states(
         &self,
         initial: &Tensor3,
         histories: &[Vec<Tensor3>],
@@ -426,7 +446,7 @@ impl ParallelInference {
         let window = self.window;
         let policy = self.halo_policy;
 
-        let mut world = World::new(part.rank_count());
+        let mut world = World::new(part.rank_count()).with_transport(self.transport);
         if let Some(plan) = &self.fault_plan {
             world = world.with_fault_plan(plan.clone());
         }
@@ -835,8 +855,16 @@ pub fn assemble_halo_input_degraded(
     );
     cart.post_x_sends(to_left, to_right, step * 2);
     cart.comm_mut().barrier(); // delivered x strips are now all inboxed
+                               // One deadline for the whole phase, armed ONCE: the per-direction
+                               // receives share the budget instead of each re-arming the full
+                               // `timeout`, so losing both neighbors costs `timeout`, not 2×. Delivered
+                               // strips are already inboxed (post-barrier) and a zero-remainder receive
+                               // still drains the inbox non-blockingly, so sharing the budget can never
+                               // misclassify a delivered strip as lost.
+    let x_deadline = Instant::now() + timeout;
     for dir in [Left, Right] {
-        if let Some(recv) = cart.recv_halo_dir(dir, step * 2, timeout) {
+        let remaining = x_deadline.saturating_duration_since(Instant::now());
+        if let Some(recv) = cart.recv_halo_dir(dir, step * 2, remaining) {
             if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
                 let strip = Tensor3::from_vec(c, h, halo, buf);
                 let col = if dir == Left { 0 } else { w + halo };
@@ -857,8 +885,10 @@ pub fn assemble_halo_input_degraded(
     );
     cart.post_y_sends(to_down, to_up, step * 2 + 1);
     cart.comm_mut().barrier(); // delivered y strips are now all inboxed
+    let y_deadline = Instant::now() + timeout; // fresh budget for phase 2
     for dir in [Down, Up] {
-        if let Some(recv) = cart.recv_halo_dir(dir, step * 2 + 1, timeout) {
+        let remaining = y_deadline.saturating_duration_since(Instant::now());
+        if let Some(recv) = cart.recv_halo_dir(dir, step * 2 + 1, remaining) {
             if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
                 let row = if dir == Down { 0 } else { h + halo };
                 place_rows(&mut padded, row, halo, &buf);
@@ -1161,5 +1191,48 @@ mod tests {
                 "step {k}"
             );
         }
+    }
+
+    #[test]
+    fn degraded_assembly_arms_one_deadline_per_phase() {
+        // Regression: the per-direction receives each re-armed the full
+        // `timeout`, so the middle rank of a 1x3 row losing BOTH x strips
+        // waited 2x the configured budget per step. With the shared
+        // per-phase deadline the whole x phase costs one `timeout`.
+        let timeout = Duration::from_millis(600);
+        let plan = FaultPlan::new(|s, d, _| {
+            if d == 1 && (s == 0 || s == 2) {
+                pde_commsim::FaultAction::Drop
+            } else {
+                pde_commsim::FaultAction::Deliver
+            }
+        });
+        let out = World::new(3).with_fault_plan(plan).run(|comm| {
+            let rank = comm.rank();
+            let mut cart = CartComm::new(comm, 1, 3, false);
+            let local = Tensor3::zeros(1, 4, 4);
+            let mut cache = HaloCache::default();
+            let t0 = Instant::now();
+            let padded = assemble_halo_input_degraded(
+                &mut cart,
+                &local,
+                1,
+                0,
+                timeout,
+                HaloFallback::ZeroFill,
+                &mut cache,
+            );
+            let dt = t0.elapsed();
+            assert_eq!(padded.shape(), (1, 6, 6));
+            // Keep every sender alive until all timed receives resolved, so
+            // a fast rank's exit cannot read as peer death elsewhere.
+            cart.comm_mut().barrier();
+            (rank, dt)
+        });
+        let (_, dt) = out.into_iter().find(|&(r, _)| r == 1).expect("rank 1");
+        assert!(
+            dt < timeout * 2,
+            "two lost strips in one phase must share one {timeout:?} budget, took {dt:?}"
+        );
     }
 }

@@ -322,6 +322,68 @@ fn warm_engine_rollouts_equal_cold_rollouts_under_seeded_loss() {
 }
 
 #[test]
+fn rollouts_are_bitwise_identical_over_channel_and_tcp_transports() {
+    // The Transport trait promises the mesh below CartComm is
+    // interchangeable: a localhost TCP world must reproduce the in-process
+    // channel world's rollout bit-for-bit AND its TrafficReport counters
+    // exactly — framing and sockets may not perturb a single message.
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let initial = data.snapshot(0).clone();
+    let channel = inf.rollout(&initial, 3).unwrap();
+    let tcp = inf
+        .clone()
+        .with_transport(pde_commsim::TransportKind::Tcp)
+        .rollout(&initial, 3)
+        .unwrap();
+    for (k, (a, b)) in channel.states.iter().zip(&tcp.states).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "step {k}: TCP rollout must equal channel rollout bitwise"
+        );
+    }
+    assert_eq!(
+        channel.traffic, tcp.traffic,
+        "per-rank traffic counters must be transport-independent"
+    );
+}
+
+#[test]
+fn warm_engine_over_tcp_equals_channel_engine_bitwise() {
+    // The resident engine holds its CartComms (and therefore its transport)
+    // across requests. A TCP-backed engine must serve the same bits and the
+    // same per-request traffic deltas as the default channel engine.
+    let data = paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let cfg = TrainConfig::quick_test();
+    let outcome = ParallelTrainer::new(arch.clone(), PaddingStrategy::NeighborPad, cfg)
+        .train(&data, 4)
+        .expect("training");
+    let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
+    let mut channel_engine = InferEngine::new(4);
+    channel_engine.register("m", inf.clone());
+    let mut tcp_engine = InferEngine::with_config(
+        EngineConfig::new(4).with_transport(pde_commsim::TransportKind::Tcp),
+    );
+    tcp_engine.register("m", inf);
+    for request in 0..2 {
+        let initial = data.snapshot(request).clone();
+        let a = channel_engine.rollout("m", &initial, 3).unwrap();
+        let b = tcp_engine.rollout("m", &initial, 3).unwrap();
+        for (k, (x, y)) in a.states.iter().zip(&b.states).enumerate() {
+            assert_eq!(x.as_slice(), y.as_slice(), "request {request} step {k}");
+        }
+        assert_eq!(a.traffic, b.traffic, "request {request}: traffic deltas");
+    }
+}
+
+#[test]
 fn window_one_windowed_api_matches_plain_rollout() {
     let data = paper_dataset(16, 8);
     let arch = ArchSpec::tiny();

@@ -234,32 +234,42 @@ fn delay_shorter_than_timeout_is_not_a_loss() {
     let initial = data.snapshot(6).clone();
     let strict = inf.rollout(&initial, 2).unwrap();
 
-    let (_, inf2) = trained_fleet(4); // same seed/config → identical fleet
-    let delayed = inf2
-        .with_halo_policy(HaloPolicy::Degrade {
-            timeout: test_timeout(),
-            fallback: HaloFallback::ZeroFill,
-        })
-        .with_fault_plan(FaultPlan::delay_edge(
-            0,
-            1,
-            std::time::Duration::from_millis(20),
-        ))
-        .rollout(&initial, 2)
-        .unwrap();
+    // Both transports must treat a slow link the same way: the channel mesh
+    // parks the delayed strip on a timer thread, the TCP mesh holds the
+    // frame back before writing — either way it arrives, classifies Ok,
+    // and the rollout equals the fault-free strict one bitwise.
+    for kind in [
+        pde_commsim::TransportKind::Channel,
+        pde_commsim::TransportKind::Tcp,
+    ] {
+        let delayed = inf
+            .clone()
+            .with_halo_policy(HaloPolicy::Degrade {
+                timeout: test_timeout(),
+                fallback: HaloFallback::ZeroFill,
+            })
+            .with_transport(kind)
+            .with_fault_plan(FaultPlan::delay_edge(
+                0,
+                1,
+                std::time::Duration::from_millis(20),
+            ))
+            .rollout(&initial, 2)
+            .unwrap();
 
-    for t in &delayed.traffic {
-        assert_eq!(t.halos_lost, 0, "a delayed strip must not read as lost");
-        assert_eq!(t.halos_zero_filled, 0);
-        assert_eq!(t.halos_stale, 0);
-        assert!(!t.degraded());
-    }
-    for (k, (a, b)) in strict.states.iter().zip(&delayed.states).enumerate() {
-        assert_eq!(
-            a.as_slice(),
-            b.as_slice(),
-            "step {k}: delayed-but-delivered rollout must equal the strict one bitwise"
-        );
+        for t in &delayed.traffic {
+            assert_eq!(t.halos_lost, 0, "{kind:?}: delayed must not read as lost");
+            assert_eq!(t.halos_zero_filled, 0);
+            assert_eq!(t.halos_stale, 0);
+            assert!(!t.degraded());
+        }
+        for (k, (a, b)) in strict.states.iter().zip(&delayed.states).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "{kind:?} step {k}: delayed-but-delivered must equal strict bitwise"
+            );
+        }
     }
 }
 
@@ -350,6 +360,79 @@ fn collectives_survive_total_user_traffic_loss() {
         v[0]
     });
     assert_eq!(results, vec![10.0; 4]);
+}
+
+#[test]
+fn seeded_loss_is_identical_over_channel_and_tcp_transports() {
+    // Fault decisions hash (seed, src, dst, tag) INSIDE Comm — above the
+    // Transport trait — so the same plan must drop the same strips whether
+    // the mesh below is in-process channels or localhost TCP sockets. The
+    // degraded rollouts must then agree bitwise, with equal TrafficReports
+    // (including halos_lost / fallback counters).
+    let (data, inf) = trained_fleet(4);
+    let plan = FaultPlan::loss_rate(0.25, 0xD1CE);
+    let initial = data.snapshot(1).clone();
+    let run = |kind: pde_commsim::TransportKind| {
+        inf.clone()
+            .with_halo_policy(HaloPolicy::Degrade {
+                timeout: test_timeout(),
+                fallback: HaloFallback::ZeroFill,
+            })
+            .with_transport(kind)
+            .with_fault_plan(plan.clone())
+            .rollout(&initial, 3)
+            .unwrap()
+    };
+    let channel = run(pde_commsim::TransportKind::Channel);
+    let tcp = run(pde_commsim::TransportKind::Tcp);
+    assert!(
+        channel.total_halos_lost() > 0,
+        "seed must actually lose strips for this test to mean anything"
+    );
+    for (k, (a, b)) in channel.states.iter().zip(&tcp.states).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "step {k}: seeded-loss rollout must be transport-independent"
+        );
+    }
+    assert_eq!(
+        channel.traffic, tcp.traffic,
+        "loss pattern and substitutions must match counter-for-counter"
+    );
+}
+
+#[test]
+fn dropped_edge_damage_is_identical_over_channel_and_tcp_transports() {
+    // Structural loss over both transports: every 0→1 message drops; the
+    // damage report must pin the same loss to the same rank either way.
+    let (data, inf) = trained_fleet(4);
+    let steps = 2;
+    let initial = data.snapshot(0).clone();
+    let run = |kind: pde_commsim::TransportKind| {
+        inf.clone()
+            .with_halo_policy(HaloPolicy::Degrade {
+                timeout: test_timeout(),
+                fallback: HaloFallback::LastKnown,
+            })
+            .with_transport(kind)
+            .with_fault_plan(FaultPlan::drop_edge(0, 1))
+            .rollout(&initial, steps)
+            .unwrap()
+    };
+    let channel = run(pde_commsim::TransportKind::Channel);
+    let tcp = run(pde_commsim::TransportKind::Tcp);
+    for report in [&channel.traffic, &tcp.traffic] {
+        assert_eq!(report[1].halos_lost, steps as u64);
+        assert!(report[1].degraded());
+        for rank in [0, 2, 3] {
+            assert!(!report[rank].degraded(), "rank {rank} has healthy edges");
+        }
+    }
+    assert_eq!(channel.traffic, tcp.traffic);
+    for (k, (a, b)) in channel.states.iter().zip(&tcp.states).enumerate() {
+        assert_eq!(a.as_slice(), b.as_slice(), "step {k}");
+    }
 }
 
 #[test]
