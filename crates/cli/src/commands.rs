@@ -265,7 +265,8 @@ pub fn infer(args: &Args) -> Result<(), String> {
                     .into(),
             );
         }
-        inf = inf.with_fault_plan(FaultPlan::parse(spec)?);
+        // parse_for also rejects plans naming ranks this fleet doesn't have.
+        inf = inf.with_fault_plan(FaultPlan::parse_for(spec, meta.partition.rank_count())?);
     }
     let default_start = data.len().saturating_sub(steps + 1).max(meta.window - 1);
     let start: usize = args.get_or("start", default_start)?;
@@ -426,19 +427,32 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     }
     let slo_ms: f64 = args.get_or("slo-ms", 0.0)?;
     let hold_ms: u64 = args.get_or("hold-ms", 0)?;
-    let fault_plan = match args.get("fault") {
-        Some(spec) => {
-            if policy == HaloPolicy::Strict {
-                return Err(
-                    "--fault with --halo-policy strict would hang on the first lost halo; \
-                     pick zero-fill or last-known"
-                        .into(),
-                );
-            }
-            Some(FaultPlan::parse(spec)?)
-        }
-        None => None,
-    };
+    // Rank-validated parses (parse_for) happen below, once the fleet is
+    // loaded and the world size is known; here we only gate on policy.
+    let fault_spec = args.get("fault");
+    if fault_spec.is_some() && policy == HaloPolicy::Strict {
+        return Err(
+            "--fault with --halo-policy strict would hang on the first lost halo; \
+             pick zero-fill or last-known"
+                .into(),
+        );
+    }
+    let self_heal = args.flag("self-heal");
+    let kill_spec = args.get("kill-rank-at");
+    if kill_spec.is_some() && !self_heal {
+        return Err(
+            "--kill-rank-at kills a rank mid-batch, which only ends well with \
+             --self-heal (otherwise the world poisons and the bench aborts)"
+                .into(),
+        );
+    }
+    if self_heal && !matches!(policy, HaloPolicy::Degrade { .. }) {
+        return Err(
+            "--self-heal serves the kill-to-respawn gap with fallback halos, which needs \
+             --halo-policy zero-fill or last-known"
+                .into(),
+        );
+    }
 
     // Exporter and health model come up before any training/loading so a
     // scraper pointed at --metrics-addr sees /healthz from the start.
@@ -495,10 +509,24 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         (inf, initial, data_path.display().to_string())
     };
     let mut inf = inf.with_halo_policy(policy).with_transport(transport);
+    let ranks = inf.partition().rank_count();
+    let fault_plan = match fault_spec {
+        Some(spec) => Some(FaultPlan::parse_for(spec, ranks)?),
+        None => None,
+    };
+    // `--kill-rank-at RANK:REQUEST[:STEP]` — the deterministic chaos plan:
+    // that rank's serving thread dies at that point, and the self-healing
+    // engine must respawn it and re-serve the batch.
+    let chaos_plan = match kill_spec {
+        Some(spec) => Some(pde_commsim::ChaosPlan::parse_for(
+            &format!("kill:{spec}"),
+            ranks,
+        )?),
+        None => None,
+    };
     if let Some(plan) = &fault_plan {
         inf = inf.with_fault_plan(plan.clone());
     }
-    let ranks = inf.partition().rank_count();
     let threads_per_rank = match args.get("threads-per-rank") {
         Some(t) => {
             let t: usize = t
@@ -536,6 +564,12 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     engine_cfg.threads_per_rank = threads_per_rank;
     if let Some(plan) = &fault_plan {
         engine_cfg = engine_cfg.with_fault_plan(plan.clone());
+    }
+    if self_heal {
+        engine_cfg = engine_cfg.with_self_heal();
+    }
+    if let Some(plan) = &chaos_plan {
+        engine_cfg = engine_cfg.with_chaos_plan(plan.clone());
     }
     let mut engine = InferEngine::with_config(engine_cfg);
     engine.register("serve", inf.clone());
@@ -708,6 +742,14 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         final_health.overall.as_str(),
         halo_lost_per_request
     );
+    if self_heal {
+        let respawns = pde_telemetry::counter(
+            "pdeml_rank_respawns_total",
+            "Dead ranks brought back by a supervisor, per rank",
+        )
+        .total();
+        println!("self-heal: {respawns} rank respawn(s) during the warm loop");
+    }
     if let Some(f) = &flight {
         println!(
             "flight recorder: {} dump(s) in {}",

@@ -38,16 +38,19 @@ USAGE:
                  [--transport channel|tcp]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
+                 [--self-heal] [--kill-rank-at RANK:REQUEST[:STEP]]
                  [--metrics-addr HOST:PORT] [--slo-ms N] [--flight-dir DIR]
                  [--hold-ms N] [--threads-per-rank T] [--trace OUT.json]
                  [--out BENCH.json]
   pdeml world-node --launch [--ranks N] [--requests N] [--steps K]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
+                 [--self-heal] [--kill-rank-at RANK:REQUEST]
                  [--metrics-addr HOST:PORT] [--hold-ms N] [--out BENCH.json]
                  [--connect-timeout-ms N]
   pdeml world-node --rank R --peers HOST:PORT,HOST:PORT,…
                  [--requests N] [--steps K] [--halo-policy …] [--fault …]
+                 [--self-heal] [--kill-at REQUEST] [--respawn --epoch E]
   pdeml scale    [--grid N] [--epochs E] [--cores C]
   pdeml info
 
@@ -63,7 +66,11 @@ Perfetto or chrome://tracing) and prints a per-rank metrics table.
 while serve-bench runs; `--hold-ms` keeps the endpoint up after the run so a
 scraper can catch it. `--flight-dir` arms the flight recorder: on a request
 over `--slo-ms` (or a rank panic) a Chrome-trace + metrics dump is written
-there. `--flight-dir` and `--trace` are mutually exclusive. `--threads-per-rank`
+there. `--self-heal` makes worlds survive a dead rank: the supervisor (or, in
+multi-process mode, the launcher) detects it, respawns the rank, rebuilds the
+mesh under a fresh generation epoch and re-serves the batch — `--kill-rank-at`
+injects exactly that failure deterministically (needs a degrade halo policy).
+`--flight-dir` and `--trace` are mutually exclusive. `--threads-per-rank`
 caps each rank's kernel worker pool (default: cores / ranks; see also the
 PDEML_THREADS_PER_RANK and PDEML_KERNEL=scalar|simd environment variables).
 

@@ -24,11 +24,30 @@ use crate::args::Args;
 use crate::commands::{
     fmt_ms, halo_policy_from_args, hold_and_stop_exporter, json_num, percentile,
 };
-use pde_commsim::{connect_tcp_world, CartComm, TrafficReport};
+use pde_commsim::{connect_tcp_world, record_recovery, CartComm, TrafficReport};
 use pde_ml_core::prelude::*;
 use pde_tensor::Tensor3;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Exit code of a rank killed by `--kill-at` — distinguishable from a
+/// genuine crash when the launcher reaps the corpse.
+const KILL_EXIT: i32 = 86;
+
+/// Recovery epochs a world may burn through before the driver gives up
+/// (a rank that keeps dying points at a real bug, not chaos).
+const MAX_RECOVERY_EPOCHS: u32 = 4;
+
+/// Generation base of a recovery epoch: requests within the epoch run at
+/// `epoch_base | (req + 1)`, so every rejoin jumps the whole world forward
+/// and any frame stamped by a previous epoch is discarded on arrival.
+/// Epoch 0 reproduces the pre-recovery generation numbers exactly, which
+/// keeps healthy worlds bitwise-identical to older builds.
+fn epoch_base(epoch: u32) -> u32 {
+    epoch << 16
+}
 
 /// Dispatches `pdeml world-node`: `--launch` drives a whole world, rank
 /// mode (`--rank`/`--peers`) serves one member of it.
@@ -133,6 +152,157 @@ fn fault_from_args(args: &Args, policy: HaloPolicy) -> Result<Option<FaultPlan>,
     }
 }
 
+/// Per-rank serving parameters shared by worker and launch modes.
+struct ServeOpts {
+    requests: usize,
+    steps: usize,
+    connect_timeout: Duration,
+    record_live: bool,
+    /// Run the membership protocol: a verdict round before every request,
+    /// and on a dead-rank verdict rebuild the mesh under a fresh epoch and
+    /// restart the batch.
+    self_heal: bool,
+    /// Die (exit [`KILL_EXIT`]) at the top of this request — the chaos
+    /// injection a launcher schedules with `--kill-rank-at`.
+    kill_at: Option<usize>,
+    /// First epoch to rendezvous under (0 for original members; a
+    /// respawned process is told the recovery epoch via `--epoch`).
+    start_epoch: u32,
+}
+
+/// Respawns replacement `world-node --respawn` processes for the given dead
+/// ranks, pointed at the fresh mesh addresses and the new epoch.
+type RespawnFn<'a> = &'a mut dyn FnMut(&[usize], &[SocketAddr], u32) -> Result<(), String>;
+
+/// Rank 0's process-respawning half of the recovery protocol — only the
+/// launcher holds child handles, so only it can fork replacements.
+struct HealDriver<'a> {
+    respawn: RespawnFn<'a>,
+    /// Surfaced through `/readyz`: true from dead-rank detection until the
+    /// mesh is rebuilt.
+    recovering: Option<Arc<AtomicBool>>,
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral listeners
+/// and releasing them — the pre-fork rendezvous trick (the reuse race
+/// window is negligible on localhost). Recovery needs *fresh* ports: the
+/// old ones sit in TIME_WAIT and cannot be re-bound without SO_REUSEADDR.
+fn reserve_loopback_ports(n: usize) -> Result<Vec<SocketAddr>, String> {
+    (0..n)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .and_then(|l| l.local_addr())
+                .map_err(|e| format!("cannot reserve a loopback port: {e}"))
+        })
+        .collect()
+}
+
+/// One round of the membership protocol, run by every rank at the top of
+/// every request when self-healing is on (the ezmpc synchronizer's
+/// Start/Next/Abort epoch handshake is the reference shape):
+///
+/// 1. rank 0 inspects its transport's per-peer aliveness and broadcasts a
+///    verdict — `[0]` (healthy) or `[1, n_dead, dead…, fresh ports…]`;
+/// 2. on a heal verdict, rank 0 forks replacement processes (via the
+///    [`HealDriver`]), then **every** rank drops its old mesh and
+///    rendezvouses on the fresh addresses under the next epoch's
+///    generation base (the respawned process dials with retry/backoff
+///    until everyone is bound, and the rendezvous hello rejects any
+///    process that disagrees on the epoch);
+/// 3. rank 0 stamps `pdeml_rank_respawns_total{rank=…}` and the
+///    `pdeml_recovery_ms` histogram with the detection-to-rebuilt gap.
+///
+/// Returns `Ok(true)` when the world was healed (the caller restarts its
+/// batch so every request is ultimately served by a full-strength world),
+/// `Ok(false)` when the verdict was healthy.
+#[allow(clippy::too_many_arguments)]
+fn membership_round(
+    rank: usize,
+    cart: &mut CartComm,
+    epoch: &mut u32,
+    part: &GridPartition,
+    opts: &ServeOpts,
+    fault: Option<&FaultPlan>,
+    heal: &mut Option<HealDriver<'_>>,
+) -> Result<bool, String> {
+    let n = part.rank_count();
+    let mut verdict = vec![0.0];
+    let mut detect_t0 = None;
+    if rank == 0 {
+        let dead = cart.comm().dead_peers();
+        if !dead.is_empty() {
+            detect_t0 = Some(Instant::now());
+            let fresh = reserve_loopback_ports(n)?;
+            verdict = Vec::with_capacity(2 + dead.len() + n);
+            verdict.push(1.0);
+            verdict.push(dead.len() as f64);
+            verdict.extend(dead.iter().map(|&r| r as f64));
+            verdict.extend(fresh.iter().map(|a| f64::from(a.port())));
+        }
+    }
+    // Root-to-all, so a dead non-root peer cannot break the broadcast
+    // (writes to the dead are swallowed by the transport).
+    let verdict = cart.comm_mut().broadcast(0, verdict);
+    if verdict[0] == 0.0 {
+        return Ok(false);
+    }
+    let n_dead = verdict[1] as usize;
+    let dead: Vec<usize> = verdict[2..2 + n_dead].iter().map(|&v| v as usize).collect();
+    let fresh: Vec<SocketAddr> = verdict[2 + n_dead..2 + n_dead + n]
+        .iter()
+        .map(|&p| SocketAddr::from(([127, 0, 0, 1], p as u16)))
+        .collect();
+    *epoch += 1;
+    if *epoch > MAX_RECOVERY_EPOCHS {
+        return Err(format!(
+            "rank {rank}: giving up after {MAX_RECOVERY_EPOCHS} recovery epochs — \
+             a rank that keeps dying is a bug, not chaos"
+        ));
+    }
+    if rank == 0 {
+        let driver = heal.as_mut().ok_or_else(|| {
+            "dead ranks detected but this process cannot fork replacements — \
+             self-healing worlds are driven by `world-node --launch --self-heal`"
+                .to_string()
+        })?;
+        if let Some(flag) = &driver.recovering {
+            flag.store(true, Ordering::Release);
+        }
+        (driver.respawn)(&dead, &fresh, *epoch)?;
+    }
+    let comm = connect_tcp_world(
+        rank,
+        &fresh,
+        epoch_base(*epoch),
+        opts.connect_timeout,
+        fault,
+    )
+    .map_err(|e| {
+        format!(
+            "rank {rank}: epoch-{epoch} rendezvous failed: {e}",
+            epoch = *epoch
+        )
+    })?;
+    // Assigning tears down this rank's half of the old mesh (FIN per peer).
+    *cart = CartComm::new(comm, part.py(), part.px(), false);
+    if rank == 0 {
+        record_recovery(
+            &dead,
+            detect_t0.expect("rank 0 timed its own detection").elapsed(),
+        );
+        if let Some(driver) = heal {
+            if let Some(flag) = &driver.recovering {
+                flag.store(false, Ordering::Release);
+            }
+        }
+        println!(
+            "self-heal: respawned rank(s) {dead:?} at epoch {epoch}; restarting the batch",
+            epoch = *epoch
+        );
+    }
+    Ok(true)
+}
+
 /// Joins the TCP world as `rank` and serves `requests` lockstep rollout
 /// requests of `steps` steps each. Returns the gathered [`WorldRun`] on
 /// rank 0, `None` elsewhere.
@@ -141,18 +311,18 @@ fn fault_from_args(args: &Args, policy: HaloPolicy) -> Result<Option<FaultPlan>,
 /// a fresh monotonic generation, reset + steps, and (under a degrade
 /// policy) a quiesce barrier — with the traffic snapshot window starting
 /// *after* the alignment barrier so the per-request counters are
-/// comparable 1:1 with an in-process rollout's.
-#[allow(clippy::too_many_arguments)]
+/// comparable 1:1 with an in-process rollout's. With `opts.self_heal` a
+/// [`membership_round`] precedes every request; a healed world restarts
+/// the batch from request 0, so the evidence rank 0 gathers at the end is
+/// always from full-strength, bitwise-deterministic serves.
 fn run_rank(
     rank: usize,
     peers: &[SocketAddr],
     inf: &ParallelInference,
     initial: &Tensor3,
-    requests: usize,
-    steps: usize,
     fault: Option<&FaultPlan>,
-    connect_timeout: Duration,
-    record_live: bool,
+    opts: &ServeOpts,
+    mut heal: Option<HealDriver<'_>>,
 ) -> Result<Option<WorldRun>, String> {
     let n = peers.len();
     if rank >= n {
@@ -170,15 +340,27 @@ fn run_rank(
     inf.validate_history(&history).map_err(|e| e.to_string())?;
     let locals = inf.scatter_history(&history);
     let degrade = matches!(inf.halo_policy(), HaloPolicy::Degrade { .. }) && inf.input_halo() > 0;
+    if opts.self_heal && !degrade {
+        return Err(
+            "--self-heal serves the kill-to-respawn gap with fallback halos, which needs \
+             --halo-policy zero-fill or last-known (and a halo-exchanging fleet)"
+                .into(),
+        );
+    }
 
-    let comm = connect_tcp_world(rank, peers, connect_timeout, fault)
+    let mut epoch = opts.start_epoch;
+    let comm = connect_tcp_world(rank, peers, epoch_base(epoch), opts.connect_timeout, fault)
         .map_err(|e| format!("rank {rank}: TCP rendezvous failed: {e}"))?;
     let mut cart = CartComm::new(comm, part.py(), part.px(), false);
     let mut st = inf.rank_state(rank);
+    // Survivors keep serving through the kill-to-respawn gap: a dead
+    // neighbor degrades to the fallback strip instead of aborting the rank
+    // (the degraded serves are discarded when the healed batch restarts).
+    st.set_survive_dead(opts.self_heal);
 
     // Pre-registered so the hot loop is lock-free (registration takes the
     // registry lock once per process).
-    let live_requests = record_live.then(|| {
+    let live_requests = opts.record_live.then(|| {
         (
             pde_telemetry::counter(
                 "pdeml_requests_total",
@@ -191,32 +373,63 @@ fn run_rank(
         )
     });
 
+    let requests = opts.requests;
+    let steps = opts.steps;
     let mut latencies_ms = Vec::with_capacity(requests);
     let mut req0_delta = TrafficReport::default();
     let mut req0_traj: Vec<Tensor3> = Vec::new();
-    for req in 0..requests {
-        cart.comm_mut().barrier(); // alignment — outside the traffic window
-        let before = cart.comm().stats().report();
-        cart.comm_mut().set_generation(req as u32 + 1);
-        st.reset(&locals[rank]);
-        let t0 = Instant::now();
-        let mut produced = vec![st.latest().clone()];
-        for step in 0..steps {
-            produced.push(st.step(&mut cart, (step * window) as u32).clone());
+    // A heal restarts the WHOLE batch: the degraded serves between the kill
+    // and the detection are discarded, so every request in the evidence —
+    // including the request-0 trajectory gathered below — was served by a
+    // full-strength world and stays bitwise-deterministic.
+    'batch: loop {
+        latencies_ms.clear();
+        let mut req = 0;
+        while req < requests {
+            if opts.kill_at == Some(req) {
+                // Chaos: die at the top of this request, as abruptly as a
+                // crashed process — the OS closing the sockets is the only
+                // goodbye the survivors get.
+                std::process::exit(KILL_EXIT);
+            }
+            if opts.self_heal
+                && membership_round(rank, &mut cart, &mut epoch, &part, opts, fault, &mut heal)?
+            {
+                continue 'batch;
+            }
+            cart.comm_mut().barrier(); // alignment — outside the traffic window
+            let before = cart.comm().stats().report();
+            cart.comm_mut()
+                .set_generation(epoch_base(epoch) | (req as u32 + 1));
+            st.reset(&locals[rank]);
+            let t0 = Instant::now();
+            let mut produced = vec![st.latest().clone()];
+            for step in 0..steps {
+                produced.push(st.step(&mut cart, (step * window) as u32).clone());
+            }
+            if degrade {
+                cart.comm_mut().barrier(); // quiesce, same as the in-process rollout
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            latencies_ms.push(ms);
+            if let Some((reqs, lat)) = live_requests {
+                reqs.inc(pde_telemetry::DRIVER);
+                lat.record((ms * 1e3) as u64);
+            }
+            if req == 0 {
+                req0_delta = cart.comm().stats().report().since(&before);
+                req0_traj = produced;
+            }
+            req += 1;
         }
-        if degrade {
-            cart.comm_mut().barrier(); // quiesce, same as the in-process rollout
+        // Post-batch verdict: a kill on the last request may be detected
+        // only after its degraded serve — never gather over a fresh corpse.
+        if opts.self_heal
+            && membership_round(rank, &mut cart, &mut epoch, &part, opts, fault, &mut heal)?
+        {
+            continue 'batch;
         }
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
-        latencies_ms.push(ms);
-        if let Some((reqs, lat)) = live_requests {
-            reqs.inc(pde_telemetry::DRIVER);
-            lat.record((ms * 1e3) as u64);
-        }
-        if req == 0 {
-            req0_delta = cart.comm().stats().report().since(&before);
-            req0_traj = produced;
-        }
+        break;
     }
 
     // Gather request-0 evidence at rank 0: flattened normalized trajectory
@@ -302,6 +515,12 @@ fn verify_against_channel(
 }
 
 /// One member process of a world (`--rank R --peers …`).
+///
+/// Self-healing extras: `--self-heal` turns on the per-request membership
+/// protocol, `--kill-at REQ` makes this rank die at the top of request REQ
+/// (chaos injection, scheduled by the launcher), and `--respawn --epoch E`
+/// marks a replacement process that rendezvouses under recovery epoch `E`
+/// instead of 0.
 fn worker(args: &Args) -> Result<(), String> {
     let rank: usize = args
         .require("rank")?
@@ -313,6 +532,27 @@ fn worker(args: &Args) -> Result<(), String> {
     let policy = halo_policy_from_args(args)?;
     let fault_plan = fault_from_args(args, policy)?;
     let connect_ms: u64 = args.get_or("connect-timeout-ms", 30_000)?;
+    let respawn = args.flag("respawn");
+    let start_epoch: u32 = args.get_or("epoch", 0)?;
+    if respawn && start_epoch == 0 {
+        return Err("--respawn needs the recovery --epoch the world healed into".into());
+    }
+    let kill_at = match args.get("kill-at") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| "--kill-at: not a request index".to_string())?,
+        ),
+        None => None,
+    };
+    let opts = ServeOpts {
+        requests,
+        steps,
+        connect_timeout: Duration::from_millis(connect_ms),
+        record_live: false,
+        self_heal: args.flag("self-heal"),
+        kill_at,
+        start_epoch,
+    };
 
     let (initial, inf) = quick_fleet(peers.len(), policy, fault_plan.as_ref())?;
     let run = run_rank(
@@ -320,11 +560,9 @@ fn worker(args: &Args) -> Result<(), String> {
         &peers,
         &inf,
         &initial,
-        requests,
-        steps,
         fault_plan.as_ref(),
-        Duration::from_millis(connect_ms),
-        false,
+        &opts,
+        None,
     )?;
     match run {
         None => {
@@ -358,6 +596,46 @@ fn launch(args: &Args) -> Result<(), String> {
     let fault_plan = fault_from_args(args, policy)?;
     let connect_ms: u64 = args.get_or("connect-timeout-ms", 30_000)?;
     let hold_ms: u64 = args.get_or("hold-ms", 0)?;
+    let self_heal = args.flag("self-heal");
+
+    // `--kill-rank-at RANK:REQ` — chaos: child RANK exits abruptly at the
+    // top of request REQ; the membership protocol must detect, respawn and
+    // re-serve. Rank 0 is the in-process driver, so only 1..n are fair game.
+    let kill_rank_at: Option<(usize, usize)> = match args.get("kill-rank-at") {
+        Some(spec) => {
+            let (r, q) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--kill-rank-at '{spec}' is not RANK:REQUEST"))?;
+            let rank: usize = r
+                .trim()
+                .parse()
+                .map_err(|_| format!("--kill-rank-at rank '{r}' is not a rank index"))?;
+            let req: usize = q
+                .trim()
+                .parse()
+                .map_err(|_| format!("--kill-rank-at request '{q}' is not a request index"))?;
+            if !self_heal {
+                return Err(
+                    "--kill-rank-at kills a rank mid-batch, which only ends well with \
+                     --self-heal (otherwise the survivors hang or abort)"
+                        .into(),
+                );
+            }
+            if rank == 0 || rank >= n {
+                return Err(format!(
+                    "--kill-rank-at rank {rank} must be a child rank (1..={})",
+                    n - 1
+                ));
+            }
+            if req >= requests {
+                return Err(format!(
+                    "--kill-rank-at request {req} never happens (only {requests} requests)"
+                ));
+            }
+            Some((rank, req))
+        }
+        None => None,
+    };
 
     // The smoke-scrape contract: both series exist (at zero) from the
     // moment the exporter is up, even before the first request lands.
@@ -369,7 +647,29 @@ fn launch(args: &Args) -> Result<(), String> {
         "pdeml_requests_total",
         "Rollout requests served by the warm engine",
     );
+    // Self-heal observability: the respawn/recovery series exist (at zero)
+    // from the first scrape, and `/readyz` dips to degraded while a
+    // replacement rank is being brought up.
+    let recovering = Arc::new(AtomicBool::new(false));
     let health = Arc::new(HealthModel::new());
+    if self_heal {
+        pde_telemetry::counter(
+            "pdeml_rank_respawns_total",
+            "Dead ranks brought back by a supervisor, per rank",
+        );
+        pde_telemetry::histogram(
+            "pdeml_recovery_ms",
+            "Wall-clock milliseconds from dead-rank detection to a rebuilt world",
+        );
+        let flag = recovering.clone();
+        health.register("membership", move || {
+            if flag.load(Ordering::Acquire) {
+                pde_telemetry::health::CheckStatus::Degraded("respawning dead ranks".into())
+            } else {
+                pde_telemetry::health::CheckStatus::Ok
+            }
+        });
+    }
     let mut exporter = match args.get("metrics-addr") {
         Some(addr) => {
             let e = pde_telemetry::exporter::serve(addr, health.clone())
@@ -386,29 +686,29 @@ fn launch(args: &Args) -> Result<(), String> {
     // Pick N free loopback ports by binding ephemeral listeners, recording
     // the assigned addresses and releasing them — the usual pre-fork
     // rendezvous trick (the reuse race window is negligible on localhost).
-    let addrs: Vec<SocketAddr> = (0..n)
-        .map(|_| {
-            std::net::TcpListener::bind("127.0.0.1:0")
-                .and_then(|l| l.local_addr())
-                .map_err(|e| format!("cannot reserve a loopback port: {e}"))
-        })
-        .collect::<Result<_, String>>()?;
-    let peers: String = addrs
-        .iter()
-        .map(|a| a.to_string())
-        .collect::<Vec<_>>()
-        .join(",");
+    let addrs = reserve_loopback_ports(n)?;
 
     let exe =
         std::env::current_exe().map_err(|e| format!("cannot locate the pdeml binary: {e}"))?;
-    let mut children = Vec::with_capacity(n - 1);
-    for rank in 1..n {
+    // One spawner for initial members AND respawned replacements — the only
+    // differences are the peer list, the `--respawn --epoch E` marker, and
+    // that a replacement never inherits a `--kill-at` (it must live).
+    let spawn_rank = |rank: usize,
+                      peer_addrs: &[SocketAddr],
+                      epoch: Option<u32>,
+                      kill: Option<usize>|
+     -> Result<std::process::Child, String> {
+        let peers: String = peer_addrs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut cmd = std::process::Command::new(&exe);
         cmd.arg("world-node")
             .arg("--rank")
             .arg(rank.to_string())
             .arg("--peers")
-            .arg(&peers)
+            .arg(peers)
             .arg("--requests")
             .arg(requests.to_string())
             .arg("--steps")
@@ -420,10 +720,28 @@ fn launch(args: &Args) -> Result<(), String> {
                 cmd.arg(format!("--{flag}")).arg(v);
             }
         }
-        let child = cmd
-            .spawn()
-            .map_err(|e| format!("cannot spawn rank {rank}: {e}"))?;
-        children.push((rank, child));
+        if self_heal {
+            cmd.arg("--self-heal");
+        }
+        if let Some(e) = epoch {
+            cmd.arg("--respawn").arg("--epoch").arg(e.to_string());
+        }
+        if let Some(req) = kill {
+            cmd.arg("--kill-at").arg(req.to_string());
+        }
+        cmd.spawn()
+            .map_err(|e| format!("cannot spawn rank {rank}: {e}"))
+    };
+
+    // RefCell: the respawn callback (running inside rank 0's request loop)
+    // swaps replacement children into the same table the final reap reads.
+    let children: std::cell::RefCell<Vec<(usize, std::process::Child)>> =
+        std::cell::RefCell::new(Vec::with_capacity(n - 1));
+    for rank in 1..n {
+        let kill = kill_rank_at.and_then(|(r, req)| (r == rank).then_some(req));
+        children
+            .borrow_mut()
+            .push((rank, spawn_rank(rank, &addrs, None, kill)?));
     }
     println!(
         "world-node: ranks 1..{n} launched as OS processes, rank 0 in-process; \
@@ -431,21 +749,46 @@ fn launch(args: &Args) -> Result<(), String> {
     );
 
     let (initial, inf) = quick_fleet(n, policy, fault_plan.as_ref())?;
-    let run = run_rank(
-        0,
-        &addrs,
-        &inf,
-        &initial,
+    // Rank 0's respawn half of the membership protocol: reap each corpse
+    // (an exit of KILL_EXIT is scheduled chaos; anything else is reported
+    // but still healed), fork the replacement into the fresh mesh, and
+    // swap it into the child table so the final reap judges the survivor.
+    let mut respawn_cb = |dead: &[usize], fresh: &[SocketAddr], epoch: u32| -> Result<(), String> {
+        let mut table = children.borrow_mut();
+        for &d in dead {
+            let slot = table
+                .iter_mut()
+                .find(|(r, _)| *r == d)
+                .ok_or_else(|| format!("dead rank {d} is not one of my children"))?;
+            match slot.1.wait() {
+                Ok(status) if status.code() == Some(KILL_EXIT) => {
+                    println!("self-heal: rank {d} died on schedule (chaos kill), respawning");
+                }
+                Ok(status) => println!("self-heal: rank {d} died with {status}, respawning"),
+                Err(e) => println!("self-heal: rank {d} corpse unreapable ({e}), respawning"),
+            }
+            slot.1 = spawn_rank(d, fresh, Some(epoch), None)?;
+        }
+        Ok(())
+    };
+    let heal = self_heal.then(|| HealDriver {
+        respawn: &mut respawn_cb,
+        recovering: Some(recovering.clone()),
+    });
+    let opts = ServeOpts {
         requests,
         steps,
-        fault_plan.as_ref(),
-        Duration::from_millis(connect_ms),
-        true,
-    );
+        connect_timeout: Duration::from_millis(connect_ms),
+        record_live: true,
+        self_heal,
+        kill_at: None,
+        start_epoch: 0,
+    };
+    let run = run_rank(0, &addrs, &inf, &initial, fault_plan.as_ref(), &opts, heal);
     // Reap the children before judging the run: their exit codes are part
     // of the verdict, and a failed rendezvous must not leave orphans.
     let mut child_failures = Vec::new();
-    for (rank, mut child) in children {
+    for (rank, mut child) in children.into_inner() {
         if run.is_err() {
             let _ = child.kill();
         }

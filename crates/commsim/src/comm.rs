@@ -286,6 +286,25 @@ impl Comm {
         &self.stats[self.rank]
     }
 
+    /// True while `rank` can still send to this rank (its communicator has
+    /// not shut down). A rank counts itself alive.
+    pub fn peer_alive(&self, rank: usize) -> bool {
+        assert!(
+            rank < self.size,
+            "peer_alive: rank {rank} out of range (size {})",
+            self.size
+        );
+        rank == self.rank || self.transport.peer_alive(rank)
+    }
+
+    /// Ranks whose communicators have shut down, as observed from this
+    /// rank — the supervisor's failure-detection input.
+    pub fn dead_peers(&self) -> Vec<usize> {
+        (0..self.size)
+            .filter(|&r| r != self.rank && !self.transport.peer_alive(r))
+            .collect()
+    }
+
     /// Buffered (eager) send: enqueues and returns immediately.
     ///
     /// # Panics
@@ -512,6 +531,17 @@ impl Comm {
     const TAG_GATHER: Tag = 0xFFFF_0004;
 
     /// Synchronizes all ranks (dissemination barrier: ⌈log₂ n⌉ rounds).
+    ///
+    /// Dead-tolerant: a check-in expected from a dead rank is skipped —
+    /// the dead can never arrive, every live rank still sends all of its
+    /// own rounds (so no *survivor* ever blocks on another survivor), and
+    /// the dissemination pattern does no relaying, so survivors cannot
+    /// depend on the dead transitively. Wedging every collective on a rank
+    /// that is already being respawned would make recovery impossible; the
+    /// fate of the dead rank's *data* is decided at the halo layer (fatal
+    /// under `Strict`, degradable when recovery is underway). With no
+    /// timeout the only error the receive can return is `Disconnected`, so
+    /// fully-alive worlds behave exactly as before.
     pub fn barrier(&mut self) {
         let n = self.size;
         if n == 1 {
@@ -525,7 +555,7 @@ impl Comm {
             let dest = (self.rank + round) % n;
             let src = (self.rank + n - round % n) % n;
             self.send(dest, Self::TAG_BARRIER + (round_idx << 8), Vec::new());
-            let _ = self.recv(src, Self::TAG_BARRIER + (round_idx << 8));
+            let _ = self.recv_impl(src, Self::TAG_BARRIER + (round_idx << 8), None);
             round <<= 1;
             round_idx += 1;
         }

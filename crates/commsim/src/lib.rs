@@ -28,10 +28,16 @@
 //! [`CartComm::exchange_timeout`] family, which classifies every
 //! directional receive as a [`HaloRecv`]: `Ok` (arrived), `Lost` (timed
 //! out — recoverable by policy) or `PeerDead` (the peer thread is gone —
-//! fatal under every policy, because a dead rank's whole subdomain is
+//! fatal in an unrecovered world, because a dead rank's whole subdomain is
 //! missing, not one strip). The two failure modes are structurally
 //! distinct: an inbox only disconnects when every peer has dropped its
 //! handle, and buffered messages are still drained first.
+//!
+//! Worlds self-heal: a [`supervise::Supervisor`] detects dead ranks on a
+//! [`PersistentWorld`], respawns them ([`PersistentWorld::respawn`]) and
+//! rebuilds the communicator mesh under a fresh generation epoch, while a
+//! seeded [`supervise::ChaosPlan`] (`kill:RANK:REQUEST[:STEP]`) schedules
+//! deterministic rank deaths to prove it.
 
 //!
 //! The mechanism moving messages is pluggable: everything above the
@@ -44,12 +50,14 @@
 pub mod cart;
 pub mod comm;
 mod live;
+pub mod supervise;
 pub mod tcp;
 pub mod transport;
 pub mod world;
 
 pub use cart::{CartComm, Direction, HaloRecv, HaloStatus};
 pub use comm::{Comm, CommStats, Message, RecvError, Tag, TrafficReport};
+pub use supervise::{record_recovery, ChaosPlan, KillSpec, RecoveryReport, Supervisor};
 pub use tcp::{connect_tcp_world, TcpTransport};
 pub use transport::{ChannelTransport, Transport};
 pub use world::{FaultAction, FaultPlan, PersistentWorld, RankContext, TransportKind, World};

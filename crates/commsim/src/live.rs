@@ -6,7 +6,7 @@
 //! own relaxed `fetch_add`s. Zero allocations after registration, which is
 //! what lets `Comm::send`/`recv` stay on the zero-alloc request path.
 
-use pde_telemetry::{Counter, Gauge};
+use pde_telemetry::{Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 macro_rules! live_counter {
@@ -58,6 +58,21 @@ live_counter!(
     "pdeml_generations_total",
     "Job generations allocated on persistent worlds"
 );
+live_counter!(
+    respawns,
+    "pdeml_rank_respawns_total",
+    "Dead ranks brought back by a supervisor, per rank"
+);
+
+pub(crate) fn recovery_ms() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        pde_telemetry::histogram(
+            "pdeml_recovery_ms",
+            "Wall-clock milliseconds from dead-rank detection to a rebuilt world",
+        )
+    })
+}
 
 pub(crate) fn mailbox_depth() -> &'static Gauge {
     static G: OnceLock<&'static Gauge> = OnceLock::new();

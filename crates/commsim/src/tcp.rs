@@ -50,8 +50,14 @@ const HEADER_LEN: usize = 12;
 /// header must not make a reader allocate unbounded memory. 2^27 values is
 /// a 1 GiB strip — far beyond any halo this code moves.
 const MAX_FRAME_VALUES: u32 = 1 << 27;
-/// How long a dialer sleeps between connection-refused retries.
-const DIAL_BACKOFF: Duration = Duration::from_millis(5);
+/// First pause between connection-refused dial retries; doubles per retry
+/// (see [`backoff_step`]). Starting small keeps an in-process loopback
+/// rendezvous snappy; the exponential growth keeps a long wait for a
+/// slow-to-bind respawned peer from burning CPU on connect attempts.
+const DIAL_BACKOFF: Duration = Duration::from_millis(1);
+/// Upper bound on the dial retry pause: detection latency for a peer that
+/// finally binds stays bounded no matter how long the wait was.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(100);
 /// How long an acceptor sleeps between non-blocking accept polls.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(2);
 /// Rendezvous budget for in-process loopback meshes (generous: loopback
@@ -209,10 +215,19 @@ fn read_exact_deadline(
     Ok(())
 }
 
-/// Dials `addr` until it accepts or `deadline` passes. Connection-refused
-/// (the peer's process has not bound its listener yet) and reset retries
-/// are expected during a multi-process launch; anything else propagates.
+/// Next dial retry pause: exponential doubling capped at
+/// [`DIAL_BACKOFF_CAP`]. Pure, so the growth schedule is unit-testable.
+fn backoff_step(prev: Duration) -> Duration {
+    (prev * 2).min(DIAL_BACKOFF_CAP)
+}
+
+/// Dials `addr` until it accepts or `deadline` passes, sleeping with
+/// exponential backoff between attempts. Connection-refused (the peer's
+/// process has not bound its listener yet — a launch race or a respawned
+/// rank that is slow to bind) and reset retries are expected; anything
+/// else propagates.
 fn dial(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    let mut pause = DIAL_BACKOFF;
     loop {
         let now = Instant::now();
         if now >= deadline {
@@ -233,7 +248,9 @@ fn dial(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
                         | ErrorKind::WouldBlock
                 ) =>
             {
-                std::thread::sleep(DIAL_BACKOFF);
+                // Never sleep past the deadline itself.
+                std::thread::sleep(pause.min(deadline.saturating_duration_since(Instant::now())));
+                pause = backoff_step(pause);
             }
             Err(e) => return Err(e),
         }
@@ -528,19 +545,25 @@ pub(crate) fn loopback_mesh(n: usize, world_alive: &Arc<Vec<AtomicBool>>) -> Vec
 /// is its listen address), fresh per-rank stats, and the optional fault
 /// plan applied with the usual collective exemption. The building block of
 /// `pdeml world-node`.
+///
+/// `gen` is the membership epoch the hello handshake asserts: every rank
+/// joining the same mesh must present the same value (0 at first launch;
+/// bumped in lock-step when survivors and a respawned rank rebuild the
+/// mesh after a death, so a process still living in the previous epoch is
+/// rejected at the handshake instead of corrupting the new mesh). The
+/// [`Comm`] starts at that generation too, keeping any frame stamped in an
+/// earlier epoch unmatchable.
 pub fn connect_tcp_world(
     rank: usize,
     addrs: &[SocketAddr],
+    gen: u32,
     timeout: Duration,
     fault_plan: Option<&FaultPlan>,
 ) -> std::io::Result<Comm> {
-    let transport = TcpTransport::connect(rank, addrs, 0, timeout)?;
-    Ok(Comm::over_transport(
-        rank,
-        addrs.len(),
-        Box::new(transport),
-        fault_plan,
-    ))
+    let transport = TcpTransport::connect(rank, addrs, gen, timeout)?;
+    let mut comm = Comm::over_transport(rank, addrs.len(), Box::new(transport), fault_plan);
+    comm.set_generation(gen);
+    Ok(comm)
 }
 
 #[cfg(test)]
@@ -693,6 +716,69 @@ mod tests {
             "deadline re-armed per segment: waited {elapsed:?} on a {budget:?} budget"
         );
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut pause = DIAL_BACKOFF;
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            seen.push(pause);
+            pause = backoff_step(pause);
+        }
+        // Doubles until clamped at the cap, then stays flat.
+        for w in seen.windows(2) {
+            assert_eq!(
+                w[1],
+                (w[0] * 2).min(DIAL_BACKOFF_CAP),
+                "bad backoff step {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(pause, DIAL_BACKOFF_CAP, "schedule must reach the cap");
+    }
+
+    #[test]
+    fn dial_retries_with_backoff_until_a_slow_peer_binds() {
+        // A respawned rank can be slow to bind its listener; the dialer
+        // must keep retrying (connection refused) until the bind lands,
+        // not give up on the first refusal.
+        let ghost = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = ghost.local_addr().unwrap();
+        drop(ghost); // port free but unbound: dials are refused for now
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = TcpListener::bind(addr).expect("rebind the reserved port");
+            let _conn = listener.accept().expect("accept the retried dial");
+        });
+        let stream = dial(addr, Instant::now() + crate::test_timeout());
+        assert!(
+            stream.is_ok(),
+            "dial must survive a slow-to-bind peer: {stream:?}"
+        );
+        binder.join().unwrap();
+    }
+
+    #[test]
+    fn stale_generation_frame_after_rejoin_is_discarded() {
+        // Post-rejoin regression: a frame stamped with a pre-recovery
+        // generation that arrives after the receiver entered the new epoch
+        // must be dropped, never delivered or parked.
+        let (a, b) = pair();
+        let mut comm = Comm::over_transport(1, 2, Box::new(b), None);
+        comm.set_generation(3);
+        a.deliver(1, msg(0, 7, 2, vec![13.0])); // stale: epoch 2
+        a.deliver(1, msg(0, 7, 3, vec![42.0])); // current epoch
+        assert_eq!(
+            comm.recv(0, 7),
+            vec![42.0],
+            "only the current-epoch frame may match"
+        );
+        assert!(
+            comm.try_recv(0, 7).is_none(),
+            "the stale frame must not linger in the pending queue"
+        );
     }
 
     #[test]

@@ -99,6 +99,28 @@ impl FaultPlan {
     /// * `loss:RATE:SEED` — seeded per-message loss (`RATE` in `[0, 1]`);
     /// * `delay:SRC-DST:MS` — delay one edge by `MS` milliseconds.
     pub fn parse(spec: &str) -> Result<Self, String> {
+        Self::parse_impl(spec).map(|(plan, _)| plan)
+    }
+
+    /// Like [`FaultPlan::parse`], additionally validating every rank the
+    /// spec names against `world_size` — the entry point for callers that
+    /// know the world's shape. Without this check, a typo like `drop:0-9`
+    /// in a 4-rank world parses fine and then silently never fires.
+    pub fn parse_for(spec: &str, world_size: usize) -> Result<Self, String> {
+        let (plan, ranks) = Self::parse_impl(spec)?;
+        if let Some(&bad) = ranks.iter().find(|&&r| r >= world_size) {
+            return Err(format!(
+                "fault spec '{spec}': rank {bad} does not exist in a {world_size}-rank \
+                 world (ranks are 0..={})",
+                world_size - 1
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Shared parser body: the plan plus every rank the spec mentioned
+    /// (for [`FaultPlan::parse_for`]'s range check).
+    fn parse_impl(spec: &str) -> Result<(Self, Vec<usize>), String> {
         let parse_edge = |edge: &str| -> Result<(usize, usize), String> {
             let (s, d) = edge
                 .split_once('-')
@@ -114,7 +136,7 @@ impl FaultPlan {
         match spec.split(':').collect::<Vec<_>>().as_slice() {
             ["drop", edge] => {
                 let (s, d) = parse_edge(edge)?;
-                Ok(Self::drop_edge(s, d))
+                Ok((Self::drop_edge(s, d), vec![s, d]))
             }
             ["loss", rate, seed] => {
                 let rate: f64 = rate
@@ -126,19 +148,35 @@ impl FaultPlan {
                 let seed: u64 = seed
                     .parse()
                     .map_err(|_| format!("loss seed '{seed}' is not an integer"))?;
-                Ok(Self::loss_rate(rate, seed))
+                Ok((Self::loss_rate(rate, seed), Vec::new()))
             }
             ["delay", edge, ms] => {
                 let (s, d) = parse_edge(edge)?;
                 let ms: u64 = ms
                     .parse()
                     .map_err(|_| format!("delay '{ms}' is not milliseconds"))?;
-                Ok(Self::delay_edge(s, d, Duration::from_millis(ms)))
+                Ok((
+                    Self::delay_edge(s, d, Duration::from_millis(ms)),
+                    vec![s, d],
+                ))
             }
-            _ => Err(format!(
-                "unknown fault spec '{spec}' (expected drop:SRC-DST, loss:RATE:SEED \
-                 or delay:SRC-DST:MS)"
+            ["drop", ..] => Err(format!(
+                "fault spec '{spec}': drop takes exactly one edge (drop:SRC-DST)"
             )),
+            ["loss", ..] => Err(format!(
+                "fault spec '{spec}': loss takes a rate and a seed (loss:RATE:SEED)"
+            )),
+            ["delay", ..] => Err(format!(
+                "fault spec '{spec}': delay takes an edge and milliseconds (delay:SRC-DST:MS)"
+            )),
+            [other, ..] if !other.is_empty() => Err(format!(
+                "unknown fault directive '{other}' (known: drop, loss, delay; \
+                 e.g. drop:0-1, loss:0.1:42, delay:0-1:20)"
+            )),
+            _ => Err(
+                "empty fault spec (expected drop:SRC-DST, loss:RATE:SEED or delay:SRC-DST:MS)"
+                    .to_string(),
+            ),
         }
     }
 }
@@ -207,6 +245,11 @@ impl TransportKind {
 }
 
 /// A fixed-size collection of ranks executing one SPMD closure.
+///
+/// Clonable because a [`PersistentWorld`] keeps its originating spec: a
+/// respawn rebuilds the communicator mesh from the same size, fault plan
+/// and transport the world was born with.
+#[derive(Clone)]
 pub struct World {
     size: usize,
     fault_plan: Option<FaultPlan>,
@@ -269,12 +312,7 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
-        let mut pw = Self {
-            size: self.size,
-            fault_plan: self.fault_plan.clone(),
-            transport: self.transport,
-        }
-        .spawn_persistent();
+        let mut pw = self.clone().spawn_persistent();
         let out = pw.run(|mut ctx| {
             let comm = ctx.take_comm().expect("fresh world has a resident comm");
             f(comm)
@@ -285,10 +323,19 @@ impl World {
 
     /// Builds the per-rank communicators (channel mesh, stats, aliveness
     /// flags, fault filter) without running anything — the wiring shared by
-    /// the one-shot and persistent execution models.
-    fn build_comms(&self) -> (Vec<Comm>, Arc<Vec<CommStats>>, Arc<Vec<AtomicBool>>) {
+    /// the one-shot and persistent execution models, and re-entered by
+    /// [`PersistentWorld::respawn`] to rebuild the mesh after rank deaths.
+    ///
+    /// `stats` and `alive` are owned by the caller so they stay stable
+    /// across mesh rebuilds: traffic counters keep accumulating
+    /// monotonically, and health checks holding the `alive` Arc observe
+    /// recovery instead of a latched dead-rank view. Every aliveness flag
+    /// is re-armed true here — the mesh being built is, by construction,
+    /// fully alive.
+    fn build_comms(&self, stats: &Arc<Vec<CommStats>>, alive: &Arc<Vec<AtomicBool>>) -> Vec<Comm> {
         let n = self.size;
-        let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
+        assert_eq!(stats.len(), n, "stats block per rank");
+        assert_eq!(alive.len(), n, "aliveness flag per rank");
         let fault_fn: Option<Arc<FaultFn>> = self.fault_plan.as_ref().map(collective_exempt);
         // One aliveness flag per rank, cleared when its Comm drops (normal
         // completion or panic-unwind alike): "this rank will never send
@@ -296,8 +343,10 @@ impl World {
         // death signal; the TCP transport keeps its own per-connection
         // view and only clears this world-level flag (for health checks)
         // on its own shutdown.
-        let alive: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(true)).collect());
-        let comms = match self.transport {
+        for flag in alive.iter() {
+            flag.store(true, Ordering::Release);
+        }
+        match self.transport {
             TransportKind::Channel => {
                 // One inbox per rank; every rank holds a sender clone to
                 // every OTHER inbox (no self-sender — self-sends are
@@ -331,7 +380,7 @@ impl World {
                 drop(senders);
                 comms
             }
-            TransportKind::Tcp => crate::tcp::loopback_mesh(n, &alive)
+            TransportKind::Tcp => crate::tcp::loopback_mesh(n, alive)
                 .into_iter()
                 .enumerate()
                 .map(|(rank, transport)| {
@@ -344,8 +393,7 @@ impl World {
                     )
                 })
                 .collect(),
-        };
-        (comms, stats, alive)
+        }
     }
 
     /// Spawns the world's rank threads once and keeps them alive: each rank
@@ -354,39 +402,21 @@ impl World {
     /// same world serves many requests — per-rank state (networks, caches,
     /// scratch buffers) survives between jobs instead of being rebuilt.
     pub fn spawn_persistent(self) -> PersistentWorld {
-        let (comms, stats, alive) = self.build_comms();
-        let mut mailboxes = Vec::with_capacity(self.size);
-        let mut workers = Vec::with_capacity(self.size);
+        let n = self.size;
+        let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
+        let alive: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(true)).collect());
+        let comms = self.build_comms(&stats, &alive);
+        let mut mailboxes = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
         for comm in comms {
             let (tx, rx) = mpsc::channel::<Job>();
             let rank = comm.rank();
-            let size = comm.size();
-            let mut slot = RankSlot {
-                rank,
-                size,
-                comm: Some(comm),
-                state: None,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("pdeml-rank-{rank}"))
-                .spawn(move || {
-                    // Tag the thread so live telemetry (kernel gauges)
-                    // shards per rank even when no trace session is active.
-                    pde_trace::set_thread_rank(rank as u32);
-                    while let Ok(job) = rx.recv() {
-                        job(&mut slot);
-                    }
-                    // Mailbox disconnected: shutdown. Dropping the slot
-                    // drops the resident Comm (and any user state holding
-                    // one), clearing this rank's aliveness flag and closing
-                    // its share of the channel mesh.
-                })
-                .expect("spawn persistent rank worker");
+            workers.push(spawn_rank_worker(rank, n, Some(comm), rx));
             mailboxes.push(tx);
-            workers.push(handle);
         }
         PersistentWorld {
-            size: self.size,
+            spec: self,
+            size: n,
             mailboxes,
             workers,
             stats,
@@ -395,6 +425,39 @@ impl World {
             poisoned: Arc::new(AtomicBool::new(false)),
         }
     }
+}
+
+/// Spawns one persistent rank worker thread around a fresh [`RankSlot`].
+/// Used at world birth (with the rank's comm resident) and by
+/// [`PersistentWorld::respawn`] (with an empty slot — the replacement comm
+/// arrives via the reinit job).
+fn spawn_rank_worker(
+    rank: usize,
+    size: usize,
+    comm: Option<Comm>,
+    rx: mpsc::Receiver<Job>,
+) -> std::thread::JoinHandle<()> {
+    let mut slot = RankSlot {
+        rank,
+        size,
+        comm,
+        state: None,
+    };
+    std::thread::Builder::new()
+        .name(format!("pdeml-rank-{rank}"))
+        .spawn(move || {
+            // Tag the thread so live telemetry (kernel gauges)
+            // shards per rank even when no trace session is active.
+            pde_trace::set_thread_rank(rank as u32);
+            while let Ok(job) = rx.recv() {
+                job(&mut slot);
+            }
+            // Mailbox disconnected: shutdown. Dropping the slot
+            // drops the resident Comm (and any user state holding
+            // one), clearing this rank's aliveness flag and closing
+            // its share of the channel mesh.
+        })
+        .expect("spawn persistent rank worker")
 }
 
 /// A job shipped to one rank worker. Lifetime-erased: see the safety
@@ -478,6 +541,9 @@ impl RankContext<'_> {
 /// N (a delayed delivery, a halo strip that outlived its receive timeout)
 /// can never be matched by job N+1 even though both use the same tags.
 pub struct PersistentWorld {
+    /// The spec this world was spawned from; [`PersistentWorld::respawn`]
+    /// rebuilds the communicator mesh from it.
+    spec: World,
     size: usize,
     mailboxes: Vec<mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -545,6 +611,37 @@ impl PersistentWorld {
     /// generation (from [`PersistentWorld::alloc_generations`]) — the entry
     /// point for jobs that manage a range of generations internally.
     pub fn run_at<T, F>(&mut self, gen: u32, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankContext<'_>) -> T + Send + Sync,
+    {
+        let results = self.run_collect(gen, f);
+        let mut out = Vec::with_capacity(self.size);
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    self.poisoned.store(true, Ordering::Release);
+                    first_panic.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// The non-poisoning job primitive: runs `f` once per rank at `gen` and
+    /// returns every rank's outcome — `Err` carries the rank's caught panic
+    /// payload instead of resuming it on the driver. A panicked rank is
+    /// still a *dead* rank (its comm and state are dropped, peers observe
+    /// `Disconnected`), but the world stays usable so a supervisor can
+    /// inspect [`PersistentWorld::dead_ranks`] and
+    /// [`PersistentWorld::respawn`] it instead of tearing everything down.
+    /// [`PersistentWorld::run_at`] is this plus poison-and-propagate.
+    pub fn run_collect<T, F>(&mut self, gen: u32, f: F) -> Vec<std::thread::Result<T>>
     where
         T: Send,
         F: Fn(RankContext<'_>) -> T + Send + Sync,
@@ -623,21 +720,101 @@ impl PersistentWorld {
             results[rank] = Some(out);
         }
         // From here on no job references `f` anymore.
-        let mut out = Vec::with_capacity(self.size);
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks reported"))
+            .collect()
+    }
+
+    /// Ranks whose world-level aliveness flag is down: their communicator
+    /// shut down (job panic, process death over TCP) and they will never
+    /// send again until respawned.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, flag)| !flag.load(Ordering::Acquire))
+            .map(|(rank, _)| rank)
+            .collect()
+    }
+
+    /// Rebuilds a world with dead ranks back to full strength and returns
+    /// the ranks that were respawned (empty when nothing was dead).
+    ///
+    /// The sequence, per the membership-recovery protocol (DESIGN §4i):
+    ///
+    /// 1. every dead rank gets a **new thread slot**: its mailbox is
+    ///    replaced (the old worker — which survived the job panic; only its
+    ///    slot contents were cleared — falls out of its receive loop and is
+    ///    joined) and a fresh worker thread takes the rank with an empty
+    ///    slot;
+    /// 2. a **fresh full mesh** is built from the world's original spec
+    ///    (same stats block, same aliveness flags — so traffic counters
+    ///    stay monotonic and health checks watch the same Arc);
+    /// 3. `reinit` runs once per rank as a normal job, receiving the
+    ///    rank's brand-new [`Comm`] and whether the rank `was_dead` (its
+    ///    state is gone and must be restored from checkpoints) or survived
+    ///    (state intact, but any structure embedding the old comm must be
+    ///    rebuilt around the new one);
+    /// 4. aliveness flags are re-armed and the poison flag cleared.
+    ///
+    /// `reinit` must install the comm (via [`RankContext::put_comm`] or
+    /// inside [`RankContext::state`]) and must **not** communicate: the
+    /// new mesh is only guaranteed consistent after every rank has dropped
+    /// its old communicator, which is certain only once all reinit jobs
+    /// completed (survivors dropping old comms momentarily re-clears their
+    /// shared aliveness flags — step 4 is what settles them).
+    pub fn respawn<F>(&mut self, reinit: F) -> Vec<usize>
+    where
+        F: Fn(RankContext<'_>, Comm, bool) + Send + Sync,
+    {
+        let dead = self.dead_ranks();
+        if dead.is_empty() {
+            return dead;
+        }
+        for &r in &dead {
+            let (tx, rx) = mpsc::channel::<Job>();
+            self.mailboxes[r] = tx; // old sender drops: old worker exits
+            let fresh = spawn_rank_worker(r, self.size, None, rx);
+            let old = std::mem::replace(&mut self.workers[r], fresh);
+            let _ = old.join();
+        }
+        let comms = self.spec.build_comms(&self.stats, &self.alive);
+        let handoff: Vec<std::sync::Mutex<Option<Comm>>> = comms
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
+        let was_dead: Vec<bool> = (0..self.size).map(|r| dead.contains(&r)).collect();
+        // A respawning world is by definition recovering from a failure;
+        // lift the poison so the reinit job may run.
+        self.poisoned.store(false, Ordering::Release);
+        let gen = self.alloc_generations(1);
+        let results = self.run_collect(gen, |ctx| {
+            let rank = ctx.rank();
+            let comm = handoff[rank]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+                .expect("each rank takes its fresh comm exactly once");
+            reinit(ctx, comm, was_dead[rank]);
+        });
+        // Survivors dropped their previous-mesh comms inside reinit, which
+        // re-cleared their flags; every old communicator is gone now, so
+        // the whole world is alive again.
+        for flag in self.alive.iter() {
+            flag.store(true, Ordering::Release);
+        }
         let mut first_panic: Option<Box<dyn Any + Send>> = None;
         for r in results {
-            match r.expect("all ranks reported") {
-                Ok(v) => out.push(v),
-                Err(e) => {
-                    self.poisoned.store(true, Ordering::Release);
-                    first_panic.get_or_insert(e);
-                }
+            if let Err(e) = r {
+                self.poisoned.store(true, Ordering::Release);
+                first_panic.get_or_insert(e);
             }
         }
         if let Some(p) = first_panic {
             resume_unwind(p);
         }
-        out
+        dead
     }
 
     /// Cumulative per-rank traffic snapshots since the world was spawned.
@@ -1041,6 +1218,84 @@ mod tests {
                     assert_eq!(comm.recv(0, 4), vec![7.0]);
                 }
             });
+    }
+
+    #[test]
+    fn parse_rejects_with_actionable_hints() {
+        for (bad, hint) in [
+            ("jam:0-1", "unknown fault directive 'jam'"),
+            ("", "empty fault spec"),
+            ("drop:01", "fault edge '01' is not SRC-DST"),
+            ("loss:0.1", "loss takes a rate and a seed (loss:RATE:SEED)"),
+            ("loss:1.5:42", "loss rate 1.5 outside [0, 1]"),
+            ("delay:0-1:fast", "delay 'fast' is not milliseconds"),
+        ] {
+            let err = FaultPlan::parse(bad).err().expect("spec must be rejected");
+            assert!(err.contains(hint), "'{bad}': got '{err}', wanted '{hint}'");
+        }
+    }
+
+    #[test]
+    fn parse_for_rejects_out_of_range_ranks() {
+        assert!(FaultPlan::parse_for("drop:0-3", 4).is_ok());
+        let err = FaultPlan::parse_for("drop:0-4", 4)
+            .err()
+            .expect("rank 4 must be rejected");
+        assert!(
+            err.contains("rank 4 does not exist in a 4-rank world (ranks are 0..=3)"),
+            "got '{err}'"
+        );
+        let err = FaultPlan::parse_for("delay:9-0:20", 4)
+            .err()
+            .expect("rank 9 must be rejected");
+        assert!(err.contains("rank 9 does not exist"), "got '{err}'");
+    }
+
+    #[test]
+    fn respawn_revives_a_panicked_rank_and_world_serves_again() {
+        let mut pw = World::new(3).spawn_persistent();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pw.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("chaos");
+                }
+                // Survivors must not wedge on the dead rank's barrier slot.
+            });
+        }));
+        assert!(boom.is_err(), "the kill must propagate to the driver");
+        assert_eq!(pw.dead_ranks(), vec![1], "rank 1 must read as dead");
+
+        let revived = pw.respawn(|mut ctx, comm, was_dead| {
+            assert_eq!(was_dead, ctx.rank() == 1, "only rank 1 was dead");
+            let _old = ctx.take_comm(); // survivors drop their old-mesh comm
+            ctx.put_comm(comm);
+        });
+        assert_eq!(revived, vec![1]);
+        assert!(pw.dead_ranks().is_empty(), "alive flags must be re-armed");
+
+        // The healed world serves a normal ring job again.
+        let out = pw.run(|mut ctx| {
+            let n = ctx.size();
+            let rank = ctx.rank();
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            let comm = ctx.comm();
+            comm.send(next, 9, vec![rank as f64]);
+            let got = comm.recv(prev, 9)[0];
+            comm.barrier();
+            got
+        });
+        assert_eq!(out, vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn respawn_on_a_healthy_world_is_a_no_op() {
+        let mut pw = World::new(2).spawn_persistent();
+        pw.run(|mut ctx| ctx.comm().barrier());
+        let revived = pw.respawn(|_ctx, _comm, _was_dead| {
+            panic!("reinit must not run when nothing is dead");
+        });
+        assert!(revived.is_empty());
     }
 
     #[test]

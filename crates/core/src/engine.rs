@@ -30,7 +30,8 @@ use crate::infer::{HaloPolicy, InferError, ParallelInference, RolloutResult};
 use crate::padding::PaddingStrategy;
 use crate::train::TrainOutcome;
 use pde_commsim::{
-    CartComm, FaultPlan, PersistentWorld, RankContext, TrafficReport, TransportKind, World,
+    CartComm, ChaosPlan, FaultPlan, PersistentWorld, RankContext, Supervisor, TrafficReport,
+    TransportKind, World,
 };
 use pde_tensor::{perf, PerfCounters, Tensor3};
 use std::collections::BTreeMap;
@@ -53,6 +54,14 @@ pub struct EngineConfig {
     /// ([`TransportKind::Channel`] by default; [`TransportKind::Tcp`] routes
     /// every message through localhost sockets).
     pub transport: TransportKind,
+    /// Deterministic kill schedule injected at step boundaries
+    /// (`kill:RANK:REQUEST[:STEP]`, request indices counted across the
+    /// engine's lifetime). Each kill fires exactly once.
+    pub chaos: Option<ChaosPlan>,
+    /// When set, a rank death during a request triggers supervisor
+    /// recovery (respawn + checkpoint restore + mesh rebuild) and the
+    /// batch retries on the healed world, instead of poisoning the engine.
+    pub self_heal: bool,
 }
 
 impl EngineConfig {
@@ -63,6 +72,8 @@ impl EngineConfig {
             fault_plan: None,
             threads_per_rank: None,
             transport: TransportKind::default(),
+            chaos: None,
+            self_heal: false,
         }
     }
 
@@ -75,6 +86,19 @@ impl EngineConfig {
     /// Selects the transport the engine's persistent world runs over.
     pub fn with_transport(mut self, kind: TransportKind) -> Self {
         self.transport = kind;
+        self
+    }
+
+    /// Schedules deterministic rank kills (usually paired with
+    /// [`EngineConfig::with_self_heal`] so the engine survives them).
+    pub fn with_chaos_plan(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Turns on supervisor recovery for rank deaths during serving.
+    pub fn with_self_heal(mut self) -> Self {
+        self.self_heal = true;
         self
     }
 }
@@ -93,6 +117,14 @@ struct EngineRankState {
     /// measured [`PerfCounters::allocs`] at zero steady-state (for a
     /// communication-free model; sends inherently allocate payloads).
     trajectory: Vec<Tensor3>,
+}
+
+/// Whether rank states registered under a self-healing engine should mask
+/// a dead neighbor during the respawn gap (only meaningful under
+/// [`HaloPolicy::Degrade`] — Strict receives block without classifying the
+/// peer).
+fn survive_dead(self_heal: bool, inf: &ParallelInference) -> bool {
+    self_heal && matches!(inf.halo_policy(), HaloPolicy::Degrade { .. })
 }
 
 /// Borrows the rank-resident state out of a job context. Panics only on
@@ -134,6 +166,13 @@ pub struct InferEngine {
     /// the resident `CartComm`s are built for it, so every later model
     /// must decompose the same way.
     layout: Option<(usize, usize)>,
+    /// Deterministic kill schedule (see [`EngineConfig::chaos`]).
+    chaos: Option<ChaosPlan>,
+    /// Supervisor recovery on rank death (see [`EngineConfig::self_heal`]).
+    self_heal: bool,
+    /// Requests served across the engine's lifetime — the request index a
+    /// [`ChaosPlan`] kill matches against.
+    request_base: usize,
 }
 
 impl InferEngine {
@@ -173,6 +212,9 @@ impl InferEngine {
             world,
             models: BTreeMap::new(),
             layout: None,
+            chaos: cfg.chaos,
+            self_heal: cfg.self_heal,
+            request_base: 0,
         }
     }
 
@@ -246,6 +288,7 @@ impl InferEngine {
             ),
             None => self.layout = Some((py, px)),
         }
+        let mask_dead = survive_dead(self.self_heal, &inf);
         self.world.run(|mut ctx| {
             if ctx.state().is_none() {
                 let comm = ctx
@@ -260,7 +303,13 @@ impl InferEngine {
             }
             let rank = ctx.rank();
             let ers = resident(&mut ctx);
-            ers.models.insert(name.to_string(), inf.rank_state(rank));
+            let mut st = inf.rank_state(rank);
+            // Under a supervisor, surviving ranks serve the kill-to-respawn
+            // gap degraded (dead neighbor → fallback strip) instead of
+            // treating the death as fatal; meaningless under Strict, where
+            // the blocked receive never classifies the peer at all.
+            st.set_survive_dead(mask_dead);
+            ers.models.insert(name.to_string(), st);
         });
         self.models.insert(name.to_string(), inf);
     }
@@ -351,52 +400,129 @@ impl InferEngine {
         let window = inf.window();
         let quiesce =
             matches!(inf.halo_policy(), HaloPolicy::Degrade { .. }) && inf.input_halo() > 0;
-        let base = self.world.alloc_generations(histories.len() as u32);
-        let outs = self.world.run_at(base, |mut ctx| {
-            let rank = ctx.rank();
-            let EngineRankState {
-                cart,
-                models,
-                trajectory,
-            } = resident(&mut ctx);
-            let st = models
-                .get_mut(name)
-                .expect("driver checked the registry before submitting");
-            let mut per_request = Vec::with_capacity(scattered.len());
-            for (i, request) in scattered.iter().enumerate() {
-                cart.comm_mut().set_generation(base + i as u32);
-                st.reset(&request[rank]);
-                let (c, h, w) = st.latest().shape();
-                if trajectory.len() != n_steps + 1
-                    || trajectory.first().map(Tensor3::shape) != Some((c, h, w))
-                {
-                    *trajectory = (0..=n_steps).map(|_| Tensor3::zeros(c, h, w)).collect();
-                }
-                let traffic0 = cart.comm().stats().report();
-                let perf0 = perf::snapshot();
-                trajectory[0]
-                    .as_mut_slice()
-                    .copy_from_slice(st.latest().as_slice());
-                for step in 0..n_steps {
-                    let next = st.step(cart, (step * window) as u32);
-                    trajectory[step + 1]
+        let chaos = self.chaos.clone();
+        let request_base = self.request_base;
+        // With self-healing on, a rank death mid-batch triggers supervisor
+        // recovery (respawn + checkpoint restore + mesh rebuild) and the
+        // whole batch retries at fresh generations. The retry is clean —
+        // chaos kills fire once, `reset` clears rings and caches, and fault
+        // decisions are generation-independent — so a recovered batch is
+        // bitwise what a never-killed world would have served.
+        const MAX_SERVE_ATTEMPTS: usize = 3;
+        let mut outs = None;
+        for attempt in 0..MAX_SERVE_ATTEMPTS {
+            let base = self.world.alloc_generations(histories.len() as u32);
+            let serve = |mut ctx: RankContext<'_>| {
+                let rank = ctx.rank();
+                let EngineRankState {
+                    cart,
+                    models,
+                    trajectory,
+                } = resident(&mut ctx);
+                let st = models
+                    .get_mut(name)
+                    .expect("driver checked the registry before submitting");
+                let mut per_request = Vec::with_capacity(scattered.len());
+                for (i, request) in scattered.iter().enumerate() {
+                    cart.comm_mut().set_generation(base + i as u32);
+                    st.reset(&request[rank]);
+                    let (c, h, w) = st.latest().shape();
+                    if trajectory.len() != n_steps + 1
+                        || trajectory.first().map(Tensor3::shape) != Some((c, h, w))
+                    {
+                        *trajectory = (0..=n_steps).map(|_| Tensor3::zeros(c, h, w)).collect();
+                    }
+                    let traffic0 = cart.comm().stats().report();
+                    let perf0 = perf::snapshot();
+                    trajectory[0]
                         .as_mut_slice()
-                        .copy_from_slice(next.as_slice());
+                        .copy_from_slice(st.latest().as_slice());
+                    for step in 0..n_steps {
+                        if let Some(plan) = &chaos {
+                            if plan.should_kill(rank, request_base + i, step) {
+                                panic!(
+                                    "chaos: killed rank {rank} at request {} step {step}",
+                                    request_base + i
+                                );
+                            }
+                        }
+                        let next = st.step(cart, (step * window) as u32);
+                        trajectory[step + 1]
+                            .as_mut_slice()
+                            .copy_from_slice(next.as_slice());
+                    }
+                    // Same quiesce rule as the cold path: under Degrade a
+                    // rank can finish steps ahead of a timed-out neighbor,
+                    // and here it would otherwise race ahead into the *next*
+                    // request. The barrier (fault-exempt, dead-tolerant)
+                    // holds it back. Not needed under Strict, where every
+                    // receive blocks until matched.
+                    if quiesce {
+                        cart.comm_mut().barrier();
+                    }
+                    let spent = perf::snapshot().since(&perf0);
+                    let moved = cart.comm().stats().report().since(&traffic0);
+                    per_request.push((trajectory.clone(), spent, moved));
                 }
-                // Same quiesce rule as the cold path: under Degrade a rank
-                // can finish steps ahead of a timed-out neighbor, and here
-                // it would otherwise race ahead into the *next* request.
-                // The barrier (fault-exempt) holds it back. Not needed
-                // under Strict, where every receive blocks until matched.
-                if quiesce {
-                    cart.comm_mut().barrier();
-                }
-                let spent = perf::snapshot().since(&perf0);
-                let moved = cart.comm().stats().report().since(&traffic0);
-                per_request.push((trajectory.clone(), spent, moved));
+                per_request
+            };
+            if !self.self_heal {
+                // The pre-supervisor path: a rank death poisons the world
+                // and the panic propagates to the driver.
+                outs = Some(self.world.run_at(base, serve));
+                break;
             }
-            per_request
-        });
+            let results = self.world.run_collect(base, serve);
+            if results.iter().all(std::result::Result::is_ok) {
+                outs = Some(
+                    results
+                        .into_iter()
+                        .map(|r| r.expect("checked Ok above"))
+                        .collect(),
+                );
+                break;
+            }
+            drop(results); // survivors' degraded partials are discarded
+            let models = &self.models;
+            let (py, px) = self
+                .layout
+                .expect("a served request implies at least one registration");
+            let healed = Supervisor::heal(&mut self.world, |mut ctx, comm, was_dead| {
+                let rank = ctx.rank();
+                let cart = CartComm::new(comm, py, px, false);
+                if was_dead || ctx.state().is_none() {
+                    // The rank's slot is gone: rebuild every registered
+                    // model from its driver-side blueprint — weights come
+                    // back through the same checkpoint-restore path that
+                    // loaded them at registration.
+                    let mut model_states = BTreeMap::new();
+                    for (model_name, blueprint) in models {
+                        let mut st = blueprint.rank_state(rank);
+                        st.set_survive_dead(survive_dead(true, blueprint));
+                        model_states.insert(model_name.clone(), st);
+                    }
+                    *ctx.state() = Some(Box::new(EngineRankState {
+                        cart,
+                        models: model_states,
+                        trajectory: Vec::new(),
+                    }));
+                } else {
+                    // Survivor: resident nets and scratch stay; only the
+                    // communicator is from the torn-down mesh and must be
+                    // replaced (dropping the old one as it goes).
+                    let ers = resident(&mut ctx);
+                    ers.cart = cart;
+                }
+            });
+            if healed.is_none() || attempt + 1 == MAX_SERVE_ATTEMPTS {
+                return Err(InferError::Recovering {
+                    attempts: attempt + 1,
+                });
+            }
+        }
+        let outs = outs.ok_or(InferError::Recovering {
+            attempts: MAX_SERVE_ATTEMPTS,
+        })?;
 
         // Transpose [rank][request] → one RolloutResult per request.
         let mut per_rank: Vec<_> = outs.into_iter().map(Vec::into_iter).collect();
@@ -427,6 +553,7 @@ impl InferEngine {
             crate::live::request_latency_us().record(per_request_us);
             crate::live::requests().inc(pde_telemetry::DRIVER);
         }
+        self.request_base += histories.len();
         Ok(results)
     }
 }

@@ -61,6 +61,14 @@ pub enum InferError {
         /// The name the request asked for.
         name: String,
     },
+    /// A rank died while serving and the engine could not bring the world
+    /// back within its retry budget. The request was not served; the
+    /// caller may retry once recovery completes (or rebuild the engine if
+    /// it keeps failing).
+    Recovering {
+        /// Kill-and-heal rounds attempted before giving up.
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for InferError {
@@ -87,6 +95,12 @@ impl std::fmt::Display for InferError {
                 f,
                 "no model named '{name}' is registered with the engine — \
                  call InferEngine::register (or register_outcome) first"
+            ),
+            InferError::Recovering { attempts } => write!(
+                f,
+                "a rank died while serving and {attempts} heal-and-retry round(s) did not \
+                 produce a healthy world — the request was not served; retry it, and if \
+                 recovery keeps failing rebuild the engine"
             ),
         }
     }
@@ -594,6 +608,12 @@ pub struct RankRolloutState {
     input: Tensor4,
     /// Resident network output.
     output: Tensor4,
+    /// When set (by a self-healing engine), a dead neighbor degrades like a
+    /// lost strip instead of panicking — the supervisor is about to respawn
+    /// the peer, so the gap is temporary. Default `false`: in an
+    /// unrecovered world a dead rank's subdomain is gone for good and
+    /// serving past it would silently corrupt results.
+    survive_dead: bool,
 }
 
 impl RankRolloutState {
@@ -621,7 +641,18 @@ impl RankRolloutState {
             caches: vec![HaloCache::default(); window],
             input: Tensor4::zeros(1, window * c, h + 2 * halo, w + 2 * halo),
             output: Tensor4::zeros(0, 0, 0, 0),
+            survive_dead: false,
         }
+    }
+
+    /// Arms (or disarms) dead-neighbor survival: under
+    /// [`HaloPolicy::Degrade`], a [`pde_commsim::HaloRecv::PeerDead`] is
+    /// then handled like a lost strip (fallback substitution) instead of
+    /// panicking. Only a supervisor that guarantees the peer comes back
+    /// should set this — see [`HaloPolicy`] for why death is otherwise
+    /// fatal.
+    pub fn set_survive_dead(&mut self, survive: bool) {
+        self.survive_dead = survive;
     }
 
     /// The model's time-window width.
@@ -698,6 +729,7 @@ impl RankRolloutState {
                         tag,
                         timeout,
                         fallback,
+                        self.survive_dead,
                         &mut self.caches[slot],
                     ),
                 };
@@ -827,6 +859,7 @@ pub fn assemble_halo_input_degraded(
     step: u32,
     timeout: Duration,
     fallback: HaloFallback,
+    survive_dead: bool,
     cache: &mut HaloCache,
 ) -> Tensor3 {
     let (c, h, w) = local.shape();
@@ -865,7 +898,7 @@ pub fn assemble_halo_input_degraded(
     for dir in [Left, Right] {
         let remaining = x_deadline.saturating_duration_since(Instant::now());
         if let Some(recv) = cart.recv_halo_dir(dir, step * 2, remaining) {
-            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
+            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, survive_dead, cache) {
                 let strip = Tensor3::from_vec(c, h, halo, buf);
                 let col = if dir == Left { 0 } else { w + halo };
                 padded.set_window(halo, col, &strip);
@@ -889,7 +922,7 @@ pub fn assemble_halo_input_degraded(
     for dir in [Down, Up] {
         let remaining = y_deadline.saturating_duration_since(Instant::now());
         if let Some(recv) = cart.recv_halo_dir(dir, step * 2 + 1, remaining) {
-            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, cache) {
+            if let Some(buf) = resolve_halo(cart.comm(), recv, dir, fallback, survive_dead, cache) {
                 let row = if dir == Down { 0 } else { h + halo };
                 place_rows(&mut padded, row, halo, &buf);
             }
@@ -906,6 +939,7 @@ fn resolve_halo(
     recv: HaloRecv,
     dir: Direction,
     fallback: HaloFallback,
+    survive_dead: bool,
     cache: &mut HaloCache,
 ) -> Option<Vec<f64>> {
     match recv {
@@ -935,7 +969,13 @@ fn resolve_halo(
                 }
             },
         },
-        // Deliberately NOT maskable: see `HaloPolicy::Degrade`.
+        // Maskable only under a supervisor that will respawn the peer
+        // (`survive_dead`): the gap is then served like a lost strip and
+        // the retried request runs on the healed world. Otherwise
+        // deliberately fatal: see `HaloPolicy::Degrade`.
+        HaloRecv::PeerDead if survive_dead => {
+            resolve_halo(comm, HaloRecv::Lost, dir, fallback, survive_dead, cache)
+        }
         HaloRecv::PeerDead => panic!(
             "halo exchange: rank {}'s {dir:?} neighbor is dead — a lost subdomain is fatal \
              under every halo policy",
@@ -1220,6 +1260,7 @@ mod tests {
                 0,
                 timeout,
                 HaloFallback::ZeroFill,
+                false,
                 &mut cache,
             );
             let dt = t0.elapsed();

@@ -110,6 +110,32 @@ impl HealthModel {
     }
 }
 
+/// A `ranks_alive` check over a world's shared per-rank aliveness flags.
+///
+/// Evaluates the flags **live on every call** instead of latching the view
+/// that existed when the check was registered — so a world healed by a
+/// supervisor (dead ranks respawned, flags re-armed) transitions
+/// Failed → Ok on the very next `/readyz` probe, with no re-registration.
+/// Dead ranks report [`CheckStatus::Failed`] because a lost rank's whole
+/// subdomain is missing: the world cannot serve until it is healed.
+pub fn ranks_alive_check(
+    flags: std::sync::Arc<Vec<std::sync::atomic::AtomicBool>>,
+) -> impl Fn() -> CheckStatus + Send + Sync {
+    move || {
+        let dead: Vec<String> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, alive)| !alive.load(std::sync::atomic::Ordering::Acquire))
+            .map(|(rank, _)| rank.to_string())
+            .collect();
+        if dead.is_empty() {
+            CheckStatus::Ok
+        } else {
+            CheckStatus::Failed(format!("dead ranks: {}", dead.join(", ")))
+        }
+    }
+}
+
 impl HealthReport {
     /// One line per check plus an overall line — the `/healthz`/`/readyz`
     /// response body.
@@ -148,6 +174,29 @@ mod tests {
         assert!(m.live());
         assert!(!m.ready());
         assert_eq!(m.report().overall, Health::Degraded);
+    }
+
+    #[test]
+    fn recovered_world_transitions_failed_to_ok() {
+        // Regression: the ranks_alive check must read the flags live, not
+        // latch the dead-rank view it saw when a rank died — otherwise a
+        // healed world stays Failed forever.
+        let flags: Arc<Vec<AtomicBool>> = Arc::new((0..4).map(|_| AtomicBool::new(true)).collect());
+        let m = HealthModel::new();
+        m.register("ranks_alive", ranks_alive_check(flags.clone()));
+        assert!(m.ready(), "all ranks alive: Ok");
+
+        flags[2].store(false, Ordering::Release);
+        assert!(!m.live(), "a dead rank is Failed, not Degraded");
+        assert!(m
+            .report()
+            .describe()
+            .contains("failed ranks_alive: dead ranks: 2"));
+
+        // Supervisor respawns rank 2 and re-arms the shared flag.
+        flags[2].store(true, Ordering::Release);
+        assert!(m.live() && m.ready(), "healed world must read Ok again");
+        assert_eq!(m.report().overall, Health::Healthy);
     }
 
     #[test]

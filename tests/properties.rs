@@ -483,4 +483,89 @@ proptest! {
             "resumed training diverged from the checkpointed run"
         );
     }
+
+    /// The self-healing invariant behind rank respawn: a rank killed
+    /// *mid-epoch* — at a random step `kill_at` strictly inside a training
+    /// run, any optimizer kind — and restored from its last checkpoint
+    /// continues to a final state bitwise identical to the run that was
+    /// never interrupted. This is exactly what lets a respawned rank rejoin
+    /// a serving world without perturbing a single bit of its output.
+    #[test]
+    fn restore_after_mid_epoch_kill_continues_bitwise(
+        stages in prop::collection::vec(
+            (prop::sample::select(vec![1usize, 2, 3, 4]),
+             prop::sample::select(vec![1usize, 3])),
+            1..=3,
+        ),
+        slope in prop::sample::select(vec![0.0f64, 0.01, 0.2]),
+        opt_kind in 0usize..5,
+        kill_at in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        use pde_nn::{Layer, Loss, Mse};
+        use pde_tensor::Tensor4;
+
+        let total_steps = 7usize; // kill_at < total: the kill is mid-epoch
+
+        let mut survivor = random_conv_stack(&stages, slope, seed);
+        let mut opt_s = make_optimizer(opt_kind);
+
+        let out_c = stages.last().unwrap().0;
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        };
+        let x = Tensor4::from_fn(2, 2, 5, 5, |_, _, _, _| next());
+        let target = Tensor4::zeros(2, out_c, 5, 5);
+        let step = |net: &mut pde_nn::Sequential, opt: &mut dyn pde_nn::Optimizer| {
+            net.zero_grad();
+            let y = net.forward(&x, true);
+            let (_, grad) = Mse.value_and_grad(&y, &target);
+            net.backward(&grad);
+            opt.step(&mut net.param_groups());
+        };
+
+        // Train to the kill point and checkpoint there — the state a
+        // supervisor would have persisted before the crash.
+        for _ in 0..kill_at {
+            step(&mut survivor, opt_s.as_mut());
+        }
+        let mut checkpoint = Vec::new();
+        pde_nn::serialize::write_checkpoint(&mut survivor, opt_s.as_ref(), &mut checkpoint)
+            .unwrap();
+
+        // The uninterrupted run finishes the epoch.
+        for _ in kill_at..total_steps {
+            step(&mut survivor, opt_s.as_mut());
+        }
+
+        // The killed rank: everything in memory is lost (fresh net from a
+        // different seed, fresh optimizer), then restored and resumed for
+        // the same remaining steps.
+        let mut respawned = random_conv_stack(&stages, slope, seed ^ 0xBAD_C0DE);
+        let mut opt_r = make_optimizer(opt_kind);
+        pde_nn::serialize::read_checkpoint(
+            &mut respawned,
+            opt_r.as_mut(),
+            &mut checkpoint.as_slice(),
+        )
+        .unwrap();
+        for _ in kill_at..total_steps {
+            step(&mut respawned, opt_r.as_mut());
+        }
+
+        prop_assert_eq!(
+            pde_nn::serialize::snapshot(&mut survivor),
+            pde_nn::serialize::snapshot(&mut respawned),
+            "a restore-then-continue after a mid-epoch kill (step {}/{}, optimizer kind {}) \
+             must be bitwise equal to the uninterrupted run",
+            kill_at, total_steps, opt_kind
+        );
+        prop_assert_eq!(
+            opt_s.export_state(),
+            opt_r.export_state(),
+            "optimizer slots must also converge to identical state"
+        );
+    }
 }
