@@ -39,7 +39,7 @@ fn warm_vs_cold_request(c: &mut Criterion) {
     });
 
     let mut engine = InferEngine::new(4);
-    engine.register("serve", inf);
+    engine.register("serve", inf).unwrap();
     // Residency warm-up: first request pays thread-local buffer growth.
     engine.rollout("serve", &initial, STEPS).unwrap();
     group.bench_function("warm_engine", |b| {
@@ -54,7 +54,7 @@ fn batched_requests(c: &mut Criterion) {
     let histories: Vec<&[Tensor3]> = initials.iter().map(std::slice::from_ref).collect();
 
     let mut engine = InferEngine::new(4);
-    engine.register("serve", inf);
+    engine.register("serve", inf).unwrap();
     engine.rollout("serve", &initials[0], STEPS).unwrap();
 
     let mut group = c.benchmark_group("serve/eight_requests");

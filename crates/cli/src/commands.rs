@@ -203,7 +203,7 @@ pub fn train(args: &Args) -> Result<(), String> {
 }
 
 /// Rebuilds a [`ParallelInference`] from a model directory.
-fn load_fleet(dir: &Path) -> Result<(ModelMeta, ParallelInference), String> {
+pub(crate) fn load_fleet(dir: &Path) -> Result<(ModelMeta, ParallelInference), String> {
     let meta = ModelMeta::load(dir)?;
     let n_ranks = meta.partition.rank_count();
     let weights: Vec<Vec<f64>> = (0..n_ranks)
@@ -354,11 +354,15 @@ pub fn infer(args: &Args) -> Result<(), String> {
 /// Nearest-rank percentile of an ascending-sorted latency list, or `None`
 /// when the list is empty — a `--requests 0` run must report "n/a"/`null`,
 /// not panic on the `len() - 1` underflow or smuggle NaN into `--out` JSON.
+///
+/// The index rule is [`pde_telemetry::nearest_rank`] — the same one the
+/// histogram quantile uses — so a p99.9 printed by serve-bench and a
+/// p99.9 scraped from `pdeml_request_latency_us` pick the same sample.
 pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> Option<f64> {
     if sorted_ms.is_empty() {
         return None;
     }
-    let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
+    let idx = pde_telemetry::nearest_rank(sorted_ms.len() as u64, p / 100.0) as usize;
     Some(sorted_ms[idx.min(sorted_ms.len() - 1)])
 }
 
@@ -572,7 +576,9 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         engine_cfg = engine_cfg.with_chaos_plan(plan.clone());
     }
     let mut engine = InferEngine::with_config(engine_cfg);
-    engine.register("serve", inf.clone());
+    engine
+        .register("serve", inf.clone())
+        .expect("register serve model");
     engine
         .rollout("serve", &initial, steps)
         .map_err(|e| format!("cannot serve this rollout: {e}"))?;
@@ -871,6 +877,35 @@ mod tests {
         assert_eq!(percentile(&ms, 50.0), Some(3.0));
         assert_eq!(percentile(&ms, 100.0), Some(4.0));
         assert_eq!(percentile(&[7.5], 99.9), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_and_histogram_quantile_share_one_rule() {
+        // Regression for the percentile dedup: serve-bench's list
+        // percentile and the telemetry histogram quantile used to carry
+        // two hand-rolled nearest-rank implementations; both now route
+        // through pde_telemetry::nearest_rank. Samples stay below 2^k=32,
+        // the histogram's exact-bucket region, so the two must agree
+        // EXACTLY on every quantile — any future drift in either rule
+        // breaks this test.
+        let hist = pde_telemetry::histogram(
+            "pdeml_test_percentile_dedup_us",
+            "percentile dedup regression fixture",
+        );
+        let samples: Vec<u64> = vec![1, 2, 3, 5, 8, 13, 21, 21, 30, 31];
+        for &s in &samples {
+            hist.record(s);
+        }
+        let sorted: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        let snap = hist.snapshot();
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let list = percentile(&sorted, p).unwrap();
+            let hist_q = snap.quantile(p / 100.0).unwrap();
+            assert_eq!(
+                list, hist_q as f64,
+                "p{p}: list percentile and histogram quantile diverged"
+            );
+        }
     }
 
     #[test]

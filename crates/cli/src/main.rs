@@ -16,6 +16,7 @@ mod args;
 mod commands;
 mod meta;
 mod node;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -42,10 +43,16 @@ USAGE:
                  [--metrics-addr HOST:PORT] [--slo-ms N] [--flight-dir DIR]
                  [--hold-ms N] [--threads-per-rank T] [--trace OUT.json]
                  [--out BENCH.json]
+  pdeml serve    [--quick | --data FILE --model DIR] [--addr HOST:PORT]
+                 [--sub-worlds N] [--queue-depth N] [--max-models N]
+                 [--slo-ms N] [--transport channel|tcp] [--ranks-per-world R]
+  pdeml serve --saturation [--quick | --data FILE --model DIR]
+                 [--sub-worlds-list 1,2,4] [--requests N] [--steps K]
+                 [--queue-depth N] [--transport channel|tcp] [--out BENCH.json]
   pdeml world-node --launch [--ranks N] [--requests N] [--steps K]
                  [--halo-policy strict|zero-fill|last-known] [--halo-timeout-ms N]
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
-                 [--self-heal] [--kill-rank-at RANK:REQUEST]
+                 [--self-heal] [--kill-rank-at RANK:REQUEST] [--restore DIR]
                  [--metrics-addr HOST:PORT] [--hold-ms N] [--out BENCH.json]
                  [--connect-timeout-ms N]
   pdeml world-node --rank R --peers HOST:PORT,HOST:PORT,…
@@ -55,6 +62,13 @@ USAGE:
   pdeml info
 
 `--quick` trains the tiny test net on a built-in dataset (no --data/--out).
+`serve` is the HTTP inference front end: it splits one world into
+`--sub-worlds` independent sub-worlds behind a bounded request queue with
+SLO-aware admission control (shed requests get 429/503, and count on
+pdeml_requests_rejected_total{reason=}). POST /v1/rollout serves a window
+of states; GET /v1/example prints a ready-to-POST body. `serve
+--saturation` sweeps offered load vs p99.9 vs rejection rate across
+sub-world counts.
 `world-node --launch` runs an N-rank world as N OS processes over localhost
 TCP (rank 0 stays in the driver process), verifies the rollouts bitwise
 against the in-process channel transport, and reports channel-vs-TCP serve
@@ -70,6 +84,9 @@ there. `--self-heal` makes worlds survive a dead rank: the supervisor (or, in
 multi-process mode, the launcher) detects it, respawns the rank, rebuilds the
 mesh under a fresh generation epoch and re-serves the batch — `--kill-rank-at`
 injects exactly that failure deterministically (needs a degrade halo policy).
+`world-node --restore DIR` loads the fleet from a `pdeml train` checkpoint
+directory instead of retraining it — respawned replacement ranks restore
+from the same files, shrinking the recovery window to a weight load.
 `--flight-dir` and `--trace` are mutually exclusive. `--threads-per-rank`
 caps each rank's kernel worker pool (default: cores / ranks; see also the
 PDEML_THREADS_PER_RANK and PDEML_KERNEL=scalar|simd environment variables).
@@ -94,6 +111,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&parsed),
         "infer" => commands::infer(&parsed),
         "serve-bench" => commands::serve_bench(&parsed),
+        "serve" => serve::serve(&parsed),
         "world-node" => node::world_node(&parsed),
         "scale" => commands::scale(&parsed),
         "info" => commands::info(),

@@ -85,6 +85,65 @@ fn quick_fleet(
     Ok((data.snapshot(0).clone(), inf))
 }
 
+/// Restores the fleet from a `pdeml train` checkpoint directory instead of
+/// retraining. Every process of the world — including a *respawned*
+/// replacement rank — restores from the same files, so a rejoin costs a
+/// weight load, not a retrain; the initial state is regenerated
+/// deterministically from the solver so all processes still agree bitwise.
+fn restore_fleet(
+    dir: &std::path::Path,
+    n_ranks: usize,
+    policy: HaloPolicy,
+    fault: Option<&FaultPlan>,
+) -> Result<(Tensor3, ParallelInference), String> {
+    let (meta, inf) = crate::commands::load_fleet(dir)?;
+    if meta.partition.rank_count() != n_ranks {
+        return Err(format!(
+            "--restore {}: checkpoint is partitioned over {} ranks but this world has \
+             {n_ranks} — pass --ranks {}",
+            dir.display(),
+            meta.partition.rank_count(),
+            meta.partition.rank_count()
+        ));
+    }
+    if meta.window != 1 {
+        return Err(format!(
+            "--restore {}: world-node drives single-state requests but the checkpoint was \
+             trained with a window of {} — retrain with --window 1",
+            dir.display(),
+            meta.window
+        ));
+    }
+    let (gh, gw) = (meta.partition.global_h(), meta.partition.global_w());
+    if gh != gw {
+        return Err(format!(
+            "--restore {}: checkpoint covers a {gh}x{gw} grid; world-node regenerates its \
+             initial state from the square built-in solver and needs gh == gw",
+            dir.display()
+        ));
+    }
+    let initial = pde_euler::dataset::paper_dataset(gh, 2).snapshot(0).clone();
+    let mut inf = inf.with_halo_policy(policy);
+    if let Some(plan) = fault {
+        inf = inf.with_fault_plan(plan.clone());
+    }
+    Ok((initial, inf))
+}
+
+/// The fleet every process of the world serves: `--restore DIR` loads a
+/// checkpoint, otherwise the deterministic quick fleet is retrained.
+fn fleet_from_args(
+    args: &Args,
+    n_ranks: usize,
+    policy: HaloPolicy,
+    fault: Option<&FaultPlan>,
+) -> Result<(Tensor3, ParallelInference), String> {
+    match args.get("restore") {
+        Some(dir) => restore_fleet(std::path::Path::new(dir), n_ranks, policy, fault),
+        None => quick_fleet(n_ranks, policy, fault),
+    }
+}
+
 /// What rank 0 learns about one lockstep world run.
 struct WorldRun {
     /// Stitched global states of request 0: `[initial, pred_1, …, pred_K]`.
@@ -554,7 +613,7 @@ fn worker(args: &Args) -> Result<(), String> {
         start_epoch,
     };
 
-    let (initial, inf) = quick_fleet(peers.len(), policy, fault_plan.as_ref())?;
+    let (initial, inf) = fleet_from_args(args, peers.len(), policy, fault_plan.as_ref())?;
     let run = run_rank(
         rank,
         &peers,
@@ -715,7 +774,10 @@ fn launch(args: &Args) -> Result<(), String> {
             .arg(steps.to_string())
             .arg("--connect-timeout-ms")
             .arg(connect_ms.to_string());
-        for flag in ["halo-policy", "halo-timeout-ms", "fault"] {
+        // --restore forwards to every child, *including respawned
+        // replacements*: a rejoining rank loads the checkpoint instead of
+        // retraining the fleet from seed, shrinking the recovery window.
+        for flag in ["halo-policy", "halo-timeout-ms", "fault", "restore"] {
             if let Some(v) = args.get(flag) {
                 cmd.arg(format!("--{flag}")).arg(v);
             }
@@ -748,7 +810,12 @@ fn launch(args: &Args) -> Result<(), String> {
          {requests} requests x {steps} steps over localhost TCP"
     );
 
-    let (initial, inf) = quick_fleet(n, policy, fault_plan.as_ref())?;
+    let (initial, inf) = fleet_from_args(args, n, policy, fault_plan.as_ref())?;
+    if self_heal {
+        if let Some(dir) = args.get("restore") {
+            println!("self-heal: respawned ranks restore weights from {dir} (no retrain)");
+        }
+    }
     // Rank 0's respawn half of the membership protocol: reap each corpse
     // (an exit of KILL_EXIT is scheduled chaos; anything else is reported
     // but still healed), fork the replacement into the fresh mesh, and
@@ -820,7 +887,9 @@ fn launch(args: &Args) -> Result<(), String> {
         engine_cfg = engine_cfg.with_fault_plan(plan);
     }
     let mut engine = InferEngine::with_config(engine_cfg);
-    engine.register("serve", inf.clone());
+    engine
+        .register("serve", inf.clone())
+        .expect("register serve model");
     engine
         .rollout("serve", &initial, steps)
         .map_err(|e| format!("channel warm-up failed: {e}"))?;

@@ -402,7 +402,93 @@ impl World {
     /// same world serves many requests — per-rank state (networks, caches,
     /// scratch buffers) survives between jobs instead of being rebuilt.
     pub fn spawn_persistent(self) -> PersistentWorld {
+        let labels = (0..self.size).collect();
+        self.spawn_persistent_labeled(labels)
+    }
+
+    /// Partitions this world into disjoint rank groups and spawns one
+    /// independent [`PersistentWorld`] per group. `groups[g]` lists the
+    /// *global* rank ids served by sub-world `g`; within each sub-world,
+    /// comm ranks are group-local `0..groups[g].len()` (so a 2-rank
+    /// sub-world is indistinguishable — tags, fault decisions, arithmetic —
+    /// from a freshly spawned 2-rank world), while thread names and live
+    /// telemetry keep the global labels.
+    ///
+    /// Every sub-world inherits the parent's fault plan and transport but
+    /// owns its own mesh, traffic stats, aliveness flags and generation
+    /// counter: jobs on different sub-worlds share nothing and can run
+    /// concurrently with zero cross-talk.
+    ///
+    /// Errors when the groups are not a partition of `0..size` (a rank
+    /// missing, duplicated, or out of range) — a sub-world layout typo
+    /// would otherwise strand ranks silently.
+    pub fn split(self, groups: &[Vec<usize>]) -> Result<Vec<PersistentWorld>, String> {
         let n = self.size;
+        if groups.is_empty() {
+            return Err("split: need at least one rank group".to_string());
+        }
+        let mut seen = vec![false; n];
+        for (g, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(format!("split: group {g} is empty"));
+            }
+            for &r in group {
+                if r >= n {
+                    return Err(format!(
+                        "split: group {g} names rank {r} but the world has ranks 0..={}",
+                        n - 1
+                    ));
+                }
+                if seen[r] {
+                    return Err(format!("split: rank {r} appears in more than one group"));
+                }
+                seen[r] = true;
+            }
+        }
+        if let Some(orphan) = seen.iter().position(|covered| !covered) {
+            return Err(format!(
+                "split: rank {orphan} belongs to no group (groups must cover every rank)"
+            ));
+        }
+        Ok(groups
+            .iter()
+            .map(|group| {
+                World {
+                    size: group.len(),
+                    fault_plan: self.fault_plan.clone(),
+                    transport: self.transport,
+                }
+                .spawn_persistent_labeled(group.clone())
+            })
+            .collect())
+    }
+
+    /// [`World::split`] into `parts` contiguous equal-sized groups — the
+    /// common serving shape (`--sub-worlds N`). Errors unless `parts`
+    /// divides the rank count evenly.
+    pub fn split_even(self, parts: usize) -> Result<Vec<PersistentWorld>, String> {
+        if parts == 0 {
+            return Err("split_even: need at least one part".to_string());
+        }
+        if !self.size.is_multiple_of(parts) {
+            return Err(format!(
+                "split_even: {} ranks do not divide into {parts} equal groups",
+                self.size
+            ));
+        }
+        let per = self.size / parts;
+        let groups: Vec<Vec<usize>> = (0..parts)
+            .map(|p| (p * per..(p + 1) * per).collect())
+            .collect();
+        self.split(&groups)
+    }
+
+    /// Shared spawn body: `labels[local_rank]` is the global rank id used
+    /// for thread names and live telemetry attribution, while the `Comm`s
+    /// (and everything built on them) see only local ranks `0..size`.
+    fn spawn_persistent_labeled(self, labels: Vec<usize>) -> PersistentWorld {
+        let n = self.size;
+        assert_eq!(labels.len(), n, "one label per rank");
         let stats: Arc<Vec<CommStats>> = Arc::new((0..n).map(|_| CommStats::default()).collect());
         let alive: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(true)).collect());
         let comms = self.build_comms(&stats, &alive);
@@ -411,12 +497,13 @@ impl World {
         for comm in comms {
             let (tx, rx) = mpsc::channel::<Job>();
             let rank = comm.rank();
-            workers.push(spawn_rank_worker(rank, n, Some(comm), rx));
+            workers.push(spawn_rank_worker(rank, n, labels[rank], Some(comm), rx));
             mailboxes.push(tx);
         }
         PersistentWorld {
             spec: self,
             size: n,
+            labels,
             mailboxes,
             workers,
             stats,
@@ -434,6 +521,7 @@ impl World {
 fn spawn_rank_worker(
     rank: usize,
     size: usize,
+    label: usize,
     comm: Option<Comm>,
     rx: mpsc::Receiver<Job>,
 ) -> std::thread::JoinHandle<()> {
@@ -444,11 +532,13 @@ fn spawn_rank_worker(
         state: None,
     };
     std::thread::Builder::new()
-        .name(format!("pdeml-rank-{rank}"))
+        .name(format!("pdeml-rank-{label}"))
         .spawn(move || {
             // Tag the thread so live telemetry (kernel gauges)
             // shards per rank even when no trace session is active.
-            pde_trace::set_thread_rank(rank as u32);
+            // Sub-worlds tag with the GLOBAL rank label so two sub-worlds
+            // never collide on one telemetry shard.
+            pde_trace::set_thread_rank(label as u32);
             while let Ok(job) = rx.recv() {
                 job(&mut slot);
             }
@@ -545,6 +635,9 @@ pub struct PersistentWorld {
     /// rebuilds the communicator mesh from it.
     spec: World,
     size: usize,
+    /// `labels[local_rank]` = global rank id (identity unless this world
+    /// came out of [`World::split`]); used for thread names and telemetry.
+    labels: Vec<usize>,
     mailboxes: Vec<mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<Vec<CommStats>>,
@@ -559,6 +652,13 @@ impl PersistentWorld {
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The global rank id behind each local rank: identity for a directly
+    /// spawned world, the group's rank list for a [`World::split`]
+    /// sub-world.
+    pub fn global_ranks(&self) -> &[usize] {
+        &self.labels
     }
 
     /// Reserves `n` consecutive job generations and returns the first.
@@ -663,6 +763,7 @@ impl PersistentWorld {
         {
             let f = &f;
             for (rank, mailbox) in self.mailboxes.iter().enumerate() {
+                let label = self.labels[rank];
                 let done = done_tx.clone();
                 let job: Box<dyn FnOnce(&mut RankSlot) + Send + '_> =
                     Box::new(move |slot: &mut RankSlot| {
@@ -672,24 +773,24 @@ impl PersistentWorld {
                         if let Some(c) = slot.comm.as_mut() {
                             c.set_generation(gen);
                         }
-                        pde_trace::adopt(session, rank as u32);
+                        pde_trace::adopt(session, label as u32);
                         let out = catch_unwind(AssertUnwindSafe(|| f(RankContext { slot, gen })));
                         pde_trace::leave();
                         // `leave` resets the thread's rank tag to the driver;
                         // restore it so live telemetry between jobs (and in
                         // sessions without tracing) stays rank-attributed.
-                        pde_trace::set_thread_rank(rank as u32);
+                        pde_trace::set_thread_rank(label as u32);
                         if out.is_err() {
                             // A panicked job means a dead rank: dropping the
                             // comm AND the state (which may hold a comm of
                             // its own, e.g. inside a CartComm) clears the
                             // aliveness flag so blocked peers observe
                             // `Disconnected` instead of hanging.
-                            crate::live::rank_panics().inc(rank);
+                            crate::live::rank_panics().inc(label);
                             slot.comm = None;
                             slot.state = None;
                         }
-                        crate::live::mailbox_depth().add(rank, -1);
+                        crate::live::mailbox_depth().add(label, -1);
                         let _ = done.send((rank, out));
                     });
                 // SAFETY: the job borrows `f` (and `done_tx` clones), which
@@ -704,7 +805,7 @@ impl PersistentWorld {
                 let job: Job = unsafe {
                     std::mem::transmute::<Box<dyn FnOnce(&mut RankSlot) + Send + '_>, Job>(job)
                 };
-                crate::live::mailbox_depth().add(rank, 1);
+                crate::live::mailbox_depth().add(label, 1);
                 mailbox
                     .send(job)
                     .expect("persistent rank worker is running");
@@ -775,7 +876,7 @@ impl PersistentWorld {
         for &r in &dead {
             let (tx, rx) = mpsc::channel::<Job>();
             self.mailboxes[r] = tx; // old sender drops: old worker exits
-            let fresh = spawn_rank_worker(r, self.size, None, rx);
+            let fresh = spawn_rank_worker(r, self.size, self.labels[r], None, rx);
             let old = std::mem::replace(&mut self.workers[r], fresh);
             let _ = old.join();
         }
@@ -1296,6 +1397,170 @@ mod tests {
             panic!("reinit must not run when nothing is dead");
         });
         assert!(revived.is_empty());
+    }
+
+    #[test]
+    fn split_validates_partitions() {
+        let groups = |gs: &[&[usize]]| gs.iter().map(|g| g.to_vec()).collect::<Vec<_>>();
+        for (bad, hint) in [
+            (groups(&[]), "at least one rank group"),
+            (groups(&[&[0, 1], &[]]), "group 1 is empty"),
+            (groups(&[&[0, 1], &[2, 4]]), "names rank 4"),
+            (groups(&[&[0, 1], &[1, 2, 3]]), "rank 1 appears in more"),
+            (groups(&[&[0, 1], &[3]]), "rank 2 belongs to no group"),
+        ] {
+            let err = World::new(4).split(&bad).err().expect("must be rejected");
+            assert!(err.contains(hint), "got '{err}', wanted '{hint}'");
+        }
+        assert!(World::new(4).split_even(3).is_err(), "4 % 3 != 0");
+        assert!(World::new(4).split_even(0).is_err());
+    }
+
+    #[test]
+    fn split_sub_worlds_serve_independently_with_global_labels() {
+        let subs = World::new(4).split(&[vec![0, 1], vec![2, 3]]).unwrap();
+        let mut subs = subs.into_iter();
+        let (mut a, mut b) = (subs.next().unwrap(), subs.next().unwrap());
+        assert_eq!(a.global_ranks(), &[0, 1]);
+        assert_eq!(b.global_ranks(), &[2, 3]);
+        // Each sub-world runs its own 2-rank exchange; ranks are LOCAL.
+        let run_pair = |pw: &mut PersistentWorld, seed: f64| {
+            pw.run(move |mut ctx| {
+                assert_eq!(ctx.size(), 2);
+                let peer = 1 - ctx.rank();
+                let payload = seed + ctx.rank() as f64;
+                let comm = ctx.comm();
+                comm.send(peer, 7, vec![payload]);
+                comm.recv(peer, 7)[0]
+            })
+        };
+        let out_a = run_pair(&mut a, 10.0);
+        let out_b = run_pair(&mut b, 20.0);
+        assert_eq!(out_a, vec![11.0, 10.0]);
+        assert_eq!(out_b, vec![21.0, 20.0]);
+        // Traffic is scoped per group: each sub-world saw only its own
+        // two messages, and generations advanced independently from 0.
+        for pw in [&a, &b] {
+            let t = pw.traffic();
+            assert_eq!(t.len(), 2);
+            assert_eq!(t.iter().map(|r| r.msgs_sent).sum::<u64>(), 2);
+        }
+    }
+
+    #[test]
+    fn split_sub_worlds_run_jobs_concurrently() {
+        // A barrier spanning BOTH sub-worlds' ranks can only release if
+        // jobs on the two sub-worlds are in flight at the same time.
+        let subs = World::new(4).split_even(2).unwrap();
+        let rendezvous = Arc::new(std::sync::Barrier::new(4));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = subs
+                .into_iter()
+                .map(|mut pw| {
+                    let gate = rendezvous.clone();
+                    s.spawn(move || {
+                        pw.run(|ctx| {
+                            gate.wait();
+                            ctx.rank()
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![0, 1]);
+            }
+        });
+    }
+
+    #[test]
+    fn split_sub_world_is_bitwise_a_serial_world_of_group_size() {
+        // Same seeded fault plan, same job: a 2-rank sub-world (of a split
+        // 4-rank world) must observe exactly the loss pattern of a plain
+        // 2-rank world — fault decisions hash group-LOCAL ranks.
+        let job = |mut c: Comm| {
+            if c.rank() == 0 {
+                for tag in 0..16 {
+                    c.send(1, tag, vec![tag as f64; 3]);
+                }
+                c.barrier();
+                Vec::new()
+            } else {
+                let got: Vec<u32> = (0..16)
+                    .filter(|&tag| c.recv_timeout(0, tag, Duration::from_millis(200)).is_ok())
+                    .collect();
+                c.barrier();
+                got
+            }
+        };
+        let plan = FaultPlan::loss_rate(0.5, 0xD1CE);
+        let (serial, serial_traffic) = World::new(2)
+            .with_fault_plan(plan.clone())
+            .run_with_stats(job);
+        let mut subs = World::new(4).with_fault_plan(plan).split_even(2).unwrap();
+        for pw in &mut subs {
+            let out = pw.run(|mut ctx| {
+                let comm = ctx.take_comm().expect("fresh sub-world comm");
+                job(comm)
+            });
+            assert_eq!(out[1], serial[1], "sub-world loss pattern == serial");
+            let traffic = pw.traffic();
+            assert_eq!(traffic, serial_traffic, "identical traffic counters");
+        }
+    }
+
+    #[test]
+    fn split_works_over_tcp() {
+        let subs = World::new(4)
+            .with_transport(TransportKind::Tcp)
+            .split_even(2)
+            .unwrap();
+        for mut pw in subs {
+            let out = pw.run(|mut ctx| {
+                let peer = 1 - ctx.rank();
+                let rank = ctx.rank();
+                let comm = ctx.comm();
+                comm.send(peer, 3, vec![rank as f64]);
+                let got = comm.recv(peer, 3)[0];
+                comm.barrier();
+                got
+            });
+            assert_eq!(out, vec![1.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn split_sub_world_respawns_after_a_rank_death() {
+        // Self-healing composes with splitting: a sub-world heals itself
+        // without disturbing its sibling.
+        let subs = World::new(4).split_even(2).unwrap();
+        let mut subs = subs.into_iter();
+        let (mut a, mut b) = (subs.next().unwrap(), subs.next().unwrap());
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("chaos");
+                }
+            });
+        }));
+        assert!(boom.is_err());
+        assert_eq!(a.dead_ranks(), vec![1]);
+        assert!(b.dead_ranks().is_empty(), "sibling untouched by the death");
+        let revived = a.respawn(|mut ctx, comm, _was_dead| {
+            let _old = ctx.take_comm();
+            ctx.put_comm(comm);
+        });
+        assert_eq!(revived, vec![1]);
+        let out = a.run(|mut ctx| {
+            let peer = 1 - ctx.rank();
+            let rank = ctx.rank();
+            let comm = ctx.comm();
+            comm.send(peer, 9, vec![rank as f64]);
+            comm.recv(peer, 9)[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+        // The sibling still serves.
+        let out = b.run(|ctx| ctx.rank());
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

@@ -103,6 +103,77 @@ impl EngineConfig {
     }
 }
 
+/// A configuration error from [`InferEngine::register`]: the model being
+/// registered cannot live in this engine's world. Returned (not panicked)
+/// so a serving layer — or the CLI — refuses the one bad model with a hint
+/// instead of aborting a process that is serving other models fine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The model is partitioned over a different number of ranks than the
+    /// engine's world has.
+    RankCountMismatch {
+        /// The model name being registered.
+        model: String,
+        /// Ranks the model's partition spans.
+        model_ranks: usize,
+        /// Ranks in the engine's world.
+        world_ranks: usize,
+    },
+    /// The model's `(py, px)` decomposition differs from the layout the
+    /// engine's resident `CartComm`s were built for.
+    LayoutMismatch {
+        /// The model name being registered.
+        model: String,
+        /// The model's `(py, px)` decomposition.
+        model_layout: (usize, usize),
+        /// The layout fixed by the first registration.
+        fixed: (usize, usize),
+    },
+    /// The scheduler's resident-model cap is reached and every resident
+    /// model has requests pending or in flight — nothing can be evicted.
+    ResidencyFull {
+        /// The model name being registered.
+        model: String,
+        /// The configured resident-model cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RankCountMismatch {
+                model,
+                model_ranks,
+                world_ranks,
+            } => write!(
+                f,
+                "register('{model}'): model is partitioned over {model_ranks} ranks but the \
+                 engine world has {world_ranks} — retrain (or re-partition) the model for \
+                 {world_ranks} ranks, or build the engine with {model_ranks}"
+            ),
+            EngineError::LayoutMismatch {
+                model,
+                model_layout: (py, px),
+                fixed: (fy, fx),
+            } => write!(
+                f,
+                "register('{model}'): model decomposes as {py}x{px} but the engine's resident \
+                 topology was fixed at {fy}x{fx} by the first registration — serve it from a \
+                 separate engine, or register it first"
+            ),
+            EngineError::ResidencyFull { model, cap } => write!(
+                f,
+                "register('{model}'): resident-model cap {cap} reached and every resident \
+                 model has requests in flight — raise --max-models or retry once traffic \
+                 drains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// What lives in each rank slot of the engine's world: the rank's Cartesian
 /// communicator (moved out of the slot on first registration, so it
 /// survives across jobs) and one resident rollout machine per registered
@@ -152,7 +223,7 @@ fn resident<'a>(ctx: &'a mut RankContext<'_>) -> &'a mut EngineRankState {
 ///     .train(&data, 4)
 ///     .unwrap();
 /// let mut engine = InferEngine::new(4);
-/// engine.register_outcome("pulse", arch, PaddingStrategy::ZeroPad, &outcome);
+/// engine.register_outcome("pulse", arch, PaddingStrategy::ZeroPad, &outcome).unwrap();
 /// let warm = engine.rollout("pulse", data.snapshot(0), 3).unwrap();
 /// assert_eq!(warm.states.len(), 4);
 /// ```
@@ -185,6 +256,26 @@ impl InferEngine {
     /// installs each resident rank's kernel thread budget (explicit
     /// `cfg.threads_per_rank` > `PDEML_THREADS_PER_RANK` > cores / ranks).
     pub fn with_config(cfg: EngineConfig) -> Self {
+        let mut world = World::new(cfg.n_ranks).with_transport(cfg.transport);
+        if let Some(plan) = cfg.fault_plan.clone() {
+            world = world.with_fault_plan(plan);
+        }
+        Self::from_world(world.spawn_persistent(), cfg)
+    }
+
+    /// Builds an engine over an already spawned world — the entry point for
+    /// serving over [`pde_commsim::World::split`] sub-worlds, where the
+    /// caller partitioned one big world and hands each piece its own
+    /// engine. Only `cfg.threads_per_rank`, `cfg.chaos` and `cfg.self_heal`
+    /// apply here; the world itself (rank count, fault plan, transport) was
+    /// fixed when it was spawned.
+    pub fn from_world(mut world: PersistentWorld, cfg: EngineConfig) -> Self {
+        assert!(
+            cfg.n_ranks == 0 || cfg.n_ranks == world.size(),
+            "from_world: config says {} ranks but the world has {}",
+            cfg.n_ranks,
+            world.size()
+        );
         if let Some(t) = cfg.threads_per_rank {
             let cores = pde_tensor::pool::available_cores();
             assert!(
@@ -199,12 +290,7 @@ impl InferEngine {
                  PDEML_THREADS_PER_RANK, not the config"
             );
         }
-        let budget = pde_tensor::pool::resolve_budget(cfg.threads_per_rank, cfg.n_ranks);
-        let mut world = World::new(cfg.n_ranks).with_transport(cfg.transport);
-        if let Some(plan) = cfg.fault_plan {
-            world = world.with_fault_plan(plan);
-        }
-        let mut world = world.spawn_persistent();
+        let budget = pde_tensor::pool::resolve_budget(cfg.threads_per_rank, world.size());
         // One throwaway job pins the budget on every resident rank thread
         // before the first model registers.
         world.run(|_ctx| pde_tensor::pool::set_thread_budget(budget));
@@ -260,32 +346,32 @@ impl InferEngine {
     /// rank thread, once**. Later requests only `reset` the resident state.
     /// Re-registering a name replaces the model on every rank.
     ///
-    /// Panics when the model's partition does not match the engine (rank
+    /// Errors when the model's partition does not match the engine (rank
     /// count, or the `(py, px)` layout fixed by the first registration) —
-    /// a configuration error, like the panics in
-    /// [`ParallelInference::new`].
+    /// a configuration problem the caller can surface as a hint instead of
+    /// a crash; nothing is mutated on the error path.
     ///
     /// The blueprint's own fault plan is ignored here: the engine's
     /// transport was configured once via [`EngineConfig::with_fault_plan`].
-    pub fn register(&mut self, name: &str, inf: ParallelInference) {
+    pub fn register(&mut self, name: &str, inf: ParallelInference) -> Result<(), EngineError> {
         let part = inf.partition();
-        assert_eq!(
-            part.rank_count(),
-            self.world.size(),
-            "register('{name}'): model is partitioned over {} ranks but the engine world has {}",
-            part.rank_count(),
-            self.world.size()
-        );
+        if part.rank_count() != self.world.size() {
+            return Err(EngineError::RankCountMismatch {
+                model: name.to_string(),
+                model_ranks: part.rank_count(),
+                world_ranks: self.world.size(),
+            });
+        }
         let (py, px) = (part.py(), part.px());
         match self.layout {
-            Some(fixed) => assert_eq!(
-                (py, px),
-                fixed,
-                "register('{name}'): model decomposes as {py}x{px} but the engine's resident \
-                 topology was fixed at {}x{} by the first registration",
-                fixed.0,
-                fixed.1
-            ),
+            Some(fixed) if (py, px) != fixed => {
+                return Err(EngineError::LayoutMismatch {
+                    model: name.to_string(),
+                    model_layout: (py, px),
+                    fixed,
+                });
+            }
+            Some(_) => {}
             None => self.layout = Some((py, px)),
         }
         let mask_dead = survive_dead(self.self_heal, &inf);
@@ -312,6 +398,7 @@ impl InferEngine {
             ers.models.insert(name.to_string(), st);
         });
         self.models.insert(name.to_string(), inf);
+        Ok(())
     }
 
     /// Convenience: build the blueprint from a training outcome (weights,
@@ -322,11 +409,28 @@ impl InferEngine {
         arch: ArchSpec,
         strategy: PaddingStrategy,
         outcome: &TrainOutcome,
-    ) {
+    ) -> Result<(), EngineError> {
         self.register(
             name,
             ParallelInference::from_outcome(arch, strategy, outcome),
-        );
+        )
+    }
+
+    /// Evicts the resident model `name`: drops its driver-side blueprint
+    /// and every rank's resident rollout state (restored net, window ring,
+    /// scratch). Returns whether the name was registered. The engine's
+    /// layout stays fixed — an evicted model's slot can be re-registered
+    /// any time the same `(py, px)` decomposition.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        if self.models.remove(name).is_none() {
+            return false;
+        }
+        self.world.run(|mut ctx| {
+            if ctx.state().is_some() {
+                resident(&mut ctx).models.remove(name);
+            }
+        });
+        true
     }
 
     /// Serves one rollout request against the resident model `name`
@@ -586,7 +690,7 @@ mod tests {
         let cold_a = inf.rollout(data.snapshot(0), 3).unwrap();
         let cold_b = inf.rollout(data.snapshot(4), 3).unwrap();
         let mut engine = InferEngine::new(4);
-        engine.register("m", inf);
+        engine.register("m", inf).unwrap();
         // Repeated warm requests from the same resident state.
         let warm_a = engine.rollout("m", data.snapshot(0), 3).unwrap();
         let warm_b = engine.rollout("m", data.snapshot(4), 3).unwrap();
@@ -608,7 +712,7 @@ mod tests {
             .map(|k| inf.rollout(data.snapshot(k), 2).unwrap())
             .collect();
         let mut engine = InferEngine::new(4);
-        engine.register("m", inf);
+        engine.register("m", inf).unwrap();
         let h: Vec<&[Tensor3]> = (0..3)
             .map(|k| std::slice::from_ref(data.snapshot(k)))
             .collect();
@@ -629,8 +733,8 @@ mod tests {
         let cold_np = inf_np.rollout(data.snapshot(1), 2).unwrap();
         let cold_zp = inf_zp.rollout(data.snapshot(1), 2).unwrap();
         let mut engine = InferEngine::new(4);
-        engine.register("neighbor", inf_np);
-        engine.register("zero", inf_zp);
+        engine.register("neighbor", inf_np).unwrap();
+        engine.register("zero", inf_zp).unwrap();
         assert_eq!(engine.model_names(), vec!["neighbor", "zero"]);
         let warm_zp = engine.rollout("zero", data.snapshot(1), 2).unwrap();
         let warm_np = engine.rollout("neighbor", data.snapshot(1), 2).unwrap();
@@ -642,7 +746,7 @@ mod tests {
     fn unknown_model_is_a_typed_error_not_a_crash() {
         let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
         let mut engine = InferEngine::new(4);
-        engine.register("only", inf);
+        engine.register("only", inf).unwrap();
         let err = engine.rollout("missing", data.snapshot(0), 1).unwrap_err();
         assert_eq!(
             err,
@@ -659,7 +763,7 @@ mod tests {
     fn bad_request_is_refused_without_poisoning_the_engine() {
         let (data, inf) = trained(PaddingStrategy::NeighborPad, 4);
         let mut engine = InferEngine::new(4);
-        engine.register("m", inf);
+        engine.register("m", inf).unwrap();
         let wrong = Tensor3::zeros(4, 8, 8);
         let err = engine.rollout("m", &wrong, 2).unwrap_err();
         assert_eq!(
@@ -687,7 +791,7 @@ mod tests {
             .rollout(data.snapshot(2), 3)
             .unwrap();
         let mut engine = InferEngine::with_config(EngineConfig::new(4).with_fault_plan(plan));
-        engine.register("m", inf);
+        engine.register("m", inf).unwrap();
         let warm1 = engine.rollout("m", data.snapshot(2), 3).unwrap();
         let warm2 = engine.rollout("m", data.snapshot(2), 3).unwrap();
         assert_eq!(warm1.states, cold.states, "warm request 1 vs cold");
@@ -700,10 +804,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "engine world has")]
-    fn registering_a_mismatched_partition_panics() {
-        let (_, inf) = trained(PaddingStrategy::ZeroPad, 4);
+    fn registering_a_mismatched_partition_is_a_typed_error() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
         let mut engine = InferEngine::new(2);
-        engine.register("m", inf);
+        let err = engine.register("m", inf).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RankCountMismatch {
+                model: "m".into(),
+                model_ranks: 4,
+                world_ranks: 2
+            }
+        );
+        assert!(err.to_string().contains("engine world has 2"));
+        // Nothing was mutated: the engine still serves a matching model.
+        let (_, inf2) = trained(PaddingStrategy::ZeroPad, 2);
+        engine.register("ok", inf2).unwrap();
+        assert!(engine.rollout("ok", data.snapshot(0), 1).is_ok());
+        assert_eq!(engine.model_names(), vec!["ok"]);
+    }
+
+    #[test]
+    fn deregister_evicts_rank_state_and_frees_the_name() {
+        let (data, inf) = trained(PaddingStrategy::ZeroPad, 4);
+        let mut engine = InferEngine::new(4);
+        engine.register("m", inf.clone()).unwrap();
+        let before = engine.rollout("m", data.snapshot(0), 2).unwrap();
+        assert!(engine.deregister("m"), "was registered");
+        assert!(!engine.deregister("m"), "second eviction is a no-op");
+        assert!(matches!(
+            engine.rollout("m", data.snapshot(0), 2),
+            Err(InferError::UnknownModel { .. })
+        ));
+        // Re-registration after eviction serves bitwise the same.
+        engine.register("m", inf).unwrap();
+        let after = engine.rollout("m", data.snapshot(0), 2).unwrap();
+        assert_eq!(after.states, before.states);
+    }
+
+    #[test]
+    fn engine_over_split_sub_worlds_matches_a_serial_engine_bitwise() {
+        // The tentpole contract at the engine layer: a model partitioned
+        // over 2 ranks served from a sub-world of a split 4-rank world is
+        // bitwise what a plain 2-rank engine serves.
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 2);
+        let mut serial = InferEngine::new(2);
+        serial.register("m", inf.clone()).unwrap();
+        let want_a = serial.rollout("m", data.snapshot(0), 3).unwrap();
+        let want_b = serial.rollout("m", data.snapshot(4), 3).unwrap();
+        let subs = World::new(4).split_even(2).unwrap();
+        for sub in subs {
+            let mut engine = InferEngine::from_world(sub, EngineConfig::new(2));
+            engine.register("m", inf.clone()).unwrap();
+            let got_a = engine.rollout("m", data.snapshot(0), 3).unwrap();
+            let got_b = engine.rollout("m", data.snapshot(4), 3).unwrap();
+            assert_eq!(got_a.states, want_a.states);
+            assert_eq!(got_b.states, want_b.states);
+            for (g, w) in got_a.traffic.iter().zip(&want_a.traffic) {
+                assert_eq!(g.msgs_sent, w.msgs_sent);
+                assert_eq!(g.bytes_sent, w.bytes_sent);
+            }
+        }
     }
 }

@@ -69,6 +69,38 @@ pub enum InferError {
         /// Kill-and-heal rounds attempted before giving up.
         attempts: usize,
     },
+    /// The scheduler refused admission before the request touched any
+    /// rank: load shedding, not failure. The reason names which admission
+    /// gate fired (and labels the `pdeml_requests_rejected_total` series).
+    Rejected {
+        /// Which admission gate refused the request.
+        reason: RejectReason,
+    },
+}
+
+/// Why the scheduler's admission control shed a request (the `reason`
+/// label on `pdeml_requests_rejected_total`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded request queue is at capacity.
+    QueueFull,
+    /// The health model reports Degraded or Failed — new traffic is
+    /// refused while the engine recovers.
+    Unhealthy,
+    /// The rolling p99.9 latency breached the configured `--slo-ms`
+    /// objective; shedding now beats collapsing later.
+    SloBreach,
+}
+
+impl RejectReason {
+    /// The metric label value (`reason="…"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Unhealthy => "unhealthy",
+            RejectReason::SloBreach => "slo",
+        }
+    }
 }
 
 impl std::fmt::Display for InferError {
@@ -102,6 +134,19 @@ impl std::fmt::Display for InferError {
                  produce a healthy world — the request was not served; retry it, and if \
                  recovery keeps failing rebuild the engine"
             ),
+            InferError::Rejected { reason } => {
+                let why = match reason {
+                    RejectReason::QueueFull => "the request queue is full",
+                    RejectReason::Unhealthy => "the health model reports degraded/failed",
+                    RejectReason::SloBreach => "rolling p99.9 latency breached the SLO",
+                };
+                write!(
+                    f,
+                    "request rejected ({}): {why} — the scheduler is shedding load; \
+                     back off and retry",
+                    reason.as_str()
+                )
+            }
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod norm;
 pub mod observe;
 pub mod padding;
 pub mod report;
+pub mod schedule;
 pub mod train;
 
 /// Convenient glob import for examples and benches.
@@ -59,14 +60,16 @@ pub mod prelude {
     pub use crate::arch::ArchSpec;
     pub use crate::baseline::{BaselineOutcome, DataParallelTrainer};
     pub use crate::data::SubdomainDataset;
-    pub use crate::engine::{EngineConfig, InferEngine};
+    pub use crate::engine::{EngineConfig, EngineError, InferEngine};
     pub use crate::flight::{FlightDump, FlightRecorder};
     pub use crate::infer::{
-        HaloFallback, HaloPolicy, InferError, ParallelInference, RankRolloutState, RolloutResult,
+        HaloFallback, HaloPolicy, InferError, ParallelInference, RankRolloutState, RejectReason,
+        RolloutResult,
     };
     pub use crate::metrics::FieldErrors;
     pub use crate::norm::ChannelNorm;
     pub use crate::padding::PaddingStrategy;
+    pub use crate::schedule::{Scheduler, SchedulerConfig, Ticket};
     pub use crate::train::{ParallelTrainer, SequentialTrainer, TrainConfig, TrainOutcome};
     pub use pde_commsim::{FaultPlan, TrafficReport};
     pub use pde_domain::GridPartition;

@@ -5,7 +5,8 @@
 //! assembly inside a rollout step, the per-request latency recording — is
 //! relaxed atomics only and stays on the zero-alloc request path.
 
-use pde_telemetry::{Counter, Histogram};
+use crate::infer::RejectReason;
+use pde_telemetry::{Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 macro_rules! live_counter {
@@ -47,6 +48,45 @@ live_counter!(
     "pdeml_train_epochs_total",
     "Training epochs completed"
 );
+
+/// Requests the scheduler refused, one series per admission gate:
+/// `pdeml_requests_rejected_total{reason="queue_full"|"unhealthy"|"slo"}`.
+pub(crate) fn requests_rejected(reason: RejectReason) -> &'static Counter {
+    const HELP: &str = "Requests shed by scheduler admission control, by reason";
+    static QUEUE_FULL: OnceLock<&'static Counter> = OnceLock::new();
+    static UNHEALTHY: OnceLock<&'static Counter> = OnceLock::new();
+    static SLO: OnceLock<&'static Counter> = OnceLock::new();
+    let (cell, label) = match reason {
+        RejectReason::QueueFull => (&QUEUE_FULL, RejectReason::QueueFull.as_str()),
+        RejectReason::Unhealthy => (&UNHEALTHY, RejectReason::Unhealthy.as_str()),
+        RejectReason::SloBreach => (&SLO, RejectReason::SloBreach.as_str()),
+    };
+    cell.get_or_init(|| {
+        pde_telemetry::counter_with_label("pdeml_requests_rejected_total", HELP, "reason", label)
+    })
+}
+
+/// Requests currently executing on some sub-world (admitted, not finished).
+pub(crate) fn requests_inflight() -> &'static Gauge {
+    static G: OnceLock<&'static Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        pde_telemetry::gauge(
+            "pdeml_requests_inflight",
+            "Requests currently executing on a sub-world",
+        )
+    })
+}
+
+/// Requests admitted but not yet picked up by a sub-world dispatcher.
+pub(crate) fn request_queue_depth() -> &'static Gauge {
+    static G: OnceLock<&'static Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        pde_telemetry::gauge(
+            "pdeml_request_queue_depth",
+            "Admitted requests waiting for an idle sub-world",
+        )
+    })
+}
 
 /// Warm-engine per-request latency in microseconds. Driver-recorded, so a
 /// single shared bucket array (not rank shards) is the right shape.

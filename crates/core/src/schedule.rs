@@ -1,0 +1,790 @@
+//! Concurrent serving: a bounded request queue feeding sub-world engines,
+//! LRU-bounded multi-tenant residency, and SLO-aware admission control.
+//!
+//! [`crate::engine::InferEngine`] serves one request at a time — all of the
+//! SIMD throughput below it sits behind a single-file queue. The
+//! [`Scheduler`] fixes the shape: the caller splits one big world into
+//! disjoint sub-worlds ([`pde_commsim::World::split`]), wraps each in an
+//! engine, and the scheduler fans independent requests out to whichever
+//! sub-world is idle. Because sub-worlds share nothing (own mesh, own
+//! traffic stats, own generation counter), a request served on a 2-rank
+//! sub-world is bitwise what a plain 2-rank engine would have served — the
+//! equivalence suite pins this on both transports.
+//!
+//! ## Admission control
+//!
+//! `submit` decides admission synchronously, under one lock, in arrival
+//! order — so for a fixed request trace (the sequence of submissions and
+//! completions) the accept/reject outcome of every request is a pure
+//! function of the trace, with no randomness and no sampling:
+//!
+//! 1. **Unhealthy** — the configured [`HealthModel`] reports Degraded or
+//!    Failed: new traffic is refused while the stack recovers;
+//! 2. **SLO breach** — the rolling p99.9 over the last
+//!    [`LATENCY_WINDOW`] served requests exceeds `slo_ms`: shedding now
+//!    beats collapsing later;
+//! 3. **Queue full** — the bounded queue is at `queue_depth`.
+//!
+//! A shed request returns [`InferError::Rejected`] immediately and counts
+//! on `pdeml_requests_rejected_total{reason=…}`; it never touches a rank.
+//!
+//! ## Residency
+//!
+//! Registered models are replicated on every sub-world (any sub-world can
+//! serve any request). [`Residency`] bounds how many stay resident:
+//! registering past `max_models` evicts the least-recently-used model that
+//! has **no pending or in-flight requests** — an in-flight model is never
+//! evicted; if every resident model is busy the registration fails with
+//! [`EngineError::ResidencyFull`] instead.
+
+use crate::engine::{EngineConfig, EngineError, InferEngine};
+use crate::infer::{InferError, ParallelInference, RejectReason, RolloutResult};
+use pde_commsim::World;
+use pde_telemetry::health::{Health, HealthModel};
+use pde_telemetry::DRIVER;
+use pde_tensor::Tensor3;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Rolling latency samples the SLO admission gate looks at.
+pub const LATENCY_WINDOW: usize = 256;
+
+/// How a [`Scheduler`] admits, queues and evicts.
+#[derive(Clone)]
+pub struct SchedulerConfig {
+    /// Admitted requests that may wait for an idle sub-world before
+    /// admission starts refusing with `queue_full`.
+    pub queue_depth: usize,
+    /// Resident-model cap across the registry (LRU eviction past it).
+    pub max_models: usize,
+    /// Rolling-p99.9 objective in milliseconds; `None` disarms the gate.
+    pub slo_ms: Option<u64>,
+    /// Served-request samples required before the SLO gate arms — a cold
+    /// scheduler must not reject on one slow warm-up request.
+    pub slo_min_samples: usize,
+    /// Health model consulted at admission (Degraded/Failed ⇒ reject).
+    pub health: Option<Arc<HealthModel>>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_depth: 32,
+            max_models: 8,
+            slo_ms: None,
+            slo_min_samples: 32,
+            health: None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Bounds the admitted-but-waiting queue.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Caps resident models (LRU eviction past the cap).
+    pub fn with_max_models(mut self, cap: usize) -> Self {
+        self.max_models = cap;
+        self
+    }
+
+    /// Arms the rolling-p99.9 SLO admission gate.
+    pub fn with_slo_ms(mut self, slo_ms: u64) -> Self {
+        self.slo_ms = Some(slo_ms);
+        self
+    }
+
+    /// Attaches the health model admission consults.
+    pub fn with_health(mut self, health: Arc<HealthModel>) -> Self {
+        self.health = Some(health);
+        self
+    }
+}
+
+/// Pure LRU residency bookkeeping: which models are resident, in what
+/// recency order, and how many requests each has pending or in flight.
+/// Factored out of the scheduler so the property suite can drive it
+/// against a naive model without threads.
+pub struct Residency {
+    cap: usize,
+    /// Resident names, least recently used first.
+    order: Vec<String>,
+    /// Pending + in-flight requests per resident model.
+    busy: BTreeMap<String, usize>,
+}
+
+impl Residency {
+    /// An empty residency with room for `cap` models.
+    ///
+    /// # Panics
+    /// If `cap` is 0 — a scheduler that can hold no model serves nothing.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "Residency: need room for at least one model");
+        Residency {
+            cap,
+            order: Vec::new(),
+            busy: BTreeMap::new(),
+        }
+    }
+
+    /// Resident names, least recently used first.
+    pub fn order(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Whether `name` is resident.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.busy.contains_key(name)
+    }
+
+    /// Pending + in-flight requests charged to `name`.
+    pub fn busy_count(&self, name: &str) -> usize {
+        self.busy.get(name).copied().unwrap_or(0)
+    }
+
+    /// Makes `name` resident (most recently used), evicting the
+    /// least-recently-used **idle** model if the cap is exceeded. Returns
+    /// the evicted name, if any; errors when the cap is reached and every
+    /// resident model has requests pending or in flight.
+    pub fn admit(&mut self, name: &str) -> Result<Option<String>, EngineError> {
+        if self.is_resident(name) {
+            self.touch(name);
+            return Ok(None);
+        }
+        let mut evicted = None;
+        if self.order.len() >= self.cap {
+            let victim = self
+                .order
+                .iter()
+                .find(|m| self.busy[m.as_str()] == 0)
+                .cloned()
+                .ok_or_else(|| EngineError::ResidencyFull {
+                    model: name.to_string(),
+                    cap: self.cap,
+                })?;
+            self.order.retain(|m| m != &victim);
+            self.busy.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.order.push(name.to_string());
+        self.busy.insert(name.to_string(), 0);
+        Ok(evicted)
+    }
+
+    /// Marks `name` most recently used.
+    ///
+    /// # Panics
+    /// If `name` is not resident.
+    pub fn touch(&mut self, name: &str) {
+        assert!(self.is_resident(name), "touch('{name}'): not resident");
+        self.order.retain(|m| m != name);
+        self.order.push(name.to_string());
+    }
+
+    /// Charges one pending/in-flight request to `name` (admission).
+    pub fn begin(&mut self, name: &str) {
+        *self
+            .busy
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("begin('{name}'): not resident")) += 1;
+    }
+
+    /// Releases one request from `name` and marks it most recently used.
+    pub fn finish(&mut self, name: &str) {
+        let n = self
+            .busy
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("finish('{name}'): not resident"));
+        assert!(*n > 0, "finish('{name}'): nothing in flight");
+        *n -= 1;
+        self.touch(name);
+    }
+}
+
+/// One admitted request waiting for (or running on) a sub-world.
+struct QueuedRequest {
+    name: String,
+    history: Vec<Tensor3>,
+    n_steps: usize,
+    tx: mpsc::Sender<Result<RolloutResult, InferError>>,
+}
+
+/// Registry maintenance shipped to a dispatcher, processed strictly before
+/// it picks up queued requests — so a request admitted after `register`
+/// returned can never reach a sub-world that has not registered the model.
+enum Command {
+    Register(String, ParallelInference),
+    Evict(String),
+}
+
+struct SchedState {
+    queue: VecDeque<QueuedRequest>,
+    /// Per-dispatcher command queues (FIFO each).
+    commands: Vec<VecDeque<Command>>,
+    residency: Residency,
+    /// Driver-side blueprints for request validation at admission.
+    blueprints: BTreeMap<String, ParallelInference>,
+    /// `(py, px)` fixed by the first registration (see the engine's rule).
+    layout: Option<(usize, usize)>,
+    /// Rolling served-request latencies (ms) the SLO gate inspects.
+    latencies_ms: VecDeque<u64>,
+    shutdown: bool,
+    /// Dispatchers still alive (a panicked engine retires its dispatcher).
+    live_workers: usize,
+}
+
+impl SchedState {
+    /// Rolling p99.9 over the latency window, via the shared nearest-rank
+    /// rule — the same index the serve-bench percentile would report.
+    fn p999_ms(&self) -> Option<u64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<u64> = self.latencies_ms.iter().copied().collect();
+        sorted.sort_unstable();
+        let idx = pde_telemetry::nearest_rank(sorted.len() as u64, 0.999) as usize;
+        Some(sorted[idx])
+    }
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    work: Condvar,
+}
+
+/// A pending result from [`Scheduler::submit`]. Dropping it abandons the
+/// request's result (the request itself still runs).
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<RolloutResult, InferError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket(pending)")
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request completes. A request stranded by a died
+    /// scheduler (every sub-world lost) reports as [`InferError::Recovering`].
+    pub fn wait(self) -> Result<RolloutResult, InferError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(InferError::Recovering { attempts: 0 }))
+    }
+}
+
+/// Fans independent rollout requests out to idle sub-world engines behind
+/// a bounded queue with SLO-aware admission. See the module docs for the
+/// state machine.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    cfg: SchedulerConfig,
+    sub_worlds: usize,
+    ranks_per_world: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Splits `world` into `sub_worlds` equal groups and schedules over
+    /// them. The common construction for `pdeml serve`.
+    pub fn over_world(
+        world: World,
+        sub_worlds: usize,
+        cfg: SchedulerConfig,
+    ) -> Result<Self, String> {
+        let engines = world
+            .split_even(sub_worlds)?
+            .into_iter()
+            .map(|sub| InferEngine::from_world(sub, EngineConfig::new(0)))
+            .collect();
+        Ok(Self::new(engines, cfg))
+    }
+
+    /// Schedules over caller-built engines (e.g. from [`World::split`] with
+    /// custom groups). Engines must be freshly built — same rank count
+    /// each, nothing registered yet; the scheduler owns the registry.
+    ///
+    /// # Panics
+    /// If `engines` is empty, rank counts differ, or a model is already
+    /// registered on one of them.
+    pub fn new(engines: Vec<InferEngine>, cfg: SchedulerConfig) -> Self {
+        assert!(!engines.is_empty(), "Scheduler: need at least one engine");
+        let ranks_per_world = engines[0].size();
+        for e in &engines {
+            assert_eq!(
+                e.size(),
+                ranks_per_world,
+                "Scheduler: every sub-world must have the same rank count"
+            );
+            assert!(
+                e.model_names().is_empty(),
+                "Scheduler: engines must be fresh — registration goes through the scheduler"
+            );
+        }
+        let sub_worlds = engines.len();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                commands: (0..sub_worlds).map(|_| VecDeque::new()).collect(),
+                residency: Residency::new(cfg.max_models),
+                blueprints: BTreeMap::new(),
+                layout: None,
+                latencies_ms: VecDeque::with_capacity(LATENCY_WINDOW),
+                shutdown: false,
+                live_workers: sub_worlds,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(idx, engine)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("pdeml-dispatch-{idx}"))
+                    .spawn(move || dispatcher(idx, engine, shared))
+                    .expect("spawn sub-world dispatcher")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            cfg,
+            sub_worlds,
+            ranks_per_world,
+            workers,
+        }
+    }
+
+    /// Sub-worlds serving requests.
+    pub fn sub_worlds(&self) -> usize {
+        self.sub_worlds
+    }
+
+    /// Ranks per sub-world — the rank count registered models must match.
+    pub fn ranks_per_world(&self) -> usize {
+        self.ranks_per_world
+    }
+
+    /// Registers `inf` on **every** sub-world (any of them can then serve
+    /// it), bounded by the resident-model cap: past it, the
+    /// least-recently-used idle model is evicted first. Validation
+    /// (rank count, layout) happens here, synchronously; the per-rank
+    /// network loading happens on each dispatcher before its next request.
+    pub fn register(&self, name: &str, inf: ParallelInference) -> Result<(), EngineError> {
+        let part = inf.partition();
+        if part.rank_count() != self.ranks_per_world {
+            return Err(EngineError::RankCountMismatch {
+                model: name.to_string(),
+                model_ranks: part.rank_count(),
+                world_ranks: self.ranks_per_world,
+            });
+        }
+        let layout = (part.py(), part.px());
+        let mut st = self.shared.state.lock().unwrap();
+        match st.layout {
+            Some(fixed) if fixed != layout => {
+                return Err(EngineError::LayoutMismatch {
+                    model: name.to_string(),
+                    model_layout: layout,
+                    fixed,
+                });
+            }
+            Some(_) => {}
+            None => st.layout = Some(layout),
+        }
+        let evicted = st.residency.admit(name)?;
+        if let Some(victim) = &evicted {
+            st.blueprints.remove(victim);
+        }
+        st.blueprints.insert(name.to_string(), inf.clone());
+        for cmds in st.commands.iter_mut() {
+            if let Some(victim) = &evicted {
+                cmds.push_back(Command::Evict(victim.clone()));
+            }
+            cmds.push_back(Command::Register(name.to_string(), inf.clone()));
+        }
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Submits one rollout request. Admission happens here, synchronously
+    /// and in arrival order (see the module docs); an accepted request
+    /// returns a [`Ticket`] for its eventual result, a shed one returns
+    /// [`InferError::Rejected`] without touching any rank.
+    pub fn submit(
+        &self,
+        name: &str,
+        history: &[Tensor3],
+        n_steps: usize,
+    ) -> Result<Ticket, InferError> {
+        // Gate 1: health. Outside the queue lock — checks may take their
+        // own locks (HealthModel's registry) and must not nest inside ours.
+        if let Some(health) = &self.cfg.health {
+            if health.report().overall != Health::Healthy {
+                return Err(self.reject(RejectReason::Unhealthy));
+            }
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        // Caller errors before load shedding: an unknown model or a
+        // malformed history is a 4xx, not back-pressure.
+        let inf = st
+            .blueprints
+            .get(name)
+            .ok_or_else(|| InferError::UnknownModel {
+                name: name.to_string(),
+            })?;
+        inf.validate_history(history)?;
+        // Gate 2: every sub-world lost ⇒ nothing can serve.
+        if st.live_workers == 0 {
+            drop(st);
+            return Err(self.reject(RejectReason::Unhealthy));
+        }
+        // Gate 3: rolling p99.9 vs the SLO.
+        if let Some(slo) = self.cfg.slo_ms {
+            if st.latencies_ms.len() >= self.cfg.slo_min_samples {
+                if let Some(p999) = st.p999_ms() {
+                    if p999 > slo {
+                        drop(st);
+                        return Err(self.reject(RejectReason::SloBreach));
+                    }
+                }
+            }
+        }
+        // Gate 4: the bounded queue.
+        if st.queue.len() >= self.cfg.queue_depth {
+            drop(st);
+            return Err(self.reject(RejectReason::QueueFull));
+        }
+        st.residency.begin(name);
+        let (tx, rx) = mpsc::channel();
+        st.queue.push_back(QueuedRequest {
+            name: name.to_string(),
+            history: history.to_vec(),
+            n_steps,
+            tx,
+        });
+        crate::live::request_queue_depth().set(DRIVER, st.queue.len() as i64);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    fn reject(&self, reason: RejectReason) -> InferError {
+        crate::live::requests_rejected(reason).inc(DRIVER);
+        InferError::Rejected { reason }
+    }
+
+    /// The rolling p99.9 (ms) the SLO gate currently sees.
+    pub fn rolling_p999_ms(&self) -> Option<u64> {
+        self.shared.state.lock().unwrap().p999_ms()
+    }
+
+    /// Requests admitted and waiting (not yet picked up).
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Sub-worlds still serving (dispatchers retire when their engine's
+    /// world is poisoned by a rank panic).
+    pub fn live_sub_worlds(&self) -> usize {
+        self.shared.state.lock().unwrap().live_workers
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// What one dispatcher iteration picked up under the lock.
+enum Work {
+    Cmd(Command),
+    Req(QueuedRequest),
+    Exit,
+}
+
+/// One sub-world's serving loop: drain registry commands first, then serve
+/// queued requests until shutdown (the queue is drained before exit). A
+/// panicked request poisons this engine's world only — the dispatcher
+/// retires and the remaining sub-worlds keep serving.
+fn dispatcher(idx: usize, mut engine: InferEngine, shared: Arc<Shared>) {
+    loop {
+        let work = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(cmd) = st.commands[idx].pop_front() {
+                    break Work::Cmd(cmd);
+                }
+                if let Some(req) = st.queue.pop_front() {
+                    crate::live::request_queue_depth().set(DRIVER, st.queue.len() as i64);
+                    crate::live::requests_inflight().add(DRIVER, 1);
+                    break Work::Req(req);
+                }
+                if st.shutdown {
+                    break Work::Exit;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        match work {
+            Work::Cmd(Command::Register(name, inf)) => {
+                engine
+                    .register(&name, inf)
+                    .expect("scheduler validated the registration at admission");
+            }
+            Work::Cmd(Command::Evict(name)) => {
+                engine.deregister(&name);
+            }
+            Work::Req(req) => {
+                let started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    engine.rollout_from_history(&req.name, &req.history, req.n_steps)
+                }));
+                let elapsed_ms = started.elapsed().as_millis() as u64;
+                let died = outcome.is_err();
+                let result = match outcome {
+                    Ok(r) => r,
+                    // The panic already killed the rank and poisoned the
+                    // engine's world; the requester gets a typed error.
+                    Err(_) => Err(InferError::Recovering { attempts: 1 }),
+                };
+                let served = result.is_ok();
+                {
+                    let mut st = shared.state.lock().unwrap();
+                    st.residency.finish(&req.name);
+                    crate::live::requests_inflight().add(DRIVER, -1);
+                    if served {
+                        if st.latencies_ms.len() == LATENCY_WINDOW {
+                            st.latencies_ms.pop_front();
+                        }
+                        st.latencies_ms.push_back(elapsed_ms);
+                    }
+                    if died {
+                        st.live_workers -= 1;
+                    }
+                }
+                let _ = req.tx.send(result);
+                if died {
+                    // Wake peers in case this was the last worker and
+                    // submitters need to observe live_workers == 0.
+                    shared.work.notify_all();
+                    return;
+                }
+            }
+            Work::Exit => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use crate::padding::PaddingStrategy;
+    use crate::train::{ParallelTrainer, TrainConfig};
+    use pde_euler::dataset::paper_dataset;
+    use pde_telemetry::health::CheckStatus;
+
+    fn trained(n_ranks: usize) -> (pde_euler::DataSet, ParallelInference) {
+        let data = paper_dataset(16, 8);
+        let arch = ArchSpec::tiny();
+        let outcome = ParallelTrainer::new(
+            arch.clone(),
+            PaddingStrategy::NeighborPad,
+            TrainConfig::quick_test(),
+        )
+        .train_view(&data, 6, n_ranks)
+        .unwrap();
+        (
+            data,
+            ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome),
+        )
+    }
+
+    fn scheduler(sub_worlds: usize, cfg: SchedulerConfig) -> Scheduler {
+        Scheduler::over_world(World::new(2 * sub_worlds), sub_worlds, cfg).unwrap()
+    }
+
+    #[test]
+    fn concurrent_requests_over_sub_worlds_match_serial_bitwise() {
+        let (data, inf) = trained(2);
+        let mut serial = InferEngine::new(2);
+        serial.register("m", inf.clone()).unwrap();
+        let want: Vec<_> = (0..6)
+            .map(|k| serial.rollout("m", data.snapshot(k), 2).unwrap())
+            .collect();
+
+        let sched = scheduler(2, SchedulerConfig::default());
+        sched.register("m", inf).unwrap();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|k| {
+                sched
+                    .submit("m", std::slice::from_ref(data.snapshot(k)), 2)
+                    .unwrap()
+            })
+            .collect();
+        for (k, t) in tickets.into_iter().enumerate() {
+            let got = t.wait().unwrap();
+            assert_eq!(got.states, want[k].states, "request {k}");
+        }
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_are_caller_errors_not_rejections() {
+        let (data, inf) = trained(2);
+        let sched = scheduler(1, SchedulerConfig::default());
+        sched.register("m", inf).unwrap();
+        let err = sched
+            .submit("nope", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap_err();
+        assert!(matches!(err, InferError::UnknownModel { .. }));
+        let wrong = Tensor3::zeros(4, 8, 8);
+        let err = sched
+            .submit("m", std::slice::from_ref(&wrong), 1)
+            .unwrap_err();
+        assert!(matches!(err, InferError::ShapeMismatch { .. }));
+        // Caller errors never charge the residency ledger.
+        assert_eq!(
+            sched.shared.state.lock().unwrap().residency.busy_count("m"),
+            0
+        );
+    }
+
+    #[test]
+    fn unhealthy_model_sheds_with_a_typed_rejection() {
+        let (data, inf) = trained(2);
+        let health = Arc::new(HealthModel::new());
+        health.register("always_degraded", || CheckStatus::Degraded("drill".into()));
+        let sched = scheduler(1, SchedulerConfig::default().with_health(health));
+        sched.register("m", inf).unwrap();
+        let err = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferError::Rejected {
+                reason: RejectReason::Unhealthy
+            }
+        );
+    }
+
+    #[test]
+    fn slo_breach_sheds_once_the_window_is_warm() {
+        let (data, inf) = trained(2);
+        let cfg = SchedulerConfig::default().with_slo_ms(5);
+        let min = cfg.slo_min_samples;
+        let sched = scheduler(1, cfg);
+        sched.register("m", inf).unwrap();
+        // Seed the rolling window past the arming threshold with samples
+        // far over the 5 ms objective.
+        {
+            let mut st = sched.shared.state.lock().unwrap();
+            for _ in 0..min {
+                st.latencies_ms.push_back(1000);
+            }
+        }
+        let err = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferError::Rejected {
+                reason: RejectReason::SloBreach
+            }
+        );
+    }
+
+    #[test]
+    fn queue_overflow_sheds_instead_of_collapsing() {
+        let (data, inf) = trained(2);
+        let sched = scheduler(1, SchedulerConfig::default().with_queue_depth(1));
+        sched.register("m", inf).unwrap();
+        // One long request occupies the single sub-world; rapid-fire
+        // submissions behind it overflow the depth-1 queue.
+        let slow = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 400)
+            .unwrap();
+        let mut admitted = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..8 {
+            match sched.submit("m", std::slice::from_ref(data.snapshot(1)), 1) {
+                Ok(t) => admitted.push(t),
+                Err(InferError::Rejected {
+                    reason: RejectReason::QueueFull,
+                }) => rejected += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected >= 1, "a depth-1 queue must shed under burst");
+        assert!(slow.wait().is_ok());
+        for t in admitted {
+            assert!(t.wait().is_ok(), "admitted requests are always served");
+        }
+    }
+
+    #[test]
+    fn residency_cap_evicts_lru_and_protects_busy_models() {
+        let mut r = Residency::new(2);
+        assert_eq!(r.admit("a").unwrap(), None);
+        assert_eq!(r.admit("b").unwrap(), None);
+        // "a" is LRU → evicted for "c".
+        assert_eq!(r.admit("c").unwrap(), Some("a".to_string()));
+        // Touch "b" (now MRU), admit "d": victim is "c".
+        r.touch("b");
+        assert_eq!(r.admit("d").unwrap(), Some("c".to_string()));
+        // A busy model is skipped: "b" is LRU but has work in flight.
+        r.begin("b");
+        assert_eq!(r.admit("e").unwrap(), Some("d".to_string()));
+        // Every resident busy → typed error.
+        r.begin("e");
+        assert_eq!(
+            r.admit("f").unwrap_err(),
+            EngineError::ResidencyFull {
+                model: "f".to_string(),
+                cap: 2
+            }
+        );
+        // Finishing unblocks admission again.
+        r.finish("e");
+        assert_eq!(r.admit("f").unwrap(), Some("e".to_string()));
+    }
+
+    #[test]
+    fn scheduler_register_past_cap_evicts_and_still_serves() {
+        let (data, inf) = trained(2);
+        let sched = scheduler(1, SchedulerConfig::default().with_max_models(1));
+        sched.register("first", inf.clone()).unwrap();
+        let want = sched
+            .submit("first", std::slice::from_ref(data.snapshot(0)), 2)
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Registering a second model evicts "first" (cap 1, idle).
+        sched.register("second", inf).unwrap();
+        let err = sched
+            .submit("first", std::slice::from_ref(data.snapshot(0)), 2)
+            .unwrap_err();
+        assert!(matches!(err, InferError::UnknownModel { .. }));
+        let got = sched
+            .submit("second", std::slice::from_ref(data.snapshot(0)), 2)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(got.states, want.states, "same weights, same rollout");
+    }
+}

@@ -42,6 +42,16 @@ pub const DRIVER: usize = usize::MAX;
 /// power of two, i.e. quantile relative error ≤ 1/64 (~1.6%).
 pub const DEFAULT_SUB_BITS: u32 = 5;
 
+/// The nearest-rank index rule shared by every percentile in the stack:
+/// for `count` sorted samples, quantile `q` (in `[0, 1]`) is the sample at
+/// index `round((count - 1) * q)`. [`HistogramSnapshot::quantile`] and the
+/// CLI's exact-list percentile both call this, so a latency reported from
+/// a sorted vector and one reported from a histogram agree on which sample
+/// they mean (the histogram then coarsens it to its bucket's midpoint).
+pub fn nearest_rank(count: u64, q: f64) -> u64 {
+    (count.saturating_sub(1) as f64 * q.clamp(0.0, 1.0)).round() as u64
+}
+
 fn shard_of(rank: usize) -> usize {
     if rank == DRIVER {
         RANK_SHARDS
@@ -313,7 +323,7 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return None;
         }
-        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let rank = nearest_rank(self.count, q);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
@@ -333,6 +343,16 @@ enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
+    /// One series of a labeled counter family (`family{key="value"}`).
+    /// Several entries share a family name; the renderer emits the
+    /// HELP/TYPE header once per family and every series under it.
+    CounterSeries {
+        family: &'static str,
+        help: &'static str,
+        label_key: &'static str,
+        label_value: &'static str,
+        counter: &'static Counter,
+    },
     Collected {
         name: &'static str,
         help: &'static str,
@@ -347,6 +367,7 @@ impl Metric {
             Metric::Counter(c) => c.name,
             Metric::Gauge(g) => g.name,
             Metric::Histogram(h) => h.name,
+            Metric::CounterSeries { family, .. } => family,
             Metric::Collected { name, .. } => name,
         }
     }
@@ -356,6 +377,7 @@ impl Metric {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "summary",
+            Metric::CounterSeries { .. } => "labeled counter",
             Metric::Collected { kind, .. } => kind,
         }
     }
@@ -434,6 +456,57 @@ pub fn histogram_with_bits(name: &'static str, help: &'static str, k: u32) -> &'
     h
 }
 
+/// Registers (or finds) one series of the labeled counter family `name`:
+/// rendered as `name{label_key="label_value"} <total>`, with the family's
+/// `# HELP`/`# TYPE` header emitted exactly once however many series it
+/// grows. Idempotent by `(name, label_value)`; the whole family must not
+/// collide with an unlabeled metric of the same name.
+///
+/// # Panics
+/// If `name` is already registered as an unlabeled metric, or an existing
+/// series of the family uses a different `label_key`.
+pub fn counter_with_label(
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+    label_value: &'static str,
+) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for m in reg.iter() {
+        match m {
+            Metric::CounterSeries {
+                family,
+                label_key: key,
+                label_value: value,
+                counter,
+                ..
+            } if *family == name => {
+                assert_eq!(
+                    *key, label_key,
+                    "labeled counter '{name}' already uses label key '{key}'"
+                );
+                if *value == label_value {
+                    return counter;
+                }
+            }
+            other if other.name() == name => panic!(
+                "metric '{name}' already registered as a {}",
+                other.kind_str()
+            ),
+            _ => {}
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(name, help)));
+    reg.push(Metric::CounterSeries {
+        family: name,
+        help,
+        label_key,
+        label_value,
+        counter: c,
+    });
+    c
+}
+
 /// Registers a scrape-time counter: `read` is evaluated on every render.
 /// For monotonic values maintained outside the registry. Idempotent by
 /// name (a second registration is ignored).
@@ -480,8 +553,35 @@ fn collect(
 pub fn render_prometheus() -> String {
     let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     let mut out = String::with_capacity(4096);
+    let mut families_done: Vec<&str> = Vec::new();
     for m in reg.iter() {
         match m {
+            Metric::CounterSeries { family, help, .. } => {
+                // All series of a family render together under one header,
+                // when the renderer reaches the family's first series.
+                if families_done.contains(family) {
+                    continue;
+                }
+                families_done.push(family);
+                header(&mut out, family, help, "counter");
+                for series in reg.iter() {
+                    if let Metric::CounterSeries {
+                        family: f,
+                        label_key,
+                        label_value,
+                        counter,
+                        ..
+                    } = series
+                    {
+                        if f == family {
+                            out.push_str(&format!(
+                                "{family}{{{label_key}=\"{label_value}\"}} {}\n",
+                                counter.total()
+                            ));
+                        }
+                    }
+                }
+            }
             Metric::Counter(c) => {
                 header(&mut out, c.name, c.help, "counter");
                 out.push_str(&format!("{} {}\n", c.name, c.get(DRIVER)));
@@ -603,6 +703,47 @@ mod tests {
             let _ = gauge("pdeml_test_idempotent_total", "h");
         });
         assert!(caught.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn nearest_rank_pins_the_shared_rule() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(1, 0.999), 0);
+        assert_eq!(nearest_rank(4, 0.0), 0);
+        assert_eq!(nearest_rank(4, 0.5), 2); // round(1.5) = 2
+        assert_eq!(nearest_rank(4, 1.0), 3);
+        assert_eq!(nearest_rank(1000, 0.999), 998); // round(999 * 0.999)
+        assert_eq!(nearest_rank(4, -3.0), 0, "q clamps into [0, 1]");
+        assert_eq!(nearest_rank(4, 7.0), 3);
+    }
+
+    #[test]
+    fn labeled_counter_family_renders_one_header_many_series() {
+        let a = counter_with_label("pdeml_test_labeled_total", "by reason", "reason", "full");
+        let b = counter_with_label("pdeml_test_labeled_total", "by reason", "reason", "slo");
+        let a2 = counter_with_label("pdeml_test_labeled_total", "by reason", "reason", "full");
+        assert!(std::ptr::eq(a, a2), "same (name, value) → same handle");
+        assert!(!std::ptr::eq(a, b), "different label values are distinct");
+        a.add(DRIVER, 3);
+        b.inc(DRIVER);
+        let text = render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE pdeml_test_labeled_total counter")
+                .count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("pdeml_test_labeled_total{reason=\"full\"} 3"));
+        assert!(text.contains("pdeml_test_labeled_total{reason=\"slo\"} 1"));
+        // The family name is reserved: an unlabeled registration collides.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = counter("pdeml_test_labeled_total", "x");
+        });
+        assert!(caught.is_err(), "family vs unlabeled collision must panic");
+        let caught = std::panic::catch_unwind(|| {
+            let _ = counter_with_label("pdeml_test_labeled_total", "x", "cause", "full");
+        });
+        assert!(caught.is_err(), "label-key mismatch must panic");
     }
 
     #[test]

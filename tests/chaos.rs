@@ -63,7 +63,7 @@ fn kill_and_recover_is_bitwise(transport: TransportKind) {
     let initial = data.snapshot(0).clone();
 
     let mut reference = InferEngine::with_config(EngineConfig::new(4).with_transport(transport));
-    reference.register("m", inf.clone());
+    reference.register("m", inf.clone()).unwrap();
 
     let plan = ChaosPlan::parse_for("kill:2:1", 4).unwrap();
     let mut chaotic = InferEngine::with_config(
@@ -72,7 +72,7 @@ fn kill_and_recover_is_bitwise(transport: TransportKind) {
             .with_chaos_plan(plan)
             .with_self_heal(),
     );
-    chaotic.register("m", inf);
+    chaotic.register("m", inf).unwrap();
 
     let respawns = pde_telemetry::counter(
         "pdeml_rank_respawns_total",
@@ -149,7 +149,7 @@ fn a_mid_rollout_kill_heals_too() {
     let plan = ChaosPlan::parse_for("kill:1:0:1", 4).unwrap();
     let mut engine =
         InferEngine::with_config(EngineConfig::new(4).with_chaos_plan(plan).with_self_heal());
-    engine.register("m", inf);
+    engine.register("m", inf).unwrap();
     let got = engine.rollout("m", &initial, 3).unwrap();
     assert_bitwise(&got, &reference, "mid-rollout kill");
 }
@@ -163,7 +163,7 @@ fn chaos_without_self_heal_kills_the_world() {
     let initial = data.snapshot(0).clone();
     let plan = ChaosPlan::parse_for("kill:2:0", 4).unwrap();
     let mut engine = InferEngine::with_config(EngineConfig::new(4).with_chaos_plan(plan));
-    engine.register("m", inf);
+    engine.register("m", inf).unwrap();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         engine.rollout("m", &initial, 2)
     }));
@@ -200,7 +200,7 @@ fn repeated_kills_exhaust_the_retry_budget() {
     );
     let mut engine =
         InferEngine::with_config(EngineConfig::new(4).with_chaos_plan(plan).with_self_heal());
-    engine.register("m", inf.clone());
+    engine.register("m", inf.clone()).unwrap();
     let err = match engine.rollout("m", &initial, 2) {
         Ok(_) => panic!("must give up, not serve"),
         Err(e) => e,
@@ -281,7 +281,7 @@ fn chaos_plan_is_deterministic_across_runs() {
         let plan = ChaosPlan::parse_for("kill:3:1", 4).unwrap();
         let mut engine =
             InferEngine::with_config(EngineConfig::new(4).with_chaos_plan(plan).with_self_heal());
-        engine.register("m", inf.clone());
+        engine.register("m", inf.clone()).unwrap();
         let mut states = Vec::new();
         for _ in 0..2 {
             states.push(engine.rollout("m", &initial, 2).unwrap());

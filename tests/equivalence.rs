@@ -247,7 +247,7 @@ fn warm_engine_rollouts_equal_cold_rollouts_bitwise_strict() {
         .expect("training");
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let mut engine = InferEngine::new(9);
-    engine.register("m", inf.clone());
+    engine.register("m", inf.clone()).unwrap();
     for (request, start) in [0usize, 3, 0].into_iter().enumerate() {
         let initial = data.snapshot(start).clone();
         let cold = inf.rollout(&initial, 3).unwrap();
@@ -296,7 +296,7 @@ fn warm_engine_rollouts_equal_cold_rollouts_under_seeded_loss() {
             .unwrap();
         let mut engine =
             InferEngine::with_config(EngineConfig::new(4).with_fault_plan(plan.clone()));
-        engine.register("m", inf);
+        engine.register("m", inf).unwrap();
         for request in 0..2 {
             let warm = engine.rollout("m", data.snapshot(1), 3).unwrap();
             for (k, (a, b)) in warm.states.iter().zip(&cold.states).enumerate() {
@@ -367,11 +367,11 @@ fn warm_engine_over_tcp_equals_channel_engine_bitwise() {
         .expect("training");
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome);
     let mut channel_engine = InferEngine::new(4);
-    channel_engine.register("m", inf.clone());
+    channel_engine.register("m", inf.clone()).unwrap();
     let mut tcp_engine = InferEngine::with_config(
         EngineConfig::new(4).with_transport(pde_commsim::TransportKind::Tcp),
     );
-    tcp_engine.register("m", inf);
+    tcp_engine.register("m", inf).unwrap();
     for request in 0..2 {
         let initial = data.snapshot(request).clone();
         let a = channel_engine.rollout("m", &initial, 3).unwrap();

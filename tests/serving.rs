@@ -1,0 +1,212 @@
+//! Concurrent-serving invariants: the scheduler's LRU residency against a
+//! naive reference model, and the sub-world equivalence guarantee — N
+//! requests fanned out over split sub-worlds are bitwise what a serial
+//! full-world engine serves, on both transports.
+
+use pde_commsim::{TransportKind, World};
+use pde_ml_core::arch::ArchSpec;
+use pde_ml_core::prelude::*;
+use pde_ml_core::schedule::Residency;
+use proptest::prelude::*;
+
+/// Model-name universe for residency interleavings.
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// Naive reference: resident models in LRU order (front = least recently
+/// used) with their pending/in-flight counts — the transparently-correct
+/// spelling of the eviction rule the scheduler relies on.
+#[derive(Default)]
+struct NaiveLru {
+    entries: Vec<(String, usize)>,
+}
+
+impl NaiveLru {
+    fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| n == name)
+    }
+
+    /// `Ok(victim)` mirrors [`Residency::admit`]: evict the oldest idle
+    /// entry when at `cap`, never a busy one; `Err` when all are busy.
+    fn admit(&mut self, name: &str, cap: usize) -> Result<Option<String>, ()> {
+        if let Some(i) = self.position(name) {
+            let e = self.entries.remove(i);
+            self.entries.push(e);
+            return Ok(None);
+        }
+        let mut victim = None;
+        if self.entries.len() >= cap {
+            let i = self.entries.iter().position(|(_, busy)| *busy == 0);
+            match i {
+                Some(i) => victim = Some(self.entries.remove(i).0),
+                None => return Err(()),
+            }
+        }
+        self.entries.push((name.to_string(), 0));
+        Ok(victim)
+    }
+
+    fn begin(&mut self, name: &str) {
+        let i = self.position(name).expect("begin on resident");
+        self.entries[i].1 += 1;
+    }
+
+    fn finish(&mut self, name: &str) {
+        let i = self.position(name).expect("finish on resident");
+        self.entries[i].1 -= 1;
+        let e = self.entries.remove(i);
+        self.entries.push(e);
+    }
+
+    fn busy(&self, name: &str) -> usize {
+        self.position(name).map_or(0, |i| self.entries[i].1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random register/rollout interleavings: the scheduler's residency
+    /// bookkeeping stays in lockstep with the naive reference — same
+    /// resident set, same LRU order, same eviction victims, same
+    /// ResidencyFull refusals — and an eviction victim NEVER has a request
+    /// pending or in flight.
+    #[test]
+    fn lru_residency_matches_naive_model_and_never_evicts_inflight(
+        cap in 1usize..4,
+        ops in prop::collection::vec((0u8..3, 0usize..NAMES.len()), 1..120),
+    ) {
+        let mut real = Residency::new(cap);
+        let mut naive = NaiveLru::default();
+        for (op, idx) in ops {
+            let name = NAMES[idx];
+            match op {
+                // Register: a rollout submission also lands here via
+                // touch-on-admit, so this covers both entry points.
+                0 => {
+                    let want = naive.admit(name, cap);
+                    let got = real.admit(name);
+                    match (&want, &got) {
+                        (Ok(w), Ok(g)) => {
+                            prop_assert_eq!(w, g, "eviction victims diverged");
+                            if let Some(victim) = g {
+                                prop_assert_eq!(
+                                    naive.busy(victim), 0,
+                                    "evicted '{}' while it had work in flight", victim
+                                );
+                            }
+                        }
+                        (Err(()), Err(EngineError::ResidencyFull { model, cap: c })) => {
+                            prop_assert_eq!(model.as_str(), name);
+                            prop_assert_eq!(*c, cap);
+                        }
+                        _ => prop_assert!(false, "admit('{}') diverged: naive {:?} vs real {:?}",
+                                          name, want.is_ok(), got.is_ok()),
+                    }
+                }
+                // Request admitted for a resident model.
+                1 if real.is_resident(name) => {
+                    naive.begin(name);
+                    real.begin(name);
+                }
+                // Request completed.
+                2 if real.busy_count(name) > 0 => {
+                    naive.finish(name);
+                    real.finish(name);
+                }
+                _ => {}
+            }
+            // Full-state lockstep after every operation.
+            let naive_order: Vec<&str> =
+                naive.entries.iter().map(|(n, _)| n.as_str()).collect();
+            let real_order: Vec<&str> =
+                real.order().iter().map(|s| s.as_str()).collect();
+            prop_assert_eq!(naive_order, real_order, "LRU order diverged");
+            for n in NAMES {
+                prop_assert_eq!(real.busy_count(n), naive.busy(n), "busy count for '{}'", n);
+            }
+        }
+    }
+}
+
+/// Trains the deterministic 2-rank fixture both sides of the equivalence
+/// serve.
+fn trained_fixture() -> (pde_euler::DataSet, ParallelInference) {
+    let data = pde_euler::dataset::paper_dataset(16, 8);
+    let arch = ArchSpec::tiny();
+    let outcome = ParallelTrainer::new(
+        arch.clone(),
+        PaddingStrategy::NeighborPad,
+        TrainConfig::quick_test(),
+    )
+    .train_view(&data, 6, 2)
+    .unwrap();
+    (
+        data,
+        ParallelInference::from_outcome(arch, PaddingStrategy::NeighborPad, &outcome),
+    )
+}
+
+/// N requests over 2 sub-worlds must be bitwise what the same N produce on
+/// a serial full-size world: same states, same per-rank traffic counters.
+/// Sub-worlds renumber their comm ranks 0..g, so each request is
+/// literally a serial 2-rank serve — this pins that nothing about the
+/// scheduler or the split leaks into the numerics.
+fn assert_scheduler_matches_serial(transport: TransportKind) {
+    let (data, inf) = trained_fixture();
+    let mut serial = InferEngine::with_config(EngineConfig::new(2).with_transport(transport));
+    serial.register("m", inf.clone()).unwrap();
+    let want: Vec<RolloutResult> = (0..8)
+        .map(|k| serial.rollout("m", data.snapshot(k), 3).unwrap())
+        .collect();
+
+    let engines: Vec<InferEngine> = World::new(4)
+        .with_transport(transport)
+        .split_even(2)
+        .unwrap()
+        .into_iter()
+        .map(|sub| InferEngine::from_world(sub, EngineConfig::new(2)))
+        .collect();
+    let sched = Scheduler::new(engines, SchedulerConfig::default());
+    sched.register("m", inf).unwrap();
+    // All 8 submitted before any is awaited: genuinely concurrent over the
+    // two sub-worlds, whichever dispatcher grabs each one.
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|k| {
+            sched
+                .submit("m", std::slice::from_ref(data.snapshot(k)), 3)
+                .unwrap()
+        })
+        .collect();
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let got = ticket.wait().unwrap();
+        for (s, (a, b)) in got.states.iter().zip(&want[k].states).enumerate() {
+            let identical = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                identical,
+                "request {k} step {s}: sub-world serve diverges bitwise from serial \
+                 ({} transport)",
+                transport.label()
+            );
+        }
+        assert_eq!(
+            got.traffic,
+            want[k].traffic,
+            "request {k}: per-rank traffic counters diverged ({} transport)",
+            transport.label()
+        );
+    }
+}
+
+#[test]
+fn requests_over_two_sub_worlds_match_serial_bitwise_channel() {
+    assert_scheduler_matches_serial(TransportKind::parse("channel").unwrap());
+}
+
+#[test]
+fn requests_over_two_sub_worlds_match_serial_bitwise_tcp() {
+    assert_scheduler_matches_serial(TransportKind::parse("tcp").unwrap());
+}

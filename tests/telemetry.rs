@@ -215,7 +215,7 @@ fn engine_latency_histogram_tracks_measured_requests() {
     let served_before = requests_total.total();
 
     let mut engine = InferEngine::new(4);
-    engine.register("telemetry", inf);
+    engine.register("telemetry", inf).unwrap();
     let mut measured_us = Vec::with_capacity(REQUESTS);
     for _ in 0..REQUESTS {
         let t = std::time::Instant::now();

@@ -152,7 +152,7 @@ fn second_warm_engine_request_allocates_nothing_on_rank_threads() {
     .unwrap();
     let inf = ParallelInference::from_outcome(arch, PaddingStrategy::ZeroPad, &outcome);
     let mut engine = InferEngine::new(4);
-    engine.register("m", inf);
+    engine.register("m", inf).unwrap();
 
     // Warm-up: grows every rank-resident buffer.
     let warm_up = engine.rollout("m", data.snapshot(0), 3).unwrap();
