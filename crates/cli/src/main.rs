@@ -46,6 +46,7 @@ USAGE:
   pdeml serve    [--quick | --data FILE --model DIR] [--addr HOST:PORT]
                  [--sub-worlds N] [--queue-depth N] [--max-models N]
                  [--slo-ms N] [--transport channel|tcp] [--ranks-per-world R]
+                 [--access-log PATH] [--access-log-sample N] [--trace-out PATH]
   pdeml serve --saturation [--quick | --data FILE --model DIR]
                  [--sub-worlds-list 1,2,4] [--requests N] [--steps K]
                  [--queue-depth N] [--transport channel|tcp] [--out BENCH.json]
@@ -54,7 +55,7 @@ USAGE:
                  [--fault drop:SRC-DST|loss:RATE:SEED|delay:SRC-DST:MS]
                  [--self-heal] [--kill-rank-at RANK:REQUEST] [--restore DIR]
                  [--metrics-addr HOST:PORT] [--hold-ms N] [--out BENCH.json]
-                 [--connect-timeout-ms N]
+                 [--connect-timeout-ms N] [--trace-dir DIR]
   pdeml world-node --rank R --peers HOST:PORT,HOST:PORT,…
                  [--requests N] [--steps K] [--halo-policy …] [--fault …]
                  [--self-heal] [--kill-at REQUEST] [--respawn --epoch E]
@@ -66,14 +67,20 @@ USAGE:
 `--sub-worlds` independent sub-worlds behind a bounded request queue with
 SLO-aware admission control (shed requests get 429/503, and count on
 pdeml_requests_rejected_total{reason=}). POST /v1/rollout serves a window
-of states; GET /v1/example prints a ready-to-POST body. `serve
---saturation` sweeps offered load vs p99.9 vs rejection rate across
-sub-world counts.
+of states; GET /v1/example prints a ready-to-POST body. Every rollout
+response echoes X-PDEML-Request-Id and a Server-Timing phase split
+(queue/dispatch/rollout); `--access-log PATH` appends one JSON line per
+sampled request and `--trace-out PATH` writes a request-id-tagged Chrome
+trace on shutdown. `serve --saturation` sweeps offered load vs p99.9,
+queue-wait p50/p99 and rejection rate across sub-world counts.
 `world-node --launch` runs an N-rank world as N OS processes over localhost
 TCP (rank 0 stays in the driver process), verifies the rollouts bitwise
 against the in-process channel transport, and reports channel-vs-TCP serve
-latency next to the perfmodel projection. `serve-bench --transport tcp`
-keeps every rank in-process but moves all messages over loopback sockets.
+latency next to the perfmodel projection; `--trace-dir DIR` makes every
+process dump a Chrome-trace shard and the launcher merge them into
+DIR/merged_trace.json, one timeline with a process group per rank.
+`serve-bench --transport tcp` keeps every rank in-process but moves all
+messages over loopback sockets.
 `--trace OUT.json` records a per-rank timeline (Chrome trace format; open in
 Perfetto or chrome://tracing) and prints a per-rank metrics table.
 `--metrics-addr` serves live Prometheus metrics plus /healthz and /readyz

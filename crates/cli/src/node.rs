@@ -19,6 +19,12 @@
 //! (so `--metrics-addr` scrapes the driver), then re-measures the
 //! channel-vs-TCP serve latency and the perfmodel projection for
 //! EXPERIMENTS.md.
+//!
+//! `--trace-dir DIR` turns on cross-process tracing: every process records
+//! its serving loop under a trace session and dumps a Chrome-trace *shard*
+//! (`DIR/shard_rankR.json`, exported with `pid = R`) on exit; the launcher
+//! then splices the shards into `DIR/merged_trace.json` — one Perfetto
+//! timeline with a process group per rank.
 
 use crate::args::Args;
 use crate::commands::{
@@ -177,6 +183,21 @@ fn traffic_from_f64(v: &[f64]) -> TrafficReport {
         halos_zero_filled: v[4] as u64,
         halos_stale: v[5] as u64,
     }
+}
+
+/// Writes this process's Chrome-trace shard — every row under `pid ==
+/// rank`, the convention [`pde_trace::merge_chrome_shards`] relies on.
+fn write_trace_shard(
+    dir: &std::path::Path,
+    rank: usize,
+    handle: pde_trace::TraceHandle,
+) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create --trace-dir {}: {e}", dir.display()))?;
+    let path = dir.join(format!("shard_rank{rank}.json"));
+    let json = handle.finish().chrome_json_for_pid(rank as u64);
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 fn parse_peers(spec: &str) -> Result<Vec<SocketAddr>, String> {
@@ -614,6 +635,14 @@ fn worker(args: &Args) -> Result<(), String> {
     };
 
     let (initial, inf) = fleet_from_args(args, peers.len(), policy, fault_plan.as_ref())?;
+    // The session starts *after* fleet setup so the shard holds only the
+    // serving loop (training would record under the training world's rank
+    // labels, which are meaningless in the merged timeline).
+    let trace = args.get("trace-dir").map(|dir| {
+        let handle = pde_trace::begin();
+        pde_trace::set_thread_rank(rank as u32);
+        (std::path::PathBuf::from(dir), handle)
+    });
     let run = run_rank(
         rank,
         &peers,
@@ -623,6 +652,14 @@ fn worker(args: &Args) -> Result<(), String> {
         &opts,
         None,
     )?;
+    if let Some((dir, handle)) = trace {
+        pde_trace::set_thread_rank(pde_trace::DRIVER_RANK);
+        let path = write_trace_shard(&dir, rank, handle)?;
+        println!(
+            "world-node rank {rank}: wrote trace shard {}",
+            path.display()
+        );
+    }
     match run {
         None => {
             println!("world-node rank {rank}: served {requests} lockstep requests x {steps} steps");
@@ -777,7 +814,13 @@ fn launch(args: &Args) -> Result<(), String> {
         // --restore forwards to every child, *including respawned
         // replacements*: a rejoining rank loads the checkpoint instead of
         // retraining the fleet from seed, shrinking the recovery window.
-        for flag in ["halo-policy", "halo-timeout-ms", "fault", "restore"] {
+        for flag in [
+            "halo-policy",
+            "halo-timeout-ms",
+            "fault",
+            "restore",
+            "trace-dir",
+        ] {
             if let Some(v) = args.get(flag) {
                 cmd.arg(format!("--{flag}")).arg(v);
             }
@@ -851,6 +894,13 @@ fn launch(args: &Args) -> Result<(), String> {
         kill_at: None,
         start_epoch: 0,
     };
+    // Rank 0's shard session — started here (post-training) so it covers
+    // exactly the serving loop, like every child's.
+    let trace = args.get("trace-dir").map(|dir| {
+        let handle = pde_trace::begin();
+        pde_trace::set_thread_rank(0);
+        (std::path::PathBuf::from(dir), handle)
+    });
     let run = run_rank(0, &addrs, &inf, &initial, fault_plan.as_ref(), &opts, heal);
     // Reap the children before judging the run: their exit codes are part
     // of the verdict, and a failed rendezvous must not leave orphans.
@@ -864,6 +914,34 @@ fn launch(args: &Args) -> Result<(), String> {
             Ok(status) => child_failures.push(format!("rank {rank} exited with {status}")),
             Err(e) => child_failures.push(format!("rank {rank}: wait failed: {e}")),
         }
+    }
+    // Merge point: the children have exited (their shards are on disk) and
+    // rank 0's session must end *before* the channel-reference rollouts
+    // below, whose worker threads would otherwise record into this shard.
+    if let Some((dir, handle)) = trace {
+        pde_trace::set_thread_rank(pde_trace::DRIVER_RANK);
+        write_trace_shard(&dir, 0, handle)?;
+        let mut shards = Vec::with_capacity(n);
+        let mut found = 0usize;
+        for rank in 0..n {
+            let path = dir.join(format!("shard_rank{rank}.json"));
+            match std::fs::read_to_string(&path) {
+                Ok(s) => {
+                    shards.push(s);
+                    found += 1;
+                }
+                // A chaos-killed rank dies before its dump; the merge
+                // carries on with whoever made it to disk.
+                Err(_) => println!("trace: no shard from rank {rank} ({})", path.display()),
+            }
+        }
+        let merged_path = dir.join("merged_trace.json");
+        std::fs::write(&merged_path, pde_trace::merge_chrome_shards(&shards))
+            .map_err(|e| format!("cannot write {}: {e}", merged_path.display()))?;
+        println!(
+            "trace: merged {found}/{n} shard(s) into {} (open in ui.perfetto.dev)",
+            merged_path.display()
+        );
     }
     let run = run?.expect("rank 0 gathers the world run");
     if !child_failures.is_empty() {

@@ -24,6 +24,15 @@
 //! unhealthy. `GET /v1/example` returns a ready-to-POST request body for
 //! the registered model; `/metrics`, `/healthz`, `/readyz` behave exactly
 //! like the exporter's; `POST /shutdown` stops the server (for CI).
+//!
+//! Every `/v1/rollout` response — success or rejection — carries the
+//! request id allocated at ingress (`X-PDEML-Request-Id`) and a
+//! `Server-Timing` header with the queue/dispatch/rollout phase split in
+//! milliseconds. `--access-log PATH` appends one JSON line per sampled
+//! request (`--access-log-sample N` keeps 1-in-N); `--trace-out PATH`
+//! records a trace session for the server's lifetime and writes the
+//! Chrome-trace JSON on shutdown, with each span tagged by the request id
+//! it served (README "End-to-end request tracing").
 
 use crate::args::Args;
 use pde_commsim::{TransportKind, World};
@@ -33,8 +42,8 @@ use pde_tensor::Tensor3;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Largest request head (line + headers) we will buffer.
@@ -45,6 +54,94 @@ const MAX_REQUEST_HEAD: usize = 4096;
 const MAX_REQUEST_BODY: usize = 16 << 20;
 /// Per-connection read budget.
 const REQUEST_DEADLINE: Duration = Duration::from_millis(2000);
+
+/// Sampled JSONL access log for `/v1/rollout`: one line per kept request
+/// with the request id and the phase-latency split, so a slow request can
+/// be followed from this line to its `Server-Timing` header to its spans
+/// in a trace dump — all three carry the same id.
+struct AccessLog {
+    file: Mutex<std::fs::File>,
+    /// Keep 1-in-`sample` requests (1 = log everything).
+    sample: u64,
+    seq: AtomicU64,
+}
+
+impl AccessLog {
+    fn open(path: &str, sample: u64) -> Result<AccessLog, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open access log {path}: {e}"))?;
+        Ok(AccessLog {
+            file: Mutex::new(file),
+            sample: sample.max(1),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn record(&self, line: &str) {
+        if !self
+            .seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.sample)
+        {
+            return;
+        }
+        if let Ok(mut f) = self.file.lock() {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// One access-log line. Schema (all integers; durations in microseconds):
+/// `{"ts_ms":…,"id":…,"model":"…","steps":…,"status":…,
+///   "queue_us":…,"dispatch_us":…,"rollout_us":…,"total_us":…}`.
+fn access_log_line(
+    ts_ms: u64,
+    id: RequestId,
+    model: &str,
+    steps: usize,
+    status: &str,
+    phases: &RequestPhases,
+    total_us: u64,
+) -> String {
+    // The status line starts with the numeric code ("429 Too Many Requests").
+    let code: u32 = status
+        .split_whitespace()
+        .next()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0);
+    let mut escaped = String::with_capacity(model.len());
+    for c in model.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    format!(
+        "{{\"ts_ms\":{ts_ms},\"id\":{},\"model\":\"{escaped}\",\"steps\":{steps},\
+         \"status\":{code},\"queue_us\":{},\"dispatch_us\":{},\"rollout_us\":{},\
+         \"total_us\":{total_us}}}\n",
+        id.as_u64(),
+        phases.queue_us,
+        phases.dispatch_us,
+        phases.rollout_us,
+    )
+}
+
+/// `Server-Timing` value for the phase split, milliseconds as the header's
+/// `dur` unit prescribes.
+fn server_timing(phases: &RequestPhases) -> String {
+    format!(
+        "queue;dur={:.3}, dispatch;dur={:.3}, rollout;dur={:.3}",
+        phases.queue_us as f64 / 1e3,
+        phases.dispatch_us as f64 / 1e3,
+        phases.rollout_us as f64 / 1e3,
+    )
+}
 
 /// Builds the model this server registers: `--quick` trains the tiny test
 /// net, otherwise `--model` loads a checkpoint directory.
@@ -159,6 +256,15 @@ pub fn serve(args: &Args) -> Result<(), String> {
         None => TransportKind::default(),
     };
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let access_log = match args.get("access-log") {
+        Some(path) => {
+            let sample: u64 = args.get_or("access-log-sample", 1)?;
+            Some(AccessLog::open(path, sample)?)
+        }
+        None => None,
+    };
+    let access_log = Arc::new(access_log);
+    let trace_out = args.get("trace-out").map(str::to_string);
 
     let (inf, initial, source) = build_model(args)?;
     let ranks = inf.partition().rank_count();
@@ -168,6 +274,11 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if slo_ms > 0 {
         cfg = cfg.with_slo_ms(slo_ms);
     }
+    // The session must be live before the scheduler spawns its dispatcher
+    // threads: they adopt the session active *now* and propagate it to the
+    // rank jobs of every request they dispatch, which is how serve-path
+    // spans (tagged with the request id) end up in this trace.
+    let trace = trace_out.as_ref().map(|_| pde_trace::begin());
     let health = Arc::new(pde_telemetry::health::HealthModel::new());
     let sched = Arc::new(build_scheduler(&inf, sub_worlds, transport, cfg, &health)?);
     // Unmeasured warm-up requests pay residency costs (model restore,
@@ -208,18 +319,32 @@ pub fn serve(args: &Args) -> Result<(), String> {
         let health = health.clone();
         let stop = stop.clone();
         let initial = initial.clone();
+        let access_log = access_log.clone();
         let window = inf.window();
         // Thread-per-connection: request handling blocks on the scheduler
         // (possibly for a whole queued rollout), and admission control —
         // not connection count — is the concurrency limiter.
         std::thread::spawn(move || {
-            let _ = handle_conn(stream, &sched, &health, &stop, &initial, window);
+            let _ = handle_conn(
+                stream,
+                &sched,
+                &health,
+                &stop,
+                &initial,
+                window,
+                &access_log,
+            );
         });
     }
     drop(listener);
     println!("shutdown requested; draining scheduler…");
     // Dropping the scheduler joins its dispatchers after the queue drains.
     drop(sched);
+    if let (Some(path), Some(handle)) = (trace_out, trace) {
+        let json = handle.finish().chrome_json();
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote trace {path}");
+    }
     Ok(())
 }
 
@@ -292,14 +417,26 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    respond_with(stream, status, "", body)
+}
+
+/// Like [`respond`] with extra header lines (each `\r\n`-terminated) —
+/// the rollout route uses this for `X-PDEML-Request-Id`/`Server-Timing`.
+fn respond_with(
+    stream: &mut TcpStream,
+    status: &str,
+    extra_headers: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     mut stream: TcpStream,
     sched: &Scheduler,
@@ -307,6 +444,7 @@ fn handle_conn(
     stop: &AtomicBool,
     initial: &Tensor3,
     window: usize,
+    access_log: &Option<AccessLog>,
 ) -> std::io::Result<()> {
     let (head, body) = match read_request(&mut stream) {
         Ok(r) => r,
@@ -351,21 +489,41 @@ fn handle_conn(
                 Ok(parsed) => parsed,
                 Err(e) => return respond(&mut stream, "400 Bad Request", &format!("{e}\n")),
             };
+            // The request id is allocated at ingress, before admission, so
+            // even a shed request has an id its 429 can be correlated by.
+            let id = RequestId::fresh();
+            let ingress = Instant::now();
             // Admission happens inside submit; the wait happens here, on
             // this connection's thread.
-            let result = sched
-                .submit(&model, &history, steps)
-                .and_then(|ticket| ticket.wait());
-            match result {
+            let (result, phases) = match sched.submit_with_id(id, &model, &history, steps) {
+                Ok(ticket) => ticket.wait_traced(),
+                Err(e) => (Err(e), RequestPhases::default()),
+            };
+            let total_us = ingress.elapsed().as_micros() as u64;
+            let (status, body_out) = match result {
                 Ok(rollout) => {
-                    let mut body = format!("steps {}\n", rollout.states.len() - 1);
+                    let mut b = format!("steps {}\n", rollout.states.len() - 1);
                     for state in &rollout.states {
-                        body.push_str(&encode_state(state));
+                        b.push_str(&encode_state(state));
                     }
-                    respond(&mut stream, "200 OK", &body)
+                    ("200 OK", b)
                 }
-                Err(e) => respond(&mut stream, status_for(&e), &format!("{e}\n")),
+                Err(e) => (status_for(&e), format!("{e}\n")),
+            };
+            if let Some(log) = access_log {
+                let ts_ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                log.record(&access_log_line(
+                    ts_ms, id, &model, steps, status, &phases, total_us,
+                ));
             }
+            let headers = format!(
+                "X-PDEML-Request-Id: {id}\r\nServer-Timing: {}\r\n",
+                server_timing(&phases)
+            );
+            respond_with(&mut stream, status, &headers, &body_out)
         }
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Release);
@@ -484,6 +642,10 @@ struct LoadPoint {
     served: usize,
     rejected: usize,
     p999_ms: Option<f64>,
+    /// Queue-wait percentiles over served requests — how much of the tail
+    /// is waiting versus computing at this offered load.
+    queue_p50_ms: Option<f64>,
+    queue_p99_ms: Option<f64>,
 }
 
 /// `pdeml serve --saturation` — open-loop offered-load sweep against the
@@ -547,8 +709,15 @@ fn saturation(args: &Args) -> Result<(), String> {
         transport.label()
     );
     println!(
-        "{:>10} {:>12} {:>8} {:>9} {:>10} {:>9}",
-        "sub-worlds", "offered r/s", "served", "rejected", "p99.9 ms", "rej rate"
+        "{:>10} {:>12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "sub-worlds",
+        "offered r/s",
+        "served",
+        "rejected",
+        "p99.9 ms",
+        "q p50 ms",
+        "q p99 ms",
+        "rej rate"
     );
 
     let ladder = [0.5, 1.0, 1.5, 2.0, 3.0];
@@ -589,31 +758,46 @@ fn saturation(args: &Args) -> Result<(), String> {
                         }
                         let submitted = Instant::now();
                         match sched.submit("serve", std::slice::from_ref(&initial), steps) {
-                            Ok(ticket) => match ticket.wait() {
-                                Ok(_) => Ok(submitted.elapsed().as_secs_f64() * 1e3),
-                                Err(e) => Err(e),
-                            },
+                            Ok(ticket) => {
+                                let (result, phases) = ticket.wait_traced();
+                                match result {
+                                    Ok(_) => Ok((
+                                        submitted.elapsed().as_secs_f64() * 1e3,
+                                        phases.queue_us as f64 / 1e3,
+                                    )),
+                                    Err(e) => Err(e),
+                                }
+                            }
                             Err(e) => Err(e),
                         }
                     })
                 })
                 .collect();
             let mut latencies = Vec::new();
+            let mut queue_waits = Vec::new();
             let mut rejected = 0usize;
             for h in handles {
                 match h.join().expect("load thread") {
-                    Ok(ms) => latencies.push(ms),
+                    Ok((ms, queue_ms)) => {
+                        latencies.push(ms);
+                        queue_waits.push(queue_ms);
+                    }
                     Err(InferError::Rejected { .. }) => rejected += 1,
                     Err(e) => return Err(format!("saturation request failed: {e}")),
                 }
             }
             latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            queue_waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
             let p999 = crate::commands::percentile(&latencies, 99.9);
+            let queue_p50 = crate::commands::percentile(&queue_waits, 50.0);
+            let queue_p99 = crate::commands::percentile(&queue_waits, 99.0);
             let rate = rejected as f64 / per_point as f64;
             println!(
-                "{sub_worlds:>10} {offered:>12.1} {:>8} {rejected:>9} {:>10} {rate:>9.3}",
+                "{sub_worlds:>10} {offered:>12.1} {:>8} {rejected:>9} {:>10} {:>9} {:>9} {rate:>9.3}",
                 latencies.len(),
                 crate::commands::fmt_ms(p999),
+                crate::commands::fmt_ms(queue_p50),
+                crate::commands::fmt_ms(queue_p99),
             );
             points.push(LoadPoint {
                 sub_worlds,
@@ -621,6 +805,8 @@ fn saturation(args: &Args) -> Result<(), String> {
                 served: latencies.len(),
                 rejected,
                 p999_ms: p999,
+                queue_p50_ms: queue_p50,
+                queue_p99_ms: queue_p99,
             });
         }
     }
@@ -631,12 +817,15 @@ fn saturation(args: &Args) -> Result<(), String> {
             .map(|p| {
                 format!(
                     "    {{ \"sub_worlds\": {}, \"offered_rps\": {:.1}, \"served\": {}, \
-                     \"rejected\": {}, \"p999_ms\": {}, \"rejection_rate\": {:.4} }}",
+                     \"rejected\": {}, \"p999_ms\": {}, \"queue_p50_ms\": {}, \
+                     \"queue_p99_ms\": {}, \"rejection_rate\": {:.4} }}",
                     p.sub_worlds,
                     p.offered_rps,
                     p.served,
                     p.rejected,
                     crate::commands::json_num(p.p999_ms),
+                    crate::commands::json_num(p.queue_p50_ms),
+                    crate::commands::json_num(p.queue_p99_ms),
                     p.rejected as f64 / per_point as f64
                 )
             })
@@ -672,6 +861,35 @@ mod tests {
         assert_eq!(steps, 4);
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].as_slice(), t.as_slice(), "exact f64 round-trip");
+    }
+
+    #[test]
+    fn access_log_line_is_json_with_the_three_phases() {
+        let phases = RequestPhases {
+            queue_us: 120,
+            dispatch_us: 45,
+            rollout_us: 9_800,
+        };
+        let line = access_log_line(
+            1_700_000_000_000,
+            RequestId(42),
+            "se\"rve",
+            3,
+            "429 Too Many Requests",
+            &phases,
+            10_000,
+        );
+        assert!(line.ends_with('\n'));
+        assert_eq!(
+            line.trim_end(),
+            "{\"ts_ms\":1700000000000,\"id\":42,\"model\":\"se\\\"rve\",\"steps\":3,\
+             \"status\":429,\"queue_us\":120,\"dispatch_us\":45,\"rollout_us\":9800,\
+             \"total_us\":10000}"
+        );
+        assert_eq!(
+            server_timing(&phases),
+            "queue;dur=0.120, dispatch;dur=0.045, rollout;dur=9.800"
+        );
     }
 
     #[test]

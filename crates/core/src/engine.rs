@@ -103,6 +103,20 @@ impl EngineConfig {
     }
 }
 
+/// Where one request's engine latency went, in microseconds: the rank jobs
+/// themselves (`rollout_us` — reset + steps + quiesce, wall time of the
+/// world's job round) vs everything the driver did around them
+/// (`dispatch_us` — validation, scatter, generation allocation,
+/// stitch/transpose). Queue wait is the scheduler's to measure; together
+/// the three phases are the request's [`crate::schedule::RequestPhases`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnginePhases {
+    /// Driver-side work around the rank jobs, per request.
+    pub dispatch_us: u64,
+    /// Rank-job wall time, per request (summed across self-heal retries).
+    pub rollout_us: u64,
+}
+
 /// A configuration error from [`InferEngine::register`]: the model being
 /// registered cannot live in this engine's world. Returned (not panicked)
 /// so a serving layer — or the CLI — refuses the one bad model with a hint
@@ -471,6 +485,26 @@ impl InferEngine {
         Ok(results.pop().expect("one request in, one result out"))
     }
 
+    /// [`InferEngine::rollout_from_history`] carrying a serving request id:
+    /// every span the request causes on the rank threads is stamped with
+    /// `req_id` (greppable as `"req":N` in a trace or flight dump), and the
+    /// returned [`EnginePhases`] splits its latency into driver-side
+    /// dispatch vs rank-side rollout time.
+    pub fn rollout_from_history_traced(
+        &mut self,
+        name: &str,
+        history: &[Tensor3],
+        n_steps: usize,
+        req_id: u64,
+    ) -> Result<(RolloutResult, EnginePhases), InferError> {
+        let (mut results, phases) =
+            self.rollout_batch_traced(name, &[history], n_steps, &[req_id])?;
+        Ok((
+            results.pop().expect("one request in, one result out"),
+            phases,
+        ))
+    }
+
     /// Serves `histories.len()` independent rollout requests in a single
     /// round of jobs: each rank thread processes the requests in order,
     /// switching its comm to a freshly allocated generation per request so
@@ -485,6 +519,20 @@ impl InferEngine {
         histories: &[&[Tensor3]],
         n_steps: usize,
     ) -> Result<Vec<RolloutResult>, InferError> {
+        Ok(self.rollout_batch_traced(name, histories, n_steps, &[])?.0)
+    }
+
+    /// [`InferEngine::rollout_batch`] with per-request serving ids (missing
+    /// entries tag as 0 = untraced) and a per-request [`EnginePhases`]
+    /// latency split. The phase histograms `pdeml_request_dispatch_us` /
+    /// `pdeml_request_rollout_us` are recorded here, once per request.
+    pub fn rollout_batch_traced(
+        &mut self,
+        name: &str,
+        histories: &[&[Tensor3]],
+        n_steps: usize,
+        req_ids: &[u64],
+    ) -> Result<(Vec<RolloutResult>, EnginePhases), InferError> {
         let inf = self
             .models
             .get(name)
@@ -495,9 +543,12 @@ impl InferEngine {
             inf.validate_history(h)?;
         }
         if histories.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), EnginePhases::default()));
         }
         let request_clock = std::time::Instant::now();
+        // Rank-job wall time, accumulated across self-heal retries so the
+        // dispatch phase (total minus rollout) never goes negative.
+        let mut rollout_clock_us: u64 = 0;
         // [request][rank][slot] normalized local windows.
         let scattered: Vec<Vec<Vec<Tensor3>>> =
             histories.iter().map(|h| inf.scatter_history(h)).collect();
@@ -528,6 +579,10 @@ impl InferEngine {
                     .expect("driver checked the registry before submitting");
                 let mut per_request = Vec::with_capacity(scattered.len());
                 for (i, request) in scattered.iter().enumerate() {
+                    // Everything this request records on this rank thread —
+                    // steps, halo assembly, comm waits, kernels — carries
+                    // its serving id (0 = untraced, the tag stays unset).
+                    pde_trace::set_request(req_ids.get(i).copied().unwrap_or(0));
                     cart.comm_mut().set_generation(base + i as u32);
                     st.reset(&request[rank]);
                     let (c, h, w) = st.latest().shape();
@@ -568,15 +623,20 @@ impl InferEngine {
                     let moved = cart.comm().stats().report().since(&traffic0);
                     per_request.push((trajectory.clone(), spent, moved));
                 }
+                pde_trace::set_request(0);
                 per_request
             };
             if !self.self_heal {
                 // The pre-supervisor path: a rank death poisons the world
                 // and the panic propagates to the driver.
+                let rank_clock = std::time::Instant::now();
                 outs = Some(self.world.run_at(base, serve));
+                rollout_clock_us += rank_clock.elapsed().as_micros() as u64;
                 break;
             }
+            let rank_clock = std::time::Instant::now();
             let results = self.world.run_collect(base, serve);
+            rollout_clock_us += rank_clock.elapsed().as_micros() as u64;
             if results.iter().all(std::result::Result::is_ok) {
                 outs = Some(
                     results
@@ -651,14 +711,24 @@ impl InferEngine {
         }
         // One latency sample per request: the batch's wall time split
         // evenly (requests in a batch complete together, so each "saw" the
-        // whole batch's latency divided by the batch's throughput).
-        let per_request_us = (request_clock.elapsed().as_micros() / histories.len() as u128) as u64;
+        // whole batch's latency divided by the batch's throughput). The
+        // phase split follows the same rule: rollout is the rank-job wall
+        // time, dispatch is everything else the driver did around it.
+        let total_us = request_clock.elapsed().as_micros() as u64;
+        let n = histories.len() as u64;
+        let per_request_us = total_us / n;
+        let phases = EnginePhases {
+            dispatch_us: total_us.saturating_sub(rollout_clock_us) / n,
+            rollout_us: rollout_clock_us.min(total_us) / n,
+        };
         for _ in histories {
             crate::live::request_latency_us().record(per_request_us);
+            crate::live::request_dispatch_us().record(phases.dispatch_us);
+            crate::live::request_rollout_us().record(phases.rollout_us);
             crate::live::requests().inc(pde_telemetry::DRIVER);
         }
         self.request_base += histories.len();
-        Ok(results)
+        Ok((results, phases))
     }
 }
 
@@ -703,6 +773,39 @@ mod tests {
             assert_eq!(w.msgs_sent, c.msgs_sent);
             assert_eq!(w.bytes_sent, c.bytes_sent);
         }
+    }
+
+    #[test]
+    fn traced_batch_stamps_request_ids_and_splits_phases() {
+        let (data, inf) = trained(PaddingStrategy::NeighborPad, 2);
+        let mut engine = InferEngine::new(2);
+        engine.register("m", inf).unwrap();
+        let h0 = [data.snapshot(0).clone()];
+        let h1 = [data.snapshot(1).clone()];
+        let handle = pde_trace::begin();
+        let (results, phases) = engine
+            .rollout_batch_traced("m", &[&h0, &h1], 2, &[71, 72])
+            .unwrap();
+        let trace = handle.finish();
+        assert_eq!(results.len(), 2);
+        // Every request's spans carry its id, on rank-tagged tracks.
+        for id in [71u64, 72] {
+            let spans: Vec<_> = trace.events.iter().filter(|e| e.req == id).collect();
+            assert!(!spans.is_empty(), "request {id} left no spans");
+            assert!(
+                spans
+                    .iter()
+                    .any(|e| e.name == pde_trace::names::STEP && e.rank != pde_trace::DRIVER_RANK),
+                "request {id} has a rank-attributed step span"
+            );
+        }
+        assert!(
+            phases.rollout_us > 0,
+            "two 2-step rollouts take measurable rank time"
+        );
+        // The untraced API is the same path with id 0 everywhere.
+        let (r2, _) = engine.rollout_batch_traced("m", &[&h0], 2, &[]).unwrap();
+        assert_eq!(r2[0].states, results[0].states, "ids never touch the math");
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::arch::ArchSpec;
     pub use crate::baseline::{BaselineOutcome, DataParallelTrainer};
     pub use crate::data::SubdomainDataset;
-    pub use crate::engine::{EngineConfig, EngineError, InferEngine};
+    pub use crate::engine::{EngineConfig, EngineError, EnginePhases, InferEngine};
     pub use crate::flight::{FlightDump, FlightRecorder};
     pub use crate::infer::{
         HaloFallback, HaloPolicy, InferError, ParallelInference, RankRolloutState, RejectReason,
@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::metrics::FieldErrors;
     pub use crate::norm::ChannelNorm;
     pub use crate::padding::PaddingStrategy;
-    pub use crate::schedule::{Scheduler, SchedulerConfig, Ticket};
+    pub use crate::schedule::{RequestId, RequestPhases, Scheduler, SchedulerConfig, Ticket};
     pub use crate::train::{ParallelTrainer, SequentialTrainer, TrainConfig, TrainOutcome};
     pub use pde_commsim::{FaultPlan, TrafficReport};
     pub use pde_domain::GridPartition;

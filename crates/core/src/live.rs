@@ -99,3 +99,43 @@ pub(crate) fn request_latency_us() -> &'static Histogram {
         )
     })
 }
+
+// Phase breakdown of the total request latency (DESIGN.md §4k): the time a
+// request spent admitted-but-waiting, the driver-side scatter/stitch around
+// the rank jobs, and the rank jobs themselves. queue_wait is recorded by
+// the scheduler's dispatcher, the other two by the engine — so direct
+// engine callers still populate dispatch/rollout.
+
+/// Time from admission to a dispatcher picking the request up (µs).
+pub(crate) fn request_queue_wait_us() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        pde_telemetry::histogram(
+            "pdeml_request_queue_wait_us",
+            "Admitted-request queue wait before dispatch, microseconds",
+        )
+    })
+}
+
+/// Driver-side request handling outside the rank jobs: history validation,
+/// scatter, generation allocation, stitch/transpose (µs).
+pub(crate) fn request_dispatch_us() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        pde_telemetry::histogram(
+            "pdeml_request_dispatch_us",
+            "Driver-side dispatch work around the rank jobs, microseconds",
+        )
+    })
+}
+
+/// Rank-job wall time of the request: reset + steps + quiesce (µs).
+pub(crate) fn request_rollout_us() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        pde_telemetry::histogram(
+            "pdeml_request_rollout_us",
+            "Rank-side rollout wall time per request, microseconds",
+        )
+    })
+}

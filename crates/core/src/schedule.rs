@@ -21,8 +21,9 @@
 //! 1. **Unhealthy** — the configured [`HealthModel`] reports Degraded or
 //!    Failed: new traffic is refused while the stack recovers;
 //! 2. **SLO breach** — the rolling p99.9 over the last
-//!    [`LATENCY_WINDOW`] served requests exceeds `slo_ms`: shedding now
-//!    beats collapsing later;
+//!    `latency_window` served requests ([`LATENCY_WINDOW`] by default,
+//!    [`SchedulerConfig::with_latency_window`] to resize) exceeds
+//!    `slo_ms`: shedding now beats collapsing later;
 //! 3. **Queue full** — the bounded queue is at `queue_depth`.
 //!
 //! A shed request returns [`InferError::Rejected`] immediately and counts
@@ -45,11 +46,63 @@ use pde_telemetry::DRIVER;
 use pde_tensor::Tensor3;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Rolling latency samples the SLO admission gate looks at.
+/// Rolling latency samples the SLO admission gate looks at, by default —
+/// [`SchedulerConfig::with_latency_window`] resizes the ring.
 pub const LATENCY_WINDOW: usize = 256;
+
+/// Process-unique id of one serving request, allocated at ingress (the
+/// HTTP front end, or [`RequestId::fresh`] for library callers) and
+/// threaded through admission → queue → dispatcher → engine → the per-rank
+/// trace spans, where it appears as the `"req"` arg. Ids start at 1; 0 is
+/// the "untraced" sentinel throughout the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Allocates the next process-unique id.
+    pub fn fresh() -> RequestId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        RequestId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id — what the trace layer stamps into spans.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Where one served request's latency went, in microseconds: admitted but
+/// waiting for a dispatcher (`queue_us`), driver-side work around the rank
+/// jobs (`dispatch_us`), and the rank jobs themselves (`rollout_us`).
+/// Mirrored by the `pdeml_request_queue_wait_us` / `_dispatch_us` /
+/// `_rollout_us` histograms and the HTTP `Server-Timing` header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestPhases {
+    /// Admission to dispatcher pickup.
+    pub queue_us: u64,
+    /// Driver-side scatter/stitch and bookkeeping around the rank jobs.
+    pub dispatch_us: u64,
+    /// Rank-job wall time (reset + steps + quiesce).
+    pub rollout_us: u64,
+}
+
+impl RequestPhases {
+    /// Sum of the three phases — the request's end-to-end service time as
+    /// the scheduler accounts it.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.dispatch_us + self.rollout_us
+    }
+}
 
 /// How a [`Scheduler`] admits, queues and evicts.
 #[derive(Clone)]
@@ -66,6 +119,10 @@ pub struct SchedulerConfig {
     pub slo_min_samples: usize,
     /// Health model consulted at admission (Degraded/Failed ⇒ reject).
     pub health: Option<Arc<HealthModel>>,
+    /// Served-latency samples the rolling ring retains
+    /// ([`LATENCY_WINDOW`] by default). The SLO gate arms at
+    /// `slo_min_samples` regardless of the window size.
+    pub latency_window: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -76,6 +133,7 @@ impl Default for SchedulerConfig {
             slo_ms: None,
             slo_min_samples: 32,
             health: None,
+            latency_window: LATENCY_WINDOW,
         }
     }
 }
@@ -102,6 +160,14 @@ impl SchedulerConfig {
     /// Attaches the health model admission consults.
     pub fn with_health(mut self, health: Arc<HealthModel>) -> Self {
         self.health = Some(health);
+        self
+    }
+
+    /// Resizes the rolling latency ring the p99.9 gate inspects (clamped
+    /// to ≥ 1). A smaller window reacts faster and forgets faster; the
+    /// arming threshold stays `slo_min_samples` either way.
+    pub fn with_latency_window(mut self, window: usize) -> Self {
+        self.latency_window = window.max(1);
         self
     }
 }
@@ -208,10 +274,14 @@ impl Residency {
 
 /// One admitted request waiting for (or running on) a sub-world.
 struct QueuedRequest {
+    id: RequestId,
     name: String,
     history: Vec<Tensor3>,
     n_steps: usize,
-    tx: mpsc::Sender<Result<RolloutResult, InferError>>,
+    /// Admission time — the dispatcher's pickup gap is the queue-wait
+    /// phase of the request's latency.
+    submitted_at: Instant,
+    tx: mpsc::Sender<(Result<RolloutResult, InferError>, RequestPhases)>,
 }
 
 /// Registry maintenance shipped to a dispatcher, processed strictly before
@@ -233,6 +303,8 @@ struct SchedState {
     layout: Option<(usize, usize)>,
     /// Rolling served-request latencies (ms) the SLO gate inspects.
     latencies_ms: VecDeque<u64>,
+    /// Samples `latencies_ms` retains ([`SchedulerConfig::latency_window`]).
+    latency_window: usize,
     shutdown: bool,
     /// Dispatchers still alive (a panicked engine retires its dispatcher).
     live_workers: usize,
@@ -260,22 +332,36 @@ struct Shared {
 /// A pending result from [`Scheduler::submit`]. Dropping it abandons the
 /// request's result (the request itself still runs).
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<RolloutResult, InferError>>,
+    id: RequestId,
+    rx: mpsc::Receiver<(Result<RolloutResult, InferError>, RequestPhases)>,
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Ticket(pending)")
+        write!(f, "Ticket(request {}, pending)", self.id)
     }
 }
 
 impl Ticket {
+    /// The admitted request's id — what the response echoes back to the
+    /// client and the trace spans carry.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
     /// Blocks until the request completes. A request stranded by a died
     /// scheduler (every sub-world lost) reports as [`InferError::Recovering`].
     pub fn wait(self) -> Result<RolloutResult, InferError> {
-        self.rx
-            .recv()
-            .unwrap_or(Err(InferError::Recovering { attempts: 0 }))
+        self.wait_traced().0
+    }
+
+    /// [`Ticket::wait`] plus the request's [`RequestPhases`] latency split
+    /// (zeroed when the request never reached a dispatcher).
+    pub fn wait_traced(self) -> (Result<RolloutResult, InferError>, RequestPhases) {
+        self.rx.recv().unwrap_or((
+            Err(InferError::Recovering { attempts: 0 }),
+            RequestPhases::default(),
+        ))
     }
 }
 
@@ -328,6 +414,7 @@ impl Scheduler {
             );
         }
         let sub_worlds = engines.len();
+        let latency_window = cfg.latency_window.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 queue: VecDeque::new(),
@@ -335,12 +422,18 @@ impl Scheduler {
                 residency: Residency::new(cfg.max_models),
                 blueprints: BTreeMap::new(),
                 layout: None,
-                latencies_ms: VecDeque::with_capacity(LATENCY_WINDOW),
+                latencies_ms: VecDeque::with_capacity(latency_window),
+                latency_window,
                 shutdown: false,
                 live_workers: sub_worlds,
             }),
             work: Condvar::new(),
         });
+        // Dispatchers join the trace session active on the constructing
+        // thread (a `--trace-out` whole-run capture, or an armed flight
+        // recorder), so request spans from their engines' rank jobs are
+        // collected. No-op when tracing is off.
+        let trace_session = pde_trace::session();
         let workers = engines
             .into_iter()
             .enumerate()
@@ -348,7 +441,10 @@ impl Scheduler {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("pdeml-dispatch-{idx}"))
-                    .spawn(move || dispatcher(idx, engine, shared))
+                    .spawn(move || {
+                        pde_trace::adopt(trace_session, pde_trace::DRIVER_RANK);
+                        dispatcher(idx, engine, shared)
+                    })
                     .expect("spawn sub-world dispatcher")
             })
             .collect();
@@ -414,12 +510,26 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Submits one rollout request. Admission happens here, synchronously
-    /// and in arrival order (see the module docs); an accepted request
-    /// returns a [`Ticket`] for its eventual result, a shed one returns
+    /// Submits one rollout request under a freshly allocated
+    /// [`RequestId`]. Admission happens here, synchronously and in arrival
+    /// order (see the module docs); an accepted request returns a
+    /// [`Ticket`] for its eventual result, a shed one returns
     /// [`InferError::Rejected`] without touching any rank.
     pub fn submit(
         &self,
+        name: &str,
+        history: &[Tensor3],
+        n_steps: usize,
+    ) -> Result<Ticket, InferError> {
+        self.submit_with_id(RequestId::fresh(), name, history, n_steps)
+    }
+
+    /// [`Scheduler::submit`] under a caller-allocated id — the HTTP front
+    /// end allocates at ingress so the id exists before admission and a
+    /// *rejected* request is still attributable in the access log.
+    pub fn submit_with_id(
+        &self,
+        id: RequestId,
         name: &str,
         history: &[Tensor3],
         n_steps: usize,
@@ -465,15 +575,17 @@ impl Scheduler {
         st.residency.begin(name);
         let (tx, rx) = mpsc::channel();
         st.queue.push_back(QueuedRequest {
+            id,
             name: name.to_string(),
             history: history.to_vec(),
             n_steps,
+            submitted_at: Instant::now(),
             tx,
         });
         crate::live::request_queue_depth().set(DRIVER, st.queue.len() as i64);
         drop(st);
         self.shared.work.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket { id, rx })
     }
 
     fn reject(&self, reason: RejectReason) -> InferError {
@@ -551,17 +663,33 @@ fn dispatcher(idx: usize, mut engine: InferEngine, shared: Arc<Shared>) {
                 engine.deregister(&name);
             }
             Work::Req(req) => {
+                let queue_us = req.submitted_at.elapsed().as_micros() as u64;
+                crate::live::request_queue_wait_us().record(queue_us);
                 let started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    engine.rollout_from_history(&req.name, &req.history, req.n_steps)
+                    engine.rollout_from_history_traced(
+                        &req.name,
+                        &req.history,
+                        req.n_steps,
+                        req.id.as_u64(),
+                    )
                 }));
                 let elapsed_ms = started.elapsed().as_millis() as u64;
                 let died = outcome.is_err();
-                let result = match outcome {
-                    Ok(r) => r,
+                let (result, engine_phases) = match outcome {
+                    Ok(Ok((r, p))) => (Ok(r), p),
+                    Ok(Err(e)) => (Err(e), Default::default()),
                     // The panic already killed the rank and poisoned the
                     // engine's world; the requester gets a typed error.
-                    Err(_) => Err(InferError::Recovering { attempts: 1 }),
+                    Err(_) => (
+                        Err(InferError::Recovering { attempts: 1 }),
+                        Default::default(),
+                    ),
+                };
+                let phases = RequestPhases {
+                    queue_us,
+                    dispatch_us: engine_phases.dispatch_us,
+                    rollout_us: engine_phases.rollout_us,
                 };
                 let served = result.is_ok();
                 {
@@ -569,7 +697,7 @@ fn dispatcher(idx: usize, mut engine: InferEngine, shared: Arc<Shared>) {
                     st.residency.finish(&req.name);
                     crate::live::requests_inflight().add(DRIVER, -1);
                     if served {
-                        if st.latencies_ms.len() == LATENCY_WINDOW {
+                        while st.latencies_ms.len() >= st.latency_window {
                             st.latencies_ms.pop_front();
                         }
                         st.latencies_ms.push_back(elapsed_ms);
@@ -578,7 +706,7 @@ fn dispatcher(idx: usize, mut engine: InferEngine, shared: Arc<Shared>) {
                         st.live_workers -= 1;
                     }
                 }
-                let _ = req.tx.send(result);
+                let _ = req.tx.send((result, phases));
                 if died {
                     // Wake peers in case this was the last worker and
                     // submitters need to observe live_workers == 0.
@@ -707,6 +835,95 @@ mod tests {
                 reason: RejectReason::SloBreach
             }
         );
+    }
+
+    #[test]
+    fn slo_gate_arms_at_min_samples_regardless_of_window_size() {
+        let (data, inf) = trained(2);
+        // A window far larger than the arming threshold: the gate must arm
+        // at `slo_min_samples` (32), not when the ring fills.
+        let cfg = SchedulerConfig::default()
+            .with_slo_ms(5)
+            .with_latency_window(512);
+        let min = cfg.slo_min_samples;
+        let sched = scheduler(1, cfg);
+        sched.register("m", inf.clone()).unwrap();
+        {
+            let mut st = sched.shared.state.lock().unwrap();
+            assert_eq!(st.latency_window, 512);
+            for _ in 0..min - 1 {
+                st.latencies_ms.push_back(1000);
+            }
+        }
+        // One sample short of the threshold: admitted despite the breach.
+        sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .expect("gate must stay disarmed below slo_min_samples")
+            .wait()
+            .unwrap();
+        {
+            let mut st = sched.shared.state.lock().unwrap();
+            st.latencies_ms.clear();
+            for _ in 0..min {
+                st.latencies_ms.push_back(1000);
+            }
+        }
+        let err = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferError::Rejected {
+                reason: RejectReason::SloBreach
+            },
+            "gate arms at exactly slo_min_samples even in a 512-wide ring"
+        );
+
+        // And a tiny window stays bounded: the ring never outgrows it.
+        let small = scheduler(1, SchedulerConfig::default().with_latency_window(4));
+        small.register("m", inf).unwrap();
+        for k in 0..6 {
+            small
+                .submit("m", std::slice::from_ref(data.snapshot(k)), 1)
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let st = small.shared.state.lock().unwrap();
+        assert!(
+            st.latencies_ms.len() <= 4,
+            "6 served requests, window 4 ⇒ at most 4 retained samples (got {})",
+            st.latencies_ms.len()
+        );
+    }
+
+    #[test]
+    fn tickets_expose_ids_and_phase_latencies() {
+        let (data, inf) = trained(2);
+        let sched = scheduler(1, SchedulerConfig::default());
+        sched.register("m", inf).unwrap();
+        let id = RequestId::fresh();
+        let ticket = sched
+            .submit_with_id(id, "m", std::slice::from_ref(data.snapshot(0)), 2)
+            .unwrap();
+        assert_eq!(ticket.id(), id);
+        let (result, phases) = ticket.wait_traced();
+        assert!(result.is_ok());
+        assert!(phases.rollout_us > 0, "a served request has rank time");
+        assert!(
+            phases.total_us() >= phases.queue_us + phases.rollout_us,
+            "total covers its parts"
+        );
+        // Plain submits allocate monotonically fresh ids.
+        let a = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap();
+        let b = sched
+            .submit("m", std::slice::from_ref(data.snapshot(0)), 1)
+            .unwrap();
+        assert!(b.id().as_u64() > a.id().as_u64());
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
     }
 
     #[test]

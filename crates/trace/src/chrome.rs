@@ -5,6 +5,12 @@
 //! named thread track under one process, so comm stalls line up visually
 //! against compute spans on neighbouring ranks. Timestamps are microseconds,
 //! the unit the format specifies.
+//!
+//! A multi-process world exports one *shard* per process via
+//! [`chrome_trace_json_for_pid`] (every event under that process's `pid`),
+//! and [`merge_chrome_shards`] splices the shards into a single file whose
+//! `pid` field keeps the processes apart — a 4-process rollout opens in
+//! Perfetto as four process groups on one shared time axis.
 
 use crate::{names, Kind, TraceEvent, DRIVER_RANK};
 
@@ -45,9 +51,20 @@ fn push_escaped(out: &mut String, s: &str) {
     }
 }
 
-/// Serializes events into Chrome-trace JSON. Includes `thread_name` and
-/// `thread_sort_index` metadata so ranks appear as ordered "rank N" rows.
+/// Serializes events into Chrome-trace JSON under `pid` 0. Includes
+/// `thread_name` and `thread_sort_index` metadata so ranks appear as
+/// ordered "rank N" rows. See [`chrome_trace_json_for_pid`] for the
+/// multi-process shard form.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_for_pid(events, 0)
+}
+
+/// Serializes events into Chrome-trace JSON with every row under process
+/// id `pid` — one shard of a multi-process world (the convention: a
+/// process's shard pid is its world rank). A `process_name` metadata row
+/// labels the process group in Perfetto; events recorded under a serving
+/// request carry a `"req"` arg so a merged trace greps by request id.
+pub fn chrome_trace_json_for_pid(events: &[TraceEvent], pid: u64) -> String {
     let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
     ranks.sort_unstable();
     ranks.dedup();
@@ -65,6 +82,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         out.push('\n');
     };
 
+    sep(&mut out, &mut first);
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"pdeml proc {pid}\"}}}}",
+    ));
+    sep(&mut out, &mut first);
+    out.push_str(&format!(
+        "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}",
+    ));
     for &rank in &ranks {
         let label = if rank == DRIVER_RANK {
             "driver".to_string()
@@ -73,13 +98,13 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         };
         sep(&mut out, &mut first);
         out.push_str(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
             tid(rank),
             label
         ));
         sep(&mut out, &mut first);
         out.push_str(&format!(
-            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
             tid(rank),
             tid(rank)
         ));
@@ -102,13 +127,60 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             }
         }
         out.push_str(&format!(
-            ",\"pid\":0,\"tid\":{},\"args\":{{\"{}\":{},\"{}\":{}}}}}",
+            ",\"pid\":{pid},\"tid\":{},\"args\":{{\"{}\":{},\"{}\":{}",
             tid(ev.rank),
             k0,
             ev.a0,
             k1,
             ev.a1
         ));
+        if ev.req != 0 {
+            out.push_str(&format!(",\"req\":{}", ev.req));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Merges per-process Chrome-trace shards — each produced by
+/// [`chrome_trace_json_for_pid`] with a distinct pid — into one Chrome
+/// Trace Event file. Shards already share a time axis (each process stamps
+/// microseconds from its own trace epoch, which for a lockstep world start
+/// within the rendezvous window), so the merge is a pure splice of each
+/// shard's `traceEvents` array: no event is re-parsed, re-stamped, or
+/// dropped, and merged event count == the sum of shard event counts.
+///
+/// Shards that are empty or not in the exporter's format are skipped
+/// rather than corrupting the output.
+pub fn merge_chrome_shards<S: AsRef<str>>(shards: &[S]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for shard in shards {
+        let shard = shard.as_ref();
+        // The exporter's envelope is fixed: everything between the first
+        // '[' and the last ']' is the comma-separated event list.
+        let Some(open) = shard.find('[') else {
+            continue;
+        };
+        let Some(close) = shard.rfind(']') else {
+            continue;
+        };
+        if close <= open {
+            continue;
+        }
+        let inner = shard[open + 1..close].trim();
+        if inner.is_empty() {
+            continue;
+        }
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(inner);
     }
     out.push_str("\n]}\n");
     out
@@ -129,6 +201,7 @@ mod tests {
             dur_us: 5,
             a0: 1,
             a1: 64,
+            req: 0,
         }
     }
 
@@ -158,5 +231,58 @@ mod tests {
         let json = chrome_trace_json(&[ev(DRIVER_RANK, Kind::Span, "setup")]);
         assert!(json.contains("\"tid\":1000000"));
         assert!(json.contains("\"name\":\"driver\""));
+    }
+
+    #[test]
+    fn pid_parameter_reaches_every_row_and_req_is_an_arg() {
+        let mut tagged = ev(0, Kind::Span, names::STEP);
+        tagged.req = 7;
+        let json = chrome_trace_json_for_pid(&[tagged, ev(1, Kind::Span, names::RECV)], 3);
+        assert!(!json.contains("\"pid\":0"), "no row escapes the pid");
+        assert_eq!(
+            json.matches("\"pid\":3").count(),
+            8,
+            "process meta (2) + per-rank meta (2x2) + events (2)"
+        );
+        assert!(json.contains("\"name\":\"pdeml proc 3\""));
+        assert!(json.contains("\"req\":7"), "request id exported as an arg");
+        // Untagged events stay req-free (the common case stays compact).
+        assert_eq!(json.matches("\"req\":").count(), 1);
+    }
+
+    #[test]
+    fn merged_shards_keep_every_event_under_its_source_pid() {
+        let shard0 = chrome_trace_json_for_pid(&[ev(0, Kind::Span, names::RECV)], 0);
+        let shard1 = chrome_trace_json_for_pid(
+            &[
+                ev(0, Kind::Span, names::RECV),
+                ev(0, Kind::Instant, names::HALO_LOST),
+            ],
+            1,
+        );
+        let merged = merge_chrome_shards(&[shard0.as_str(), shard1.as_str()]);
+        assert!(merged.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(merged.trim_end().ends_with("]}"));
+        // Spans + instants survive the splice, still under their pids.
+        assert_eq!(merged.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(merged.matches("\"ph\":\"i\"").count(), 1);
+        let shard0_rows = shard0.matches("\"pid\":0").count();
+        let shard1_rows = shard1.matches("\"pid\":1").count();
+        assert_eq!(merged.matches("\"pid\":0").count(), shard0_rows);
+        assert_eq!(merged.matches("\"pid\":1").count(), shard1_rows);
+        // Structural validity: balanced braces, no trailing comma.
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+        assert!(!merged.contains(",\n]"));
+    }
+
+    #[test]
+    fn merge_skips_empty_and_malformed_shards() {
+        let good = chrome_trace_json_for_pid(&[ev(0, Kind::Span, names::RECV)], 2);
+        let empty = chrome_trace_json_for_pid(&[], 5);
+        let merged = merge_chrome_shards(&[good.as_str(), "not json at all", "", empty.as_str()]);
+        assert!(merged.contains("\"ph\":\"X\""));
+        // The empty shard still contributes its process metadata rows.
+        assert!(merged.contains("\"pdeml proc 5\""));
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
     }
 }

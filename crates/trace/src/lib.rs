@@ -24,7 +24,7 @@
 mod chrome;
 pub mod metrics;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_for_pid, merge_chrome_shards};
 pub use metrics::RankMetrics;
 
 use std::cell::{Cell, RefCell};
@@ -121,6 +121,12 @@ pub struct TraceEvent {
     pub dur_us: u64,
     pub a0: u64,
     pub a1: u64,
+    /// Serving request id active on the recording thread (0 = none). A
+    /// field rather than a distinct event type: every existing span keeps
+    /// its name/category/args and merely gains attribution, so one grep
+    /// for `"req":N` pulls a request's whole cross-rank story out of a
+    /// flight dump (DESIGN.md §4k).
+    pub req: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +215,7 @@ impl Drop for Ring {
 thread_local! {
     static CTX: Cell<u64> = const { Cell::new(0) };
     static RANK: Cell<u32> = const { Cell::new(DRIVER_RANK) };
+    static REQ: Cell<u64> = const { Cell::new(0) };
     static RING: RefCell<Option<Ring>> = const { RefCell::new(None) };
 }
 
@@ -236,11 +243,12 @@ fn now_us() -> u64 {
     }
 }
 
-fn record(ev: TraceEvent) {
+fn record(mut ev: TraceEvent) {
     let session = CTX.with(|c| c.get());
     if session == 0 {
         return;
     }
+    ev.req = REQ.with(|r| r.get());
     RING.with(|r| {
         let mut r = r.borrow_mut();
         let ring = r.get_or_insert_with(|| Ring::new(RING_CAPACITY.load(Ordering::Relaxed)));
@@ -361,6 +369,22 @@ pub fn leave() {
     flush_current_thread();
     CTX.with(|c| c.set(0));
     RANK.with(|r| r.set(DRIVER_RANK));
+    REQ.with(|r| r.set(0));
+}
+
+/// Tags subsequent events on this thread with a serving request id
+/// (0 clears the tag). The serving engine brackets each request's rank
+/// work with this, so every span a request causes — steps, halo waits,
+/// GEMMs — carries its [`TraceEvent::req`] and a trace or flight dump can
+/// be grepped down to one request. Cost: one thread-local write.
+#[inline]
+pub fn set_request(id: u64) {
+    REQ.with(|r| r.set(id));
+}
+
+/// The serving request id tagged on the current thread (0 = none).
+pub fn current_request() -> u64 {
+    REQ.with(|r| r.get())
 }
 
 /// Tags the current thread with a rank, independent of any trace session.
@@ -421,6 +445,7 @@ impl Drop for Span {
             dur_us: end.saturating_sub(self.start_us),
             a0: self.a0,
             a1: self.a1,
+            req: 0, // stamped from the thread-local in `record`
         });
     }
 }
@@ -463,6 +488,7 @@ pub fn instant(cat: Category, name: &'static str, a0: u64, a1: u64) {
         dur_us: 0,
         a0,
         a1,
+        req: 0, // stamped from the thread-local in `record`
     });
 }
 
@@ -501,6 +527,14 @@ impl Trace {
     /// Chrome-trace / Perfetto JSON (one timeline track per rank).
     pub fn chrome_json(&self) -> String {
         chrome::chrome_trace_json(&self.events)
+    }
+
+    /// Chrome-trace JSON with every event under process id `pid` — the
+    /// per-process shard format of a multi-process world. Shards from
+    /// different processes (distinct pids) merge into one timeline with
+    /// [`merge_chrome_shards`].
+    pub fn chrome_json_for_pid(&self, pid: u64) -> String {
+        chrome::chrome_trace_json_for_pid(&self.events, pid)
     }
 
     /// Aggregates events into per-rank metrics (span time per category,
@@ -609,6 +643,30 @@ mod tests {
             .map(|e| e.a0)
             .collect();
         assert_eq!(kept, vec![6, 7, 8, 9], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn request_tag_stamps_events_and_clears() {
+        let h = begin();
+        let sid = h.session();
+        let t = std::thread::spawn(move || {
+            adopt(sid, 3);
+            set_request(41);
+            {
+                let _s = span_args(Category::Infer, names::STEP, 0, 0);
+            }
+            set_request(0);
+            instant(Category::Comm, names::SEND, 1, 8);
+            leave();
+            assert_eq!(current_request(), 0, "leave() clears the request tag");
+        });
+        t.join().unwrap();
+        let trace = h.finish();
+        let step = trace.events.iter().find(|e| e.name == names::STEP).unwrap();
+        assert_eq!(step.req, 41, "span recorded under the request tag");
+        assert_eq!(step.rank, 3);
+        let send = trace.events.iter().find(|e| e.name == names::SEND).unwrap();
+        assert_eq!(send.req, 0, "untagged events carry req 0");
     }
 
     #[test]

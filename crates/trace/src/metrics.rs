@@ -225,6 +225,7 @@ mod tests {
             dur_us: dur,
             a0: 0,
             a1: 0,
+            req: 0,
         }
     }
 
@@ -238,6 +239,7 @@ mod tests {
             dur_us: 0,
             a0,
             a1,
+            req: 0,
         }
     }
 
